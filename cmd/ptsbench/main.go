@@ -1,0 +1,94 @@
+// Command ptsbench regenerates the figures and tables of "Toward a
+// Better Understanding and Evaluation of Tree Structures on Flash SSDs"
+// (VLDB 2020) on the simulated storage stack.
+//
+// Usage:
+//
+//	ptsbench list
+//	ptsbench run -figure fig2 [-scale 128] [-quick] [-seed 1] [-csv DIR]
+//	ptsbench all [-quick] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ptsbench"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		fmt.Println("available figures:")
+		for _, id := range ptsbench.Figures() {
+			fmt.Printf("  %s\n", id)
+		}
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		figure := fs.String("figure", "", "figure id (see 'ptsbench list')")
+		opts, csvDir := commonFlags(fs)
+		_ = fs.Parse(os.Args[2:])
+		if *figure == "" {
+			fmt.Fprintln(os.Stderr, "run: -figure is required")
+			os.Exit(2)
+		}
+		if err := runOne(*figure, *opts, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "all":
+		fs := flag.NewFlagSet("all", flag.ExitOnError)
+		opts, csvDir := commonFlags(fs)
+		_ = fs.Parse(os.Args[2:])
+		for _, id := range ptsbench.Figures() {
+			if err := runOne(id, *opts, *csvDir); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func commonFlags(fs *flag.FlagSet) (*ptsbench.FigureOptions, *string) {
+	opts := &ptsbench.FigureOptions{}
+	fs.Int64Var(&opts.Scale, "scale", 0, "simulation scale override (0 = figure default)")
+	fs.BoolVar(&opts.Quick, "quick", false, "shorten runs for a fast smoke pass")
+	fs.Uint64Var(&opts.Seed, "seed", 0, "deterministic seed override")
+	csvDir := fs.String("csv", "", "also write CSV files into this directory")
+	return opts, csvDir
+}
+
+func runOne(id string, opts ptsbench.FigureOptions, csvDir string) error {
+	start := time.Now()
+	rep, err := ptsbench.Figure(id, opts)
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	if csvDir != "" {
+		if err := rep.WriteCSV(csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("CSV written to %s\n", csvDir)
+	}
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ptsbench list
+  ptsbench run -figure figN [-scale N] [-quick] [-seed N] [-csv DIR]
+  ptsbench all [-quick] [-csv DIR]`)
+}

@@ -1,0 +1,292 @@
+// Package blockdev provides the host-visible block layer over a simulated
+// flash device: iostat-style traffic counters, a blktrace-style per-LBA
+// write histogram (the paper's Fig 4 instrumentation), partitioning (used
+// for software over-provisioning, pitfall #6), and an optional content
+// store that retains written bytes for correctness tests while staying
+// out of the way at benchmark scale.
+package blockdev
+
+import (
+	"fmt"
+	"sort"
+
+	"ptsbench/internal/flash"
+	"ptsbench/internal/sim"
+)
+
+// Dev is the interface the filesystem layer programs against. Both the
+// whole Device and a Partition implement it.
+type Dev interface {
+	// PageSize returns the sector size in bytes.
+	PageSize() int
+	// Pages returns the capacity in pages.
+	Pages() int64
+	// WriteAt writes n pages at page offset off starting at virtual time
+	// now, returning the completion time. data may be nil (accounting
+	// only) or must be exactly n*PageSize bytes.
+	WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration
+	// ReadAt reads n pages at page offset off, returning the completion
+	// time. If a content store is enabled and buf is non-nil, buf is
+	// filled with the stored bytes.
+	ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration
+	// Discard TRIMs n pages at offset off (used by discard-mounted
+	// filesystems and blkdiscard).
+	Discard(off int64, n int)
+}
+
+// Counters are iostat-style cumulative counters, in bytes and operations.
+type Counters struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+}
+
+// Sub returns c - o, for per-interval deltas.
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		BytesWritten: c.BytesWritten - o.BytesWritten,
+		BytesRead:    c.BytesRead - o.BytesRead,
+		WriteOps:     c.WriteOps - o.WriteOps,
+		ReadOps:      c.ReadOps - o.ReadOps,
+	}
+}
+
+// Device wraps a flash.Device with host-side instrumentation.
+type Device struct {
+	ssd      *flash.Device
+	counters Counters
+
+	// writeHist counts writes per logical page, like blktrace
+	// post-processing; it powers the Fig 4 CDF.
+	writeHist []uint32
+
+	// content, when non-nil, retains the last-written bytes per page.
+	content map[int64][]byte
+}
+
+// New wraps ssd. The write histogram is always maintained (4 bytes per
+// page); the content store starts disabled.
+func New(ssd *flash.Device) *Device {
+	return &Device{
+		ssd:       ssd,
+		writeHist: make([]uint32, ssd.LogicalPages()),
+	}
+}
+
+// EnableContentStore makes the device retain written bytes so that reads
+// return real data. Tests and small examples enable it; benchmark-scale
+// experiments leave it off.
+func (d *Device) EnableContentStore() {
+	if d.content == nil {
+		d.content = make(map[int64][]byte)
+	}
+}
+
+// ContentEnabled reports whether written bytes are retained.
+func (d *Device) ContentEnabled() bool { return d.content != nil }
+
+// SSD exposes the underlying simulated flash device (for SMART access).
+func (d *Device) SSD() *flash.Device { return d.ssd }
+
+// PageSize implements Dev.
+func (d *Device) PageSize() int { return d.ssd.PageSize() }
+
+// Pages implements Dev.
+func (d *Device) Pages() int64 { return d.ssd.LogicalPages() }
+
+// Counters returns a copy of the cumulative host I/O counters.
+func (d *Device) Counters() Counters { return d.counters }
+
+// WriteAt implements Dev.
+func (d *Device) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+	if n <= 0 {
+		return now
+	}
+	d.checkRange(off, n)
+	ps := d.ssd.PageSize()
+	if data != nil && len(data) != n*ps {
+		panic(fmt.Sprintf("blockdev: data length %d != %d pages", len(data), n))
+	}
+	d.counters.BytesWritten += int64(n) * int64(ps)
+	d.counters.WriteOps++
+	for i := 0; i < n; i++ {
+		d.writeHist[off+int64(i)]++
+	}
+	if d.content != nil && data != nil {
+		for i := 0; i < n; i++ {
+			page := make([]byte, ps)
+			copy(page, data[i*ps:(i+1)*ps])
+			d.content[off+int64(i)] = page
+		}
+	}
+	return d.ssd.SubmitWrite(now, off, n)
+}
+
+// ReadAt implements Dev.
+func (d *Device) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+	if n <= 0 {
+		return now
+	}
+	d.checkRange(off, n)
+	ps := d.ssd.PageSize()
+	if buf != nil && len(buf) != n*ps {
+		panic(fmt.Sprintf("blockdev: buffer length %d != %d pages", len(buf), n))
+	}
+	d.counters.BytesRead += int64(n) * int64(ps)
+	d.counters.ReadOps++
+	if d.content != nil && buf != nil {
+		for i := 0; i < n; i++ {
+			page := d.content[off+int64(i)]
+			dst := buf[i*ps : (i+1)*ps]
+			if page == nil {
+				for j := range dst {
+					dst[j] = 0
+				}
+			} else {
+				copy(dst, page)
+			}
+		}
+	}
+	return d.ssd.SubmitRead(now, off, n)
+}
+
+// Discard implements Dev.
+func (d *Device) Discard(off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	d.checkRange(off, n)
+	if d.content != nil {
+		for i := 0; i < n; i++ {
+			delete(d.content, off+int64(i))
+		}
+	}
+	d.ssd.Trim(off, n)
+}
+
+// BlkDiscardAll trims the entire device (the paper's "Trimmed" initial
+// state) and clears the content store.
+func (d *Device) BlkDiscardAll() {
+	if d.content != nil {
+		d.content = make(map[int64][]byte)
+	}
+	d.ssd.TrimAll()
+}
+
+// ResetInstrumentation zeroes the iostat counters and the LBA histogram.
+// The harness calls it after the load phase so that plots cover only the
+// measured run, as in the paper.
+func (d *Device) ResetInstrumentation() {
+	d.counters = Counters{}
+	for i := range d.writeHist {
+		d.writeHist[i] = 0
+	}
+}
+
+func (d *Device) checkRange(off int64, n int) {
+	if off < 0 || off+int64(n) > d.Pages() {
+		panic(fmt.Sprintf("blockdev: I/O [%d,+%d) beyond device end %d", off, n, d.Pages()))
+	}
+}
+
+// WriteCDF returns the cumulative distribution of per-LBA write counts
+// with LBAs sorted by decreasing write count, exactly as the paper's
+// Fig 4 plots it: point i of the result is the fraction of all writes
+// that hit the i/len most-written fraction of the LBA space. The slice
+// has `points+1` entries covering x = 0..1 inclusive.
+func (d *Device) WriteCDF(points int) []float64 {
+	counts := make([]uint32, len(d.writeHist))
+	copy(counts, d.writeHist)
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var total float64
+	for _, c := range counts {
+		total += float64(c)
+	}
+	cdf := make([]float64, points+1)
+	if total == 0 {
+		return cdf
+	}
+	var cum float64
+	next := 1 // next output index
+	for i, c := range counts {
+		cum += float64(c)
+		for next <= points && (i+1)*points >= next*len(counts) {
+			cdf[next] = cum / total
+			next++
+		}
+	}
+	for ; next <= points; next++ {
+		cdf[next] = 1
+	}
+	return cdf
+}
+
+// FractionLBAsWritten returns the fraction of the LBA space written at
+// least once — the paper's "WiredTiger does not write to ≈45% of the
+// LBAs" observation.
+func (d *Device) FractionLBAsWritten() float64 {
+	var written int64
+	for _, c := range d.writeHist {
+		if c > 0 {
+			written++
+		}
+	}
+	return float64(written) / float64(len(d.writeHist))
+}
+
+// Partition is a contiguous page range of a Device exposed as a Dev. The
+// harness uses partitions to model software over-provisioning: a smaller
+// partition plus a never-written trimmed remainder.
+type Partition struct {
+	dev   *Device
+	first int64
+	pages int64
+}
+
+// Partition carves [firstPage, firstPage+pages) from the device.
+func (d *Device) Partition(firstPage, pages int64) (*Partition, error) {
+	if firstPage < 0 || pages <= 0 || firstPage+pages > d.Pages() {
+		return nil, fmt.Errorf("blockdev: partition [%d,+%d) outside device of %d pages",
+			firstPage, pages, d.Pages())
+	}
+	return &Partition{dev: d, first: firstPage, pages: pages}, nil
+}
+
+// PageSize implements Dev.
+func (p *Partition) PageSize() int { return p.dev.PageSize() }
+
+// Pages implements Dev.
+func (p *Partition) Pages() int64 { return p.pages }
+
+// WriteAt implements Dev.
+func (p *Partition) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+	p.check(off, n)
+	return p.dev.WriteAt(now, p.first+off, n, data)
+}
+
+// ReadAt implements Dev.
+func (p *Partition) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+	p.check(off, n)
+	return p.dev.ReadAt(now, p.first+off, n, buf)
+}
+
+// Discard implements Dev.
+func (p *Partition) Discard(off int64, n int) {
+	p.check(off, n)
+	p.dev.Discard(p.first+off, n)
+}
+
+// ContentEnabled reports whether the parent device retains content.
+func (p *Partition) ContentEnabled() bool { return p.dev.ContentEnabled() }
+
+func (p *Partition) check(off int64, n int) {
+	if off < 0 || off+int64(n) > p.pages {
+		panic(fmt.Sprintf("blockdev: partition I/O [%d,+%d) beyond end %d", off, n, p.pages))
+	}
+}
+
+var (
+	_ Dev = (*Device)(nil)
+	_ Dev = (*Partition)(nil)
+)

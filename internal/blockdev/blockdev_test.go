@@ -1,0 +1,260 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ptsbench/internal/flash"
+	"ptsbench/internal/sim"
+)
+
+func newTestDev(t *testing.T) *Device {
+	t.Helper()
+	cfg := flash.Config{
+		LogicalBytes:  16 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		Profile: flash.Profile{
+			Name:       "bt",
+			ReadFixed:  time.Microsecond,
+			WriteFixed: time.Microsecond,
+			ReadBW:     1 << 30,
+			WriteBW:    1 << 30,
+			HardwareOP: 0.25,
+			EraseTime:  100 * time.Microsecond,
+		},
+	}
+	ssd, err := flash.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(ssd)
+}
+
+func TestCounters(t *testing.T) {
+	d := newTestDev(t)
+	d.WriteAt(0, 0, 3, nil)
+	d.ReadAt(0, 0, 2, nil)
+	c := d.Counters()
+	if c.BytesWritten != 3*4096 || c.WriteOps != 1 {
+		t.Fatalf("write counters wrong: %+v", c)
+	}
+	if c.BytesRead != 2*4096 || c.ReadOps != 1 {
+		t.Fatalf("read counters wrong: %+v", c)
+	}
+	d2 := d.Counters().Sub(c)
+	if d2 != (Counters{}) {
+		t.Fatalf("Sub of equal counters not zero: %+v", d2)
+	}
+}
+
+func TestContentStoreRoundTrip(t *testing.T) {
+	d := newTestDev(t)
+	d.EnableContentStore()
+	data := make([]byte, 2*4096)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	d.WriteAt(0, 7, 2, data)
+	buf := make([]byte, 2*4096)
+	d.ReadAt(0, 7, 2, buf)
+	if !bytes.Equal(data, buf) {
+		t.Fatal("content round trip mismatch")
+	}
+	// Unwritten pages read as zeros.
+	zero := make([]byte, 4096)
+	buf1 := make([]byte, 4096)
+	for i := range buf1 {
+		buf1[i] = 0xFF
+	}
+	d.ReadAt(0, 100, 1, buf1)
+	if !bytes.Equal(buf1, zero) {
+		t.Fatal("unwritten page should read zero")
+	}
+}
+
+func TestContentStoreDisabledIgnoresData(t *testing.T) {
+	d := newTestDev(t)
+	data := make([]byte, 4096)
+	data[0] = 42
+	d.WriteAt(0, 0, 1, data)
+	buf := make([]byte, 4096)
+	buf[0] = 99
+	d.ReadAt(0, 0, 1, buf)
+	if buf[0] != 99 {
+		t.Fatal("disabled content store should not touch buffers")
+	}
+	if d.ContentEnabled() {
+		t.Fatal("ContentEnabled should be false")
+	}
+}
+
+func TestDiscardClearsContent(t *testing.T) {
+	d := newTestDev(t)
+	d.EnableContentStore()
+	data := make([]byte, 4096)
+	data[5] = 7
+	d.WriteAt(0, 3, 1, data)
+	d.Discard(3, 1)
+	buf := make([]byte, 4096)
+	d.ReadAt(0, 3, 1, buf)
+	if buf[5] != 0 {
+		t.Fatal("discarded page should read zero")
+	}
+	if d.SSD().MappedPages() != 0 {
+		t.Fatal("discard should unmap flash pages")
+	}
+}
+
+func TestBlkDiscardAll(t *testing.T) {
+	d := newTestDev(t)
+	d.EnableContentStore()
+	d.WriteAt(0, 0, 64, make([]byte, 64*4096))
+	d.BlkDiscardAll()
+	if d.SSD().MappedPages() != 0 {
+		t.Fatal("BlkDiscardAll should unmap everything")
+	}
+	buf := make([]byte, 4096)
+	d.ReadAt(0, 0, 1, buf)
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("content should be cleared")
+		}
+	}
+}
+
+func TestWriteHistogramAndCDF(t *testing.T) {
+	d := newTestDev(t)
+	// Write the first half of the device once; CDF should reach 1.0 at
+	// x=0.5 and FractionLBAsWritten should be 0.5.
+	half := d.Pages() / 2
+	for p := int64(0); p < half; p++ {
+		d.WriteAt(0, p, 1, nil)
+	}
+	if got := d.FractionLBAsWritten(); got < 0.49 || got > 0.51 {
+		t.Fatalf("FractionLBAsWritten = %v, want 0.5", got)
+	}
+	cdf := d.WriteCDF(100)
+	if cdf[0] != 0 {
+		t.Fatalf("cdf[0] = %v, want 0", cdf[0])
+	}
+	if cdf[50] < 0.999 {
+		t.Fatalf("cdf at 0.5 = %v, want 1.0 (all writes in first half)", cdf[50])
+	}
+	if cdf[100] < 0.999 {
+		t.Fatalf("cdf at 1.0 = %v, want 1.0", cdf[100])
+	}
+}
+
+func TestWriteCDFSkewed(t *testing.T) {
+	d := newTestDev(t)
+	// 90% of writes to 10% of pages.
+	tenth := d.Pages() / 10
+	for rep := 0; rep < 9; rep++ {
+		for p := int64(0); p < tenth; p++ {
+			d.WriteAt(0, p, 1, nil)
+		}
+	}
+	for p := tenth; p < tenth*2; p++ {
+		d.WriteAt(0, p, 1, nil)
+	}
+	cdf := d.WriteCDF(100)
+	if cdf[10] < 0.85 {
+		t.Fatalf("cdf at 0.1 = %v, want ~0.9 for skewed writes", cdf[10])
+	}
+}
+
+func TestWriteCDFEmpty(t *testing.T) {
+	d := newTestDev(t)
+	cdf := d.WriteCDF(10)
+	for _, v := range cdf {
+		if v != 0 {
+			t.Fatal("CDF of unwritten device should be all zeros")
+		}
+	}
+}
+
+func TestResetInstrumentation(t *testing.T) {
+	d := newTestDev(t)
+	d.WriteAt(0, 0, 4, nil)
+	d.ResetInstrumentation()
+	if d.Counters() != (Counters{}) {
+		t.Fatal("counters not reset")
+	}
+	if d.FractionLBAsWritten() != 0 {
+		t.Fatal("histogram not reset")
+	}
+}
+
+func TestPartitionIsolation(t *testing.T) {
+	d := newTestDev(t)
+	p, err := d.Partition(100, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pages() != 200 || p.PageSize() != 4096 {
+		t.Fatal("partition geometry wrong")
+	}
+	p.WriteAt(0, 0, 1, nil)
+	// The write must land inside the device and be recorded.
+	if d.FractionLBAsWritten() == 0 {
+		t.Fatal("partition write not recorded")
+	}
+	if d.Counters().WriteOps != 1 {
+		t.Fatal("partition write not counted on parent device")
+	}
+	// Out-of-range partition I/O panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for partition overflow")
+		}
+	}()
+	p.WriteAt(0, 199, 2, nil)
+}
+
+func TestPartitionErrors(t *testing.T) {
+	d := newTestDev(t)
+	if _, err := d.Partition(-1, 10); err == nil {
+		t.Fatal("negative start should fail")
+	}
+	if _, err := d.Partition(0, d.Pages()+1); err == nil {
+		t.Fatal("oversized partition should fail")
+	}
+	if _, err := d.Partition(0, 0); err == nil {
+		t.Fatal("empty partition should fail")
+	}
+}
+
+func TestPartitionDiscard(t *testing.T) {
+	d := newTestDev(t)
+	p, _ := d.Partition(50, 100)
+	p.WriteAt(0, 10, 5, nil)
+	if d.SSD().MappedPages() != 5 {
+		t.Fatalf("mapped %d, want 5", d.SSD().MappedPages())
+	}
+	p.Discard(10, 5)
+	if d.SSD().MappedPages() != 0 {
+		t.Fatal("partition discard failed")
+	}
+}
+
+func TestMisalignedBuffersPanic(t *testing.T) {
+	d := newTestDev(t)
+	d.EnableContentStore()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short buffer")
+		}
+	}()
+	d.WriteAt(0, 0, 2, make([]byte, 4096)) // 2 pages, 1-page buffer
+}
+
+func TestTimePropagation(t *testing.T) {
+	d := newTestDev(t)
+	done := d.WriteAt(time.Second, 0, 1, nil)
+	if done <= time.Second {
+		t.Fatalf("completion %v should be after submission", done)
+	}
+	var _ sim.Duration = done
+}

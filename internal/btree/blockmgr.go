@@ -1,0 +1,142 @@
+package btree
+
+import (
+	"fmt"
+	"sort"
+
+	"ptsbench/internal/extfs"
+)
+
+// blockManager allocates page-extents inside the collection file,
+// WiredTiger-style: freed extents are reused lowest-offset-first, which
+// keeps the file compact and the engine's LBA footprint confined — the
+// behaviour behind the paper's Fig 4 (WiredTiger never writes ~45% of
+// the device).
+type blockManager struct {
+	file *extfs.File
+	free []fileExtent // sorted by start, merged
+	// pending holds extents freed since the last checkpoint; they join
+	// the free list only when the checkpoint commits, so the previous
+	// checkpoint's page images stay intact for crash recovery.
+	pending []fileExtent
+	// growChunk batches file growth to limit filesystem fragmentation.
+	growChunk int64
+}
+
+// fileExtent is a contiguous run of pages inside the collection file.
+type fileExtent struct {
+	start, pages int64
+}
+
+func newBlockManager(f *extfs.File, growChunk int64) *blockManager {
+	if growChunk <= 0 {
+		growChunk = 256
+	}
+	return &blockManager{file: f, growChunk: growChunk}
+}
+
+// alloc returns a contiguous extent of n pages, reusing the lowest-offset
+// free extent that fits, growing the file if necessary.
+func (bm *blockManager) alloc(n int64) (fileExtent, error) {
+	if n <= 0 {
+		return fileExtent{}, fmt.Errorf("btree: alloc of %d pages", n)
+	}
+	for i := range bm.free {
+		e := bm.free[i]
+		if e.pages >= n {
+			out := fileExtent{start: e.start, pages: n}
+			if e.pages == n {
+				bm.free = append(bm.free[:i], bm.free[i+1:]...)
+			} else {
+				bm.free[i] = fileExtent{start: e.start + n, pages: e.pages - n}
+			}
+			return out, nil
+		}
+	}
+	// Grow the file; put the remainder of the growth chunk on the free
+	// list.
+	grow := n
+	if grow < bm.growChunk {
+		grow = bm.growChunk
+	}
+	start := bm.file.SizePages()
+	if err := bm.file.Grow(grow); err != nil {
+		// Retry with the exact need (the chunk may not fit).
+		if grow == n {
+			return fileExtent{}, err
+		}
+		grow = n
+		if err := bm.file.Grow(grow); err != nil {
+			return fileExtent{}, err
+		}
+	}
+	if grow > n {
+		bm.release(fileExtent{start: start + n, pages: grow - n})
+	}
+	return fileExtent{start: start, pages: n}, nil
+}
+
+// release returns an extent to the free pool, merging neighbours.
+func (bm *blockManager) release(e fileExtent) {
+	if e.pages <= 0 {
+		return
+	}
+	i := sort.Search(len(bm.free), func(i int) bool {
+		return bm.free[i].start >= e.start
+	})
+	bm.free = append(bm.free, fileExtent{})
+	copy(bm.free[i+1:], bm.free[i:])
+	bm.free[i] = e
+	if i+1 < len(bm.free) && bm.free[i].start+bm.free[i].pages == bm.free[i+1].start {
+		bm.free[i].pages += bm.free[i+1].pages
+		bm.free = append(bm.free[:i+1], bm.free[i+2:]...)
+	}
+	if i > 0 && bm.free[i-1].start+bm.free[i-1].pages == bm.free[i].start {
+		bm.free[i-1].pages += bm.free[i].pages
+		bm.free = append(bm.free[:i], bm.free[i+1:]...)
+	}
+}
+
+// releaseDeferred queues an extent for release at the next checkpoint
+// commit.
+func (bm *blockManager) releaseDeferred(e fileExtent) {
+	if e.pages > 0 {
+		bm.pending = append(bm.pending, e)
+	}
+}
+
+// pendingPages reports the total pages awaiting release.
+func (bm *blockManager) pendingPages() int64 {
+	var n int64
+	for _, e := range bm.pending {
+		n += e.pages
+	}
+	return n
+}
+
+// pendingMark returns a cursor into the deferred-release queue; a
+// checkpoint snapshots it at creation and releases only that prefix at
+// commit. Extents deferred DURING the checkpoint may still be referenced
+// by page images the checkpoint already wrote, so they wait for the next
+// one.
+func (bm *blockManager) pendingMark() int { return len(bm.pending) }
+
+// commitPendingPrefix releases the first n deferred extents.
+func (bm *blockManager) commitPendingPrefix(n int) {
+	if n > len(bm.pending) {
+		n = len(bm.pending)
+	}
+	for _, e := range bm.pending[:n] {
+		bm.release(e)
+	}
+	bm.pending = append(bm.pending[:0], bm.pending[n:]...)
+}
+
+// freePages reports the total free pages inside the file.
+func (bm *blockManager) freePages() int64 {
+	var n int64
+	for _, e := range bm.free {
+		n += e.pages
+	}
+	return n
+}

@@ -1,0 +1,595 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/wal"
+)
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("btree: tree is closed")
+
+// Tree is the WiredTiger-style B+Tree engine.
+type Tree struct {
+	cfg Config
+	fs  *extfs.FS
+
+	file *extfs.File
+	bm   *blockManager
+
+	pages  map[pageID]*page
+	root   pageID
+	nextID pageID
+
+	// Cache state: resident leaves in an LRU list (head = MRU).
+	lruHead, lruTail pageID
+	residentBytes    int64
+
+	dirty map[pageID]struct{} // pages needing a write at checkpoint
+
+	journal     *wal.Writer
+	journalID   uint64
+	journalPool []*wal.Writer // recycled segments awaiting reuse
+
+	ckptW    *sim.Worker
+	lastCkpt sim.Duration
+	metaGen  uint64 // checkpoint metadata generation
+
+	seq    uint64
+	stats  kv.EngineStats
+	io     IOStats
+	fatal  error
+	closed bool
+}
+
+// IOStats exposes internal activity counters.
+type IOStats struct {
+	CacheHits      int64
+	CacheMisses    int64
+	Evictions      int64
+	EvictionWrites int64 // dirty evictions (pages written)
+	Checkpoints    int64
+	CheckpointPgs  int64 // B+Tree pages written by checkpoints
+	LeafSplits     int64
+	InternalSplits int64
+}
+
+// Open creates a B+Tree on fs with a fresh collection file.
+func Open(fs *extfs.FS, cfg Config) (*Tree, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	f, err := fs.Create("collection.wt")
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{
+		cfg:   cfg,
+		fs:    fs,
+		file:  f,
+		bm:    newBlockManager(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
+		pages: make(map[pageID]*page),
+		dirty: make(map[pageID]struct{}),
+		ckptW: sim.NewWorker("btree-checkpoint"),
+	}
+	rootLeaf := t.newPage(true)
+	rootLeaf.parent = nilPage
+	t.root = rootLeaf.id
+	t.admit(rootLeaf)
+	if !cfg.DisableJournal {
+		w, err := wal.Create(fs, t.journalName(), cfg.Content)
+		if err != nil {
+			return nil, err
+		}
+		t.journal = w
+	}
+	return t, nil
+}
+
+func (t *Tree) journalName() string {
+	t.journalID++
+	return fmt.Sprintf("journal-%06d", t.journalID)
+}
+
+func (t *Tree) newPage(leaf bool) *page {
+	t.nextID++
+	p := &page{id: t.nextID, leaf: leaf, dirty: true, serialized: pageHeaderBytes}
+	t.pages[p.id] = p
+	t.markDirty(p)
+	return p
+}
+
+func (t *Tree) markDirty(p *page) {
+	if !p.dirty {
+		p.dirty = true
+	}
+	t.dirty[p.id] = struct{}{}
+}
+
+func (t *Tree) clearDirty(p *page) {
+	p.dirty = false
+	delete(t.dirty, p.id)
+}
+
+// Config returns the validated configuration.
+func (t *Tree) Config() Config { return t.cfg }
+
+// Stats implements kv.Engine.
+func (t *Tree) Stats() kv.EngineStats { return t.stats }
+
+// IO returns internal activity counters.
+func (t *Tree) IO() IOStats { return t.io }
+
+// DiskUsageBytes implements kv.Engine.
+func (t *Tree) DiskUsageBytes() int64 { return t.fs.UsedBytes() }
+
+// Err returns the sticky fatal error, if any.
+func (t *Tree) Err() error { return t.fatal }
+
+// ---- cache (LRU over resident leaves) ----
+
+func (t *Tree) admit(p *page) {
+	if p.resident {
+		t.touch(p)
+		return
+	}
+	p.resident = true
+	p.lruOlder = t.lruHead
+	p.lruNewer = nilPage
+	if t.lruHead != nilPage {
+		t.pages[t.lruHead].lruNewer = p.id
+	}
+	t.lruHead = p.id
+	if t.lruTail == nilPage {
+		t.lruTail = p.id
+	}
+	t.residentBytes += int64(p.serialized)
+}
+
+func (t *Tree) touch(p *page) {
+	if t.lruHead == p.id {
+		return
+	}
+	// Unlink.
+	if p.lruNewer != nilPage {
+		t.pages[p.lruNewer].lruOlder = p.lruOlder
+	}
+	if p.lruOlder != nilPage {
+		t.pages[p.lruOlder].lruNewer = p.lruNewer
+	}
+	if t.lruTail == p.id {
+		t.lruTail = p.lruNewer
+	}
+	// Push at head.
+	p.lruOlder = t.lruHead
+	p.lruNewer = nilPage
+	if t.lruHead != nilPage {
+		t.pages[t.lruHead].lruNewer = p.id
+	}
+	t.lruHead = p.id
+}
+
+func (t *Tree) unlink(p *page) {
+	if !p.resident {
+		return
+	}
+	if p.lruNewer != nilPage {
+		t.pages[p.lruNewer].lruOlder = p.lruOlder
+	}
+	if p.lruOlder != nilPage {
+		t.pages[p.lruOlder].lruNewer = p.lruNewer
+	}
+	if t.lruHead == p.id {
+		t.lruHead = p.lruOlder
+	}
+	if t.lruTail == p.id {
+		t.lruTail = p.lruNewer
+	}
+	p.resident = false
+	p.lruNewer, p.lruOlder = nilPage, nilPage
+	t.residentBytes -= int64(p.serialized)
+}
+
+// evictToFit writes back and drops LRU leaves until the cache fits,
+// charging the eviction I/O to the foreground — WiredTiger's application
+// threads do exactly this under cache pressure.
+func (t *Tree) evictToFit(now sim.Duration) (sim.Duration, error) {
+	for t.residentBytes > t.cfg.CacheBytes {
+		victimID := t.lruTail
+		if victimID == nilPage {
+			break
+		}
+		victim := t.pages[victimID]
+		if victim.id == t.root {
+			// Never evict the root; with a tiny cache and a root leaf
+			// this can only happen before the first split.
+			break
+		}
+		t.unlink(victim)
+		if victim.dirty {
+			var err error
+			now, err = t.writePage(now, victim)
+			if err != nil {
+				t.fatal = err
+				return now, err
+			}
+			t.io.EvictionWrites++
+		}
+		t.io.Evictions++
+	}
+	return now, nil
+}
+
+// writePage reconciles a page to a fresh extent (copy-on-write). The old
+// location is released lazily — it becomes reusable only after the next
+// checkpoint commits — so the images a completed checkpoint references
+// survive until a newer checkpoint replaces them (WiredTiger's
+// checkpoint avail-list discipline, required for crash recovery).
+func (t *Tree) writePage(now sim.Duration, p *page) (sim.Duration, error) {
+	ps := t.fs.PageSize()
+	n := int64((p.serialized + ps - 1) / ps)
+	if p.disk.pages > 0 {
+		t.bm.releaseDeferred(p.disk)
+	}
+	ext, err := t.bm.alloc(n)
+	if err != nil {
+		return now, err
+	}
+	var data []byte
+	if t.cfg.Content {
+		data = make([]byte, n*int64(ps))
+		copy(data, serializePage(p, func(id pageID) fileExtent {
+			return t.pages[id].disk
+		}))
+	}
+	done, err := t.file.WriteAt(now, ext.start, int(n), data)
+	if err != nil {
+		return now, err
+	}
+	p.disk = ext
+	p.everOnDisk = true
+	t.clearDirty(p)
+	// Reconciling a child moves it on disk; the parent's reference
+	// changes, which dirties the parent (it will be written at the next
+	// checkpoint).
+	if p.parent != nilPage {
+		t.markDirty(t.pages[p.parent])
+	}
+	return done, nil
+}
+
+// loadLeaf charges the read I/O for a non-resident leaf and admits it.
+func (t *Tree) loadLeaf(now sim.Duration, p *page) (sim.Duration, error) {
+	if p.resident {
+		t.io.CacheHits++
+		t.touch(p)
+		return now, nil
+	}
+	t.io.CacheMisses++
+	if p.everOnDisk {
+		var err error
+		now, err = t.file.ReadAt(now, p.disk.start, int(p.disk.pages), nil)
+		if err != nil {
+			return now, err
+		}
+	}
+	t.admit(p)
+	return now, nil
+}
+
+// descend walks from the root to the leaf covering key. Internal pages
+// are treated as pinned (always cached): real WiredTiger strongly favours
+// keeping them resident, and at the paper's scale their footprint is
+// negligible next to the leaves.
+func (t *Tree) descend(key []byte) *page {
+	p := t.pages[t.root]
+	for !p.leaf {
+		p = t.pages[p.childFor(key)]
+	}
+	return p
+}
+
+// Put implements kv.Engine.
+func (t *Tree) Put(now sim.Duration, key, value []byte, valueLen int) (sim.Duration, error) {
+	return t.write(now, key, value, valueLen, false)
+}
+
+// Delete writes a tombstone (the entry is reclaimed when its leaf is
+// rewritten with the tombstone aged out; for simplicity tombstones are
+// kept until overwritten).
+func (t *Tree) Delete(now sim.Duration, key []byte) (sim.Duration, error) {
+	return t.write(now, key, nil, 0, true)
+}
+
+func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool) (sim.Duration, error) {
+	if t.closed {
+		return now, ErrClosed
+	}
+	if t.fatal != nil {
+		return now, t.fatal
+	}
+	if value != nil {
+		valueLen = len(value)
+	}
+	t.ckptW.Pump(now)
+	now += t.cfg.CPUPutTime + time.Duration(valueLen)*t.cfg.CPUPerByte
+	t.seq++
+
+	leaf := t.descend(key)
+	var err error
+	now, err = t.loadLeaf(now, leaf)
+	if err != nil {
+		t.fatal = err
+		return now, err
+	}
+	delta := leaf.insertLeaf(key, value, valueLen, t.seq, del)
+	t.residentBytes += int64(delta)
+	t.markDirty(leaf)
+
+	if t.journal != nil {
+		rec := wal.Record{Seq: t.seq, Key: key, Value: value, Deleted: del, ValueLen: valueLen}
+		now, err = t.journal.Append(now, &rec, t.cfg.JournalSync)
+		if err != nil {
+			t.fatal = err
+			return now, err
+		}
+	}
+	t.stats.Puts++
+	t.stats.UserBytesWritten += int64(len(key) + valueLen)
+
+	if leaf.serialized > t.cfg.LeafPageBytes {
+		t.splitLeaf(leaf)
+	}
+	now, err = t.evictToFit(now)
+	if err != nil {
+		return now, err
+	}
+	t.maybeCheckpoint(now)
+	return now, nil
+}
+
+// Get implements kv.Engine.
+func (t *Tree) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, error) {
+	if t.closed {
+		return now, nil, false, ErrClosed
+	}
+	if t.fatal != nil {
+		return now, nil, false, t.fatal
+	}
+	t.ckptW.Pump(now)
+	now += t.cfg.CPUGetTime
+	t.stats.Gets++
+
+	leaf := t.descend(key)
+	var err error
+	now, err = t.loadLeaf(now, leaf)
+	if err != nil {
+		t.fatal = err
+		return now, nil, false, err
+	}
+	now, err = t.evictToFit(now)
+	if err != nil {
+		return now, nil, false, err
+	}
+	i := leaf.search(key)
+	if i >= len(leaf.keys) || !equalBytes(leaf.keys[i], key) || leaf.dels[i] {
+		return now, nil, false, nil
+	}
+	t.stats.UserBytesRead += int64(len(key)) + int64(leaf.vlens[i])
+	return now, leaf.vals[i], true, nil
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan returns up to limit live entries with key >= start, in key order,
+// loading (and charging reads for) each leaf it crosses — the range-query
+// capability that motivates tree structures over hash indexes in the
+// paper's introduction.
+func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []kv.Entry, error) {
+	if t.closed {
+		return now, nil, ErrClosed
+	}
+	if t.fatal != nil {
+		return now, nil, t.fatal
+	}
+	t.ckptW.Pump(now)
+	now += t.cfg.CPUGetTime
+	var out []kv.Entry
+	leaf := t.descend(start)
+	idx := leaf.search(start)
+	for limit > 0 && leaf != nil {
+		var err error
+		now, err = t.loadLeaf(now, leaf)
+		if err != nil {
+			t.fatal = err
+			return now, nil, err
+		}
+		for ; idx < len(leaf.keys) && limit > 0; idx++ {
+			if leaf.dels[idx] {
+				continue
+			}
+			e := kv.Entry{
+				Key:      append([]byte(nil), leaf.keys[idx]...),
+				ValueLen: int(leaf.vlens[idx]),
+				Seq:      leaf.seqs[idx],
+			}
+			if leaf.vals[idx] != nil {
+				e.Value = append([]byte(nil), leaf.vals[idx]...)
+			}
+			t.stats.UserBytesRead += int64(len(e.Key) + e.ValueLen)
+			out = append(out, e)
+			limit--
+		}
+		if now, err = t.evictToFit(now); err != nil {
+			return now, nil, err
+		}
+		if leaf.next == nilPage {
+			break
+		}
+		leaf = t.pages[leaf.next]
+		idx = 0
+	}
+	return now, out, nil
+}
+
+// splitLeaf splits an oversized leaf and propagates internal splits.
+func (t *Tree) splitLeaf(leaf *page) {
+	right, sep := leaf.splitLeaf(t.nextID + 1)
+	t.nextID++
+	t.pages[right.id] = right
+	t.markDirty(right)
+	t.markDirty(leaf)
+	t.io.LeafSplits++
+	t.admit(right)
+	// admit charged right.serialized, but the moved entries were already
+	// counted while they lived in leaf (whose serialized size dropped by
+	// the same amount); only the new page header is genuinely new.
+	t.residentBytes -= int64(right.serialized - pageHeaderBytes)
+	t.insertIntoParent(leaf, sep, right)
+}
+
+// insertIntoParent links a new right sibling under the parent, splitting
+// internals (and growing a new root) as needed.
+func (t *Tree) insertIntoParent(left *page, sep []byte, right *page) {
+	if left.id == t.root {
+		newRoot := t.newPage(false)
+		newRoot.children = []pageID{left.id, right.id}
+		newRoot.seps = [][]byte{cloneBytes(sep)}
+		newRoot.recomputeSerialized()
+		left.parent = newRoot.id
+		right.parent = newRoot.id
+		t.root = newRoot.id
+		if left.leaf {
+			// The old root was a resident leaf; nothing else to fix.
+			_ = left
+		}
+		return
+	}
+	parent := t.pages[left.parent]
+	idx := parent.childIndex(left.id)
+	parent.insertChild(idx, sep, right.id)
+	right.parent = parent.id
+	t.markDirty(parent)
+	if parent.serialized > t.cfg.InternalPageBytes {
+		t.splitInternalPage(parent)
+	}
+}
+
+// splitInternalPage splits an internal page and reparents moved children.
+func (t *Tree) splitInternalPage(p *page) {
+	right, promoted := p.splitInternal(t.nextID + 1)
+	t.nextID++
+	t.pages[right.id] = right
+	t.markDirty(right)
+	t.markDirty(p)
+	t.io.InternalSplits++
+	for _, c := range right.children {
+		t.pages[c].parent = right.id
+	}
+	t.insertIntoParent(p, promoted, right)
+}
+
+// maybeCheckpoint starts a checkpoint when the interval elapsed — or the
+// deferred-release backlog has grown too large — and none is running.
+func (t *Tree) maybeCheckpoint(now sim.Duration) {
+	if t.ckptW.QueueLen() > 0 {
+		return
+	}
+	intervalDue := now-t.lastCkpt >= t.cfg.CheckpointInterval
+	pendingDue := t.bm.pendingPages()*int64(t.fs.PageSize()) >= t.cfg.CheckpointPendingBytes
+	if !intervalDue && !pendingDue {
+		return
+	}
+	t.lastCkpt = now
+	job, err := t.newCheckpointJob()
+	if err != nil {
+		t.fatal = err
+		return
+	}
+	if job != nil {
+		t.ckptW.Submit(job)
+	}
+}
+
+// FlushAll implements kv.Engine: runs a full checkpoint synchronously.
+func (t *Tree) FlushAll(now sim.Duration) (sim.Duration, error) {
+	if t.closed {
+		return now, ErrClosed
+	}
+	t.ckptW.Pump(now)
+	end := t.ckptW.RunUntilDrained()
+	if end < now {
+		end = now
+	}
+	job, err := t.newCheckpointJob()
+	if err != nil {
+		return end, err
+	}
+	if job != nil {
+		t.ckptW.Submit(job)
+		end = t.ckptW.RunUntilDrained()
+	}
+	if t.fatal != nil {
+		return end, t.fatal
+	}
+	return end, nil
+}
+
+// Quiesce drains background checkpoint work.
+func (t *Tree) Quiesce(now sim.Duration) sim.Duration {
+	t.ckptW.Pump(now)
+	end := t.ckptW.RunUntilDrained()
+	if end < now {
+		end = now
+	}
+	return end
+}
+
+// Close checkpoints and shuts the tree down.
+func (t *Tree) Close(now sim.Duration) (sim.Duration, error) {
+	if t.closed {
+		return now, ErrClosed
+	}
+	end, err := t.FlushAll(now)
+	t.closed = true
+	return end, err
+}
+
+// Depth returns the tree height (1 = root leaf only).
+func (t *Tree) Depth() int {
+	d := 1
+	p := t.pages[t.root]
+	for !p.leaf {
+		d++
+		p = t.pages[p.children[0]]
+	}
+	return d
+}
+
+// PageCount returns the numbers of leaf and internal pages.
+func (t *Tree) PageCount() (leaves, internals int) {
+	for _, p := range t.pages {
+		if p.leaf {
+			leaves++
+		} else {
+			internals++
+		}
+	}
+	return leaves, internals
+}

@@ -1,0 +1,251 @@
+package btree
+
+import (
+	"encoding/binary"
+
+	"ptsbench/internal/sim"
+	"ptsbench/internal/wal"
+)
+
+// checkpointJob writes all pages that were dirty when the checkpoint
+// began, then retires the journal segment that preceded it. The journal
+// is rotated at job creation (foreground), so updates arriving during the
+// checkpoint land in the new segment.
+type checkpointJob struct {
+	t           *Tree
+	ids         []pageID
+	idx         int
+	oldJournal  *wal.Writer
+	pendingMark int // deferred-release prefix safe to free at commit
+}
+
+// newCheckpointJob snapshots the dirty set and rotates the journal.
+// It returns nil if there is nothing to write.
+func (t *Tree) newCheckpointJob() (*checkpointJob, error) {
+	if len(t.dirty) == 0 {
+		return nil, nil
+	}
+	job := &checkpointJob{t: t, pendingMark: t.bm.pendingMark()}
+	for id := range t.dirty {
+		job.ids = append(job.ids, id)
+	}
+	// Bottom-up order: leaves first, then internal pages deepest-first,
+	// the root last. Writing a child records its new extent before its
+	// parent's image is serialized, so a completed checkpoint is a
+	// consistent tree.
+	t.sortBottomUp(job.ids)
+	if t.journal != nil {
+		job.oldJournal = t.journal
+		w, err := t.wrapJournal()
+		if err != nil {
+			return nil, err
+		}
+		t.journal = w
+	}
+	return job, nil
+}
+
+// depthOf returns a page's distance from the root (root = 0).
+func (t *Tree) depthOf(id pageID) int {
+	d := 0
+	for p := t.pages[id]; p != nil && p.parent != nilPage; p = t.pages[p.parent] {
+		d++
+	}
+	return d
+}
+
+// sortBottomUp orders page ids deepest-first (ties by id for
+// determinism); since leaves are the deepest layer they come first and
+// the root comes last.
+func (t *Tree) sortBottomUp(ids []pageID) {
+	depth := make(map[pageID]int, len(ids))
+	for _, id := range ids {
+		depth[id] = t.depthOf(id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0; j-- {
+			a, b := ids[j], ids[j-1]
+			if depth[a] > depth[b] || (depth[a] == depth[b] && a < b) {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// Step implements sim.Job: write pages until the chunk budget is used.
+func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
+	t := j.t
+	if t.fatal != nil {
+		return now, true
+	}
+	budget := t.cfg.ChunkPages
+	ps := t.fs.PageSize()
+	for budget > 0 && j.idx < len(j.ids) {
+		p, ok := t.pages[j.ids[j.idx]]
+		j.idx++
+		if !ok || !p.dirty {
+			continue // evicted and written in the meantime
+		}
+		var err error
+		now, err = t.writePage(now, p)
+		if err != nil {
+			t.fatal = err
+			return now, true
+		}
+		t.io.CheckpointPgs++
+		budget -= (p.serialized + ps - 1) / ps
+	}
+	if j.idx < len(j.ids) {
+		return now, false
+	}
+	// Commit: write the checkpoint metadata (root location), release the
+	// previous checkpoint's extents, sync, and recycle the old journal
+	// segment (its updates are now covered by the checkpoint). Recycling
+	// keeps the journal on a fixed set of LBAs, like real log
+	// pre-allocation.
+	var err error
+	if now, err = t.writeMeta(now); err != nil {
+		t.fatal = err
+		return now, true
+	}
+	t.bm.commitPendingPrefix(j.pendingMark)
+	now = t.fs.Sync(now)
+	if j.oldJournal != nil {
+		now, err = j.oldJournal.Recycle(now)
+		if err != nil {
+			t.fatal = err
+			return now, true
+		}
+		t.journalPool = append(t.journalPool, j.oldJournal)
+		j.oldJournal = nil
+	}
+	t.io.Checkpoints++
+	return now, true
+}
+
+// wrapJournal opens the next journal segment, reusing a recycled one when
+// available.
+func (t *Tree) wrapJournal() (*wal.Writer, error) {
+	if n := len(t.journalPool); n > 0 {
+		w := t.journalPool[n-1]
+		t.journalPool = t.journalPool[:n-1]
+		return w, nil
+	}
+	return wal.Create(t.fs, t.journalName(), t.cfg.Content)
+}
+
+// serializePage produces the on-disk image of a page (content mode).
+// Layout: header {magic, leaf flag, count}, then entries (leaf) or
+// separators + child extent references (internal), zero-padded by the
+// caller to the extent size. resolve maps a child pageID to its current
+// on-disk extent; it may be nil for leaves.
+func serializePage(p *page, resolve func(pageID) fileExtent) []byte {
+	out := make([]byte, pageHeaderBytes, p.serialized)
+	binary.LittleEndian.PutUint32(out[0:], 0x42545047) // "BTPG"
+	if p.leaf {
+		out[4] = 1
+	}
+	if p.leaf {
+		binary.LittleEndian.PutUint32(out[8:], uint32(len(p.keys)))
+		for i := range p.keys {
+			var hdr [entryOverhead]byte
+			binary.LittleEndian.PutUint16(hdr[0:], uint16(len(p.keys[i])))
+			vl := int(p.vlens[i])
+			binary.LittleEndian.PutUint32(hdr[2:], uint32(vl))
+			seq := p.seqs[i]
+			if p.dels[i] {
+				seq |= 1 << 63 // tombstone bit
+			}
+			binary.LittleEndian.PutUint64(hdr[6:], seq)
+			out = append(out, hdr[:]...)
+			out = append(out, p.keys[i]...)
+			if p.vals[i] != nil {
+				out = append(out, p.vals[i]...)
+			} else {
+				out = append(out, make([]byte, vl)...)
+			}
+		}
+		return out
+	}
+	binary.LittleEndian.PutUint32(out[8:], uint32(len(p.seps)))
+	for _, sep := range p.seps {
+		var l [2]byte
+		binary.LittleEndian.PutUint16(l[:], uint16(len(sep)))
+		out = append(out, l[:]...)
+		out = append(out, sep...)
+	}
+	for _, c := range p.children {
+		var ext fileExtent
+		if resolve != nil {
+			ext = resolve(c)
+		}
+		var b [childRefBytes]byte
+		binary.LittleEndian.PutUint64(b[0:], uint64(ext.start))
+		binary.LittleEndian.PutUint32(b[8:], uint32(ext.pages))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// parsePage reconstructs a page from its serialized image (tests verify
+// the round trip; the hot path keeps structures in memory).
+func parsePage(data []byte) (*page, bool) {
+	if len(data) < pageHeaderBytes {
+		return nil, false
+	}
+	if binary.LittleEndian.Uint32(data[0:]) != 0x42545047 {
+		return nil, false
+	}
+	p := &page{leaf: data[4] == 1}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	off := pageHeaderBytes
+	if p.leaf {
+		for i := 0; i < n; i++ {
+			if off+entryOverhead > len(data) {
+				return nil, false
+			}
+			kl := int(binary.LittleEndian.Uint16(data[off:]))
+			vl := int(binary.LittleEndian.Uint32(data[off+2:]))
+			seq := binary.LittleEndian.Uint64(data[off+6:])
+			del := seq&(1<<63) != 0
+			seq &^= 1 << 63
+			off += entryOverhead
+			if off+kl+vl > len(data) {
+				return nil, false
+			}
+			p.keys = append(p.keys, cloneBytes(data[off:off+kl]))
+			p.vals = append(p.vals, cloneBytes(data[off+kl:off+kl+vl]))
+			p.vlens = append(p.vlens, int32(vl))
+			p.seqs = append(p.seqs, seq)
+			p.dels = append(p.dels, del)
+			off += kl + vl
+		}
+		return p, true
+	}
+	for i := 0; i < n; i++ {
+		if off+2 > len(data) {
+			return nil, false
+		}
+		sl := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+sl > len(data) {
+			return nil, false
+		}
+		p.seps = append(p.seps, cloneBytes(data[off:off+sl]))
+		off += sl
+	}
+	for i := 0; i <= n; i++ {
+		if off+childRefBytes > len(data) {
+			return nil, false
+		}
+		p.childExtents = append(p.childExtents, fileExtent{
+			start: int64(binary.LittleEndian.Uint64(data[off:])),
+			pages: int64(binary.LittleEndian.Uint32(data[off+8:])),
+		})
+		p.children = append(p.children, nilPage) // assigned during rebuild
+		off += childRefBytes
+	}
+	return p, true
+}

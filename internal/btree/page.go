@@ -1,0 +1,223 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// pageID identifies an in-memory page. IDs are never reused.
+type pageID uint32
+
+const nilPage pageID = 0
+
+// entryOverhead is the serialized per-entry header in a leaf:
+// keyLen(2) + valueLen(4) + seq(8).
+const entryOverhead = 14
+
+// pageHeaderBytes is the serialized page header size.
+const pageHeaderBytes = 64
+
+// page is an in-memory B+Tree page. Leaves carry entries; internal pages
+// carry separator keys and children. The serialized footprint is tracked
+// incrementally so splits trigger at the configured page size without
+// serializing on every update.
+type page struct {
+	id     pageID
+	parent pageID
+	leaf   bool
+
+	// Leaf payload. keys sorted; vals[i] may be nil in accounting mode
+	// with vlens[i] carrying the accounted size.
+	keys  [][]byte
+	vals  [][]byte
+	vlens []int32
+	seqs  []uint64
+	dels  []bool
+
+	// Internal payload: children[i] holds keys < seps[i] for
+	// i < len(seps); children[len(seps)] holds the rest.
+	seps     [][]byte
+	children []pageID
+
+	// childExtents is only populated on pages reconstructed from disk
+	// (recovery): the on-disk locations of the children, in child order.
+	childExtents []fileExtent
+
+	serialized int  // current serialized size estimate, bytes
+	dirty      bool // needs writing before eviction / at checkpoint
+
+	// On-disk location (pages within the collection file); pages==0
+	// means never written.
+	disk fileExtent
+
+	// Cache bookkeeping (leaves only): resident pages form an LRU list.
+	resident   bool
+	lruNewer   pageID
+	lruOlder   pageID
+	everOnDisk bool
+
+	// next chains leaves left-to-right for range scans.
+	next pageID
+}
+
+// search returns the index of the first key >= target in a leaf.
+func (p *page) search(target []byte) int {
+	return sort.Search(len(p.keys), func(i int) bool {
+		return bytes.Compare(p.keys[i], target) >= 0
+	})
+}
+
+// childFor returns the child page covering target in an internal page.
+func (p *page) childFor(target []byte) pageID {
+	i := sort.Search(len(p.seps), func(i int) bool {
+		return bytes.Compare(p.seps[i], target) > 0
+	})
+	return p.children[i]
+}
+
+// childIndex returns the position of child id in an internal page.
+func (p *page) childIndex(id pageID) int {
+	for i, c := range p.children {
+		if c == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertLeaf inserts or replaces an entry, returning the serialized size
+// delta. When val is non-nil it overrides vlen, keeping the stored bytes
+// and the accounted size consistent.
+func (p *page) insertLeaf(key, val []byte, vlen int, seq uint64, del bool) int {
+	if val != nil {
+		vlen = len(val)
+	}
+	i := p.search(key)
+	if i < len(p.keys) && bytes.Equal(p.keys[i], key) {
+		old := entryOverhead + len(p.keys[i]) + int(p.vlens[i])
+		p.vals[i] = cloneBytes(val)
+		p.vlens[i] = int32(vlen)
+		p.seqs[i] = seq
+		p.dels[i] = del
+		delta := entryOverhead + len(key) + vlen - old
+		p.serialized += delta
+		return delta
+	}
+	p.keys = append(p.keys, nil)
+	copy(p.keys[i+1:], p.keys[i:])
+	p.keys[i] = cloneBytes(key)
+	p.vals = append(p.vals, nil)
+	copy(p.vals[i+1:], p.vals[i:])
+	p.vals[i] = cloneBytes(val)
+	p.vlens = append(p.vlens, 0)
+	copy(p.vlens[i+1:], p.vlens[i:])
+	p.vlens[i] = int32(vlen)
+	p.seqs = append(p.seqs, 0)
+	copy(p.seqs[i+1:], p.seqs[i:])
+	p.seqs[i] = seq
+	p.dels = append(p.dels, false)
+	copy(p.dels[i+1:], p.dels[i:])
+	p.dels[i] = del
+	delta := entryOverhead + len(key) + vlen
+	p.serialized += delta
+	return delta
+}
+
+// removeLeafAt deletes entry i outright (used by tombstone reclamation in
+// tests; normal deletes keep tombstoned entries until overwritten).
+func (p *page) removeLeafAt(i int) {
+	sz := entryOverhead + len(p.keys[i]) + int(p.vlens[i])
+	p.keys = append(p.keys[:i], p.keys[i+1:]...)
+	p.vals = append(p.vals[:i], p.vals[i+1:]...)
+	p.vlens = append(p.vlens[:i], p.vlens[i+1:]...)
+	p.seqs = append(p.seqs[:i], p.seqs[i+1:]...)
+	p.dels = append(p.dels[:i], p.dels[i+1:]...)
+	p.serialized -= sz
+}
+
+// splitLeaf moves the upper half of the entries to a new page and returns
+// it with the separator key (first key of the new page).
+func (p *page) splitLeaf(newID pageID) (*page, []byte) {
+	mid := len(p.keys) / 2
+	right := &page{
+		id:     newID,
+		parent: p.parent,
+		leaf:   true,
+		keys:   append([][]byte(nil), p.keys[mid:]...),
+		vals:   append([][]byte(nil), p.vals[mid:]...),
+		vlens:  append([]int32(nil), p.vlens[mid:]...),
+		seqs:   append([]uint64(nil), p.seqs[mid:]...),
+		dels:   append([]bool(nil), p.dels[mid:]...),
+		dirty:  true,
+	}
+	var moved int
+	for i := mid; i < len(p.keys); i++ {
+		moved += entryOverhead + len(p.keys[i]) + int(p.vlens[i])
+	}
+	right.serialized = pageHeaderBytes + moved
+	p.keys = p.keys[:mid]
+	p.vals = p.vals[:mid]
+	p.vlens = p.vlens[:mid]
+	p.seqs = p.seqs[:mid]
+	p.dels = p.dels[:mid]
+	p.serialized -= moved
+	// Maintain the leaf chain.
+	right.next = p.next
+	p.next = right.id
+	return right, right.keys[0]
+}
+
+// childRefBytes is the serialized size of one child reference in an
+// internal page: extent start (8) + extent pages (4), so recovery can
+// locate children on disk.
+const childRefBytes = 12
+
+// insertChild adds a separator and child after position idx in an
+// internal page.
+func (p *page) insertChild(idx int, sep []byte, child pageID) {
+	p.seps = append(p.seps, nil)
+	copy(p.seps[idx+1:], p.seps[idx:])
+	p.seps[idx] = cloneBytes(sep)
+	p.children = append(p.children, nilPage)
+	copy(p.children[idx+2:], p.children[idx+1:])
+	p.children[idx+1] = child
+	p.serialized += 2 + len(sep) + childRefBytes
+}
+
+// splitInternal moves the upper half of an internal page to a new page,
+// returning the new page and the separator promoted to the parent.
+func (p *page) splitInternal(newID pageID) (*page, []byte) {
+	mid := len(p.seps) / 2
+	promoted := p.seps[mid]
+	right := &page{
+		id:       newID,
+		parent:   p.parent,
+		leaf:     false,
+		seps:     append([][]byte(nil), p.seps[mid+1:]...),
+		children: append([]pageID(nil), p.children[mid+1:]...),
+		dirty:    true,
+	}
+	right.recomputeSerialized()
+	p.seps = p.seps[:mid]
+	p.children = p.children[:mid+1]
+	p.recomputeSerialized()
+	return right, promoted
+}
+
+// recomputeSerialized recalculates the internal page footprint.
+func (p *page) recomputeSerialized() {
+	s := pageHeaderBytes + childRefBytes*len(p.children)
+	for _, sep := range p.seps {
+		s += 2 + len(sep)
+	}
+	p.serialized = s
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

@@ -1,0 +1,343 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/wal"
+)
+
+// Checkpoint metadata: a double-buffered pair of tiny files records the
+// root page's on-disk extent and the sequence high-water mark of the last
+// completed checkpoint. Recovery parses the tree from the root and
+// replays the surviving journal segments on top.
+
+const (
+	metaA     = "wtmeta-A"
+	metaB     = "wtmeta-B"
+	metaMagic = 0x57544D54 // "WTMT"
+	metaBytes = 4 + 8 + 8 + 8 + 4 + 8 + 4
+)
+
+type metaState struct {
+	gen       uint64 // checkpoint generation
+	seq       uint64 // KV sequence high-water mark at checkpoint
+	journalID uint64
+	root      fileExtent
+}
+
+func (m *metaState) encode() []byte {
+	b := make([]byte, metaBytes)
+	binary.LittleEndian.PutUint32(b[0:], metaMagic)
+	binary.LittleEndian.PutUint64(b[4:], m.gen)
+	binary.LittleEndian.PutUint64(b[12:], m.seq)
+	binary.LittleEndian.PutUint64(b[20:], uint64(m.root.start))
+	binary.LittleEndian.PutUint32(b[28:], uint32(m.root.pages))
+	binary.LittleEndian.PutUint64(b[32:], m.journalID)
+	binary.LittleEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
+	return b
+}
+
+func decodeMeta(b []byte) (*metaState, error) {
+	if len(b) < metaBytes {
+		return nil, fmt.Errorf("btree: metadata too short")
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != metaMagic {
+		return nil, fmt.Errorf("btree: bad metadata magic")
+	}
+	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:]) {
+		return nil, fmt.Errorf("btree: metadata CRC mismatch")
+	}
+	return &metaState{
+		gen:       binary.LittleEndian.Uint64(b[4:]),
+		seq:       binary.LittleEndian.Uint64(b[12:]),
+		journalID: binary.LittleEndian.Uint64(b[32:]),
+		root: fileExtent{
+			start: int64(binary.LittleEndian.Uint64(b[20:])),
+			pages: int64(binary.LittleEndian.Uint32(b[28:])),
+		},
+	}, nil
+}
+
+// writeMeta persists the checkpoint metadata into the older slot.
+func (t *Tree) writeMeta(now sim.Duration) (sim.Duration, error) {
+	root := t.pages[t.root]
+	if root.disk.pages == 0 {
+		// A root that was never written (e.g. an empty tree checkpoint);
+		// nothing durable to point at yet.
+		return now, nil
+	}
+	t.metaGen++
+	st := metaState{gen: t.metaGen, seq: t.seq, journalID: t.journalID, root: root.disk}
+	name := metaA
+	if t.metaGen%2 == 0 {
+		name = metaB
+	}
+	f, err := t.fs.Open(name)
+	if err != nil {
+		if f, err = t.fs.Create(name); err != nil {
+			return now, err
+		}
+		if err := f.Grow(1); err != nil {
+			return now, err
+		}
+	}
+	var data []byte
+	if t.cfg.Content {
+		data = make([]byte, t.fs.PageSize())
+		copy(data, st.encode())
+	}
+	return f.WriteAt(now, 0, 1, data)
+}
+
+// readMeta loads the newest valid checkpoint metadata, or nil.
+func readMeta(fs *extfs.FS, now sim.Duration) (*metaState, sim.Duration, error) {
+	var best *metaState
+	for _, name := range []string{metaA, metaB} {
+		f, err := fs.Open(name)
+		if err != nil {
+			continue
+		}
+		buf := make([]byte, f.SizePages()*int64(fs.PageSize()))
+		now, err = f.ReadAt(now, 0, int(f.SizePages()), buf)
+		if err != nil {
+			return nil, now, err
+		}
+		st, err := decodeMeta(buf)
+		if err != nil {
+			continue
+		}
+		if best == nil || st.gen > best.gen {
+			best = st
+		}
+	}
+	return best, now, nil
+}
+
+// Recover reopens a B+Tree from its on-device state: the newest
+// checkpoint metadata locates the root, the tree is parsed top-down, and
+// surviving journal records are replayed on top (sequence-guarded, so a
+// replay never regresses a newer on-disk value). It requires content
+// mode. The returned time includes all recovery I/O.
+func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, now, err
+	}
+	if !cfg.Content {
+		return nil, now, fmt.Errorf("btree: Recover requires content mode")
+	}
+	st, now, err := readMeta(fs, now)
+	if err != nil {
+		return nil, now, err
+	}
+	if st == nil {
+		return nil, now, fmt.Errorf("btree: no valid checkpoint metadata found")
+	}
+	f, err := fs.Open("collection.wt")
+	if err != nil {
+		return nil, now, fmt.Errorf("btree: collection file missing: %w", err)
+	}
+	t := &Tree{
+		cfg:       cfg,
+		fs:        fs,
+		file:      f,
+		bm:        newBlockManager(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
+		pages:     make(map[pageID]*page),
+		dirty:     make(map[pageID]struct{}),
+		ckptW:     sim.NewWorker("btree-checkpoint"),
+		seq:       st.seq,
+		journalID: st.journalID,
+		metaGen:   st.gen,
+	}
+	// Rebuild the tree from the root. Extents seen during the walk are
+	// live; everything else inside the file is free space.
+	used := []fileExtent{}
+	rootID, done, err := t.loadSubtree(now, st.root, nilPage, &used)
+	if err != nil {
+		return nil, now, err
+	}
+	now = done
+	t.root = rootID
+	t.rebuildFreeList(used)
+	t.rebuildLeafChain()
+	if root := t.pages[t.root]; root.leaf {
+		t.admit(root)
+	}
+	// Replay journals, newest records win; guard on per-key sequence so
+	// flushed updates are not regressed.
+	var records []wal.Record
+	var segments []string
+	for _, name := range fs.List() {
+		if !strings.HasPrefix(name, "journal-") {
+			continue
+		}
+		segments = append(segments, name)
+		done, err := wal.Replay(fs, name, now, func(r wal.Record) {
+			records = append(records, r)
+		})
+		if err != nil {
+			return nil, now, err
+		}
+		now = done
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	for i := range records {
+		r := &records[i]
+		if err := t.applyRecovered(r); err != nil {
+			return nil, now, err
+		}
+		if r.Seq > t.seq {
+			t.seq = r.Seq
+		}
+	}
+	// Fresh journal; make the replayed state durable, then retire stale
+	// segments.
+	if !cfg.DisableJournal {
+		w, err := wal.Create(fs, t.journalName(), cfg.Content)
+		if err != nil {
+			return nil, now, err
+		}
+		t.journal = w
+	}
+	if end, err := t.FlushAll(now); err != nil {
+		return nil, now, err
+	} else if end > now {
+		now = end
+	}
+	for _, name := range segments {
+		if t.journal != nil && name == t.journal.Name() {
+			continue
+		}
+		if t.poolTracks(name) {
+			continue
+		}
+		if err := fs.Remove(name); err != nil {
+			return nil, now, err
+		}
+	}
+	return t, now, nil
+}
+
+func (t *Tree) poolTracks(name string) bool {
+	for _, w := range t.journalPool {
+		if w.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// loadSubtree reads and parses the page at ext, recursing into children,
+// and returns the assigned in-memory page id.
+func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent pageID, used *[]fileExtent) (pageID, sim.Duration, error) {
+	if ext.pages <= 0 {
+		return nilPage, now, fmt.Errorf("btree: empty extent in tree walk")
+	}
+	buf := make([]byte, int(ext.pages)*t.fs.PageSize())
+	now, err := t.file.ReadAt(now, ext.start, int(ext.pages), buf)
+	if err != nil {
+		return nilPage, now, err
+	}
+	p, ok := parsePage(buf)
+	if !ok {
+		return nilPage, now, fmt.Errorf("btree: corrupt page at extent %d+%d", ext.start, ext.pages)
+	}
+	t.nextID++
+	p.id = t.nextID
+	p.parent = parent
+	p.disk = ext
+	p.everOnDisk = true
+	if p.leaf {
+		var sz int
+		for i := range p.keys {
+			sz += entryOverhead + len(p.keys[i]) + int(p.vlens[i])
+		}
+		p.serialized = pageHeaderBytes + sz
+	} else {
+		p.recomputeSerialized()
+	}
+	t.pages[p.id] = p
+	*used = append(*used, ext)
+	if !p.leaf {
+		for i, ce := range p.childExtents {
+			childID, done, err := t.loadSubtree(now, ce, p.id, used)
+			if err != nil {
+				return nilPage, now, err
+			}
+			now = done
+			p.children[i] = childID
+		}
+		p.childExtents = nil
+	}
+	return p.id, now, nil
+}
+
+// rebuildFreeList reconstructs the block manager's free list as the
+// complement of the extents the tree references.
+func (t *Tree) rebuildFreeList(used []fileExtent) {
+	sort.Slice(used, func(i, j int) bool { return used[i].start < used[j].start })
+	var cursor int64
+	for _, e := range used {
+		if e.start > cursor {
+			t.bm.release(fileExtent{start: cursor, pages: e.start - cursor})
+		}
+		if end := e.start + e.pages; end > cursor {
+			cursor = end
+		}
+	}
+	if total := t.file.SizePages(); total > cursor {
+		t.bm.release(fileExtent{start: cursor, pages: total - cursor})
+	}
+}
+
+// rebuildLeafChain links leaves left-to-right by walking the tree in
+// order.
+func (t *Tree) rebuildLeafChain() {
+	var prev *page
+	var walk func(id pageID)
+	walk = func(id pageID) {
+		p := t.pages[id]
+		if p.leaf {
+			if prev != nil {
+				prev.next = p.id
+			}
+			prev = p
+			return
+		}
+		for _, c := range p.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// applyRecovered replays one journal record through the insert path
+// (without journaling, CPU costs or eviction), guarded by sequence so
+// stale records never overwrite newer on-disk state.
+func (t *Tree) applyRecovered(r *wal.Record) error {
+	leaf := t.descend(r.Key)
+	i := leaf.search(r.Key)
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], r.Key) && leaf.seqs[i] >= r.Seq {
+		return nil // on-disk state is as new or newer
+	}
+	vlen := r.ValueLen
+	if r.Value != nil {
+		vlen = len(r.Value)
+	}
+	delta := leaf.insertLeaf(r.Key, r.Value, vlen, r.Seq, r.Deleted)
+	if leaf.resident {
+		t.residentBytes += int64(delta)
+	}
+	t.markDirty(leaf)
+	if leaf.serialized > t.cfg.LeafPageBytes {
+		t.splitLeaf(leaf)
+	}
+	return nil
+}

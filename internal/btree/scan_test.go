@@ -1,0 +1,142 @@
+package btree
+
+import (
+	"testing"
+
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+func TestScanAcrossLeaves(t *testing.T) {
+	tr, dev, _ := testEnv(t, 32, false, func(c *Config) {
+		c.LeafPageBytes = 1 << 10 // many small leaves
+		c.CacheBytes = 16 << 10   // tiny cache: scans must re-read leaves
+	})
+	var now sim.Duration
+	var err error
+	for id := uint64(0); id < 1000; id++ {
+		now, err = tr.Put(now, kv.EncodeKey(id*3), nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	readsBefore := dev.Counters().ReadOps
+	done, got, err := tr.Scan(now, kv.EncodeKey(150), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("scan returned %d entries, want 200", len(got))
+	}
+	for i, e := range got {
+		id, err := kv.DecodeKey(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(150 + i*3)
+		if id != want {
+			t.Fatalf("entry %d: key %d, want %d", i, id, want)
+		}
+	}
+	if dev.Counters().ReadOps == readsBefore {
+		t.Fatal("scan should charge leaf reads with a cold cache")
+	}
+	if done < now {
+		t.Fatal("scan time went backwards")
+	}
+}
+
+func TestScanSkipsTombstonesAndRespectsStart(t *testing.T) {
+	tr, _, _ := testEnv(t, 16, false, nil)
+	var now sim.Duration
+	var err error
+	for id := uint64(0); id < 30; id++ {
+		now, err = tr.Put(now, kv.EncodeKey(id), nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := uint64(10); id < 20; id++ {
+		now, err = tr.Delete(now, kv.EncodeKey(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, got, err := tr.Scan(now, kv.EncodeKey(5), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys 5..9 and 20..29 => 15 entries.
+	if len(got) != 15 {
+		t.Fatalf("scan returned %d entries, want 15", len(got))
+	}
+	if id, _ := kv.DecodeKey(got[0].Key); id != 5 {
+		t.Fatalf("first key %d, want 5", id)
+	}
+	if id, _ := kv.DecodeKey(got[5].Key); id != 20 {
+		t.Fatalf("sixth key %d, want 20 (tombstone range skipped)", id)
+	}
+}
+
+func TestScanLimitAndEnd(t *testing.T) {
+	tr, _, _ := testEnv(t, 16, false, nil)
+	var now sim.Duration
+	var err error
+	for id := uint64(0); id < 10; id++ {
+		now, err = tr.Put(now, kv.EncodeKey(id), nil, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, got, err := tr.Scan(now, kv.EncodeKey(7), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("tail scan returned %d, want 3", len(got))
+	}
+	_, got, err = tr.Scan(now, kv.EncodeKey(0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("limited scan returned %d, want 4", len(got))
+	}
+}
+
+func TestLeafChainComplete(t *testing.T) {
+	tr, _, _ := testEnv(t, 32, false, func(c *Config) {
+		c.LeafPageBytes = 1 << 10
+	})
+	var now sim.Duration
+	var err error
+	rng := sim.NewRNG(6)
+	inserted := map[uint64]bool{}
+	for i := 0; i < 3000; i++ {
+		id := rng.Uint64n(5000)
+		inserted[id] = true
+		now, err = tr.Put(now, kv.EncodeKey(id), nil, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Walking the leaf chain must visit every key exactly once, sorted.
+	_, got, err := tr.Scan(now, kv.EncodeKey(0), len(inserted)+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inserted) {
+		t.Fatalf("chain walk found %d keys, want %d", len(got), len(inserted))
+	}
+	var prev uint64
+	for i, e := range got {
+		id, _ := kv.DecodeKey(e.Key)
+		if i > 0 && id <= prev {
+			t.Fatalf("chain out of order at %d: %d after %d", i, id, prev)
+		}
+		if !inserted[id] {
+			t.Fatalf("phantom key %d", id)
+		}
+		prev = id
+	}
+}

@@ -1,0 +1,354 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/btree"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/lsm"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/workload"
+)
+
+// EngineKind selects the persistent tree structure under test.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// LSM is the RocksDB-style log-structured merge tree.
+	LSM EngineKind = iota
+	// BTree is the WiredTiger-style B+Tree.
+	BTree
+)
+
+// String implements fmt.Stringer.
+func (k EngineKind) String() string {
+	switch k {
+	case LSM:
+		return "lsm"
+	case BTree:
+		return "btree"
+	default:
+		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// InitialState is the drive state before the experiment (§3.4).
+type InitialState int
+
+// Initial states.
+const (
+	// Trimmed: every block discarded, factory-fresh dynamics.
+	Trimmed InitialState = iota
+	// Preconditioned: sequential fill plus 2× capacity random writes.
+	Preconditioned
+)
+
+// String implements fmt.Stringer.
+func (s InitialState) String() string {
+	if s == Preconditioned {
+		return "preconditioned"
+	}
+	return "trimmed"
+}
+
+// DeviceSpec describes the simulated SSD at full (paper) scale.
+type DeviceSpec struct {
+	Profile       flash.Profile
+	CapacityBytes int64
+	PageSize      int
+	PagesPerBlock int
+}
+
+// DefaultDevice returns the paper's primary testbed: a 400 GB
+// enterprise-class flash SSD (SSD1). PagesPerBlock describes the erase
+// stripe (superblock) at full scale: enterprise NVMe drives erase across
+// all dies at once, so the effective GC unit is hundreds of megabytes.
+func DefaultDevice() DeviceSpec {
+	return DeviceSpec{
+		Profile:       flash.ProfileSSD1(),
+		CapacityBytes: 400 << 30,
+		PageSize:      4096,
+		PagesPerBlock: 64 << 10, // 256 MiB erase stripes -> ~1600 per drive
+	}
+}
+
+// Spec fully describes one experiment run.
+type Spec struct {
+	Name   string
+	Device DeviceSpec
+
+	// Scale divides capacity, bandwidths and engine sizings while
+	// keeping the virtual time axis; dimensionless results are
+	// invariant (see DESIGN.md).
+	Scale int64
+
+	Engine EngineKind
+
+	// DatasetFraction sizes the dataset relative to full device
+	// capacity (the paper's default is 0.5).
+	DatasetFraction float64
+	ValueBytes      int
+	ReadFraction    float64
+	Dist            workload.Dist
+
+	Initial InitialState
+
+	// PartitionFraction < 1 reserves the tail of the LBA space as
+	// software over-provisioning (never written, stays trimmed).
+	PartitionFraction float64
+
+	// Duration is the measured phase length in virtual time; SampleEvery
+	// is the instrumentation period.
+	Duration    sim.Duration
+	SampleEvery sim.Duration
+
+	Seed uint64
+
+	// TweakLSM / TweakBTree adjust engine configs after scaling.
+	TweakLSM   func(*lsm.Config)
+	TweakBTree func(*btree.Config)
+}
+
+// Validate fills defaults.
+func (s Spec) Validate() (Spec, error) {
+	if s.Device.CapacityBytes == 0 {
+		s.Device = DefaultDevice()
+	}
+	if s.Scale <= 0 {
+		s.Scale = 128
+	}
+	if s.DatasetFraction <= 0 {
+		s.DatasetFraction = 0.5
+	}
+	if s.DatasetFraction > 0.95 {
+		return s, fmt.Errorf("core: dataset fraction %v too large", s.DatasetFraction)
+	}
+	if s.ValueBytes <= 0 {
+		s.ValueBytes = 4000
+	}
+	if s.PartitionFraction <= 0 || s.PartitionFraction > 1 {
+		s.PartitionFraction = 1
+	}
+	if s.Duration <= 0 {
+		s.Duration = 210 * time.Minute
+	}
+	if s.SampleEvery <= 0 {
+		s.SampleEvery = 10 * time.Second
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s, nil
+}
+
+// Result carries everything the figures need.
+type Result struct {
+	Spec         Spec
+	Series       Series
+	Steady       SteadyStats
+	SpaceAmp     float64
+	DiskUtilPct  float64 // max footprint over full device capacity
+	LBACDF       []float64
+	FracLBAs     float64
+	OutOfSpace   bool
+	LoadDuration sim.Duration
+	DatasetBytes int64
+	NumKeys      uint64
+
+	// Load-phase diagnostics (before instrumentation reset).
+	LoadHostBytes  int64
+	LoadFlashPages int64
+	LoadWAD        float64
+
+	// ScaledKOps re-normalizes throughput to paper scale (measured
+	// KOps × Scale) for comparison against the paper's figures.
+	ScaledKOps float64
+
+	// Latency summarizes per-operation virtual latencies over the
+	// measured phase, re-normalized to paper scale (measured latency /
+	// Scale). Throughput plots hide tail behaviour; this doesn't.
+	Latency LatencySummary
+}
+
+// engine unifies the two stores for the runner.
+type engine interface {
+	kv.Engine
+	Quiesce(now sim.Duration) sim.Duration
+}
+
+// Run executes one experiment.
+func Run(spec Spec) (*Result, error) {
+	spec, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(spec.Seed)
+
+	// Device, scaled. The erase stripe scales with capacity so the
+	// block COUNT — which sets the garbage-collection dynamics — is
+	// scale-invariant.
+	scaledCapacity := spec.Device.CapacityBytes / spec.Scale
+	scaledPPB := spec.Device.PagesPerBlock / int(spec.Scale)
+	if scaledPPB < 64 {
+		scaledPPB = 64
+	}
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  scaledCapacity,
+		PageSize:      spec.Device.PageSize,
+		PagesPerBlock: scaledPPB,
+		Profile:       spec.Device.Profile.Scaled(spec.Scale),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: building device: %w", err)
+	}
+	bdev := blockdev.New(ssd)
+
+	// Partition (software over-provisioning) and initial state. The
+	// device starts trimmed; preconditioning ages the partition range.
+	partPages := int64(float64(bdev.Pages()) * spec.PartitionFraction)
+	var target blockdev.Dev = bdev
+	if partPages < bdev.Pages() {
+		p, err := bdev.Partition(0, partPages)
+		if err != nil {
+			return nil, err
+		}
+		target = p
+	}
+	if spec.Initial == Preconditioned {
+		ssd.PreconditionRange(rng.Split(), 0, partPages, 2)
+	}
+
+	fs, err := extfs.Mount(target, extfs.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	// Engine, scaled. CPU costs scale with the device so that per-op
+	// time dilates uniformly (see DESIGN.md "Scaling model").
+	datasetBytes := int64(float64(spec.Device.CapacityBytes)*spec.DatasetFraction) / spec.Scale
+	numKeys := uint64(datasetBytes / int64(spec.ValueBytes))
+	if numKeys == 0 {
+		return nil, errors.New("core: dataset too small for value size")
+	}
+	var eng engine
+	switch spec.Engine {
+	case LSM:
+		cfg := lsm.NewConfig(datasetBytes)
+		cfg.CPUPutTime *= time.Duration(spec.Scale)
+		cfg.CPUGetTime *= time.Duration(spec.Scale)
+		cfg.CPUPerByte *= time.Duration(spec.Scale)
+		cfg.DelayedWriteBytesPerSec /= spec.Scale
+		if spec.TweakLSM != nil {
+			spec.TweakLSM(&cfg)
+		}
+		db, err := lsm.Open(fs, cfg, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		eng = db
+	case BTree:
+		cfg := btree.NewConfig(datasetBytes)
+		cfg.CPUPutTime *= time.Duration(spec.Scale)
+		cfg.CPUGetTime *= time.Duration(spec.Scale)
+		cfg.CPUPerByte *= time.Duration(spec.Scale)
+		if spec.TweakBTree != nil {
+			spec.TweakBTree(&cfg)
+		}
+		tr, err := btree.Open(fs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng = tr
+	default:
+		return nil, fmt.Errorf("core: unknown engine %v", spec.Engine)
+	}
+
+	res := &Result{Spec: spec, DatasetBytes: datasetBytes, NumKeys: numKeys}
+
+	// Load phase: ingest all keys in sequential order (§3.2), then
+	// quiesce.
+	var now sim.Duration
+	for id := uint64(0); id < numKeys; id++ {
+		now, err = eng.Put(now, kv.EncodeKey(id), nil, spec.ValueBytes)
+		if err != nil {
+			if errors.Is(err, extfs.ErrNoSpace) {
+				res.OutOfSpace = true
+				res.LoadDuration = now
+				return res, nil
+			}
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+	}
+	now, err = eng.FlushAll(now)
+	if err != nil {
+		if errors.Is(err, extfs.ErrNoSpace) {
+			res.OutOfSpace = true
+			res.LoadDuration = now
+			return res, nil
+		}
+		return nil, err
+	}
+	res.LoadDuration = now
+	res.LoadHostBytes = bdev.Counters().BytesWritten
+	loadStats := ssd.Stats()
+	res.LoadFlashPages = loadStats.FlashPagesWritten
+	res.LoadWAD = loadStats.WAD()
+
+	// Measurement phase: plots exclude loading, so instrumentation is
+	// reset here (iostat counters, SMART deltas, LBA histogram).
+	bdev.ResetInstrumentation()
+	collector := NewCollector(bdev, eng, now, spec.SampleEvery)
+	gen, err := workload.NewGenerator(workload.Spec{
+		NumKeys:      numKeys,
+		ValueBytes:   spec.ValueBytes,
+		ReadFraction: spec.ReadFraction,
+		Dist:         spec.Dist,
+	}, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	deadline := now + spec.Duration
+	keyBuf := make([]byte, kv.KeySize)
+	lat := NewLatencyHistogram()
+	for now < deadline {
+		op := gen.Next()
+		kv.AppendKey(keyBuf, op.KeyID)
+		opStart := now
+		if op.Kind == workload.OpRead {
+			now, _, _, err = eng.Get(now, keyBuf)
+		} else {
+			now, err = eng.Put(now, keyBuf, nil, spec.ValueBytes)
+		}
+		if err != nil {
+			if errors.Is(err, extfs.ErrNoSpace) {
+				res.OutOfSpace = true
+				break
+			}
+			return nil, fmt.Errorf("core: workload: %w", err)
+		}
+		// Re-normalize to paper scale: simulated service times are
+		// dilated by Scale.
+		lat.Record((now - opStart) / sim.Duration(spec.Scale))
+		if collector.Due(now) {
+			collector.Record(now)
+		}
+	}
+	collector.Record(now)
+	res.Latency = lat.Percentiles()
+
+	res.Series = collector.Series()
+	res.Steady = res.Series.TailStats(0.25)
+	res.ScaledKOps = res.Steady.ThroughputKOps * float64(spec.Scale)
+	res.SpaceAmp = SpaceAmplification(res.Steady.DiskUsedBytes, datasetBytes)
+	res.DiskUtilPct = 100 * float64(res.Steady.DiskUsedBytes) / float64(scaledCapacity)
+	res.LBACDF = bdev.WriteCDF(100)
+	res.FracLBAs = bdev.FractionLBAsWritten()
+	return res, nil
+}

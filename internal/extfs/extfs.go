@@ -1,0 +1,422 @@
+// Package extfs implements a minimal extent-based filesystem over a
+// simulated block device. It exists because the filesystem's allocation
+// policy and discard behaviour are load-bearing for the paper's results:
+//
+//   - The paper mounts ext4 with `nodiscard` (§3.5), so deleting a file
+//     does NOT trim its blocks — the SSD keeps treating them as valid
+//     until they are overwritten. This couples LSM file churn to garbage
+//     collection.
+//   - ext4's allocator spreads new allocations across the partition
+//     rather than immediately reusing just-freed space; combined with
+//     file churn this makes an LSM write to the whole LBA range over
+//     time (Fig 4). extfs reproduces this with a rotating first-fit
+//     allocator.
+//
+// extfs is page-granular: file sizes are tracked in bytes, but I/O and
+// allocation happen in whole device pages.
+package extfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/sim"
+)
+
+// ErrNoSpace is returned when an allocation cannot be satisfied. The
+// harness relies on it to reproduce the paper's "RocksDB runs out of
+// space" outcome for the largest datasets (Fig 5/6).
+var ErrNoSpace = errors.New("extfs: no space left on device")
+
+// ErrNotExist is returned when opening or removing a missing file.
+var ErrNotExist = errors.New("extfs: file does not exist")
+
+// ErrExist is returned when creating a file that already exists.
+var ErrExist = errors.New("extfs: file already exists")
+
+// Options configure mount behaviour.
+type Options struct {
+	// Discard, when true, TRIMs freed extents on file deletion (like
+	// mounting with -o discard). The paper's setup uses nodiscard, the
+	// default here.
+	Discard bool
+}
+
+// metaPages is the fixed metadata region at the start of the partition
+// (superblock + inode table stand-in). Metadata writes are tiny and, per
+// the paper's assumption (§3.3), negligible next to data traffic; we
+// model them with one-page journal writes on sync.
+const metaPages = 4
+
+// FS is a mounted filesystem.
+type FS struct {
+	dev   blockdev.Dev
+	opts  Options
+	files map[string]*File
+	alloc *allocator
+	// usedDataPages counts pages allocated to live files.
+	usedDataPages int64
+	nextMetaPage  int64 // round-robin cursor within the metadata region
+}
+
+// Mount formats and mounts a filesystem over dev. (There is no persistent
+// superblock to re-read: the simulation always starts from mkfs.)
+func Mount(dev blockdev.Dev, opts Options) (*FS, error) {
+	if dev.Pages() <= metaPages+1 {
+		return nil, fmt.Errorf("extfs: device too small (%d pages)", dev.Pages())
+	}
+	fs := &FS{
+		dev:   dev,
+		opts:  opts,
+		files: make(map[string]*File),
+		alloc: newAllocator(metaPages, dev.Pages()-metaPages),
+	}
+	return fs, nil
+}
+
+// PageSize returns the underlying device page size.
+func (fs *FS) PageSize() int { return fs.dev.PageSize() }
+
+// Device exposes the block device the filesystem is mounted on.
+func (fs *FS) Device() blockdev.Dev { return fs.dev }
+
+// CapacityPages returns the number of pages available for file data.
+func (fs *FS) CapacityPages() int64 { return fs.dev.Pages() - metaPages }
+
+// FreePages returns the number of unallocated data pages.
+func (fs *FS) FreePages() int64 { return fs.alloc.totalFree }
+
+// UsedPages returns pages allocated to live files plus metadata.
+func (fs *FS) UsedPages() int64 { return fs.usedDataPages + metaPages }
+
+// UsedBytes returns the total on-device footprint in bytes (page
+// granular, as a real filesystem would report in df).
+func (fs *FS) UsedBytes() int64 { return fs.UsedPages() * int64(fs.dev.PageSize()) }
+
+// List returns the names of all files, sorted.
+func (fs *FS) List() []string {
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Create creates an empty file.
+func (fs *FS) Create(name string) (*File, error) {
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrExist, name)
+	}
+	f := &File{fs: fs, name: name}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Open returns an existing file.
+func (fs *FS) Open(name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return f, nil
+}
+
+// Remove deletes a file and frees its extents. Under nodiscard (the
+// default) the device is NOT informed, so the SSD continues to see the
+// old blocks as valid data.
+func (fs *FS) Remove(name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	for _, e := range f.extents {
+		fs.alloc.release(e)
+		if fs.opts.Discard {
+			fs.dev.Discard(e.start, int(e.n))
+		}
+	}
+	fs.usedDataPages -= f.pages
+	f.extents = nil
+	f.pages = 0
+	f.size = 0
+	f.removed = true
+	delete(fs.files, name)
+	return nil
+}
+
+// Sync models a metadata commit: one page journal write into the metadata
+// region. Engines call it on fsync-equivalent points.
+func (fs *FS) Sync(now sim.Duration) sim.Duration {
+	p := fs.nextMetaPage
+	fs.nextMetaPage = (fs.nextMetaPage + 1) % metaPages
+	return fs.dev.WriteAt(now, p, 1, nil)
+}
+
+// File is an open file backed by a list of extents.
+type File struct {
+	fs      *FS
+	name    string
+	extents []extent
+	pages   int64 // allocated length in pages
+	size    int64 // logical size in bytes (size <= pages*pageSize)
+	removed bool
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// SizeBytes returns the logical file size in bytes.
+func (f *File) SizeBytes() int64 { return f.size }
+
+// SizePages returns the allocated size in pages.
+func (f *File) SizePages() int64 { return f.pages }
+
+// Extents returns a copy of the file's extent list (for tests and LBA
+// analysis).
+func (f *File) Extents() [][2]int64 {
+	out := make([][2]int64, len(f.extents))
+	for i, e := range f.extents {
+		out[i] = [2]int64{e.start, e.n}
+	}
+	return out
+}
+
+// Grow extends the file by n pages, allocating extents. It returns
+// ErrNoSpace if the allocation cannot be satisfied (the file is left
+// unchanged in that case).
+func (f *File) Grow(n int64) error {
+	if f.removed {
+		return fmt.Errorf("extfs: file %s is removed", f.name)
+	}
+	if n <= 0 {
+		return nil
+	}
+	got, err := f.fs.alloc.allocate(n)
+	if err != nil {
+		return err
+	}
+	f.extents = append(f.extents, got...)
+	f.coalesceTail(len(got))
+	f.pages += n
+	f.fs.usedDataPages += n
+	return nil
+}
+
+// coalesceTail merges the newly appended extents with their predecessors
+// when physically contiguous, keeping the extent list compact.
+func (f *File) coalesceTail(added int) {
+	for i := len(f.extents) - added; i < len(f.extents) && i > 0; i++ {
+		prev, cur := &f.extents[i-1], f.extents[i]
+		if prev.start+prev.n == cur.start {
+			prev.n += cur.n
+			f.extents = append(f.extents[:i], f.extents[i+1:]...)
+			i--
+		}
+	}
+}
+
+// Append appends n pages of data to the file starting at virtual time
+// now. data may be nil (accounting-only mode) or exactly n pages long.
+// bytes records the logical payload size (≤ n*pageSize); the remainder is
+// padding that still occupies device pages, as in a real filesystem.
+func (f *File) Append(now sim.Duration, n int, data []byte, bytes int64) (sim.Duration, error) {
+	if n <= 0 {
+		return now, nil
+	}
+	startPage := f.pages
+	if err := f.Grow(int64(n)); err != nil {
+		return now, err
+	}
+	f.size += bytes
+	return f.writePages(now, startPage, n, data), nil
+}
+
+// WriteAt overwrites n pages at page offset off (which must be within the
+// allocated size). Overwrites do not change the logical size.
+func (f *File) WriteAt(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
+	if off < 0 || off+int64(n) > f.pages {
+		return now, fmt.Errorf("extfs: write [%d,+%d) beyond EOF %d of %s", off, n, f.pages, f.name)
+	}
+	return f.writePages(now, off, n, data), nil
+}
+
+// ReadAt reads n pages at page offset off into buf (which may be nil).
+func (f *File) ReadAt(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error) {
+	if off < 0 || off+int64(n) > f.pages {
+		return now, fmt.Errorf("extfs: read [%d,+%d) beyond EOF %d of %s", off, n, f.pages, f.name)
+	}
+	ps := f.fs.dev.PageSize()
+	for n > 0 {
+		start, count := f.mapRun(off, n)
+		var sub []byte
+		if buf != nil {
+			sub = buf[:count*ps]
+			buf = buf[count*ps:]
+		}
+		now = f.fs.dev.ReadAt(now, start, count, sub)
+		off += int64(count)
+		n -= count
+	}
+	return now, nil
+}
+
+// writePages performs the device writes for a page run, splitting along
+// extent boundaries.
+func (f *File) writePages(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+	ps := f.fs.dev.PageSize()
+	for n > 0 {
+		start, count := f.mapRun(off, n)
+		var sub []byte
+		if data != nil {
+			sub = data[:count*ps]
+			data = data[count*ps:]
+		}
+		now = f.fs.dev.WriteAt(now, start, count, sub)
+		off += int64(count)
+		n -= count
+	}
+	return now
+}
+
+// mapRun translates file page offset off into a device page address and
+// the number of contiguous pages available there (bounded by n).
+func (f *File) mapRun(off int64, n int) (devPage int64, count int) {
+	var base int64
+	for _, e := range f.extents {
+		if off < base+e.n {
+			within := off - base
+			avail := e.n - within
+			if int64(n) < avail {
+				avail = int64(n)
+			}
+			return e.start + within, int(avail)
+		}
+		base += e.n
+	}
+	panic(fmt.Sprintf("extfs: offset %d beyond mapped extents of %s", off, f.name))
+}
+
+// extent is a contiguous run of device pages.
+type extent struct {
+	start, n int64
+}
+
+// allocator manages free extents with a rotating first-fit policy: each
+// allocation scans forward from a cursor that only wraps at the end of
+// the partition. Freed space behind the cursor is therefore not reused
+// until the cursor wraps — which makes a file-churning workload (an LSM)
+// sweep the entire LBA range, as ext4 does in the paper's Fig 4.
+type allocator struct {
+	free      []extent // sorted by start, non-overlapping, non-adjacent
+	totalFree int64
+	cursor    int64
+	base      int64 // first allocatable page
+	limit     int64 // one past last allocatable page
+}
+
+func newAllocator(base, n int64) *allocator {
+	return &allocator{
+		free:      []extent{{start: base, n: n}},
+		totalFree: n,
+		cursor:    base,
+		base:      base,
+		limit:     base + n,
+	}
+}
+
+// allocate returns extents totalling n pages, or ErrNoSpace (leaving the
+// allocator unchanged) when free space is insufficient.
+func (a *allocator) allocate(n int64) ([]extent, error) {
+	if n > a.totalFree {
+		return nil, fmt.Errorf("%w (want %d pages, have %d)", ErrNoSpace, n, a.totalFree)
+	}
+	var out []extent
+	remaining := n
+	wrapped := false
+	for remaining > 0 {
+		i := a.firstFreeAt(a.cursor)
+		if i == len(a.free) {
+			if wrapped {
+				// Should be impossible: totalFree said there was space.
+				panic("extfs: allocator inconsistency")
+			}
+			a.cursor = a.base
+			wrapped = true
+			continue
+		}
+		e := &a.free[i]
+		start := e.start
+		if start < a.cursor {
+			start = a.cursor
+		}
+		avail := e.start + e.n - start
+		take := avail
+		if take > remaining {
+			take = remaining
+		}
+		out = append(out, extent{start: start, n: take})
+		a.carve(i, start, take)
+		a.totalFree -= take
+		remaining -= take
+		a.cursor = start + take
+		if a.cursor >= a.limit {
+			a.cursor = a.base
+			wrapped = true
+		}
+	}
+	return out, nil
+}
+
+// firstFreeAt returns the index of the first free extent containing or
+// after page p, or len(free).
+func (a *allocator) firstFreeAt(p int64) int {
+	return sort.Search(len(a.free), func(i int) bool {
+		return a.free[i].start+a.free[i].n > p
+	})
+}
+
+// carve removes [start, start+take) from free extent i, splitting as
+// needed.
+func (a *allocator) carve(i int, start, take int64) {
+	e := a.free[i]
+	leftN := start - e.start
+	rightN := (e.start + e.n) - (start + take)
+	switch {
+	case leftN == 0 && rightN == 0:
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	case leftN == 0:
+		a.free[i] = extent{start: start + take, n: rightN}
+	case rightN == 0:
+		a.free[i] = extent{start: e.start, n: leftN}
+	default:
+		a.free[i] = extent{start: e.start, n: leftN}
+		rest := extent{start: start + take, n: rightN}
+		a.free = append(a.free, extent{})
+		copy(a.free[i+2:], a.free[i+1:])
+		a.free[i+1] = rest
+	}
+}
+
+// release returns an extent to the free pool, merging neighbours.
+func (a *allocator) release(e extent) {
+	i := sort.Search(len(a.free), func(i int) bool {
+		return a.free[i].start >= e.start
+	})
+	a.free = append(a.free, extent{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = e
+	a.totalFree += e.n
+	// Merge with successor.
+	if i+1 < len(a.free) && a.free[i].start+a.free[i].n == a.free[i+1].start {
+		a.free[i].n += a.free[i+1].n
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Merge with predecessor.
+	if i > 0 && a.free[i-1].start+a.free[i-1].n == a.free[i].start {
+		a.free[i-1].n += a.free[i].n
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}

@@ -1,0 +1,641 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation section (§4). Each FigN function wires the workload, engine,
+// filesystem and simulated SSD through internal/core at the requested
+// scale and returns a Report with the same series and rows the paper
+// plots. EXPERIMENTS.md records paper-vs-measured values for each.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ptsbench/internal/core"
+	"ptsbench/internal/costmodel"
+	"ptsbench/internal/flash"
+)
+
+// Options tune a figure run.
+type Options struct {
+	// Scale overrides the figure's default simulation scale (0 keeps
+	// the default; larger is faster and coarser).
+	Scale int64
+	// Quick shortens run durations for smoke tests and benchmarks.
+	Quick bool
+	// Seed overrides the default deterministic seed.
+	Seed uint64
+}
+
+func (o Options) scale(def int64) int64 {
+	if o.Scale > 0 {
+		return o.Scale
+	}
+	return def
+}
+
+func (o Options) duration(def time.Duration) time.Duration {
+	if o.Quick {
+		if def > 60*time.Minute {
+			return 60 * time.Minute
+		}
+		return def / 2
+	}
+	return def
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed != 0 {
+		return o.Seed
+	}
+	return 1
+}
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	XLabel string
+	YLabel string
+	X      []float64
+	Y      []float64
+}
+
+// Table is one result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Report is the output of one figure reproduction.
+type Report struct {
+	ID      string
+	Caption string
+	Series  []Series
+	Tables  []Table
+	Notes   []string
+}
+
+// Registry maps figure IDs to their constructors.
+func Registry() map[string]func(Options) (*Report, error) {
+	return map[string]func(Options) (*Report, error){
+		"fig2":  Fig2,
+		"fig3":  Fig3,
+		"fig4":  Fig4,
+		"fig5":  Fig5,
+		"fig6":  Fig6,
+		"fig7":  Fig7,
+		"fig8":  Fig8,
+		"fig9":  Fig9,
+		"fig10": Fig10,
+		"fig11": Fig11,
+	}
+}
+
+// IDs lists the figure identifiers in paper order.
+func IDs() []string {
+	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+}
+
+// windowSamples is how many 10s samples form the paper's 10-minute
+// reporting window.
+const windowSamples = 60
+
+// baseSpec returns the paper's default experiment (§3.2, §3.5).
+func baseSpec(o Options, engine core.EngineKind, init core.InitialState) core.Spec {
+	return core.Spec{
+		Device:          core.DefaultDevice(),
+		Scale:           o.scale(128),
+		Engine:          engine,
+		DatasetFraction: 0.5,
+		ValueBytes:      4000,
+		Initial:         init,
+		Duration:        o.duration(210 * time.Minute),
+		SampleEvery:     10 * time.Second,
+		Seed:            o.seed(),
+	}
+}
+
+func engineName(k core.EngineKind) string {
+	if k == core.LSM {
+		return "RocksDB-like LSM"
+	}
+	return "WiredTiger-like B+Tree"
+}
+
+// throughputSeries extracts the scaled KOps curve.
+func throughputSeries(name string, res *core.Result, window int) Series {
+	t, kops := res.Series.ThroughputSeries(window)
+	scaled := make([]float64, len(kops))
+	for i, v := range kops {
+		scaled[i] = v * float64(res.Spec.Scale)
+	}
+	return Series{Name: name, XLabel: "time (min)", YLabel: "KOps/s", X: t, Y: scaled}
+}
+
+func deviceWriteSeries(name string, res *core.Result, window int) Series {
+	t, w, _ := res.Series.RateSeries(window)
+	scaled := make([]float64, len(w))
+	for i, v := range w {
+		scaled[i] = v * float64(res.Spec.Scale)
+	}
+	return Series{Name: name, XLabel: "time (min)", YLabel: "MB/s", X: t, Y: scaled}
+}
+
+func waSeries(name string, res *core.Result, window int) (Series, Series) {
+	t, waa, wad := res.Series.WASeries(window)
+	return Series{Name: name + " WA-A", XLabel: "time (min)", YLabel: "WA-A", X: t, Y: waa},
+		Series{Name: name + " WA-D", XLabel: "time (min)", YLabel: "WA-D", X: t, Y: wad}
+}
+
+// Fig2 reproduces Figure 2: KV and device throughput, WA-A and WA-D over
+// time for both engines on a trimmed SSD.
+func Fig2(o Options) (*Report, error) {
+	rep := &Report{
+		ID: "fig2",
+		Caption: "Steady state vs bursty performance on a trimmed SSD: " +
+			"KV throughput, device write throughput, WA-A and WA-D over time",
+	}
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		res, err := core.Run(baseSpec(o, eng, core.Trimmed))
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %v: %w", eng, err)
+		}
+		if res.OutOfSpace {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%s ran out of space", engineName(eng)))
+			continue
+		}
+		name := engineName(eng)
+		rep.Series = append(rep.Series, throughputSeries(name+" throughput", res, windowSamples))
+		rep.Series = append(rep.Series, deviceWriteSeries(name+" device writes", res, windowSamples))
+		waa, wad := waSeries(name, res, windowSamples)
+		rep.Series = append(rep.Series, waa, wad)
+		rep.Tables = append(rep.Tables, steadyTable(name, res))
+	}
+	return rep, nil
+}
+
+func steadyTable(name string, res *core.Result) Table {
+	return Table{
+		Title:  name + " steady state (final quarter)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"throughput (KOps/s, paper scale)", fmt.Sprintf("%.2f", res.ScaledKOps)},
+			{"WA-A", fmt.Sprintf("%.2f", res.Steady.WAA)},
+			{"WA-D", fmt.Sprintf("%.2f", res.Steady.WAD)},
+			{"end-to-end WA", fmt.Sprintf("%.2f", res.Steady.EndToEndWA)},
+			{"space amplification", fmt.Sprintf("%.2f", res.SpaceAmp)},
+			{"disk utilization (%)", fmt.Sprintf("%.1f", res.DiskUtilPct)},
+			{"LBAs written (fraction)", fmt.Sprintf("%.2f", res.FracLBAs)},
+		},
+	}
+}
+
+// Fig3 reproduces Figure 3: throughput and WA-D over time, trimmed versus
+// preconditioned initial device state.
+func Fig3(o Options) (*Report, error) {
+	rep := &Report{
+		ID: "fig3",
+		Caption: "Impact of the initial state of the SSD (trimmed vs " +
+			"preconditioned) on throughput and WA-D over time",
+	}
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			res, err := core.Run(baseSpec(o, eng, init))
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %v/%v: %w", eng, init, err)
+			}
+			if res.OutOfSpace {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s %v ran out of space", engineName(eng), init))
+				continue
+			}
+			name := fmt.Sprintf("%s (%v)", engineName(eng), init)
+			rep.Series = append(rep.Series, throughputSeries(name+" throughput", res, windowSamples))
+			_, wad := waSeries(name, res, windowSamples)
+			rep.Series = append(rep.Series, wad)
+			rep.Tables = append(rep.Tables, steadyTable(name, res))
+		}
+	}
+	return rep, nil
+}
+
+// Fig4 reproduces Figure 4: the CDF of per-LBA write counts with LBAs
+// sorted by decreasing write count, for both engines on the default
+// workload.
+func Fig4(o Options) (*Report, error) {
+	rep := &Report{
+		ID: "fig4",
+		Caption: "CDF of LBA write probability (LBAs sorted by decreasing " +
+			"write count); WiredTiger leaves a large fraction of the LBA " +
+			"space unwritten",
+	}
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		res, err := core.Run(baseSpec(o, eng, core.Trimmed))
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %v: %w", eng, err)
+		}
+		x := make([]float64, len(res.LBACDF))
+		for i := range x {
+			x[i] = float64(i) / float64(len(x)-1)
+		}
+		rep.Series = append(rep.Series, Series{
+			Name:   engineName(eng),
+			XLabel: "LBA (normalized, sorted by decreasing writes)",
+			YLabel: "CDF",
+			X:      x,
+			Y:      res.LBACDF,
+		})
+		rep.Tables = append(rep.Tables, Table{
+			Title:  engineName(eng) + " LBA coverage",
+			Header: []string{"metric", "value"},
+			Rows: [][]string{
+				{"fraction of LBAs written", fmt.Sprintf("%.2f", res.FracLBAs)},
+				{"fraction never written", fmt.Sprintf("%.2f", 1-res.FracLBAs)},
+			},
+		})
+	}
+	return rep, nil
+}
+
+// fig5Fractions are the dataset-to-capacity ratios of Figure 5.
+var fig5Fractions = []float64{0.25, 0.37, 0.5, 0.62}
+
+// Fig5 reproduces Figure 5: steady-state throughput, WA-D and WA-A as a
+// function of dataset size, trimmed and preconditioned.
+func Fig5(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig5",
+		Caption: "Impact of dataset size: steady-state throughput, WA-D and WA-A",
+	}
+	tput := Table{Title: "Throughput (KOps/s)", Header: []string{"config"}}
+	wad := Table{Title: "WA-D", Header: []string{"config"}}
+	waa := Table{Title: "WA-A", Header: []string{"config"}}
+	for _, f := range fig5Fractions {
+		h := fmt.Sprintf("%.2f", f)
+		tput.Header = append(tput.Header, h)
+		wad.Header = append(wad.Header, h)
+		waa.Header = append(waa.Header, h)
+	}
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			name := fmt.Sprintf("%s %v", engineName(eng), init)
+			tr := []string{name}
+			wr := []string{name}
+			ar := []string{name}
+			for _, frac := range fig5Fractions {
+				spec := baseSpec(o, eng, init)
+				spec.DatasetFraction = frac
+				spec.Duration = o.duration(150 * time.Minute)
+				res, err := core.Run(spec)
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %v/%v/%.2f: %w", eng, init, frac, err)
+				}
+				if res.OutOfSpace {
+					tr = append(tr, "OOS")
+					wr = append(wr, "OOS")
+					ar = append(ar, "OOS")
+					continue
+				}
+				tr = append(tr, fmt.Sprintf("%.2f", res.ScaledKOps))
+				wr = append(wr, fmt.Sprintf("%.2f", res.Steady.WAD))
+				ar = append(ar, fmt.Sprintf("%.1f", res.Steady.WAA))
+			}
+			tput.Rows = append(tput.Rows, tr)
+			wad.Rows = append(wad.Rows, wr)
+			waa.Rows = append(waa.Rows, ar)
+		}
+	}
+	rep.Tables = []Table{tput, wad, waa}
+	return rep, nil
+}
+
+// fig6Fractions extend the sweep to the sizes where RocksDB runs out of
+// space in the paper.
+var fig6Fractions = []float64{0.25, 0.37, 0.5, 0.62, 0.75, 0.88}
+
+// Fig6 reproduces Figure 6: disk utilization, space amplification, and
+// the storage-cost heatmap.
+func Fig6(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig6",
+		Caption: "Space amplification and its effect on storage cost",
+	}
+	util := Table{Title: "Disk utilization (%)", Header: []string{"config"}}
+	amp := Table{Title: "Space amplification", Header: []string{"config"}}
+	for _, f := range fig6Fractions {
+		util.Header = append(util.Header, fmt.Sprintf("%.2f", f))
+		amp.Header = append(amp.Header, fmt.Sprintf("%.2f", f))
+	}
+	// Measured 0.5-fraction figures feed the cost model, like the
+	// paper's use of its Fig 5a/6a measurements.
+	var options []costmodel.Option
+	devCap := float64(core.DefaultDevice().CapacityBytes)
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		ur := []string{engineName(eng)}
+		ar := []string{engineName(eng)}
+		for _, frac := range fig6Fractions {
+			spec := baseSpec(o, eng, core.Preconditioned)
+			spec.DatasetFraction = frac
+			spec.Duration = o.duration(120 * time.Minute)
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %v/%.2f: %w", eng, frac, err)
+			}
+			if res.OutOfSpace {
+				ur = append(ur, "OOS")
+				ar = append(ar, "OOS")
+				continue
+			}
+			ur = append(ur, fmt.Sprintf("%.0f", res.DiskUtilPct))
+			ar = append(ar, fmt.Sprintf("%.2f", res.SpaceAmp))
+			if frac == 0.5 {
+				options = append(options, costmodel.Option{
+					Name:            engineName(eng),
+					ThroughputKOps:  res.ScaledKOps,
+					MaxDatasetBytes: devCap / res.SpaceAmp,
+				})
+			}
+		}
+		util.Rows = append(util.Rows, ur)
+		amp.Rows = append(amp.Rows, ar)
+	}
+	rep.Tables = []Table{util, amp}
+	if len(options) == 2 {
+		heat, err := costmodel.Compute(options, tbRange(1, 5), kopsRange(5, 25))
+		if err != nil {
+			return nil, err
+		}
+		rep.Tables = append(rep.Tables, heatTable("Cheaper system (fewer drives)", heat))
+	}
+	return rep, nil
+}
+
+func tbRange(lo, hi int) []float64 {
+	var out []float64
+	for tb := lo; tb <= hi; tb++ {
+		out = append(out, float64(tb)*(1<<40))
+	}
+	return out
+}
+
+func kopsRange(lo, hi float64) []float64 {
+	var out []float64
+	for k := lo; k <= hi; k += 5 {
+		out = append(out, k)
+	}
+	return out
+}
+
+func heatTable(title string, h *costmodel.Heatmap) Table {
+	t := Table{Title: title, Header: []string{"target \\ dataset"}}
+	for _, d := range h.Datasets {
+		t.Header = append(t.Header, fmt.Sprintf("%.0fTB", d/(1<<40)))
+	}
+	for ti := len(h.Targets) - 1; ti >= 0; ti-- {
+		row := []string{fmt.Sprintf("%.0f KOps", h.Targets[ti])}
+		for di := range h.Datasets {
+			row = append(row, h.Cells[ti][di].Winner)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig7 reproduces Figure 7: the effect of software over-provisioning
+// (a 300 GB partition with 100 GB kept trimmed) on throughput and WA-D.
+func Fig7(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig7",
+		Caption: "Impact of extra SSD over-provisioning (OP)",
+	}
+	tput := Table{
+		Title:  "Throughput (KOps/s)",
+		Header: []string{"config", "No OP", "Extra OP"},
+	}
+	wad := Table{
+		Title:  "WA-D",
+		Header: []string{"config", "No OP", "Extra OP"},
+	}
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			name := fmt.Sprintf("%s %v", engineName(eng), init)
+			tr := []string{name}
+			wr := []string{name}
+			for _, partFrac := range []float64{1.0, 0.75} {
+				spec := baseSpec(o, eng, init)
+				spec.PartitionFraction = partFrac
+				spec.Duration = o.duration(150 * time.Minute)
+				res, err := core.Run(spec)
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %v/%v/%.2f: %w", eng, init, partFrac, err)
+				}
+				if res.OutOfSpace {
+					tr = append(tr, "OOS")
+					wr = append(wr, "OOS")
+					continue
+				}
+				tr = append(tr, fmt.Sprintf("%.2f", res.ScaledKOps))
+				wr = append(wr, fmt.Sprintf("%.2f", res.Steady.WAD))
+			}
+			tput.Rows = append(tput.Rows, tr)
+			wad.Rows = append(wad.Rows, wr)
+		}
+	}
+	rep.Tables = []Table{tput, wad}
+	return rep, nil
+}
+
+// Fig8 reproduces Figure 8: the storage-cost heatmap comparing RocksDB
+// with and without extra over-provisioning on a preconditioned SSD.
+func Fig8(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig8",
+		Caption: "Storage cost of RocksDB with vs without extra OP (preconditioned)",
+	}
+	devCap := float64(core.DefaultDevice().CapacityBytes)
+	var options []costmodel.Option
+	for _, partFrac := range []float64{1.0, 0.75} {
+		spec := baseSpec(o, core.LSM, core.Preconditioned)
+		spec.PartitionFraction = partFrac
+		spec.Duration = o.duration(150 * time.Minute)
+		res, err := core.Run(spec)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 part=%.2f: %w", partFrac, err)
+		}
+		name := "No OP"
+		if partFrac < 1 {
+			name = "Extra OP"
+		}
+		if res.OutOfSpace {
+			rep.Notes = append(rep.Notes, name+" ran out of space")
+			continue
+		}
+		options = append(options, costmodel.Option{
+			Name:           name,
+			ThroughputKOps: res.ScaledKOps,
+			// With extra OP only partFrac of the drive is usable.
+			MaxDatasetBytes: devCap * partFrac / res.SpaceAmp,
+		})
+	}
+	if len(options) == 2 {
+		heat, err := costmodel.Compute(options, tbRange(1, 5), kopsRange(5, 25))
+		if err != nil {
+			return nil, err
+		}
+		rep.Tables = append(rep.Tables, heatTable("Cheaper RocksDB configuration", heat))
+	}
+	return rep, nil
+}
+
+// fig9Devices returns the three SSD specs of §4.7.
+func fig9Devices() []core.DeviceSpec {
+	d1 := core.DefaultDevice()
+	d2 := core.DefaultDevice()
+	d2.Profile = ssd2Profile()
+	d3 := core.DefaultDevice()
+	d3.Profile = ssd3Profile()
+	return []core.DeviceSpec{d1, d2, d3}
+}
+
+// Fig9 reproduces Figure 9: steady throughput of both engines across the
+// three SSD types, with a 10x smaller dataset and trimmed devices so GC
+// effects are minimized.
+func Fig9(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig9",
+		Caption: "Impact of SSD type on throughput (small dataset, trimmed)",
+	}
+	tbl := Table{Title: "Throughput (KOps/s)", Header: []string{"engine", "SSD1", "SSD2", "SSD3"}}
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		row := []string{engineName(eng)}
+		for _, dev := range fig9Devices() {
+			spec := baseSpec(o, eng, core.Trimmed)
+			spec.Device = dev
+			spec.DatasetFraction = 0.05 // 10x smaller than the default 0.5
+			spec.Duration = o.duration(90 * time.Minute)
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %v/%s: %w", eng, dev.Profile.Name, err)
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.ScaledKOps))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	rep.Tables = []Table{tbl}
+	return rep, nil
+}
+
+// Fig10 reproduces Figure 10: throughput over time (1-minute averages)
+// across the three SSD types, showing per-device variability.
+func Fig10(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig10",
+		Caption: "Throughput variability (1-minute averages) per SSD type",
+	}
+	const oneMinuteWindow = 6 // 6 x 10s samples
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		for i, dev := range fig9Devices() {
+			spec := baseSpec(o, eng, core.Trimmed)
+			spec.Device = dev
+			spec.DatasetFraction = 0.05
+			spec.Duration = o.duration(90 * time.Minute)
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %v/%s: %w", eng, dev.Profile.Name, err)
+			}
+			name := fmt.Sprintf("%s SSD%d", engineName(eng), i+1)
+			rep.Series = append(rep.Series, throughputSeries(name, res, oneMinuteWindow))
+			rep.Tables = append(rep.Tables, variabilityTable(name, res, oneMinuteWindow))
+		}
+	}
+	return rep, nil
+}
+
+// variabilityTable summarizes throughput swings over 1-minute windows.
+func variabilityTable(name string, res *core.Result, window int) Table {
+	_, kops := res.Series.ThroughputSeries(window)
+	if len(kops) == 0 {
+		return Table{Title: name + " variability"}
+	}
+	lo, hi, sum := kops[0], kops[0], 0.0
+	zeros := 0
+	for _, v := range kops {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if v < 0.001 {
+			zeros++
+		}
+		sum += v
+	}
+	mean := sum / float64(len(kops))
+	cv := 0.0
+	if mean > 0 {
+		var ss float64
+		for _, v := range kops {
+			ss += (v - mean) * (v - mean)
+		}
+		cv = sqrtF(ss/float64(len(kops))) / mean
+	}
+	f := float64(res.Spec.Scale)
+	return Table{
+		Title:  name + " variability (1-min windows)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"min (KOps/s)", fmt.Sprintf("%.2f", lo*f)},
+			{"max (KOps/s)", fmt.Sprintf("%.2f", hi*f)},
+			{"mean (KOps/s)", fmt.Sprintf("%.2f", mean*f)},
+			{"coeff. of variation", fmt.Sprintf("%.2f", cv)},
+			{"stalled minutes", fmt.Sprintf("%d", zeros)},
+		},
+	}
+}
+
+// Fig11 reproduces Figure 11: the pitfalls under two workload variants —
+// a 50:50 read:write mix and small (128 B) values — on trimmed and
+// preconditioned devices.
+func Fig11(o Options) (*Report, error) {
+	rep := &Report{
+		ID:      "fig11",
+		Caption: "Additional workloads: 50:50 read:write mix and 128-byte values",
+	}
+	// 50:50 mix at the default scale.
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			spec := baseSpec(o, eng, init)
+			spec.ReadFraction = 0.5
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 rw %v/%v: %w", eng, init, err)
+			}
+			name := fmt.Sprintf("%s 50:50 (%v)", engineName(eng), init)
+			rep.Series = append(rep.Series, throughputSeries(name+" throughput", res, windowSamples))
+			_, wad := waSeries(name, res, windowSamples)
+			rep.Series = append(rep.Series, wad)
+		}
+	}
+	// 128-byte values at a larger scale (more keys per byte).
+	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			spec := baseSpec(o, eng, init)
+			spec.Scale = o.scale(512)
+			spec.ValueBytes = 128
+			res, err := core.Run(spec)
+			if err != nil {
+				return nil, fmt.Errorf("fig11 128B %v/%v: %w", eng, init, err)
+			}
+			name := fmt.Sprintf("%s 128B (%v)", engineName(eng), init)
+			rep.Series = append(rep.Series, throughputSeries(name+" throughput", res, windowSamples))
+			_, wad := waSeries(name, res, windowSamples)
+			rep.Series = append(rep.Series, wad)
+		}
+	}
+	return rep, nil
+}
+
+func sqrtF(x float64) float64 { return math.Sqrt(x) }
+
+func ssd2Profile() flash.Profile { return flash.ProfileSSD2() }
+func ssd3Profile() flash.Profile { return flash.ProfileSSD3() }

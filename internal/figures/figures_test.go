@@ -1,0 +1,314 @@
+package figures
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastOptions keep figure tests quick: coarse scale, short runs.
+func fastOptions() Options {
+	return Options{Quick: true, Scale: 1024, Seed: 1}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		if reg[id] == nil {
+			t.Fatalf("figure %s missing from registry", id)
+		}
+	}
+	if len(reg) != len(IDs()) {
+		t.Fatalf("registry has %d entries, IDs has %d", len(reg), len(IDs()))
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	rep, err := Fig2(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig2" {
+		t.Fatalf("ID = %s", rep.ID)
+	}
+	// Two engines x (throughput, device writes, WA-A, WA-D).
+	if len(rep.Series) != 8 {
+		t.Fatalf("series count %d, want 8", len(rep.Series))
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("table count %d, want 2", len(rep.Tables))
+	}
+	for _, s := range rep.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("series %s malformed: %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+}
+
+func TestFig4WTConfined(t *testing.T) {
+	rep, err := Fig4(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline for Fig 4: WiredTiger leaves a substantial
+	// fraction of LBAs unwritten; RocksDB covers far more.
+	frac := map[string]float64{}
+	for _, tbl := range rep.Tables {
+		for _, row := range tbl.Rows {
+			if row[0] == "fraction of LBAs written" {
+				v, err := strconv.ParseFloat(row[1], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				frac[tbl.Title] = v
+			}
+		}
+	}
+	var lsmFrac, btFrac float64
+	for title, v := range frac {
+		if strings.Contains(title, "LSM") {
+			lsmFrac = v
+		} else {
+			btFrac = v
+		}
+	}
+	if lsmFrac <= btFrac {
+		t.Fatalf("LSM LBA coverage (%.2f) should exceed B+Tree's (%.2f)", lsmFrac, btFrac)
+	}
+	if btFrac > 0.7 {
+		t.Fatalf("B+Tree coverage %.2f should be confined", btFrac)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rep, err := Fig9(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := rep.Tables[0]
+	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != 4 {
+		t.Fatalf("fig9 table malformed: %+v", tbl)
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	// Paper's qualitative structure (Fig 9): for the LSM, SSD3 (no GC, fast)
+	// beats SSD1, and SSD2 (slow QLC backend) is the worst. For the
+	// B+Tree, the SSD2 write cache absorbs its small writes, so SSD2
+	// beats SSD1.
+	lsm := tbl.Rows[0]
+	bt := tbl.Rows[1]
+	if !(parse(lsm[3]) > parse(lsm[1]) && parse(lsm[1]) > parse(lsm[2])) {
+		t.Fatalf("LSM SSD ordering wrong: %v", lsm)
+	}
+	if !(parse(bt[2]) > parse(bt[1])) {
+		t.Fatalf("B+Tree should be faster on SSD2 than SSD1: %v", bt)
+	}
+	if !(parse(bt[3]) > parse(bt[1])) {
+		t.Fatalf("B+Tree should be fastest on SSD3: %v", bt)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	rep, err := Fig4(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig4") || !strings.Contains(out, "CDF") {
+		t.Fatalf("render missing headers:\n%s", out)
+	}
+	dir := t.TempDir()
+	if err := rep.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(rep.Series)+len(rep.Tables) {
+		t.Fatalf("CSV file count %d, want %d", len(files), len(rep.Series)+len(rep.Tables))
+	}
+	// Files parse as CSV with at least a header.
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("empty CSV %s", f.Name())
+		}
+		if !strings.HasPrefix(f.Name(), "fig4_") || !strings.HasSuffix(f.Name(), ".csv") {
+			t.Fatalf("bad CSV name %s", f.Name())
+		}
+	}
+}
+
+func TestCSVNameSanitization(t *testing.T) {
+	got := csvName("fig2", "RocksDB-like LSM (trimmed) WA-D")
+	if strings.ContainsAny(got, " ()") {
+		t.Fatalf("unsafe csv name %q", got)
+	}
+	if !strings.HasPrefix(got, "fig2_") {
+		t.Fatalf("missing prefix: %q", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if s := sparkline(nil); s != "(empty)" {
+		t.Fatalf("empty sparkline = %q", s)
+	}
+	s := sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline length wrong: %q", s)
+	}
+	flat := sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline wrong: %q", flat)
+	}
+}
+
+func TestOptionsHelpers(t *testing.T) {
+	var o Options
+	if o.scale(128) != 128 {
+		t.Fatal("default scale")
+	}
+	o.Scale = 64
+	if o.scale(128) != 64 {
+		t.Fatal("override scale")
+	}
+	if o.seed() != 1 {
+		t.Fatal("default seed")
+	}
+	o.Seed = 9
+	if o.seed() != 9 {
+		t.Fatal("override seed")
+	}
+}
+
+func TestFig3InitialStateContrast(t *testing.T) {
+	rep, err := Fig3(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 engines x 2 states x (throughput + WA-D) series, 4 tables.
+	if len(rep.Series) != 8 || len(rep.Tables) != 4 {
+		t.Fatalf("fig3 shape: %d series, %d tables", len(rep.Series), len(rep.Tables))
+	}
+	// Pitfall #3 headline: B+Tree WA-D differs by initial state.
+	wad := map[string]float64{}
+	for _, tbl := range rep.Tables {
+		for _, row := range tbl.Rows {
+			if row[0] == "WA-D" {
+				v, err := strconv.ParseFloat(row[1], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wad[tbl.Title] = v
+			}
+		}
+	}
+	var btTrim, btPrec float64
+	for title, v := range wad {
+		if strings.Contains(title, "B+Tree") {
+			if strings.Contains(title, "precondition") {
+				btPrec = v
+			} else {
+				btTrim = v
+			}
+		}
+	}
+	if btPrec <= btTrim {
+		t.Fatalf("preconditioned B+Tree WA-D (%v) should exceed trimmed (%v)", btPrec, btTrim)
+	}
+}
+
+func TestFig5Sweep(t *testing.T) {
+	rep, err := Fig5(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 3 {
+		t.Fatalf("fig5 tables: %d", len(rep.Tables))
+	}
+	tput := rep.Tables[0]
+	if len(tput.Rows) != 4 || len(tput.Rows[0]) != 5 {
+		t.Fatalf("fig5 throughput table malformed: %+v", tput)
+	}
+	// LSM throughput declines with dataset size (pitfall #4).
+	first, err := strconv.ParseFloat(tput.Rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := strconv.ParseFloat(tput.Rows[0][4], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last >= first {
+		t.Fatalf("LSM throughput should decline with dataset size: %v -> %v", first, last)
+	}
+}
+
+func TestFig7OPEffect(t *testing.T) {
+	rep, err := Fig7(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wad := rep.Tables[1]
+	// Row 1: LSM preconditioned; extra OP must lower WA-D.
+	var lsmPrec []string
+	for _, row := range wad.Rows {
+		if strings.Contains(row[0], "LSM") && strings.Contains(row[0], "precondition") {
+			lsmPrec = row
+		}
+	}
+	if lsmPrec == nil {
+		t.Fatalf("missing LSM preconditioned row: %+v", wad)
+	}
+	noOP, err1 := strconv.ParseFloat(lsmPrec[1], 64)
+	withOP, err2 := strconv.ParseFloat(lsmPrec[2], 64)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("unparseable cells: %v", lsmPrec)
+	}
+	if withOP >= noOP {
+		t.Fatalf("extra OP should reduce LSM WA-D: %v -> %v", noOP, withOP)
+	}
+}
+
+func TestFig6OOSAtLargeDatasets(t *testing.T) {
+	rep, err := Fig6(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := rep.Tables[0]
+	lsmRow := util.Rows[0]
+	// The paper's LSM cannot hold the largest dataset (0.88). At 0.75
+	// the coarse quick-mode run may survive the shortened window, but
+	// only while critically full.
+	if lsmRow[6] != "OOS" {
+		t.Fatalf("LSM should run out of space at 0.88: %v", lsmRow)
+	}
+	if lsmRow[5] != "OOS" {
+		v, err := strconv.ParseFloat(lsmRow[5], 64)
+		if err != nil || v < 90 {
+			t.Fatalf("LSM at 0.75 should be OOS or critically full: %v", lsmRow)
+		}
+	}
+	btRow := util.Rows[1]
+	for i := 1; i < len(btRow); i++ {
+		if btRow[i] == "OOS" {
+			t.Fatalf("B+Tree should fit every dataset: %v", btRow)
+		}
+	}
+}

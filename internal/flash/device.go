@@ -1,0 +1,410 @@
+package flash
+
+import (
+	"time"
+
+	"ptsbench/internal/sim"
+)
+
+// Device is a simulated flash SSD. It combines the FTL (mapping, GC) with
+// a service-time model and a FIFO queue, so that callers obtain virtual
+// completion times for every request. Device is not safe for concurrent
+// use; the whole simulation is single-threaded and deterministic.
+//
+// Device does not store data content: it accounts I/O and maintains the
+// logical-to-physical state that drives garbage collection. Content
+// retention for correctness tests lives one layer up, in
+// internal/blockdev.
+type Device struct {
+	cfg  Config
+	ftl  *ftl
+	res  *sim.Resource
+	noGC bool
+
+	// Derived per-page service times.
+	hostReadPerPage  time.Duration
+	hostWritePerPage time.Duration
+	intReadPerPage   time.Duration
+	intWritePerPage  time.Duration
+	cacheWritePage   time.Duration
+
+	// Write-back cache state (enabled when cacheCapPages > 0). The cache
+	// absorbs host writes at cache speed and destages them to the FTL in
+	// the background at the internal write rate. pending is a FIFO of
+	// page writes awaiting destage.
+	cacheCapPages int64
+	cacheFill     int64
+	pending       []pendingRange
+	pendingHead   int // index of first live entry in pending
+	drainCursor   sim.Duration
+
+	noGCWrites int64 // host pages written in NoGC mode (no FTL)
+}
+
+type pendingRange struct {
+	lpn int64
+	n   int64
+}
+
+// NewDevice validates cfg and constructs the simulated SSD in trimmed
+// (factory-fresh) state.
+func NewDevice(cfg Config) (*Device, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:  cfg,
+		res:  sim.NewResource(),
+		noGC: cfg.Profile.NoGC,
+	}
+	if !d.noGC {
+		d.ftl = newFTL(cfg)
+	} else {
+		// NoGC media still track host traffic for stats; build a minimal
+		// FTL only for the mapped-pages bookkeeping used by utilization
+		// metrics. GC never runs because writes bypass hostWrite.
+		d.ftl = newFTL(cfg)
+	}
+	ps := int64(cfg.PageSize)
+	d.hostReadPerPage = bwTime(ps, cfg.Profile.ReadBW)
+	d.hostWritePerPage = bwTime(ps, cfg.Profile.WriteBW)
+	d.intReadPerPage = bwTime(ps, cfg.Profile.InternalReadBW)
+	d.intWritePerPage = bwTime(ps, cfg.Profile.InternalWriteBW)
+	if cfg.Profile.CacheBytes > 0 {
+		d.cacheCapPages = cfg.Profile.CacheBytes / ps
+		d.cacheWritePage = bwTime(ps, cfg.Profile.CacheWriteBW)
+	}
+	return d, nil
+}
+
+// bwTime converts a byte count at a bandwidth into a duration.
+func bwTime(bytes, bw int64) time.Duration {
+	if bw <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / float64(bw) * float64(time.Second))
+}
+
+// Config returns the validated configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// PageSize returns the device page (sector) size in bytes.
+func (d *Device) PageSize() int { return d.cfg.PageSize }
+
+// LogicalPages returns the host-visible capacity in pages.
+func (d *Device) LogicalPages() int64 { return d.cfg.logicalPages() }
+
+// LogicalBytes returns the host-visible capacity in bytes.
+func (d *Device) LogicalBytes() int64 { return d.cfg.LogicalBytes }
+
+// Stats returns a copy of the cumulative SMART-style counters.
+func (d *Device) Stats() Stats {
+	s := d.ftl.stats
+	if d.noGC {
+		s.HostPagesWritten = d.noGCWrites
+		s.FlashPagesWritten = d.noGCWrites
+	}
+	return s
+}
+
+// WAD returns cumulative device write amplification since construction.
+func (d *Device) WAD() float64 { return d.Stats().WAD() }
+
+// gcTime converts FTL-internal work into device time.
+func (d *Device) gcTime(w gcWork) time.Duration {
+	return time.Duration(w.relocated)*(d.intReadPerPage+d.intWritePerPage) +
+		time.Duration(w.erases)*d.cfg.Profile.EraseTime
+}
+
+// SubmitWrite submits a write of n pages starting at logical page lpn at
+// virtual time now, and returns its completion time. The request is
+// FIFO-queued behind all previously submitted requests.
+func (d *Device) SubmitWrite(now sim.Duration, lpn int64, n int) sim.Duration {
+	if n <= 0 {
+		return now
+	}
+	d.checkRange(lpn, n)
+	if d.noGC {
+		d.noGCWrites += int64(n)
+		for i := 0; i < n; i++ {
+			if d.ftl.l2p[lpn+int64(i)] == unmapped {
+				d.ftl.l2p[lpn+int64(i)] = 0 // presence marker
+				d.ftl.mappedPages++
+			}
+		}
+		service := d.cfg.Profile.WriteFixed + time.Duration(n)*d.hostWritePerPage
+		return d.res.Acquire(now, service)
+	}
+	if d.cacheCapPages > 0 {
+		return d.cachedWrite(now, lpn, n)
+	}
+	service := d.cfg.Profile.WriteFixed + time.Duration(n)*d.hostWritePerPage
+	for i := 0; i < n; i++ {
+		service += d.gcTime(d.ftl.hostWrite(lpn + int64(i)))
+	}
+	return d.res.Acquire(now, service)
+}
+
+// cachedWrite implements the write-back cache path: writes land in the
+// cache at cache speed; if the cache is full the request stalls while
+// pages are force-destaged at the internal flash rate. This is the
+// mechanism behind the consumer-SSD burst stalls in the paper's Fig 10.
+func (d *Device) cachedWrite(now sim.Duration, lpn int64, n int) sim.Duration {
+	d.destageTo(now)
+	var stall time.Duration
+	need := int64(n)
+	if d.cacheFill+need > d.cacheCapPages {
+		// Force-destage until the request fits (or the queue drains).
+		t := now
+		if d.drainCursor > t {
+			t = d.drainCursor
+		}
+		for d.cacheFill+need > d.cacheCapPages && d.cacheFill > 0 {
+			t += d.destageOnePage()
+		}
+		d.drainCursor = t
+		if t > now {
+			stall = t - now
+		}
+		if d.cacheFill+need > d.cacheCapPages {
+			// Request larger than the whole cache: write through the
+			// remainder at internal speed.
+			over := d.cacheFill + need - d.cacheCapPages
+			for i := int64(0); i < over; i++ {
+				w := d.ftl.hostWrite(lpn + i)
+				stall += d.intWritePerPage + d.gcTime(w)
+			}
+			lpn += over
+			need -= over
+		}
+	}
+	if need > 0 {
+		d.pending = append(d.pending, pendingRange{lpn: lpn, n: need})
+		d.cacheFill += need
+		d.ftl.stats.HostPagesWritten += need
+	}
+	service := stall + d.cfg.Profile.CacheWriteFixed + time.Duration(need)*d.cacheWritePage
+	return d.res.Acquire(now, service)
+}
+
+// destageOnePage moves the oldest cached page to the FTL and returns the
+// flash time consumed.
+func (d *Device) destageOnePage() time.Duration {
+	for d.pendingHead < len(d.pending) && d.pending[d.pendingHead].n == 0 {
+		d.pendingHead++
+	}
+	if d.pendingHead >= len(d.pending) {
+		d.pending = d.pending[:0]
+		d.pendingHead = 0
+		return 0
+	}
+	r := &d.pending[d.pendingHead]
+	lpn := r.lpn
+	r.lpn++
+	r.n--
+	d.cacheFill--
+	w := d.ftl.hostWriteCached(lpn)
+	cost := d.intWritePerPage + d.gcTime(w)
+	if r.n == 0 {
+		d.pendingHead++
+		if d.pendingHead >= len(d.pending) {
+			d.pending = d.pending[:0]
+			d.pendingHead = 0
+		}
+	}
+	return cost
+}
+
+// destageTo applies background destaging progress up to virtual time now.
+func (d *Device) destageTo(now sim.Duration) {
+	if d.drainCursor >= now {
+		return
+	}
+	for d.cacheFill > 0 && d.drainCursor < now {
+		d.drainCursor += d.destageOnePage()
+	}
+	if d.drainCursor < now {
+		d.drainCursor = now // cache empty: destage engine idles
+	}
+}
+
+// CacheFillPages reports the number of pages currently buffered in the
+// write cache (0 for cacheless devices).
+func (d *Device) CacheFillPages() int64 { return d.cacheFill }
+
+// SubmitRead submits a read of n pages starting at lpn at time now and
+// returns its completion time.
+func (d *Device) SubmitRead(now sim.Duration, lpn int64, n int) sim.Duration {
+	if n <= 0 {
+		return now
+	}
+	d.checkRange(lpn, n)
+	d.ftl.stats.HostPagesRead += int64(n)
+	service := d.cfg.Profile.ReadFixed + time.Duration(n)*d.hostReadPerPage
+	return d.res.Acquire(now, service)
+}
+
+// Trim discards the mapping for n pages starting at lpn (like a ranged
+// blkdiscard / ATA TRIM). It is timeless: real TRIM latency is negligible
+// at the granularity the harness uses it.
+func (d *Device) Trim(lpn int64, n int) {
+	d.checkRange(lpn, n)
+	if d.noGC {
+		for i := 0; i < n; i++ {
+			if d.ftl.l2p[lpn+int64(i)] != unmapped {
+				d.ftl.l2p[lpn+int64(i)] = unmapped
+				d.ftl.mappedPages--
+			}
+		}
+		return
+	}
+	d.dropPendingIn(lpn, n)
+	for i := 0; i < n; i++ {
+		d.ftl.trim(lpn + int64(i))
+	}
+}
+
+// dropPendingIn removes cached-but-not-destaged writes that fall in the
+// trimmed range so they are not later destaged onto discarded LBAs.
+func (d *Device) dropPendingIn(lpn int64, n int) {
+	if d.cacheCapPages == 0 || d.cacheFill == 0 {
+		return
+	}
+	end := lpn + int64(n)
+	kept := d.pending[:0]
+	var fill int64
+	for _, r := range d.pending[d.pendingHead:] {
+		if r.n == 0 {
+			continue
+		}
+		rEnd := r.lpn + r.n
+		if rEnd <= lpn || r.lpn >= end {
+			kept = append(kept, r)
+			fill += r.n
+			continue
+		}
+		// Overlap: keep the non-overlapping head/tail fragments.
+		if r.lpn < lpn {
+			kept = append(kept, pendingRange{lpn: r.lpn, n: lpn - r.lpn})
+			fill += lpn - r.lpn
+		}
+		if rEnd > end {
+			kept = append(kept, pendingRange{lpn: end, n: rEnd - end})
+			fill += rEnd - end
+		}
+	}
+	d.pending = kept
+	d.pendingHead = 0
+	d.cacheFill = fill
+}
+
+// TrimAll resets the device to a factory-fresh state (blkdiscard of the
+// whole drive), per the paper's "Trimmed" initial condition (§3.4).
+func (d *Device) TrimAll() {
+	d.pending = d.pending[:0]
+	d.pendingHead = 0
+	d.cacheFill = 0
+	if d.noGC {
+		for i := range d.ftl.l2p {
+			d.ftl.l2p[i] = unmapped
+		}
+		d.ftl.mappedPages = 0
+		return
+	}
+	d.ftl.trimAll()
+}
+
+// Precondition ages the device per the paper's §3.4: first write the
+// whole logical address space sequentially, then issue uniformly random
+// single-page writes totalling `multiple` times the logical capacity
+// (the paper uses 2×) so that garbage collection reaches steady state.
+// Preconditioning is timeless: it models setup work done before the
+// experiment clock starts.
+func (d *Device) Precondition(rng *sim.RNG, multiple int) {
+	if d.noGC {
+		for lpn := int64(0); lpn < d.ftl.logicalPages; lpn++ {
+			if d.ftl.l2p[lpn] == unmapped {
+				d.ftl.l2p[lpn] = 0
+				d.ftl.mappedPages++
+			}
+		}
+		d.noGCWrites += d.ftl.logicalPages * int64(multiple+1)
+		return
+	}
+	total := d.ftl.logicalPages
+	for lpn := int64(0); lpn < total; lpn++ {
+		d.ftl.hostWrite(lpn)
+	}
+	for i := int64(0); i < total*int64(multiple); i++ {
+		d.ftl.hostWrite(int64(rng.Uint64n(uint64(total))))
+	}
+}
+
+// PreconditionRange ages only the LBA range [firstPage, firstPage+pages):
+// sequential fill of the range, then `multiple`× its size of uniform
+// random overwrites inside it. The harness uses it to precondition a
+// partition while leaving software-over-provisioned space trimmed
+// (Fig 7's "preconditioned partition" configuration).
+func (d *Device) PreconditionRange(rng *sim.RNG, firstPage, pages int64, multiple int) {
+	d.checkRange(firstPage, int(pages))
+	if d.noGC {
+		for lpn := firstPage; lpn < firstPage+pages; lpn++ {
+			if d.ftl.l2p[lpn] == unmapped {
+				d.ftl.l2p[lpn] = 0
+				d.ftl.mappedPages++
+			}
+		}
+		d.noGCWrites += pages * int64(multiple+1)
+		return
+	}
+	for lpn := firstPage; lpn < firstPage+pages; lpn++ {
+		d.ftl.hostWrite(lpn)
+	}
+	for i := int64(0); i < pages*int64(multiple); i++ {
+		d.ftl.hostWrite(firstPage + int64(rng.Uint64n(uint64(pages))))
+	}
+}
+
+// Utilization returns the fraction of physical pages holding valid data.
+func (d *Device) Utilization() float64 {
+	phys := int64(d.ftl.numBlocks) * int64(d.ftl.pagesPerBlock)
+	return float64(d.ftl.validPages()) / float64(phys)
+}
+
+// MappedPages returns the number of logical pages with live data.
+func (d *Device) MappedPages() int64 { return d.ftl.mappedPages }
+
+// BusyUntil exposes the device FIFO's next-idle time, used by the harness
+// to quiesce.
+func (d *Device) BusyUntil() sim.Duration { return d.res.BusyUntil() }
+
+// BusyTotal exposes cumulative device service time (for utilization
+// reporting).
+func (d *Device) BusyTotal() sim.Duration { return d.res.BusyTotal() }
+
+// CheckInvariants verifies FTL internal consistency (tests only).
+func (d *Device) CheckInvariants() error {
+	if d.noGC {
+		return nil
+	}
+	return d.ftl.checkInvariants()
+}
+
+// MaxEraseCount returns the largest per-block erase count — a wear
+// indicator analogous to a SMART media-wear attribute.
+func (d *Device) MaxEraseCount() int {
+	max := int32(0)
+	for _, e := range d.ftl.eraseCount {
+		if e > max {
+			max = e
+		}
+	}
+	return int(max)
+}
+
+func (d *Device) checkRange(lpn int64, n int) {
+	if lpn < 0 || lpn+int64(n) > d.ftl.logicalPages {
+		panic("flash: I/O beyond device capacity")
+	}
+}

@@ -1,0 +1,139 @@
+// Package kv defines the types shared by the two storage engines: keys,
+// entries, iterators, the engine interface the benchmark harness drives,
+// and deterministic value synthesis used at benchmark scale (where value
+// bytes are accounted but not retained).
+package kv
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ptsbench/internal/sim"
+)
+
+// KeySize is the fixed key size used by the paper's workload (16-byte
+// keys, §3.2). Engines accept arbitrary keys; the workload generator
+// produces keys of this size.
+const KeySize = 16
+
+// EncodeKey produces the canonical 16-byte big-endian key for a numeric
+// key id. Big-endian preserves numeric order under bytes.Compare.
+func EncodeKey(id uint64) []byte {
+	k := make([]byte, KeySize)
+	binary.BigEndian.PutUint64(k[8:], id)
+	return k
+}
+
+// AppendKey writes the canonical key for id into dst (which must be
+// KeySize long), avoiding an allocation.
+func AppendKey(dst []byte, id uint64) {
+	for i := 0; i < 8; i++ {
+		dst[i] = 0
+	}
+	binary.BigEndian.PutUint64(dst[8:], id)
+}
+
+// DecodeKey recovers the numeric id from a canonical key.
+func DecodeKey(k []byte) (uint64, error) {
+	if len(k) != KeySize {
+		return 0, fmt.Errorf("kv: key length %d, want %d", len(k), KeySize)
+	}
+	return binary.BigEndian.Uint64(k[8:]), nil
+}
+
+// SynthValue fills dst with a deterministic pattern derived from the key
+// and sequence number. The same (key, seq, len) always produces the same
+// bytes, so correctness tests can verify reads without storing values.
+func SynthValue(dst []byte, key []byte, seq uint64) {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	h ^= seq * 0x9E3779B97F4A7C15
+	for i := range dst {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+		dst[i] = byte(h)
+	}
+}
+
+// Entry is a versioned key-value record. A nil Value with Deleted set is
+// a tombstone.
+//
+// ValueLen is the accounted payload size: at benchmark scale the engines
+// run in accounting-only mode where Value is nil but ValueLen still
+// records how many bytes the value occupies on device. When Value is
+// non-nil, ValueLen == len(Value).
+type Entry struct {
+	Key      []byte
+	Value    []byte
+	ValueLen int
+	Seq      uint64
+	Deleted  bool
+}
+
+// Compare orders entries by key ascending, then by sequence descending
+// (newest first), the standard LSM internal ordering.
+func Compare(a, b *Entry) int {
+	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+		return c
+	}
+	switch {
+	case a.Seq > b.Seq:
+		return -1
+	case a.Seq < b.Seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Iterator walks entries in key order. It starts positioned before the
+// first entry; Next advances and reports whether an entry is available.
+type Iterator interface {
+	Next() bool
+	Entry() *Entry
+}
+
+// Engine is the interface the harness drives. All methods thread virtual
+// time: they accept the submission time and return the completion time.
+type Engine interface {
+	// Put writes a key-value pair. valueLen is used when value is nil
+	// (accounting-only mode at benchmark scale).
+	Put(now sim.Duration, key, value []byte, valueLen int) (sim.Duration, error)
+	// Get reads a key. The returned value is nil in accounting-only
+	// mode even when found is true.
+	Get(now sim.Duration, key []byte) (done sim.Duration, value []byte, found bool, err error)
+	// FlushAll persists all buffered state (used at checkpoints and
+	// shutdown) and returns when the device is quiet.
+	FlushAll(now sim.Duration) (sim.Duration, error)
+	// Stats returns cumulative engine counters.
+	Stats() EngineStats
+	// DiskUsageBytes reports the engine's current on-device footprint,
+	// for the paper's space-amplification metric.
+	DiskUsageBytes() int64
+}
+
+// EngineStats are cumulative application-level counters. The harness
+// combines UserBytesWritten with the block device's counters to compute
+// WA-A exactly as the paper defines it (§2.1.3).
+type EngineStats struct {
+	Puts             int64
+	Gets             int64
+	UserBytesWritten int64 // sum of key+value payload accepted from the app
+	UserBytesRead    int64
+	StallTime        sim.Duration // time Puts spent blocked on backpressure
+}
+
+// Sub returns s - o for interval deltas.
+func (s EngineStats) Sub(o EngineStats) EngineStats {
+	return EngineStats{
+		Puts:             s.Puts - o.Puts,
+		Gets:             s.Gets - o.Gets,
+		UserBytesWritten: s.UserBytesWritten - o.UserBytesWritten,
+		UserBytesRead:    s.UserBytesRead - o.UserBytesRead,
+		StallTime:        s.StallTime - o.StallTime,
+	}
+}

@@ -1,0 +1,164 @@
+// Package lsm implements a leveled log-structured merge tree in the style
+// of RocksDB: a skiplist memtable in front of a write-ahead log, flushed
+// into overlapping L0 tables, compacted into non-overlapping sorted runs
+// L1..Ln with exponentially growing targets. Background flush and
+// compaction run on simulation workers that share the device FIFO with
+// foreground traffic, so compaction bursts delay user operations exactly
+// as they do in the paper's measurements.
+package lsm
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config holds the engine's tuning knobs. NewConfig supplies RocksDB-like
+// defaults scaled for the simulation; zero values are filled by Validate.
+type Config struct {
+	// MemtableBytes rotates the memtable when its estimated footprint
+	// exceeds this size.
+	MemtableBytes int64
+	// MaxImmutableMemtables stalls writes when this many rotated
+	// memtables await flushing.
+	MaxImmutableMemtables int
+	// L0CompactionTrigger starts an L0->L1 compaction at this many L0
+	// files.
+	L0CompactionTrigger int
+	// L0SlowdownTrigger throttles writes to DelayedWriteBytesPerSec at
+	// this many L0 files (RocksDB's level0_slowdown_writes_trigger).
+	L0SlowdownTrigger int
+	// L0StallTrigger stops writes at this many L0 files.
+	L0StallTrigger int
+	// SoftPendingBytes throttles writes once the estimated compaction
+	// debt exceeds it (RocksDB's soft_pending_compaction_bytes_limit);
+	// HardPendingBytes stops writes.
+	SoftPendingBytes int64
+	HardPendingBytes int64
+	// DelayedWriteBytesPerSec is the throttled ingest rate under
+	// slowdown conditions (RocksDB's delayed_write_rate).
+	DelayedWriteBytesPerSec int64
+	// BaseLevelBytes is the L1 size target; level i>=1 targets
+	// BaseLevelBytes * LevelSizeMultiplier^(i-1).
+	BaseLevelBytes int64
+	// LevelSizeMultiplier is the per-level growth factor.
+	LevelSizeMultiplier int
+	// NumLevels bounds the level count (L0 plus NumLevels-1 sorted
+	// levels).
+	NumLevels int
+	// TargetFileBytes splits compaction outputs into files of roughly
+	// this size.
+	TargetFileBytes int64
+	// BlockBytes is the SSTable data block target.
+	BlockBytes int
+
+	// DisableWAL turns off write-ahead logging (used by some ablations).
+	DisableWAL bool
+	// SyncWAL enables WAL persistence. With WALFlushBytes == 0 every put
+	// syncs (fully durable); with WALFlushBytes > 0 appends are buffered
+	// and flushed in batches, like a WAL going through the OS page cache
+	// (the common benchmark configuration, and the paper's: direct I/O
+	// applies to data files, not the log).
+	SyncWAL bool
+	// WALFlushBytes batches WAL writes (see SyncWAL).
+	WALFlushBytes int64
+
+	// CPUPutTime and CPUGetTime model per-operation engine CPU cost
+	// (memtable insert, comparisons, MVCC bookkeeping); CPUPerByte adds
+	// the payload-size-dependent part (copies, checksums), so small
+	// values run at much higher op rates, as in the paper's Fig 11.
+	CPUPutTime time.Duration
+	CPUGetTime time.Duration
+	CPUPerByte time.Duration
+
+	// ChunkPages is the I/O granularity of background jobs: how many
+	// pages a flush or compaction writes per job step. Smaller chunks
+	// interleave more finely with foreground I/O.
+	ChunkPages int
+
+	// Content selects content mode: values are materialized and written
+	// through to the device (requires a content-enabled block device).
+	Content bool
+}
+
+// NewConfig returns RocksDB-flavoured defaults for a dataset of roughly
+// datasetBytes. The level structure is sized so the dataset settles into
+// roughly three sorted levels with a size ratio of 8, giving a
+// steady-state WA-A near the paper's measured ~12 (WAL + flush + ~2.5
+// effective level crossings).
+func NewConfig(datasetBytes int64) Config {
+	mem := datasetBytes / 256
+	if mem < 64<<10 {
+		mem = 64 << 10
+	}
+	return Config{
+		MemtableBytes:           mem,
+		MaxImmutableMemtables:   2,
+		L0CompactionTrigger:     4,
+		L0SlowdownTrigger:       20,
+		L0StallTrigger:          36,
+		SoftPendingBytes:        datasetBytes / 6,
+		HardPendingBytes:        datasetBytes / 2,
+		DelayedWriteBytesPerSec: 16 << 20,
+		BaseLevelBytes:          mem * 4,
+		LevelSizeMultiplier:     8,
+		NumLevels:               7,
+		TargetFileBytes:         mem / 2,
+		BlockBytes:              32 << 10,
+		SyncWAL:                 true,
+		WALFlushBytes:           mem / 64,
+		CPUPutTime:              20 * time.Microsecond,
+		CPUGetTime:              15 * time.Microsecond,
+		CPUPerByte:              16 * time.Nanosecond,
+		ChunkPages:              32,
+	}
+}
+
+// Validate fills defaults and rejects nonsense.
+func (c Config) Validate() (Config, error) {
+	if c.MemtableBytes <= 0 {
+		return c, fmt.Errorf("lsm: MemtableBytes must be positive")
+	}
+	if c.MaxImmutableMemtables <= 0 {
+		c.MaxImmutableMemtables = 2
+	}
+	if c.L0CompactionTrigger <= 0 {
+		c.L0CompactionTrigger = 4
+	}
+	if c.L0SlowdownTrigger <= c.L0CompactionTrigger {
+		c.L0SlowdownTrigger = c.L0CompactionTrigger * 5
+	}
+	if c.L0StallTrigger <= c.L0SlowdownTrigger {
+		c.L0StallTrigger = c.L0SlowdownTrigger + 16
+	}
+	if c.DelayedWriteBytesPerSec <= 0 {
+		c.DelayedWriteBytesPerSec = 16 << 20
+	}
+	if c.BaseLevelBytes <= 0 {
+		c.BaseLevelBytes = c.MemtableBytes * 4
+	}
+	if c.LevelSizeMultiplier < 2 {
+		c.LevelSizeMultiplier = 10
+	}
+	if c.NumLevels < 2 {
+		c.NumLevels = 7
+	}
+	if c.TargetFileBytes <= 0 {
+		c.TargetFileBytes = c.MemtableBytes
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = 32 << 10
+	}
+	if c.ChunkPages <= 0 {
+		c.ChunkPages = 64
+	}
+	return c, nil
+}
+
+// levelTarget returns the byte target for sorted level i (1-based).
+func (c Config) levelTarget(i int) int64 {
+	t := c.BaseLevelBytes
+	for ; i > 1; i-- {
+		t *= int64(c.LevelSizeMultiplier)
+	}
+	return t
+}

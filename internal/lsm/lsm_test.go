@@ -1,0 +1,479 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+// testEnv builds a small device+fs+db. capacity in MiB.
+func testEnv(t *testing.T, capacityMiB int64, content bool, tweak func(*Config)) (*DB, *blockdev.Device, *extfs.FS) {
+	return testEnvBW(t, capacityMiB, 1<<30, content, tweak)
+}
+
+// testEnvBW is testEnv with an explicit device write bandwidth.
+func testEnvBW(t *testing.T, capacityMiB, writeBW int64, content bool, tweak func(*Config)) (*DB, *blockdev.Device, *extfs.FS) {
+	t.Helper()
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  capacityMiB << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		Profile: flash.Profile{
+			Name:       "lsm-test",
+			ReadFixed:  5 * time.Microsecond,
+			WriteFixed: 5 * time.Microsecond,
+			ReadBW:     2 << 30,
+			WriteBW:    writeBW,
+			HardwareOP: 0.25,
+			EraseTime:  200 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.New(ssd)
+	if content {
+		dev.EnableContentStore()
+	}
+	fs, err := extfs.Mount(dev, extfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig(capacityMiB << 19) // dataset ~ half the device
+	cfg.Content = content
+	cfg.CPUPutTime = time.Microsecond
+	cfg.CPUGetTime = time.Microsecond
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	db, err := Open(fs, cfg, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, dev, fs
+}
+
+func TestPutGetContentMode(t *testing.T) {
+	db, _, _ := testEnv(t, 16, true, nil)
+	var now sim.Duration
+	var err error
+	val := []byte("the quick brown fox")
+	now, err = db.Put(now, kv.EncodeKey(7), val, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, found, err := db.Get(now, kv.EncodeKey(7))
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatalf("value mismatch: %q", got)
+	}
+	_, _, found, err = db.Get(now, kv.EncodeKey(8))
+	if err != nil || found {
+		t.Fatalf("missing key: found=%v err=%v", found, err)
+	}
+}
+
+func TestGetAfterFlush(t *testing.T) {
+	db, _, _ := testEnv(t, 16, true, func(c *Config) {
+		c.MemtableBytes = 16 << 10 // rotate fast
+	})
+	var now sim.Duration
+	var err error
+	vals := map[uint64][]byte{}
+	for i := uint64(0); i < 200; i++ {
+		v := make([]byte, 100)
+		kv.SynthValue(v, kv.EncodeKey(i), i)
+		vals[i] = v
+		now, err = db.Put(now, kv.EncodeKey(i), v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, err = db.FlushAll(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.IO().Flushes == 0 {
+		t.Fatal("expected flushes")
+	}
+	for i := uint64(0); i < 200; i++ {
+		_, got, found, err := db.Get(now, kv.EncodeKey(i))
+		if err != nil || !found {
+			t.Fatalf("key %d after flush: found=%v err=%v", i, found, err)
+		}
+		if !bytes.Equal(got, vals[i]) {
+			t.Fatalf("key %d value mismatch after flush", i)
+		}
+	}
+}
+
+func TestOverwriteLatestWins(t *testing.T) {
+	db, _, _ := testEnv(t, 16, true, func(c *Config) {
+		c.MemtableBytes = 8 << 10
+	})
+	var now sim.Duration
+	var err error
+	// Write three generations of the same keys, with flushes between.
+	for gen := 0; gen < 3; gen++ {
+		for i := uint64(0); i < 50; i++ {
+			v := []byte{byte(gen), byte(i)}
+			now, err = db.Put(now, kv.EncodeKey(i), v, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		now, err = db.FlushAll(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 50; i++ {
+		_, got, found, err := db.Get(now, kv.EncodeKey(i))
+		if err != nil || !found {
+			t.Fatalf("key %d: %v %v", i, found, err)
+		}
+		if got[0] != 2 {
+			t.Fatalf("key %d returned generation %d, want 2", i, got[0])
+		}
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	db, _, _ := testEnv(t, 16, true, func(c *Config) {
+		c.MemtableBytes = 8 << 10
+	})
+	var now sim.Duration
+	var err error
+	now, err = db.Put(now, kv.EncodeKey(1), []byte("x"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = db.FlushAll(now) // key 1 now on disk
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, err = db.Delete(now, kv.EncodeKey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Visible as deleted from the memtable.
+	_, _, found, err := db.Get(now, kv.EncodeKey(1))
+	if err != nil || found {
+		t.Fatalf("deleted key visible: %v %v", found, err)
+	}
+	// And still deleted after the tombstone reaches disk.
+	now, err = db.FlushAll(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, found, err = db.Get(now, kv.EncodeKey(1))
+	if err != nil || found {
+		t.Fatalf("deleted key visible after flush: %v %v", found, err)
+	}
+}
+
+func TestCompactionsHappenAndLevelsFill(t *testing.T) {
+	db, _, _ := testEnv(t, 32, false, func(c *Config) {
+		c.MemtableBytes = 16 << 10
+		c.BaseLevelBytes = 64 << 10
+		c.TargetFileBytes = 16 << 10
+	})
+	var now sim.Duration
+	var err error
+	rng := sim.NewRNG(7)
+	written := make(map[uint64]bool)
+	for i := 0; i < 20000; i++ {
+		id := rng.Uint64n(5000)
+		written[id] = true
+		now, err = db.Put(now, kv.EncodeKey(id), nil, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	now, err = db.FlushAll(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := db.IO()
+	if io.Compactions == 0 {
+		t.Fatal("expected compactions")
+	}
+	sizes := db.LevelSizes()
+	deep := 0
+	for li := 1; li < len(sizes); li++ {
+		if sizes[li] > 0 {
+			deep = li
+		}
+	}
+	if deep < 2 {
+		t.Fatalf("expected data in L2+, level sizes: %v", sizes)
+	}
+	// After compaction, every written key must still resolve; keys never
+	// written must not appear.
+	for id := uint64(0); id < 5000; id++ {
+		_, _, found, err := db.Get(now, kv.EncodeKey(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found != written[id] {
+			t.Fatalf("key %d: found=%v, want %v", id, found, written[id])
+		}
+	}
+}
+
+func TestWriteStallsAreCounted(t *testing.T) {
+	// Slow device + tiny thresholds: flushes can't keep up and puts
+	// must stall.
+	// WAL off so the foreground thread is not throttled by its own
+	// journal I/O and can outrun the flush worker.
+	db, _, _ := testEnvBW(t, 16, 4<<20 /* 4 MiB/s */, false, func(c *Config) {
+		c.MemtableBytes = 4 << 10
+		c.MaxImmutableMemtables = 1
+		c.L0CompactionTrigger = 2
+		c.L0StallTrigger = 4
+		c.ChunkPages = 4
+		c.DisableWAL = true
+	})
+	var now sim.Duration
+	var err error
+	for i := 0; i < 3000; i++ {
+		now, err = db.Put(now, kv.EncodeKey(uint64(i)), nil, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Stats().StallTime == 0 {
+		t.Fatal("expected stall time under heavy ingest")
+	}
+	if db.IO().StallEvents == 0 {
+		t.Fatal("expected stall events")
+	}
+}
+
+func TestWAAIsAmplified(t *testing.T) {
+	db, dev, _ := testEnv(t, 64, false, func(c *Config) {
+		c.MemtableBytes = 32 << 10
+		c.BaseLevelBytes = 128 << 10
+		c.TargetFileBytes = 32 << 10
+	})
+	var now sim.Duration
+	var err error
+	rng := sim.NewRNG(3)
+	for i := 0; i < 30000; i++ {
+		now, err = db.Put(now, kv.EncodeKey(rng.Uint64n(8000)), nil, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.FlushAll(now); err != nil {
+		t.Fatal(err)
+	}
+	user := db.Stats().UserBytesWritten
+	host := dev.Counters().BytesWritten
+	waa := float64(host) / float64(user)
+	// Leveled LSM with WAL: expect well above 2 (WAL+flush) once
+	// compaction has churned, and below a sane ceiling.
+	if waa < 2.5 || waa > 40 {
+		t.Fatalf("WA-A = %.2f outside sane range [2.5, 40]", waa)
+	}
+}
+
+func TestOutOfSpaceSurfaces(t *testing.T) {
+	db, _, _ := testEnv(t, 16, false, func(c *Config) {
+		c.MemtableBytes = 64 << 10
+	})
+	var now sim.Duration
+	var err error
+	// Write far more than the device can hold.
+	for i := 0; i < 200000; i++ {
+		now, err = db.Put(now, kv.EncodeKey(uint64(i)), nil, 4096)
+		if err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("expected out-of-space error")
+	}
+	if !errors.Is(err, extfs.ErrNoSpace) {
+		t.Fatalf("error %v is not ErrNoSpace", err)
+	}
+	if db.Err() == nil {
+		t.Fatal("fatal error should be sticky")
+	}
+	if _, err := db.Put(now, kv.EncodeKey(1), nil, 10); err == nil {
+		t.Fatal("puts after fatal error should fail")
+	}
+}
+
+func TestCloseRejectsFurtherOps(t *testing.T) {
+	db, _, _ := testEnv(t, 16, false, nil)
+	now, err := db.Put(0, kv.EncodeKey(1), nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Close(now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put(now, kv.EncodeKey(2), nil, 10); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if _, _, _, err := db.Get(now, kv.EncodeKey(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed on Get, got %v", err)
+	}
+}
+
+func TestWALSegmentsAreRotatedAndCleaned(t *testing.T) {
+	db, _, fs := testEnv(t, 16, false, func(c *Config) {
+		c.MemtableBytes = 8 << 10
+	})
+	var now sim.Duration
+	var err error
+	for i := 0; i < 500; i++ {
+		now, err = db.Put(now, kv.EncodeKey(uint64(i)), nil, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.FlushAll(now); err != nil {
+		t.Fatal(err)
+	}
+	// Segments are recycled, not deleted: the on-disk count must stay
+	// bounded by active + flush pipeline depth, however many rotations
+	// happened.
+	walFiles := 0
+	for _, name := range fs.List() {
+		if len(name) >= 3 && name[:3] == "wal" {
+			walFiles++
+		}
+	}
+	if walFiles == 0 || walFiles > db.cfg.MaxImmutableMemtables+2 {
+		t.Fatalf("%d WAL segments on disk, want 1..%d (recycled pool)",
+			walFiles, db.cfg.MaxImmutableMemtables+2)
+	}
+}
+
+func TestDisableWAL(t *testing.T) {
+	db, dev, _ := testEnv(t, 16, false, func(c *Config) {
+		c.DisableWAL = true
+	})
+	var now sim.Duration
+	var err error
+	before := dev.Counters().BytesWritten
+	for i := 0; i < 100; i++ {
+		now, err = db.Put(now, kv.EncodeKey(uint64(i)), nil, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev.Counters().BytesWritten != before {
+		t.Fatal("puts without WAL and without rotation should not write")
+	}
+	_ = now
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (sim.Duration, int64, IOStats) {
+		db, dev, _ := testEnv(t, 32, false, func(c *Config) {
+			c.MemtableBytes = 16 << 10
+		})
+		var now sim.Duration
+		var err error
+		rng := sim.NewRNG(5)
+		for i := 0; i < 5000; i++ {
+			now, err = db.Put(now, kv.EncodeKey(rng.Uint64n(2000)), nil, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		end, err := db.FlushAll(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end, dev.Counters().BytesWritten, db.IO()
+	}
+	t1, b1, io1 := run()
+	t2, b2, io2 := run()
+	if t1 != t2 || b1 != b2 || io1 != io2 {
+		t.Fatalf("nondeterministic: %v/%d/%+v vs %v/%d/%+v", t1, b1, io1, t2, b2, io2)
+	}
+}
+
+// Property: the DB agrees with a reference map under random workloads
+// (accounting mode: presence/absence only).
+func TestDBMatchesReferenceMapProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		db, _, _ := testEnv(t, 32, false, func(c *Config) {
+			c.MemtableBytes = 8 << 10
+		})
+		rng := sim.NewRNG(seed)
+		ref := map[uint64]bool{}
+		var now sim.Duration
+		var err error
+		for i := 0; i < 3000; i++ {
+			id := rng.Uint64n(500)
+			if rng.Uint64n(10) < 2 {
+				now, err = db.Delete(now, kv.EncodeKey(id))
+				ref[id] = false
+			} else {
+				now, err = db.Put(now, kv.EncodeKey(id), nil, 200)
+				ref[id] = true
+			}
+			if err != nil {
+				return false
+			}
+		}
+		now, err = db.FlushAll(now)
+		if err != nil {
+			return false
+		}
+		for id, want := range ref {
+			_, _, found, err := db.Get(now, kv.EncodeKey(id))
+			if err != nil || found != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelInvariants(t *testing.T) {
+	db, _, _ := testEnv(t, 32, false, func(c *Config) {
+		c.MemtableBytes = 8 << 10
+		c.BaseLevelBytes = 32 << 10
+		c.TargetFileBytes = 8 << 10
+	})
+	var now sim.Duration
+	var err error
+	rng := sim.NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		now, err = db.Put(now, kv.EncodeKey(rng.Uint64n(3000)), nil, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.FlushAll(now); err != nil {
+		t.Fatal(err)
+	}
+	// Sorted levels: files ordered and non-overlapping.
+	for li := 1; li < len(db.levels); li++ {
+		lvl := db.levels[li]
+		for i := 1; i < len(lvl); i++ {
+			if bytes.Compare(lvl[i-1].Largest(), lvl[i].Smallest()) >= 0 {
+				t.Fatalf("level %d files overlap or out of order", li)
+			}
+		}
+	}
+}

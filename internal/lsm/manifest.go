@@ -1,0 +1,348 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/memtable"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/sstable"
+	"ptsbench/internal/wal"
+)
+
+// The manifest records the current version — the SST files of every
+// level, in order — so that a database can be reopened after a crash.
+// Two manifest files alternate (like a double-buffered superblock): a
+// torn write corrupts at most the newer copy, and recovery falls back to
+// the older one. Each write carries a monotonically increasing sequence
+// number and a CRC.
+
+const (
+	manifestA     = "MANIFEST-A"
+	manifestB     = "MANIFEST-B"
+	manifestMagic = 0x4D414E49 // "MANI"
+)
+
+// manifestState is the serialized version metadata.
+type manifestState struct {
+	writeSeq   uint64 // manifest generation
+	seq        uint64 // KV sequence number high-water mark
+	nextFileID uint64
+	walID      uint64
+	levels     [][]string // file names per level
+}
+
+func (m *manifestState) encode() []byte {
+	var b []byte
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(tmp[:4], v)
+		b = append(b, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		b = append(b, tmp[:]...)
+	}
+	putStr := func(s string) {
+		put32(uint32(len(s)))
+		b = append(b, s...)
+	}
+	put32(manifestMagic)
+	put64(m.writeSeq)
+	put64(m.seq)
+	put64(m.nextFileID)
+	put64(m.walID)
+	put32(uint32(len(m.levels)))
+	for _, lvl := range m.levels {
+		put32(uint32(len(lvl)))
+		for _, name := range lvl {
+			putStr(name)
+		}
+	}
+	crc := crc32.ChecksumIEEE(b)
+	put32(crc)
+	return b
+}
+
+func decodeManifest(b []byte) (*manifestState, error) {
+	if len(b) < 4+8*4+4+4 {
+		return nil, fmt.Errorf("lsm: manifest too short")
+	}
+	// Find the payload length by re-walking; CRC is the last 4 bytes of
+	// the payload region, so walk fields first.
+	off := 0
+	get32 := func() (uint32, error) {
+		if off+4 > len(b) {
+			return 0, fmt.Errorf("lsm: manifest truncated")
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if off+8 > len(b) {
+			return 0, fmt.Errorf("lsm: manifest truncated")
+		}
+		v := binary.LittleEndian.Uint64(b[off:])
+		off += 8
+		return v, nil
+	}
+	magic, err := get32()
+	if err != nil || magic != manifestMagic {
+		return nil, fmt.Errorf("lsm: bad manifest magic")
+	}
+	m := &manifestState{}
+	if m.writeSeq, err = get64(); err != nil {
+		return nil, err
+	}
+	if m.seq, err = get64(); err != nil {
+		return nil, err
+	}
+	if m.nextFileID, err = get64(); err != nil {
+		return nil, err
+	}
+	if m.walID, err = get64(); err != nil {
+		return nil, err
+	}
+	nLevels, err := get32()
+	if err != nil || nLevels > 64 {
+		return nil, fmt.Errorf("lsm: bad level count")
+	}
+	for li := uint32(0); li < nLevels; li++ {
+		count, err := get32()
+		if err != nil || count > 1<<20 {
+			return nil, fmt.Errorf("lsm: bad file count")
+		}
+		var lvl []string
+		for i := uint32(0); i < count; i++ {
+			n, err := get32()
+			if err != nil || int(n) > len(b)-off {
+				return nil, fmt.Errorf("lsm: bad name length")
+			}
+			lvl = append(lvl, string(b[off:off+int(n)]))
+			off += int(n)
+		}
+		m.levels = append(m.levels, lvl)
+	}
+	want, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(b[:off-4]) != want {
+		return nil, fmt.Errorf("lsm: manifest CRC mismatch")
+	}
+	return m, nil
+}
+
+// writeManifest persists the current version into the older of the two
+// manifest slots and returns the completion time.
+func (d *DB) writeManifest(now sim.Duration) (sim.Duration, error) {
+	d.manifestSeq++
+	st := manifestState{
+		writeSeq:   d.manifestSeq,
+		seq:        d.seq,
+		nextFileID: d.nextFileID,
+		walID:      d.walID,
+	}
+	for _, lvl := range d.levels {
+		names := make([]string, 0, len(lvl))
+		for _, t := range lvl {
+			names = append(names, t.FileName())
+		}
+		st.levels = append(st.levels, names)
+	}
+	name := manifestA
+	if d.manifestSeq%2 == 0 {
+		name = manifestB
+	}
+	// Rewrite the slot in place (create on first use).
+	f, err := d.fs.Open(name)
+	if err != nil {
+		if f, err = d.fs.Create(name); err != nil {
+			return now, err
+		}
+	}
+	payload := st.encode()
+	ps := d.fs.PageSize()
+	pages := (len(payload) + ps - 1) / ps
+	if need := int64(pages) - f.SizePages(); need > 0 {
+		if err := f.Grow(need); err != nil {
+			return now, err
+		}
+	}
+	var data []byte
+	if d.cfg.Content {
+		data = make([]byte, pages*ps)
+		copy(data, payload)
+	}
+	return f.WriteAt(now, 0, pages, data)
+}
+
+// readManifest loads the newest valid manifest, or nil if none exists.
+func readManifest(fs *extfs.FS, now sim.Duration) (*manifestState, sim.Duration, error) {
+	var best *manifestState
+	for _, name := range []string{manifestA, manifestB} {
+		f, err := fs.Open(name)
+		if err != nil {
+			continue
+		}
+		buf := make([]byte, f.SizePages()*int64(fs.PageSize()))
+		now, err = f.ReadAt(now, 0, int(f.SizePages()), buf)
+		if err != nil {
+			return nil, now, err
+		}
+		st, err := decodeManifest(buf)
+		if err != nil {
+			continue // torn or stale slot
+		}
+		if best == nil || st.writeSeq > best.writeSeq {
+			best = st
+		}
+	}
+	return best, now, nil
+}
+
+// Recover reopens a database from its on-device state: the newest valid
+// manifest names the SST files of every level, each table is re-parsed
+// from disk, and surviving WAL segments are replayed into a fresh
+// memtable. It requires content mode (the block device must retain
+// bytes). The returned time includes all recovery I/O — the cost a real
+// engine pays to restart.
+func Recover(fs *extfs.FS, cfg Config, rng *sim.RNG, now sim.Duration) (*DB, sim.Duration, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, now, err
+	}
+	if !cfg.Content {
+		return nil, now, fmt.Errorf("lsm: Recover requires content mode")
+	}
+	st, now, err := readManifest(fs, now)
+	if err != nil {
+		return nil, now, err
+	}
+	if st == nil {
+		return nil, now, fmt.Errorf("lsm: no valid manifest found")
+	}
+	d := &DB{
+		cfg:         cfg,
+		fs:          fs,
+		rng:         rng,
+		levels:      make([][]*sstable.Table, cfg.NumLevels),
+		levelBytes:  make([]int64, cfg.NumLevels),
+		busy:        make(map[uint64]bool),
+		flushW:      sim.NewWorker("lsm-flush"),
+		compactW:    sim.NewWorker("lsm-compact-l0"),
+		compactWD:   sim.NewWorker("lsm-compact-deep"),
+		seq:         st.seq,
+		nextFileID:  st.nextFileID,
+		walID:       st.walID,
+		manifestSeq: st.writeSeq,
+	}
+	d.mem = memtable.New(rng.Split())
+	// Reopen every table named by the manifest.
+	for li, names := range st.levels {
+		if li >= len(d.levels) {
+			return nil, now, fmt.Errorf("lsm: manifest has more levels than config")
+		}
+		for _, name := range names {
+			f, err := fs.Open(name)
+			if err != nil {
+				return nil, now, fmt.Errorf("lsm: manifest names missing file %s: %w", name, err)
+			}
+			t, done, err := sstable.OpenFromFile(f, fs.PageSize(), now)
+			if err != nil {
+				return nil, now, err
+			}
+			now = done
+			d.levels[li] = append(d.levels[li], t)
+			d.levelBytes[li] += t.SizeBytes()
+		}
+	}
+	// Replay surviving WAL segments. Records across segments are ordered
+	// by sequence number (segments are recycled out of name order), so
+	// collect first, then apply in order. Records whose data already
+	// reached a table re-apply idempotently: the memtable copy shadows an
+	// identical table version.
+	var records []wal.Record
+	var oldSegments []string
+	for _, name := range fs.List() {
+		if !strings.HasPrefix(name, "wal-") {
+			continue
+		}
+		oldSegments = append(oldSegments, name)
+		done, err := wal.Replay(fs, name, now, func(r wal.Record) {
+			records = append(records, r)
+		})
+		if err != nil {
+			return nil, now, err
+		}
+		now = done
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	for i := range records {
+		r := &records[i]
+		d.mem.Put(r.Key, r.Value, r.ValueLen, r.Seq, r.Deleted)
+		if r.Seq > d.seq {
+			d.seq = r.Seq
+		}
+	}
+	// Fresh active WAL segment, then make the replayed records durable
+	// again (flush the recovered memtable) before the old segments are
+	// retired — the same avoid-flush-during-recovery=false discipline
+	// RocksDB defaults to.
+	w, err := wal.Create(fs, d.walName(), cfg.Content)
+	if err != nil {
+		return nil, now, err
+	}
+	d.walW = w
+	d.compactW.SetIdlePuller(d.pickL0Compaction)
+	d.compactWD.SetIdlePuller(d.pickDeepCompaction)
+	if d.mem.Len() > 0 {
+		if err := d.rotateMemtable(); err != nil {
+			return nil, now, err
+		}
+		if end := d.flushW.RunUntilDrained(); end > now {
+			now = end
+		}
+		if d.fatal != nil {
+			return nil, now, d.fatal
+		}
+	}
+	for _, name := range oldSegments {
+		if name == d.walW.Name() {
+			continue
+		}
+		// Segments pulled into the recycle pool during the recovery
+		// flush stay; remove only files not tracked by the new instance.
+		if d.tracksSegment(name) {
+			continue
+		}
+		if err := fs.Remove(name); err != nil {
+			return nil, now, err
+		}
+	}
+	return d, now, nil
+}
+
+// tracksSegment reports whether a WAL file name belongs to the live
+// writer, the recycle pool, or an unflushed memtable.
+func (d *DB) tracksSegment(name string) bool {
+	if d.walW != nil && d.walW.Name() == name {
+		return true
+	}
+	for _, w := range d.walPool {
+		if w.Name() == name {
+			return true
+		}
+	}
+	for _, im := range d.imm {
+		if im.walW != nil && im.walW.Name() == name {
+			return true
+		}
+	}
+	return false
+}

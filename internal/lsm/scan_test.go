@@ -1,0 +1,145 @@
+package lsm
+
+import (
+	"bytes"
+	"testing"
+
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+func TestScanAcrossLevels(t *testing.T) {
+	db, dev, _ := testEnv(t, 32, false, func(c *Config) {
+		c.MemtableBytes = 8 << 10
+		c.BaseLevelBytes = 32 << 10
+		c.TargetFileBytes = 8 << 10
+	})
+	var now sim.Duration
+	var err error
+	// Three generations with interleaved flushes so versions of the
+	// same keys spread over memtable, L0 and deeper levels.
+	for gen := byte(0); gen < 3; gen++ {
+		for id := uint64(0); id < 300; id++ {
+			now, err = db.Put(now, kv.EncodeKey(id*2), nil, 64+int(gen))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if gen < 2 {
+			if now, err = db.FlushAll(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	readsBefore := dev.Counters().ReadOps
+	done, got, err := db.Scan(now, kv.EncodeKey(100), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("scan returned %d entries, want 50", len(got))
+	}
+	// Keys even, ascending, starting at 100; latest generation only.
+	for i, e := range got {
+		id, err := kv.DecodeKey(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != uint64(100+i*2) {
+			t.Fatalf("entry %d: key %d, want %d", i, id, 100+i*2)
+		}
+		if e.ValueLen != 66 {
+			t.Fatalf("entry %d: stale version (vlen %d)", i, e.ValueLen)
+		}
+	}
+	if done < now {
+		t.Fatal("scan time went backwards")
+	}
+	if dev.Counters().ReadOps == readsBefore {
+		t.Fatal("scan over on-disk tables should charge reads")
+	}
+}
+
+func TestScanSkipsTombstones(t *testing.T) {
+	db, _, _ := testEnv(t, 16, false, func(c *Config) {
+		c.MemtableBytes = 8 << 10
+	})
+	var now sim.Duration
+	var err error
+	for id := uint64(0); id < 20; id++ {
+		now, err = db.Put(now, kv.EncodeKey(id), nil, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if now, err = db.FlushAll(now); err != nil {
+		t.Fatal(err)
+	}
+	for id := uint64(0); id < 20; id += 2 {
+		now, err = db.Delete(now, kv.EncodeKey(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, got, err := db.Scan(now, kv.EncodeKey(0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("scan returned %d entries, want 10 (tombstones visible?)", len(got))
+	}
+	for _, e := range got {
+		id, _ := kv.DecodeKey(e.Key)
+		if id%2 == 0 {
+			t.Fatalf("deleted key %d returned by scan", id)
+		}
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	db, _, _ := testEnv(t, 16, false, nil)
+	now, err := db.Put(0, kv.EncodeKey(5), nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := db.Scan(now, kv.EncodeKey(100), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("scan past the last key returned %d entries", len(got))
+	}
+}
+
+func TestScanContentMode(t *testing.T) {
+	db, _, _ := testEnv(t, 16, true, func(c *Config) {
+		c.MemtableBytes = 4 << 10
+	})
+	var now sim.Duration
+	var err error
+	want := map[uint64][]byte{}
+	for id := uint64(0); id < 50; id++ {
+		v := []byte{byte(id), byte(id + 1)}
+		want[id] = v
+		now, err = db.Put(now, kv.EncodeKey(id), v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if now, err = db.FlushAll(now); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := db.Scan(now, kv.EncodeKey(10), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i, e := range got {
+		id := uint64(10 + i)
+		if !bytes.Equal(e.Value, want[id]) {
+			t.Fatalf("value mismatch for key %d: %v", id, e.Value)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package memtable implements the in-memory write buffer of the LSM
+// engine as a skiplist keyed by user key. It tracks its approximate byte
+// footprint so the engine can rotate memtables at the configured size,
+// which is what paces flushes — and therefore the whole write path — in
+// the simulation.
+package memtable
+
+import (
+	"bytes"
+
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+const maxHeight = 16
+
+type node struct {
+	entry kv.Entry
+	next  [maxHeight]*node
+}
+
+// Memtable is a single-writer skiplist. It applies upsert semantics: a
+// second Put of the same key replaces the previous version in place
+// (sequence numbers still advance). With the paper's uniform-random
+// workload over a large keyspace, in-memtable overwrites are rare, so
+// this matches RocksDB's effective behaviour while keeping byte
+// accounting simple.
+type Memtable struct {
+	head   *node
+	height int
+	rng    *sim.RNG
+
+	entries  int
+	sizeEst  int64 // approximate payload bytes (keys + values + overhead)
+	overhead int64 // per-entry bookkeeping estimate
+}
+
+// New creates an empty memtable; rng drives skiplist tower heights.
+func New(rng *sim.RNG) *Memtable {
+	return &Memtable{
+		head:     &node{},
+		height:   1,
+		rng:      rng,
+		overhead: 32,
+	}
+}
+
+// Len returns the number of live entries.
+func (m *Memtable) Len() int { return m.entries }
+
+// SizeBytes returns the approximate memory footprint used for rotation
+// decisions.
+func (m *Memtable) SizeBytes() int64 { return m.sizeEst }
+
+func (m *Memtable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rng.Uint64()&3 == 0 { // p = 1/4
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, recording
+// the rightmost node before it at every level in prev.
+func (m *Memtable) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].entry.Key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Put inserts or replaces the entry for key. valueLen is the accounted
+// payload size when value is nil.
+func (m *Memtable) Put(key, value []byte, valueLen int, seq uint64, deleted bool) {
+	if value != nil {
+		valueLen = len(value)
+	}
+	var prev [maxHeight]*node
+	existing := m.findGreaterOrEqual(key, &prev)
+	if existing != nil && bytes.Equal(existing.entry.Key, key) {
+		old := int64(len(existing.entry.Key)) + int64(existing.entry.ValueLen) + m.overhead
+		existing.entry.Value = cloneBytes(value)
+		existing.entry.ValueLen = valueLen
+		existing.entry.Seq = seq
+		existing.entry.Deleted = deleted
+		m.sizeEst += int64(len(key)) + int64(valueLen) + m.overhead - old
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for level := m.height; level < h; level++ {
+			prev[level] = m.head
+		}
+		m.height = h
+	}
+	n := &node{entry: kv.Entry{
+		Key:      cloneBytes(key),
+		Value:    cloneBytes(value),
+		ValueLen: valueLen,
+		Seq:      seq,
+		Deleted:  deleted,
+	}}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	m.entries++
+	m.sizeEst += int64(len(key)) + int64(valueLen) + m.overhead
+}
+
+// Get returns the entry for key, or nil.
+func (m *Memtable) Get(key []byte) *kv.Entry {
+	n := m.findGreaterOrEqual(key, nil)
+	if n != nil && bytes.Equal(n.entry.Key, key) {
+		return &n.entry
+	}
+	return nil
+}
+
+// Iterator returns a kv.Iterator over all entries in ascending key order.
+func (m *Memtable) Iterator() kv.Iterator {
+	return &iterator{next: m.head.next[0]}
+}
+
+// IteratorFrom returns a kv.Iterator positioned before the first entry
+// with key >= start.
+func (m *Memtable) IteratorFrom(start []byte) kv.Iterator {
+	return &iterator{next: m.findGreaterOrEqual(start, nil)}
+}
+
+type iterator struct {
+	next *node
+	cur  *node
+}
+
+func (it *iterator) Next() bool {
+	if it.next == nil {
+		it.cur = nil
+		return false
+	}
+	it.cur = it.next
+	it.next = it.next.next[0]
+	return true
+}
+
+func (it *iterator) Entry() *kv.Entry { return &it.cur.entry }
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

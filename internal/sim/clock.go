@@ -1,0 +1,51 @@
+// Package sim provides the discrete-event simulation primitives used by
+// every other layer of ptsbench: a virtual clock, a FIFO device resource
+// with a configurable service-time model, background worker actors, and a
+// deterministic random number generator.
+//
+// The simulation model is deliberately simple ("DES-lite"): a single
+// foreground actor (the benchmark's user thread) owns the global clock,
+// and background actors (flush, compaction, checkpoint, destage workers)
+// are pumped up to the foreground clock before each foreground operation.
+// All actors contend for the same FIFO device resource, so background
+// bursts delay foreground I/O exactly as they do on real hardware.
+package sim
+
+import "time"
+
+// Duration is virtual time expressed in nanoseconds. It is kept distinct
+// from time.Duration in signatures that mix virtual and wall-clock time,
+// but converts freely.
+type Duration = time.Duration
+
+// Clock is a virtual clock. The zero value reads time 0.
+//
+// Clock is not safe for concurrent use; the simulation is single-threaded
+// by design (determinism is a core requirement of the harness).
+type Clock struct {
+	now Duration
+}
+
+// NewClock returns a clock set to time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Duration { return c.now }
+
+// Advance moves the clock forward by d. Negative d is ignored: virtual
+// time never runs backwards.
+func (c *Clock) Advance(d Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// AdvanceTo moves the clock forward to t if t is in the future.
+func (c *Clock) AdvanceTo(t Duration) {
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Reset rewinds the clock to zero. Only tests should use this.
+func (c *Clock) Reset() { c.now = 0 }

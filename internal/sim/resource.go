@@ -1,0 +1,38 @@
+package sim
+
+// Resource models a FIFO-served shared resource, such as the internal
+// bandwidth of an SSD. A request submitted at virtual time t with service
+// time s completes at max(t, busyUntil) + s; busyUntil then advances to
+// the completion time. This gives strict FIFO queueing: later submitters
+// wait behind everything already accepted, which is how background
+// compaction traffic delays foreground writes in the simulation.
+type Resource struct {
+	busyUntil Duration
+	busyTotal Duration
+}
+
+// NewResource returns an idle resource.
+func NewResource() *Resource { return &Resource{} }
+
+// Acquire reserves the resource for service starting no earlier than now
+// and returns the completion time. Service must be >= 0.
+func (r *Resource) Acquire(now, service Duration) Duration {
+	start := now
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	done := start + service
+	r.busyUntil = done
+	r.busyTotal += service
+	return done
+}
+
+// BusyUntil reports the time at which the resource next becomes idle.
+func (r *Resource) BusyUntil() Duration { return r.busyUntil }
+
+// BusyTotal reports the cumulative service time ever accepted. Dividing
+// by elapsed virtual time yields utilization.
+func (r *Resource) BusyTotal() Duration { return r.busyTotal }
+
+// Idle reports whether the resource is idle at time now.
+func (r *Resource) Idle(now Duration) bool { return r.busyUntil <= now }

@@ -1,0 +1,91 @@
+package sstable
+
+import "encoding/binary"
+
+// bloomBitsPerKey matches RocksDB's default full-filter sizing.
+const bloomBitsPerKey = 10
+
+// Bloom is a split-free classic Bloom filter with double hashing.
+type Bloom struct {
+	bits  []byte
+	k     uint32 // number of probes
+	nbits uint32
+}
+
+// NewBloom sizes a filter for n keys.
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := uint32(n * bloomBitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := uint32(7) // ≈ 0.69 * bitsPerKey
+	return &Bloom{
+		bits:  make([]byte, (nbits+7)/8),
+		k:     k,
+		nbits: nbits,
+	}
+}
+
+// hash64 is FNV-1a over the key.
+func hash64(key []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(key []byte) {
+	h := hash64(key)
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % b.nbits
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// MayContain reports whether the key may be present (false positives are
+// possible, false negatives are not).
+func (b *Bloom) MayContain(key []byte) bool {
+	h := hash64(key)
+	h1 := uint32(h)
+	h2 := uint32(h >> 32)
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + i*h2) % b.nbits
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SizeBytes returns the filter's serialized size.
+func (b *Bloom) SizeBytes() int { return len(b.bits) + 8 }
+
+// encode serializes the filter (k, nbits, bits).
+func (b *Bloom) encode() []byte {
+	out := make([]byte, 8+len(b.bits))
+	binary.LittleEndian.PutUint32(out[0:], b.k)
+	binary.LittleEndian.PutUint32(out[4:], b.nbits)
+	copy(out[8:], b.bits)
+	return out
+}
+
+// decodeBloom parses a serialized filter.
+func decodeBloom(buf []byte) (*Bloom, bool) {
+	if len(buf) < 8 {
+		return nil, false
+	}
+	k := binary.LittleEndian.Uint32(buf[0:])
+	nbits := binary.LittleEndian.Uint32(buf[4:])
+	need := int(nbits+7) / 8
+	if k == 0 || need > len(buf)-8 {
+		return nil, false
+	}
+	return &Bloom{bits: append([]byte(nil), buf[8:8+need]...), k: k, nbits: nbits}, true
+}

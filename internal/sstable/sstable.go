@@ -1,0 +1,262 @@
+// Package sstable implements the sorted-string-table file format used by
+// the LSM engine: page-aligned data blocks of fixed-header entries, an
+// index block, a Bloom filter, and a footer.
+//
+// Every table keeps a compact in-memory side index (key arena + offsets +
+// per-entry metadata), which serves two purposes: it is the block index
+// and filter a real engine would cache, and it lets the simulation run in
+// accounting-only mode — where value bytes are charged to the device but
+// not materialized — without losing merge or lookup correctness.
+package sstable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+// entryHeaderSize is the fixed on-disk per-entry header:
+// flags(1) + keyLen(2) + valueLen(4) + seq(8).
+const entryHeaderSize = 15
+
+// footerSize holds counts and section offsets; fixed one page in the
+// on-disk layout for simplicity.
+const footerMagic = 0x5354424C // "STBL"
+
+// EncodedEntrySize returns the on-disk bytes entry e occupies in a data
+// block.
+func EncodedEntrySize(e *kv.Entry) int {
+	vl := e.ValueLen
+	if e.Value != nil {
+		vl = len(e.Value)
+	}
+	return entryHeaderSize + len(e.Key) + vl
+}
+
+// blockMeta locates one data block inside the file.
+type blockMeta struct {
+	firstEntry int32 // index of the block's first entry
+	startPage  int32 // file page where the block starts
+	pages      int32 // block length in pages
+}
+
+// Table is an immutable on-disk sorted table plus its in-memory side
+// index.
+type Table struct {
+	ID       uint64
+	file     *extfs.File
+	fileName string
+
+	// Side index (always in memory).
+	keyArena   []byte
+	keyOffsets []uint32 // len = numEntries+1
+	seqs       []uint64
+	vlens      []uint32
+	dels       []byte // 1 = tombstone
+	blocks     []blockMeta
+	bloom      *Bloom
+
+	numEntries int
+	sizeBytes  int64 // logical bytes (payload + metadata sections)
+	filePages  int64
+	pageSize   int
+	content    bool
+}
+
+// NumEntries returns the number of entries.
+func (t *Table) NumEntries() int { return t.numEntries }
+
+// SizeBytes returns the table's logical size in bytes.
+func (t *Table) SizeBytes() int64 { return t.sizeBytes }
+
+// FilePages returns the on-device footprint in pages.
+func (t *Table) FilePages() int64 { return t.filePages }
+
+// FileName returns the backing file name.
+func (t *Table) FileName() string { return t.fileName }
+
+// Smallest returns the first (smallest) key.
+func (t *Table) Smallest() []byte { return t.key(0) }
+
+// Largest returns the last (largest) key.
+func (t *Table) Largest() []byte { return t.key(t.numEntries - 1) }
+
+func (t *Table) key(i int) []byte {
+	return t.keyArena[t.keyOffsets[i]:t.keyOffsets[i+1]]
+}
+
+func (t *Table) entryAt(i int) kv.Entry {
+	return kv.Entry{
+		Key:      t.key(i),
+		ValueLen: int(t.vlens[i]),
+		Seq:      t.seqs[i],
+		Deleted:  t.dels[i] == 1,
+	}
+}
+
+// search returns the index of the first entry with key >= target.
+func (t *Table) search(target []byte) int {
+	return sort.Search(t.numEntries, func(i int) bool {
+		return bytes.Compare(t.key(i), target) >= 0
+	})
+}
+
+// Overlaps reports whether the table's key range intersects [lo, hi]
+// (inclusive). A nil bound is unbounded.
+func (t *Table) Overlaps(lo, hi []byte) bool {
+	if t.numEntries == 0 {
+		return false
+	}
+	if hi != nil && bytes.Compare(t.Smallest(), hi) > 0 {
+		return false
+	}
+	if lo != nil && bytes.Compare(t.Largest(), lo) < 0 {
+		return false
+	}
+	return true
+}
+
+// MayContain consults the Bloom filter only (no I/O).
+func (t *Table) MayContain(key []byte) bool {
+	return t.bloom == nil || t.bloom.MayContain(key)
+}
+
+// Get looks up key, charging the device for the data-block read when the
+// Bloom filter passes. found=false with no I/O charge is the fast
+// negative path. In content mode the value is parsed from the block
+// bytes; in accounting mode the value is nil (metadata only).
+func (t *Table) Get(now sim.Duration, key []byte) (done sim.Duration, e kv.Entry, found bool, err error) {
+	done = now
+	if !t.MayContain(key) {
+		return done, e, false, nil
+	}
+	i := t.search(key)
+	if i >= t.numEntries || !bytes.Equal(t.key(i), key) {
+		// Bloom false positive: a real engine would still read the
+		// block to find out; charge that read.
+		bi := t.blockOf(minInt(i, t.numEntries-1))
+		b := t.blocks[bi]
+		done, err = t.file.ReadAt(now, int64(b.startPage), int(b.pages), nil)
+		return done, e, false, err
+	}
+	bi := t.blockOf(i)
+	b := t.blocks[bi]
+	var buf []byte
+	if t.content {
+		buf = make([]byte, int(b.pages)*t.pageSize)
+	}
+	done, err = t.file.ReadAt(now, int64(b.startPage), int(b.pages), buf)
+	if err != nil {
+		return done, e, false, err
+	}
+	e = t.entryAt(i)
+	if t.content {
+		v, perr := blockEntryValue(buf, i-int(b.firstEntry))
+		if perr != nil {
+			return done, e, false, perr
+		}
+		e.Value = v
+	}
+	return done, e, true, nil
+}
+
+// blockEntryValue walks a serialized data block and returns a copy of the
+// value of the idx-th entry in it.
+func blockEntryValue(block []byte, idx int) ([]byte, error) {
+	off := 0
+	for i := 0; ; i++ {
+		if off+entryHeaderSize > len(block) {
+			return nil, fmt.Errorf("sstable: corrupt block (entry %d beyond block end)", i)
+		}
+		kl := int(binary.LittleEndian.Uint16(block[off+1:]))
+		vl := int(binary.LittleEndian.Uint32(block[off+3:]))
+		if off+entryHeaderSize+kl+vl > len(block) {
+			return nil, fmt.Errorf("sstable: corrupt block (entry %d overruns block)", i)
+		}
+		if i == idx {
+			v := make([]byte, vl)
+			copy(v, block[off+entryHeaderSize+kl:off+entryHeaderSize+kl+vl])
+			return v, nil
+		}
+		off += entryHeaderSize + kl + vl
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// blockOf returns the index of the block containing entry i.
+func (t *Table) blockOf(i int) int {
+	return sort.Search(len(t.blocks), func(b int) bool {
+		return int(t.blocks[b].firstEntry) > i
+	}) - 1
+}
+
+// ReadPages charges a bulk read of n file pages starting at pageOff,
+// returning the completion time. Compaction jobs use it to account their
+// input scans while iterating the in-memory side index.
+func (t *Table) ReadPages(now sim.Duration, pageOff int64, n int) (sim.Duration, error) {
+	return t.file.ReadAt(now, pageOff, n, nil)
+}
+
+// Iterator returns an in-memory iterator over all entries (metadata
+// only; no I/O is charged — compaction jobs charge bulk reads
+// explicitly).
+func (t *Table) Iterator() kv.Iterator {
+	return &tableIter{t: t, i: -1}
+}
+
+// IteratorFrom returns an iterator positioned before the first entry with
+// key >= start.
+func (t *Table) IteratorFrom(start []byte) kv.Iterator {
+	return &tableIter{t: t, i: t.search(start) - 1}
+}
+
+// ReadRange charges the device reads for the data blocks covering entry
+// indexes [first, last], at their real file offsets, and returns the
+// completion time. Range scans use it to account their I/O.
+func (t *Table) ReadRange(now sim.Duration, first, last int) (sim.Duration, error) {
+	if t.numEntries == 0 || first > last || first >= t.numEntries {
+		return now, nil
+	}
+	if last >= t.numEntries {
+		last = t.numEntries - 1
+	}
+	b0 := t.blockOf(first)
+	b1 := t.blockOf(last)
+	start := t.blocks[b0].startPage
+	var pages int32
+	for b := b0; b <= b1; b++ {
+		pages += t.blocks[b].pages
+	}
+	return t.file.ReadAt(now, int64(start), int(pages), nil)
+}
+
+// EntryIndex returns the index of the first entry with key >= target.
+func (t *Table) EntryIndex(target []byte) int { return t.search(target) }
+
+type tableIter struct {
+	t *Table
+	i int
+	e kv.Entry
+}
+
+func (it *tableIter) Next() bool {
+	it.i++
+	if it.i >= it.t.numEntries {
+		return false
+	}
+	it.e = it.t.entryAt(it.i)
+	return true
+}
+
+func (it *tableIter) Entry() *kv.Entry { return &it.e }

@@ -1,0 +1,465 @@
+package sstable
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+func newTestFS(t *testing.T, content bool) (*extfs.FS, *blockdev.Device) {
+	t.Helper()
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  64 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		Profile: flash.Profile{
+			Name:       "sst-test",
+			ReadFixed:  time.Microsecond,
+			WriteFixed: time.Microsecond,
+			ReadBW:     1 << 30,
+			WriteBW:    1 << 30,
+			HardwareOP: 0.25,
+			EraseTime:  100 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.New(ssd)
+	if content {
+		dev.EnableContentStore()
+	}
+	fs, err := extfs.Mount(dev, extfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+// buildTable builds and installs a table with the given entries.
+func buildTable(t *testing.T, fs *extfs.FS, name string, content bool, entries []kv.Entry) *Table {
+	t.Helper()
+	b := NewBuilder(fs.PageSize(), DefaultBlockBytes, content)
+	for i := range entries {
+		if err := b.Add(&entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := b.Finish(1)
+	f, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now sim.Duration
+	var written int64
+	for {
+		var done bool
+		now, written, done, err = img.WriteChunk(now, f, written, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	return img.Install(f)
+}
+
+func synthEntries(n int, valueLen int, content bool) []kv.Entry {
+	entries := make([]kv.Entry, n)
+	for i := 0; i < n; i++ {
+		e := kv.Entry{
+			Key:      kv.EncodeKey(uint64(i * 3)), // gaps for negative lookups
+			ValueLen: valueLen,
+			Seq:      uint64(1000 + i),
+		}
+		if content {
+			e.Value = make([]byte, valueLen)
+			kv.SynthValue(e.Value, e.Key, e.Seq)
+		}
+		entries[i] = e
+	}
+	return entries
+}
+
+func TestBuildAndGetAccountingMode(t *testing.T) {
+	fs, _ := newTestFS(t, false)
+	entries := synthEntries(500, 100, false)
+	tbl := buildTable(t, fs, "sst-1", false, entries)
+	if tbl.NumEntries() != 500 {
+		t.Fatalf("NumEntries = %d", tbl.NumEntries())
+	}
+	done, e, found, err := tbl.Get(0, kv.EncodeKey(42*3))
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if e.Seq != 1000+42 || e.ValueLen != 100 {
+		t.Fatalf("entry wrong: %+v", e)
+	}
+	if done == 0 {
+		t.Fatal("positive Get must charge device time")
+	}
+}
+
+func TestGetMissingKeyBloomNegative(t *testing.T) {
+	fs, dev := newTestFS(t, false)
+	entries := synthEntries(1000, 50, false)
+	tbl := buildTable(t, fs, "sst-1", false, entries)
+	readsBefore := dev.Counters().ReadOps
+	misses := 0
+	charged := 0
+	for i := 0; i < 500; i++ {
+		// Keys congruent to 1 mod 3 are absent.
+		_, _, found, err := tbl.Get(0, kv.EncodeKey(uint64(i*3+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			t.Fatal("found a key that was never inserted")
+		}
+		misses++
+	}
+	charged = int(dev.Counters().ReadOps - readsBefore)
+	// With a 10-bits-per-key bloom filter, false positives should be
+	// rare: expect well under 10% of misses to charge a block read.
+	if charged > misses/10 {
+		t.Fatalf("bloom filter ineffective: %d/%d misses read blocks", charged, misses)
+	}
+}
+
+func TestContentModeRoundTrip(t *testing.T) {
+	fs, _ := newTestFS(t, true)
+	entries := synthEntries(300, 64, true)
+	tbl := buildTable(t, fs, "sst-1", true, entries)
+	for _, idx := range []int{0, 1, 150, 298, 299} {
+		_, e, found, err := tbl.Get(0, entries[idx].Key)
+		if err != nil || !found {
+			t.Fatalf("Get idx %d: found=%v err=%v", idx, found, err)
+		}
+		if !bytes.Equal(e.Value, entries[idx].Value) {
+			t.Fatalf("value mismatch at idx %d", idx)
+		}
+		if e.Seq != entries[idx].Seq {
+			t.Fatalf("seq mismatch at idx %d", idx)
+		}
+	}
+}
+
+func TestOpenFromFile(t *testing.T) {
+	fs, _ := newTestFS(t, true)
+	entries := synthEntries(400, 48, true)
+	tbl := buildTable(t, fs, "sst-1", true, entries)
+
+	f, err := fs.Open("sst-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, _, err := OpenFromFile(f, fs.PageSize(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.NumEntries() != tbl.NumEntries() {
+		t.Fatalf("reopened entries %d != %d", reopened.NumEntries(), tbl.NumEntries())
+	}
+	if !bytes.Equal(reopened.Smallest(), tbl.Smallest()) ||
+		!bytes.Equal(reopened.Largest(), tbl.Largest()) {
+		t.Fatal("key range mismatch after reopen")
+	}
+	// Values still readable through the reopened table.
+	_, e, found, err := reopened.Get(0, entries[123].Key)
+	if err != nil || !found {
+		t.Fatalf("reopened Get: %v %v", found, err)
+	}
+	if !bytes.Equal(e.Value, entries[123].Value) {
+		t.Fatal("reopened value mismatch")
+	}
+}
+
+func TestIteratorFullScan(t *testing.T) {
+	fs, _ := newTestFS(t, false)
+	entries := synthEntries(777, 32, false)
+	tbl := buildTable(t, fs, "sst-1", false, entries)
+	it := tbl.Iterator()
+	i := 0
+	var prev []byte
+	for it.Next() {
+		e := it.Entry()
+		if !bytes.Equal(e.Key, entries[i].Key) {
+			t.Fatalf("key %d mismatch", i)
+		}
+		if prev != nil && bytes.Compare(prev, e.Key) >= 0 {
+			t.Fatal("iterator out of order")
+		}
+		prev = append(prev[:0], e.Key...)
+		i++
+	}
+	if i != len(entries) {
+		t.Fatalf("iterated %d, want %d", i, len(entries))
+	}
+}
+
+func TestBuilderRejectsOutOfOrder(t *testing.T) {
+	b := NewBuilder(4096, DefaultBlockBytes, false)
+	if err := b.Add(&kv.Entry{Key: kv.EncodeKey(5), ValueLen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(&kv.Entry{Key: kv.EncodeKey(4), ValueLen: 1}); err == nil {
+		t.Fatal("out-of-order Add should fail")
+	}
+	if err := b.Add(&kv.Entry{Key: kv.EncodeKey(5), ValueLen: 1}); err == nil {
+		t.Fatal("duplicate Add should fail")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	fs, _ := newTestFS(t, false)
+	entries := synthEntries(100, 10, false) // keys 0,3,...,297
+	tbl := buildTable(t, fs, "sst-1", false, entries)
+	cases := []struct {
+		lo, hi uint64
+		want   bool
+	}{
+		{0, 5, true},
+		{297, 400, true},
+		{298, 400, false},
+		{100, 200, true},
+	}
+	for _, c := range cases {
+		got := tbl.Overlaps(kv.EncodeKey(c.lo), kv.EncodeKey(c.hi))
+		if got != c.want {
+			t.Fatalf("Overlaps(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+	if !tbl.Overlaps(nil, nil) {
+		t.Fatal("unbounded range must overlap")
+	}
+}
+
+func TestTombstonesSurviveRoundTrip(t *testing.T) {
+	fs, _ := newTestFS(t, true)
+	entries := []kv.Entry{
+		{Key: kv.EncodeKey(1), Value: []byte("live"), ValueLen: 4, Seq: 1},
+		{Key: kv.EncodeKey(2), Value: []byte{}, ValueLen: 0, Seq: 2, Deleted: true},
+		{Key: kv.EncodeKey(3), Value: []byte("also"), ValueLen: 4, Seq: 3},
+	}
+	tbl := buildTable(t, fs, "sst-1", true, entries)
+	_, e, found, err := tbl.Get(0, kv.EncodeKey(2))
+	if err != nil || !found {
+		t.Fatalf("tombstone lookup: %v %v", found, err)
+	}
+	if !e.Deleted {
+		t.Fatal("tombstone flag lost")
+	}
+	f, _ := fs.Open("sst-1")
+	re, _, err := OpenFromFile(f, fs.PageSize(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2, found, err := re.Get(0, kv.EncodeKey(2))
+	if err != nil || !found || !e2.Deleted {
+		t.Fatal("tombstone lost after reopen")
+	}
+}
+
+func TestSizeAccountingConsistency(t *testing.T) {
+	// Logical size must be identical in content and accounting modes.
+	build := func(content bool) (int64, int64) {
+		b := NewBuilder(4096, DefaultBlockBytes, content)
+		for _, e := range synthEntries(250, 123, content) {
+			if err := b.Add(&e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		img := b.Finish(7)
+		return img.SizeBytes, img.Pages
+	}
+	sizeA, pagesA := build(false)
+	sizeC, pagesC := build(true)
+	if sizeA != sizeC || pagesA != pagesC {
+		t.Fatalf("mode-dependent sizes: acct %d/%d, content %d/%d",
+			sizeA, pagesA, sizeC, pagesC)
+	}
+}
+
+func TestChunkedWriteMatchesWholeWrite(t *testing.T) {
+	fs, dev := newTestFS(t, false)
+	entries := synthEntries(2000, 200, false)
+	b := NewBuilder(fs.PageSize(), DefaultBlockBytes, false)
+	for i := range entries {
+		if err := b.Add(&entries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img := b.Finish(1)
+	f, _ := fs.Create("sst")
+	var now sim.Duration
+	var written int64
+	steps := 0
+	for {
+		var done bool
+		var err error
+		now, written, done, err = img.WriteChunk(now, f, written, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps < 2 {
+		t.Fatal("expected multiple chunks")
+	}
+	if got := f.SizePages(); got != img.Pages {
+		t.Fatalf("file pages %d != image pages %d", got, img.Pages)
+	}
+	if got := f.SizeBytes(); got != img.SizeBytes {
+		t.Fatalf("file bytes %d != image bytes %d", got, img.SizeBytes)
+	}
+	wantBytes := img.Pages * int64(fs.PageSize())
+	if got := dev.Counters().BytesWritten; got != wantBytes {
+		t.Fatalf("device wrote %d, want %d", got, wantBytes)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	fs, _ := newTestFS(t, false)
+	tbl := buildTable(t, fs, "sst-empty", false, nil)
+	if tbl.NumEntries() != 0 {
+		t.Fatal("empty table should have 0 entries")
+	}
+	if tbl.Overlaps(nil, nil) {
+		t.Fatal("empty table overlaps nothing")
+	}
+	_, _, found, err := tbl.Get(0, kv.EncodeKey(1))
+	if err != nil || found {
+		t.Fatalf("empty Get: %v %v", found, err)
+	}
+}
+
+func TestBlockSpanningEntries(t *testing.T) {
+	// Values larger than the block target: one entry per block.
+	fs, _ := newTestFS(t, true)
+	entries := synthEntries(10, DefaultBlockBytes*2, true)
+	tbl := buildTable(t, fs, "sst-big", true, entries)
+	if len(tbl.blocks) != 10 {
+		t.Fatalf("expected 10 single-entry blocks, got %d", len(tbl.blocks))
+	}
+	for i := range entries {
+		_, e, found, err := tbl.Get(0, entries[i].Key)
+		if err != nil || !found {
+			t.Fatalf("big entry %d: %v %v", i, found, err)
+		}
+		if !bytes.Equal(e.Value, entries[i].Value) {
+			t.Fatalf("big value %d mismatch", i)
+		}
+	}
+}
+
+// Property: Get finds exactly the inserted keys for random key sets.
+func TestTableLookupProperty(t *testing.T) {
+	fs, _ := newTestFS(t, false)
+	id := 0
+	f := func(rawIDs []uint32) bool {
+		id++
+		// Dedup and sort.
+		seen := map[uint64]bool{}
+		var ids []uint64
+		for _, r := range rawIDs {
+			v := uint64(r % 10000)
+			if !seen[v] {
+				seen[v] = true
+				ids = append(ids, v)
+			}
+		}
+		if len(ids) == 0 {
+			return true
+		}
+		sortUint64(ids)
+		entries := make([]kv.Entry, len(ids))
+		for i, kid := range ids {
+			entries[i] = kv.Entry{Key: kv.EncodeKey(kid), ValueLen: 10, Seq: uint64(i)}
+		}
+		name := "sst-prop-" + string(rune('a'+id%26)) + string(rune('0'+id/26%10)) + string(rune('0'+id%10))
+		tbl := buildTable(t, fs, name, false, entries)
+		for _, kid := range ids {
+			_, _, found, err := tbl.Get(0, kv.EncodeKey(kid))
+			if err != nil || !found {
+				return false
+			}
+		}
+		// A key beyond the max must not be found.
+		_, _, found, _ := tbl.Get(0, kv.EncodeKey(10001))
+		return !found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortUint64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestBloomFilterBasics(t *testing.T) {
+	b := NewBloom(100)
+	for i := 0; i < 100; i++ {
+		b.Add(kv.EncodeKey(uint64(i)))
+	}
+	for i := 0; i < 100; i++ {
+		if !b.MayContain(kv.EncodeKey(uint64(i))) {
+			t.Fatalf("false negative for key %d", i)
+		}
+	}
+	fp := 0
+	for i := 100; i < 1100; i++ {
+		if b.MayContain(kv.EncodeKey(uint64(i))) {
+			fp++
+		}
+	}
+	if fp > 50 { // ~1% expected at 10 bits/key; 5% is a generous bound
+		t.Fatalf("false positive rate too high: %d/1000", fp)
+	}
+}
+
+func TestBloomEncodeDecode(t *testing.T) {
+	b := NewBloom(50)
+	for i := 0; i < 50; i++ {
+		b.Add(kv.EncodeKey(uint64(i * 7)))
+	}
+	enc := b.encode()
+	d, ok := decodeBloom(enc)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	for i := 0; i < 50; i++ {
+		if !d.MayContain(kv.EncodeKey(uint64(i * 7))) {
+			t.Fatal("decoded filter lost a key")
+		}
+	}
+	if _, ok := decodeBloom([]byte{1, 2}); ok {
+		t.Fatal("short buffer should fail decode")
+	}
+}
+
+func TestEncodedEntrySize(t *testing.T) {
+	e := kv.Entry{Key: kv.EncodeKey(1), Value: make([]byte, 100)}
+	if got := EncodedEntrySize(&e); got != entryHeaderSize+16+100 {
+		t.Fatalf("EncodedEntrySize = %d", got)
+	}
+	e2 := kv.Entry{Key: kv.EncodeKey(1), ValueLen: 200}
+	if got := EncodedEntrySize(&e2); got != entryHeaderSize+16+200 {
+		t.Fatalf("EncodedEntrySize accounting mode = %d", got)
+	}
+}

@@ -1,0 +1,209 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
+)
+
+func newTestFS(t *testing.T, content bool) (*extfs.FS, *blockdev.Device) {
+	t.Helper()
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  16 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		Profile: flash.Profile{
+			Name:       "wal-test",
+			ReadFixed:  time.Microsecond,
+			WriteFixed: time.Microsecond,
+			ReadBW:     1 << 30,
+			WriteBW:    1 << 30,
+			HardwareOP: 0.25,
+			EraseTime:  100 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := blockdev.New(ssd)
+	if content {
+		dev.EnableContentStore()
+	}
+	fs, err := extfs.Mount(dev, extfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+func TestAppendSyncReplay(t *testing.T) {
+	fs, _ := newTestFS(t, true)
+	w, err := Create(fs, "wal-1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now time.Duration
+	recs := []Record{
+		{Seq: 1, Key: kv.EncodeKey(10), Value: []byte("alpha")},
+		{Seq: 2, Key: kv.EncodeKey(20), Value: []byte("beta")},
+		{Seq: 3, Key: kv.EncodeKey(10), Deleted: true, Value: []byte{}},
+	}
+	for i := range recs {
+		now, err = w.Append(now, &recs[i], true)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	if _, err := Replay(fs, "wal-1", now, func(r Record) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Seq != recs[i].Seq || !bytes.Equal(r.Key, recs[i].Key) ||
+			!bytes.Equal(r.Value, recs[i].Value) || r.Deleted != recs[i].Deleted {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, recs[i])
+		}
+	}
+}
+
+func TestUnsyncedRecordsCostNoIO(t *testing.T) {
+	fs, dev := newTestFS(t, false)
+	w, _ := Create(fs, "w", false)
+	before := dev.Counters().BytesWritten
+	for i := 0; i < 10; i++ {
+		if _, err := w.Append(0, &Record{Seq: uint64(i), Key: kv.EncodeKey(uint64(i)), ValueLen: 100}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev.Counters().BytesWritten != before {
+		t.Fatal("unsynced appends should not write")
+	}
+	if _, err := w.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Counters().BytesWritten == before {
+		t.Fatal("sync should write")
+	}
+}
+
+func TestSyncRewritesTailPage(t *testing.T) {
+	fs, dev := newTestFS(t, false)
+	w, _ := Create(fs, "w", false)
+	// Two small synced records on the same page: two page writes (the
+	// tail page is rewritten), i.e. synced small records cost a full
+	// page each.
+	w.Append(0, &Record{Seq: 1, Key: kv.EncodeKey(1), ValueLen: 10}, true)
+	first := dev.Counters().BytesWritten
+	if first != 4096 {
+		t.Fatalf("first sync wrote %d bytes, want 4096", first)
+	}
+	w.Append(0, &Record{Seq: 2, Key: kv.EncodeKey(2), ValueLen: 10}, true)
+	if got := dev.Counters().BytesWritten; got != 2*4096 {
+		t.Fatalf("second sync wrote %d total, want %d", got, 2*4096)
+	}
+	// The file footprint is still one page.
+	f, _ := fs.Open("w")
+	if f.SizePages() != 1 {
+		t.Fatalf("file pages = %d, want 1", f.SizePages())
+	}
+}
+
+func TestLargeRecordSpansPages(t *testing.T) {
+	fs, dev := newTestFS(t, false)
+	w, _ := Create(fs, "w", false)
+	w.Append(0, &Record{Seq: 1, Key: kv.EncodeKey(1), ValueLen: 10000}, true)
+	// 10000 + header + key spans 3 pages.
+	if got := dev.Counters().BytesWritten; got != 3*4096 {
+		t.Fatalf("wrote %d bytes, want %d", got, 3*4096)
+	}
+}
+
+func TestIdempotentSync(t *testing.T) {
+	fs, dev := newTestFS(t, false)
+	w, _ := Create(fs, "w", false)
+	w.Append(0, &Record{Seq: 1, Key: kv.EncodeKey(1), ValueLen: 10}, true)
+	before := dev.Counters().BytesWritten
+	if _, err := w.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Counters().BytesWritten != before {
+		t.Fatal("no-op sync should not write")
+	}
+}
+
+func TestReplayEmptySegment(t *testing.T) {
+	fs, _ := newTestFS(t, true)
+	if _, err := Create(fs, "w", true); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if _, err := Replay(fs, "w", 0, func(Record) { count++ }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("empty segment replayed %d records", count)
+	}
+}
+
+func TestReplayMissingSegment(t *testing.T) {
+	fs, _ := newTestFS(t, true)
+	if _, err := Replay(fs, "missing", 0, func(Record) {}); err == nil {
+		t.Fatal("expected error for missing segment")
+	}
+}
+
+func TestReplayStopsAtCorruption(t *testing.T) {
+	fs, dev := newTestFS(t, true)
+	w, _ := Create(fs, "w", true)
+	var now time.Duration
+	for i := uint64(1); i <= 3; i++ {
+		now, _ = w.Append(now, &Record{Seq: i, Key: kv.EncodeKey(i), Value: []byte("v")}, true)
+	}
+	// Corrupt the log tail by overwriting the page with garbage beyond
+	// the first record (~43 bytes each): flip bytes of record 3.
+	f, _ := fs.Open("w")
+	buf := make([]byte, 4096)
+	f.ReadAt(now, 0, 1, buf)
+	for i := 90; i < 130 && i < len(buf); i++ {
+		buf[i] ^= 0xFF
+	}
+	f.WriteAt(now, 0, 1, buf)
+	_ = dev
+
+	var seqs []uint64
+	if _, err := Replay(fs, "w", now, func(r Record) { seqs = append(seqs, r.Seq) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) == 0 || len(seqs) >= 3 {
+		t.Fatalf("replay should stop mid-log, got %d records", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != uint64(i+1) {
+			t.Fatalf("out-of-order replay: %v", seqs)
+		}
+	}
+}
+
+func TestEncodedLenMatchesEncode(t *testing.T) {
+	r := Record{Seq: 9, Key: kv.EncodeKey(3), Value: make([]byte, 123)}
+	if got := len(r.encode()); got != r.EncodedLen() {
+		t.Fatalf("encode len %d != EncodedLen %d", got, r.EncodedLen())
+	}
+}
+
+func TestReplayOnAccountingDeviceFails(t *testing.T) {
+	fs, _ := newTestFS(t, false) // no content store
+	w, _ := Create(fs, "w", true)
+	w.Append(0, &Record{Seq: 1, Key: kv.EncodeKey(1), Value: []byte("x")}, true)
+	if _, err := Replay(fs, "w", 0, func(Record) {}); err == nil {
+		t.Fatal("replay without content store should error")
+	}
+}

@@ -1,0 +1,179 @@
+// Package workload generates the key-value workloads of the paper's
+// evaluation (§3.2): a sequential load phase followed by single-threaded
+// update traffic with a configurable read fraction, value size and key
+// distribution (uniform by default, Zipfian available).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+// Dist selects the key distribution of the update phase.
+type Dist int
+
+const (
+	// Uniform picks keys uniformly at random (the paper's default).
+	Uniform Dist = iota
+	// Zipfian picks keys with a YCSB-style scrambled Zipfian skew.
+	Zipfian
+	// SequentialDist cycles keys in increasing order, wrapping around.
+	SequentialDist
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Zipfian:
+		return "zipfian"
+	case SequentialDist:
+		return "sequential"
+	default:
+		return fmt.Sprintf("dist(%d)", int(d))
+	}
+}
+
+// Spec describes a workload.
+type Spec struct {
+	NumKeys      uint64
+	ValueBytes   int
+	ReadFraction float64 // 0 = write-only, 0.5 = the paper's 50:50 mix
+	Dist         Dist
+	ZipfTheta    float64 // skew for Zipfian (YCSB default 0.99)
+}
+
+// Validate rejects nonsense and fills defaults.
+func (s Spec) Validate() (Spec, error) {
+	if s.NumKeys == 0 {
+		return s, fmt.Errorf("workload: NumKeys must be positive")
+	}
+	if s.ValueBytes <= 0 {
+		return s, fmt.Errorf("workload: ValueBytes must be positive")
+	}
+	if s.ReadFraction < 0 || s.ReadFraction > 1 {
+		return s, fmt.Errorf("workload: ReadFraction %v outside [0,1]", s.ReadFraction)
+	}
+	if s.Dist == Zipfian && s.ZipfTheta == 0 {
+		s.ZipfTheta = 0.99
+	}
+	return s, nil
+}
+
+// OpKind is a read or a write.
+type OpKind int
+
+// Op kinds.
+const (
+	OpWrite OpKind = iota
+	OpRead
+)
+
+// Op is one generated operation.
+type Op struct {
+	Kind  OpKind
+	KeyID uint64
+}
+
+// Generator produces the operation stream.
+type Generator struct {
+	spec Spec
+	rng  *sim.RNG
+	zipf *zipfGen
+	seq  uint64
+}
+
+// NewGenerator builds a deterministic generator for the spec.
+func NewGenerator(spec Spec, rng *sim.RNG) (*Generator, error) {
+	spec, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{spec: spec, rng: rng}
+	if spec.Dist == Zipfian {
+		g.zipf = newZipfGen(spec.NumKeys, spec.ZipfTheta)
+	}
+	return g, nil
+}
+
+// Spec returns the validated spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	var op Op
+	if g.spec.ReadFraction > 0 && g.rng.Float64() < g.spec.ReadFraction {
+		op.Kind = OpRead
+	}
+	switch g.spec.Dist {
+	case Uniform:
+		op.KeyID = g.rng.Uint64n(g.spec.NumKeys)
+	case Zipfian:
+		op.KeyID = g.zipf.next(g.rng)
+	case SequentialDist:
+		op.KeyID = g.seq % g.spec.NumKeys
+		g.seq++
+	}
+	return op
+}
+
+// Key returns the canonical encoded key for id.
+func (g *Generator) Key(id uint64) []byte { return kv.EncodeKey(id) }
+
+// zipfGen implements the Gray et al. Zipfian generator used by YCSB,
+// with final scrambling so that popular keys are spread over the
+// keyspace rather than clustered at the low end.
+type zipfGen struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64
+}
+
+func newZipfGen(n uint64, theta float64) *zipfGen {
+	z := &zipfGen{n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zeta(n uint64, theta float64) float64 {
+	// For large n this O(n) sum is computed once per generator; the
+	// keyspaces used by the harness keep it affordable.
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+func (z *zipfGen) next(rng *sim.RNG) uint64 {
+	u := rng.Float64()
+	uz := u * z.zetan
+	var rank uint64
+	switch {
+	case uz < 1:
+		rank = 0
+	case uz < 1+math.Pow(0.5, z.theta):
+		rank = 1
+	default:
+		rank = uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+		if rank >= z.n {
+			rank = z.n - 1
+		}
+	}
+	// Scramble: FNV-style hash of the rank, mod n.
+	h := rank*0x9E3779B97F4A7C15 + 0x123456789
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h % z.n
+}

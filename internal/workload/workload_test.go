@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"ptsbench/internal/sim"
+)
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{NumKeys: 10, ValueBytes: 100}, true},
+		{Spec{NumKeys: 0, ValueBytes: 100}, false},
+		{Spec{NumKeys: 10, ValueBytes: 0}, false},
+		{Spec{NumKeys: 10, ValueBytes: 1, ReadFraction: 1.5}, false},
+		{Spec{NumKeys: 10, ValueBytes: 1, ReadFraction: -0.1}, false},
+		{Spec{NumKeys: 10, ValueBytes: 1, ReadFraction: 0.5}, true},
+	}
+	for i, c := range cases {
+		_, err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Fatalf("case %d: unexpected error %v", i, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestZipfThetaDefault(t *testing.T) {
+	s, err := Spec{NumKeys: 10, ValueBytes: 1, Dist: Zipfian}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ZipfTheta != 0.99 {
+		t.Fatalf("theta default = %v", s.ZipfTheta)
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	g, err := NewGenerator(Spec{NumKeys: 100, ValueBytes: 10}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		if op.Kind != OpWrite {
+			t.Fatal("write-only workload generated a read")
+		}
+		counts[op.KeyID]++
+	}
+	for id, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("key %d hit %d times, want ~1000", id, c)
+		}
+	}
+}
+
+func TestReadFraction(t *testing.T) {
+	g, err := NewGenerator(Spec{NumKeys: 100, ValueBytes: 10, ReadFraction: 0.5}, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next().Kind == OpRead {
+			reads++
+		}
+	}
+	frac := float64(reads) / n
+	if frac < 0.48 || frac > 0.52 {
+		t.Fatalf("read fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g, err := NewGenerator(Spec{NumKeys: 5, ValueBytes: 1, Dist: SequentialDist}, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		for want := uint64(0); want < 5; want++ {
+			if got := g.Next().KeyID; got != want {
+				t.Fatalf("sequential key %d, want %d", got, want)
+			}
+		}
+	}
+}
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	const n = 1000
+	g, err := NewGenerator(Spec{NumKeys: n, ValueBytes: 1, Dist: Zipfian}, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		id := g.Next().KeyID
+		if id >= n {
+			t.Fatalf("key %d out of range", id)
+		}
+		counts[id]++
+	}
+	// Skew check: the most popular key should see far more than the
+	// uniform share (draws/n = 200).
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("zipfian max key count %d, expected heavy skew (>1000)", max)
+	}
+	// Coverage check: scrambling should still reach many distinct keys.
+	if len(counts) < n/3 {
+		t.Fatalf("zipfian hit only %d distinct keys", len(counts))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	mk := func() []Op {
+		g, _ := NewGenerator(Spec{NumKeys: 50, ValueBytes: 1, ReadFraction: 0.3}, sim.NewRNG(7))
+		ops := make([]Op, 1000)
+		for i := range ops {
+			ops[i] = g.Next()
+		}
+		return ops
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if Uniform.String() != "uniform" || Zipfian.String() != "zipfian" ||
+		SequentialDist.String() != "sequential" {
+		t.Fatal("Dist.String broken")
+	}
+	if Dist(99).String() == "" {
+		t.Fatal("unknown dist should still render")
+	}
+}
+
+func TestKeyEncoding(t *testing.T) {
+	g, _ := NewGenerator(Spec{NumKeys: 10, ValueBytes: 1}, sim.NewRNG(1))
+	if len(g.Key(3)) != 16 {
+		t.Fatal("key should be 16 bytes")
+	}
+}

@@ -1,0 +1,214 @@
+// Package ptsbench is a simulation laboratory for benchmarking
+// persistent tree structures (PTSes) on flash SSDs. It reproduces the
+// methodology and every experiment of Didona, Ioannou, Stoica and
+// Kourtis, "Toward a Better Understanding and Evaluation of Tree
+// Structures on Flash SSDs" (VLDB 2020): seven benchmarking pitfalls
+// demonstrated with an LSM-tree (RocksDB-like) and a B+Tree
+// (WiredTiger-like) engine running on a simulated flash device with a
+// page-mapped FTL, garbage collection and over-provisioning.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Experiments: Spec/Run execute a full workload (load + measured
+//     update phase) and return throughput, WA-A, WA-D and space
+//     amplification series — the paper's §3.3 metrics.
+//   - Figures: Figure/Figures regenerate the paper's evaluation figures
+//     and tables.
+//   - Stack: NewStack builds the simulated device + filesystem so the
+//     two engines can be driven directly (see OpenLSM / OpenBTree and
+//     the examples directory).
+//
+// All simulation is deterministic: the same Spec and seed produce
+// bit-identical results.
+package ptsbench
+
+import (
+	"fmt"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/btree"
+	"ptsbench/internal/core"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/figures"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/lsm"
+	"ptsbench/internal/sim"
+)
+
+// Experiment types (see internal/core for full documentation).
+type (
+	// Spec describes one experiment run.
+	Spec = core.Spec
+	// Result carries the series and steady-state figures of a run.
+	Result = core.Result
+	// DeviceSpec describes the simulated SSD at paper scale.
+	DeviceSpec = core.DeviceSpec
+	// EngineKind selects the tree structure under test.
+	EngineKind = core.EngineKind
+	// InitialState is the drive state before the experiment.
+	InitialState = core.InitialState
+)
+
+// Engine and initial-state constants.
+const (
+	LSM            = core.LSM
+	BTree          = core.BTree
+	Trimmed        = core.Trimmed
+	Preconditioned = core.Preconditioned
+)
+
+// Run executes one experiment (load phase, measured update phase,
+// instrumentation) and returns its result.
+func Run(spec Spec) (*Result, error) { return core.Run(spec) }
+
+// DefaultDevice returns the paper's primary testbed device: a 400 GB
+// enterprise flash SSD (SSD1).
+func DefaultDevice() DeviceSpec { return core.DefaultDevice() }
+
+// Device profiles for the paper's three SSD types (§4.7).
+var (
+	// ProfileSSD1 is the enterprise flash drive used in most figures.
+	ProfileSSD1 = flash.ProfileSSD1
+	// ProfileSSD2 is the consumer QLC drive with a large write cache.
+	ProfileSSD2 = flash.ProfileSSD2
+	// ProfileSSD3 is the Optane-like drive without garbage collection.
+	ProfileSSD3 = flash.ProfileSSD3
+)
+
+// Figure types.
+type (
+	// FigureReport is the output of one figure reproduction.
+	FigureReport = figures.Report
+	// FigureOptions tune figure runs (scale, quick mode, seed).
+	FigureOptions = figures.Options
+)
+
+// Figure regenerates one of the paper's figures ("fig2" .. "fig11").
+func Figure(id string, opts FigureOptions) (*FigureReport, error) {
+	f, ok := figures.Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("ptsbench: unknown figure %q (have %v)", id, figures.IDs())
+	}
+	return f(opts)
+}
+
+// Figures lists the available figure IDs in paper order.
+func Figures() []string { return figures.IDs() }
+
+// Stack is a ready-to-use simulated storage stack: SSD, block device
+// (with iostat counters and LBA histogram) and filesystem. Engines opened
+// on the stack share its virtual-time device.
+type Stack struct {
+	SSD      *flash.Device
+	BlockDev *blockdev.Device
+	FS       *extfs.FS
+}
+
+// StackOptions configure NewStack.
+type StackOptions struct {
+	// CapacityBytes is the device capacity (default 1 GiB).
+	CapacityBytes int64
+	// Profile is the device model (default ProfileSSD1 scaled to a
+	// laptop-friendly size).
+	Profile *flash.Profile
+	// ContentStore retains written bytes so reads return real data;
+	// enable it for correctness-oriented use, leave off for pure
+	// performance accounting.
+	ContentStore bool
+	// DiscardOnDelete mounts the filesystem with discard (default is
+	// nodiscard, like the paper).
+	DiscardOnDelete bool
+}
+
+// NewStack builds a simulated device and filesystem.
+func NewStack(opts StackOptions) (*Stack, error) {
+	capacity := opts.CapacityBytes
+	if capacity <= 0 {
+		capacity = 1 << 30
+	}
+	profile := flash.ProfileSSD1().Scaled(64)
+	if opts.Profile != nil {
+		profile = *opts.Profile
+	}
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  capacity,
+		PageSize:      4096,
+		PagesPerBlock: 256,
+		Profile:       profile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bdev := blockdev.New(ssd)
+	if opts.ContentStore {
+		bdev.EnableContentStore()
+	}
+	fs, err := extfs.Mount(bdev, extfs.Options{Discard: opts.DiscardOnDelete})
+	if err != nil {
+		return nil, err
+	}
+	return &Stack{SSD: ssd, BlockDev: bdev, FS: fs}, nil
+}
+
+// Engine facade types.
+type (
+	// LSMTree is the RocksDB-like engine.
+	LSMTree = lsm.DB
+	// LSMConfig tunes the LSM engine.
+	LSMConfig = lsm.Config
+	// BPlusTree is the WiredTiger-like engine.
+	BPlusTree = btree.Tree
+	// BTreeConfig tunes the B+Tree engine.
+	BTreeConfig = btree.Config
+	// VirtualTime is a duration on the simulation clock.
+	VirtualTime = sim.Duration
+)
+
+// NewLSMConfig returns engine defaults sized for a dataset.
+func NewLSMConfig(datasetBytes int64) LSMConfig { return lsm.NewConfig(datasetBytes) }
+
+// NewBTreeConfig returns engine defaults sized for a dataset.
+func NewBTreeConfig(datasetBytes int64) BTreeConfig { return btree.NewConfig(datasetBytes) }
+
+// OpenLSM opens an LSM engine on the stack's filesystem. seed drives the
+// engine's internal randomness (skiplist heights).
+func OpenLSM(s *Stack, cfg LSMConfig, seed uint64) (*LSMTree, error) {
+	cfg.Content = s.BlockDev.ContentEnabled()
+	return lsm.Open(s.FS, cfg, sim.NewRNG(seed))
+}
+
+// OpenBTree opens a B+Tree engine on the stack's filesystem.
+func OpenBTree(s *Stack, cfg BTreeConfig) (*BPlusTree, error) {
+	cfg.Content = s.BlockDev.ContentEnabled()
+	return btree.Open(s.FS, cfg)
+}
+
+// RecoverLSM reopens an LSM database from the stack's on-device state
+// (manifest + SSTables + WAL replay). The stack must have its content
+// store enabled. It returns the recovered database and the virtual time
+// consumed by recovery I/O.
+func RecoverLSM(s *Stack, cfg LSMConfig, seed uint64, now VirtualTime) (*LSMTree, VirtualTime, error) {
+	cfg.Content = s.BlockDev.ContentEnabled()
+	return lsm.Recover(s.FS, cfg, sim.NewRNG(seed), now)
+}
+
+// RecoverBTree reopens a B+Tree from the stack's on-device state
+// (checkpoint metadata + page tree + journal replay). The stack must
+// have its content store enabled.
+func RecoverBTree(s *Stack, cfg BTreeConfig, now VirtualTime) (*BPlusTree, VirtualTime, error) {
+	cfg.Content = s.BlockDev.ContentEnabled()
+	return btree.Recover(s.FS, cfg, now)
+}
+
+// EncodeKey produces the canonical 16-byte key for a numeric id (the
+// paper's key format).
+func EncodeKey(id uint64) []byte { return encodeKey(id) }
+
+// encodeKey avoids importing internal/kv into this file's doc surface.
+func encodeKey(id uint64) []byte {
+	k := make([]byte, 16)
+	for i := 0; i < 8; i++ {
+		k[15-i] = byte(id >> (8 * i))
+	}
+	return k
+}

@@ -1,0 +1,194 @@
+package ptsbench_test
+
+// Tests for the public facade: everything a downstream user touches.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ptsbench"
+)
+
+func TestStackAndLSMRoundTrip(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{
+		CapacityBytes: 256 << 20,
+		ContentStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ptsbench.NewLSMConfig(32 << 20)
+	cfg.WALFlushBytes = 0 // sync the WAL on every put for this test
+	db, err := ptsbench.OpenLSM(stack, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ptsbench.VirtualTime
+	now, err = db.Put(now, ptsbench.EncodeKey(1), []byte("hello"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, found, err := db.Get(now, ptsbench.EncodeKey(1))
+	if err != nil || !found || string(v) != "hello" {
+		t.Fatalf("Get: %q %v %v", v, found, err)
+	}
+	if stack.BlockDev.Counters().BytesWritten == 0 {
+		t.Fatal("WAL write should reach the device")
+	}
+}
+
+func TestStackAndBTreeRoundTrip(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{
+		CapacityBytes: 256 << 20,
+		ContentStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ptsbench.OpenBTree(stack, ptsbench.NewBTreeConfig(32<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ptsbench.VirtualTime
+	now, err = tr.Put(now, ptsbench.EncodeKey(7), []byte("world"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, found, err := tr.Get(now, ptsbench.EncodeKey(7))
+	if err != nil || !found || string(v) != "world" {
+		t.Fatalf("Get: %q %v %v", v, found, err)
+	}
+}
+
+func TestEncodeKeyMatchesOrdering(t *testing.T) {
+	a, b := ptsbench.EncodeKey(10), ptsbench.EncodeKey(11)
+	if len(a) != 16 {
+		t.Fatalf("key length %d", len(a))
+	}
+	if bytes.Compare(a, b) >= 0 {
+		t.Fatal("numeric order not preserved")
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	res, err := ptsbench.Run(ptsbench.Spec{
+		Engine:   ptsbench.LSM,
+		Scale:    2048,
+		Duration: 15 * time.Minute,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steady.ThroughputKOps <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestFigureFacade(t *testing.T) {
+	if len(ptsbench.Figures()) != 10 {
+		t.Fatalf("expected 10 figures, got %d", len(ptsbench.Figures()))
+	}
+	rep, err := ptsbench.Figure("fig4", ptsbench.FigureOptions{Quick: true, Scale: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "fig4" || len(rep.Series) == 0 {
+		t.Fatalf("malformed report: %+v", rep)
+	}
+	if _, err := ptsbench.Figure("fig99", ptsbench.FigureOptions{}); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestDeviceProfiles(t *testing.T) {
+	for _, p := range []func() (name string){
+		func() string { return ptsbench.ProfileSSD1().Name },
+		func() string { return ptsbench.ProfileSSD2().Name },
+		func() string { return ptsbench.ProfileSSD3().Name },
+	} {
+		if p() == "" {
+			t.Fatal("profile has no name")
+		}
+	}
+	if ptsbench.DefaultDevice().CapacityBytes != 400<<30 {
+		t.Fatal("default device should be the paper's 400 GB drive")
+	}
+}
+
+func TestStackDefaults(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.SSD.LogicalBytes() != 1<<30 {
+		t.Fatalf("default capacity %d", stack.SSD.LogicalBytes())
+	}
+	if stack.BlockDev.ContentEnabled() {
+		t.Fatal("content store should default off")
+	}
+}
+
+func TestRecoveryThroughFacade(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{
+		CapacityBytes: 256 << 20,
+		ContentStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ptsbench.NewLSMConfig(16 << 20)
+	cfg.WALFlushBytes = 0
+	db, err := ptsbench.OpenLSM(stack, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ptsbench.VirtualTime
+	now, err = db.Put(now, ptsbench.EncodeKey(9), []byte("persist"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Close(now); err != nil {
+		t.Fatal(err)
+	}
+	re, rnow, err := ptsbench.RecoverLSM(stack, cfg, 2, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, found, err := re.Get(rnow, ptsbench.EncodeKey(9))
+	if err != nil || !found || string(v) != "persist" {
+		t.Fatalf("recovered Get: %q %v %v", v, found, err)
+	}
+}
+
+func TestBTreeRecoveryThroughFacade(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{
+		CapacityBytes: 256 << 20,
+		ContentStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ptsbench.NewBTreeConfig(16 << 20)
+	tr, err := ptsbench.OpenBTree(stack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ptsbench.VirtualTime
+	now, err = tr.Put(now, ptsbench.EncodeKey(3), []byte("durable"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Close(now); err != nil {
+		t.Fatal(err)
+	}
+	re, rnow, err := ptsbench.RecoverBTree(stack, cfg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, found, err := re.Get(rnow, ptsbench.EncodeKey(3))
+	if err != nil || !found || string(v) != "durable" {
+		t.Fatalf("recovered Get: %q %v %v", v, found, err)
+	}
+}
