@@ -6,7 +6,12 @@
 //
 //	ptsbench list
 //	ptsbench run -figure fig2 [-scale 128] [-quick] [-seed 1] [-csv DIR]
+//	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench all [-quick] [-csv DIR]
+//
+// qdsweep is shorthand for "run -figure qdsweep": the queue-depth sweep
+// on an SSD with internal channel/way parallelism, whose cells execute
+// concurrently across host cores.
 package main
 
 import (
@@ -39,6 +44,14 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runOne(*figure, *opts, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "qdsweep":
+		fs := flag.NewFlagSet("qdsweep", flag.ExitOnError)
+		opts, csvDir := commonFlags(fs)
+		_ = fs.Parse(os.Args[2:])
+		if err := runOne("qdsweep", *opts, *csvDir); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -90,5 +103,6 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ptsbench list
   ptsbench run -figure figN [-scale N] [-quick] [-seed N] [-csv DIR]
+  ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench all [-quick] [-csv DIR]`)
 }

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ptsbench"
+)
+
+// TestRunOneSmoke drives the CLI's core path end to end with a tiny
+// spec: the qdsweep figure at a very coarse scale, rendered to stdout
+// and written as CSV. This is the "does the binary actually work"
+// guard; figure correctness is tested in internal/figures.
+func TestRunOneSmoke(t *testing.T) {
+	opts := ptsbench.FigureOptions{Quick: true, Scale: 2048, Seed: 1}
+	dir := t.TempDir()
+	if err := runOne("qdsweep", opts, dir); err != nil {
+		t.Fatalf("runOne: %v", err)
+	}
+	csvs, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csvs) == 0 {
+		t.Fatal("no CSV files written")
+	}
+}
+
+func TestRunOneUnknownFigure(t *testing.T) {
+	if err := runOne("nope", ptsbench.FigureOptions{}, ""); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}

@@ -1,0 +1,3 @@
+module ptsbench
+
+go 1.21

@@ -50,6 +50,14 @@ type Config struct {
 	// ChunkPages is the checkpoint I/O granularity per job step.
 	ChunkPages int
 
+	// PrefetchDepth is the number of leaf reads a scan keeps in flight:
+	// when a range scan misses the cache it issues reads for up to
+	// PrefetchDepth-1 following sibling leaves at the same virtual
+	// time, overlapping them on the device's internal lanes (the
+	// read-ahead a real engine issues once it detects a sequential leaf
+	// walk). 1 (the default) reads one leaf at a time.
+	PrefetchDepth int
+
 	// Content selects content mode (values materialized and written
 	// through).
 	Content bool
@@ -105,6 +113,9 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.ChunkPages <= 0 {
 		c.ChunkPages = 32
+	}
+	if c.PrefetchDepth < 1 {
+		c.PrefetchDepth = 1
 	}
 	return c, nil
 }

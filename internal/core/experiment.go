@@ -103,6 +103,19 @@ type Spec struct {
 	// software over-provisioning (never written, stays trimmed).
 	PartitionFraction float64
 
+	// QueueDepth models host I/O concurrency in the measured phase: up
+	// to QueueDepth consecutive read operations are submitted at the
+	// same virtual time — a multi-threaded client keeping QueueDepth
+	// requests in flight — and the clock advances to the slowest
+	// completion. It also sets the engines' internal read parallelism
+	// (LSM SSTable probe waves and compaction read batching, B+Tree
+	// scan sibling prefetch). At the default of 1 the run is the
+	// paper's strictly serial closed loop; with larger values
+	// throughput grows until the device's Channels × Ways lane count
+	// saturates (writes always execute serially, preserving the
+	// engines' stall and throttling semantics).
+	QueueDepth int
+
 	// Duration is the measured phase length in virtual time; SampleEvery
 	// is the instrumentation period.
 	Duration    sim.Duration
@@ -141,6 +154,9 @@ func (s Spec) Validate() (Spec, error) {
 	if s.SampleEvery <= 0 {
 		s.SampleEvery = 10 * time.Second
 	}
+	if s.QueueDepth < 1 {
+		s.QueueDepth = 1
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -174,6 +190,12 @@ type Result struct {
 	// measured phase, re-normalized to paper scale (measured latency /
 	// Scale). Throughput plots hide tail behaviour; this doesn't.
 	Latency LatencySummary
+}
+
+// MeanScaledKOps returns the mean throughput over the whole measured
+// phase, re-normalized to paper scale.
+func (r *Result) MeanScaledKOps() float64 {
+	return r.Series.MeanKOps() * float64(r.Spec.Scale)
 }
 
 // engine unifies the two stores for the runner.
@@ -244,6 +266,8 @@ func Run(spec Spec) (*Result, error) {
 		cfg.CPUGetTime *= time.Duration(spec.Scale)
 		cfg.CPUPerByte *= time.Duration(spec.Scale)
 		cfg.DelayedWriteBytesPerSec /= spec.Scale
+		cfg.ProbeParallelism = spec.QueueDepth
+		cfg.CompactionReadParallelism = spec.QueueDepth
 		if spec.TweakLSM != nil {
 			spec.TweakLSM(&cfg)
 		}
@@ -257,6 +281,7 @@ func Run(spec Spec) (*Result, error) {
 		cfg.CPUPutTime *= time.Duration(spec.Scale)
 		cfg.CPUGetTime *= time.Duration(spec.Scale)
 		cfg.CPUPerByte *= time.Duration(spec.Scale)
+		cfg.PrefetchDepth = spec.QueueDepth
 		if spec.TweakBTree != nil {
 			spec.TweakBTree(&cfg)
 		}
@@ -317,8 +342,53 @@ func Run(spec Spec) (*Result, error) {
 	deadline := now + spec.Duration
 	keyBuf := make([]byte, kv.KeySize)
 	lat := NewLatencyHistogram()
+
+	// Batched read submission: with QueueDepth > 1 consecutive reads
+	// accumulate into a batch whose operations all start at the same
+	// virtual time (QueueDepth outstanding host requests); the clock
+	// advances to the slowest completion, so reads overlap on the
+	// device's internal lanes. Writes flush the batch first and run
+	// serially, keeping the engines' stall/backpressure semantics
+	// intact. Latencies are per-operation (submission to completion).
+	batch := make([]uint64, 0, spec.QueueDepth)
+	flushReads := func() error {
+		batchEnd := now
+		for _, id := range batch {
+			kv.AppendKey(keyBuf, id)
+			done, _, _, err := eng.Get(now, keyBuf)
+			if err != nil {
+				return err
+			}
+			lat.Record((done - now) / sim.Duration(spec.Scale))
+			if done > batchEnd {
+				batchEnd = done
+			}
+		}
+		batch = batch[:0]
+		now = batchEnd
+		return nil
+	}
+
 	for now < deadline {
 		op := gen.Next()
+		if op.Kind == workload.OpRead && spec.QueueDepth > 1 {
+			batch = append(batch, op.KeyID)
+			if len(batch) < spec.QueueDepth {
+				continue
+			}
+			if err = flushReads(); err != nil {
+				break
+			}
+			if collector.Due(now) {
+				collector.Record(now)
+			}
+			continue
+		}
+		if len(batch) > 0 {
+			if err = flushReads(); err != nil {
+				break
+			}
+		}
 		kv.AppendKey(keyBuf, op.KeyID)
 		opStart := now
 		if op.Kind == workload.OpRead {
@@ -327,11 +397,7 @@ func Run(spec Spec) (*Result, error) {
 			now, err = eng.Put(now, keyBuf, nil, spec.ValueBytes)
 		}
 		if err != nil {
-			if errors.Is(err, extfs.ErrNoSpace) {
-				res.OutOfSpace = true
-				break
-			}
-			return nil, fmt.Errorf("core: workload: %w", err)
+			break
 		}
 		// Re-normalize to paper scale: simulated service times are
 		// dilated by Scale.
@@ -339,6 +405,15 @@ func Run(spec Spec) (*Result, error) {
 		if collector.Due(now) {
 			collector.Record(now)
 		}
+	}
+	if err == nil && len(batch) > 0 {
+		err = flushReads()
+	}
+	if err != nil {
+		if !errors.Is(err, extfs.ErrNoSpace) {
+			return nil, fmt.Errorf("core: workload: %w", err)
+		}
+		res.OutOfSpace = true
 	}
 	collector.Record(now)
 	res.Latency = lat.Percentiles()

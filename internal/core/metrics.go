@@ -323,6 +323,21 @@ func SteadyByCapacityRule(ser Series, capacityBytes int64) int {
 	return -1
 }
 
+// MeanKOps returns the mean operation rate (KOps/s) over the whole
+// measured phase — steadier than the tail quarter when background
+// compaction bursts make the tail noisy (queue-depth sweeps use it).
+func (ser Series) MeanKOps() float64 {
+	n := len(ser.Samples)
+	if n == 0 {
+		return 0
+	}
+	last := ser.Samples[n-1]
+	if last.T <= 0 {
+		return 0
+	}
+	return float64(last.Ops) / last.T.Seconds() / 1000
+}
+
 // SpaceAmplification is disk footprint over logical dataset size
 // (§2.1.4).
 func SpaceAmplification(diskUsedBytes, datasetBytes int64) float64 {

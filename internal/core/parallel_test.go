@@ -1,0 +1,160 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ptsbench/internal/workload"
+)
+
+// parallelDevice returns the default testbed with a 4x4 internal lane
+// array (16-way parallelism).
+func parallelDevice() DeviceSpec {
+	dev := DefaultDevice()
+	dev.Profile = dev.Profile.WithParallelism(4, 4)
+	return dev
+}
+
+// TestRunDeterminismByteIdentical guards the concurrent grid runner and
+// the queue-depth machinery: two identical Run invocations must produce
+// deeply identical Results, including every sample, histogram bucket
+// and latency percentile.
+func TestRunDeterminismByteIdentical(t *testing.T) {
+	spec := Spec{
+		Device:       parallelDevice(),
+		Engine:       LSM,
+		Scale:        2048,
+		QueueDepth:   8,
+		ReadFraction: 0.9,
+		Dist:         workload.Uniform,
+		Duration:     15 * time.Minute,
+		Seed:         9,
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical specs produced different results:\n%+v\nvs\n%+v", a.Steady, b.Steady)
+	}
+}
+
+// TestRunGridMatchesSequential: the concurrent grid runner must produce
+// results bit-identical to sequential Run over the same cells.
+func TestRunGridMatchesSequential(t *testing.T) {
+	var specs []Spec
+	for _, qd := range []int{1, 8} {
+		for _, eng := range []EngineKind{LSM, BTree} {
+			specs = append(specs, Spec{
+				Device:       parallelDevice(),
+				Engine:       eng,
+				Scale:        2048,
+				QueueDepth:   qd,
+				ReadFraction: 0.9,
+				Dist:         workload.Uniform,
+				Duration:     10 * time.Minute,
+				Seed:         4,
+			})
+		}
+	}
+	grid, err := RunGrid(specs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, spec := range specs {
+		seq, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(grid[i], seq) {
+			t.Fatalf("grid cell %d differs from sequential run: %+v vs %+v",
+				i, grid[i].Steady, seq.Steady)
+		}
+	}
+}
+
+func TestRunGridErrorPropagates(t *testing.T) {
+	specs := []Spec{
+		{Engine: LSM, Scale: 2048, Duration: 5 * time.Minute, Seed: 1},
+		{Engine: LSM, DatasetFraction: 0.99}, // Validate rejects this
+	}
+	res, err := RunGrid(specs, 2)
+	if err == nil {
+		t.Fatal("expected an error from the invalid cell")
+	}
+	if res[0] == nil {
+		t.Fatal("healthy cells should still complete")
+	}
+	if res[1] != nil {
+		t.Fatal("failed cell should be nil")
+	}
+}
+
+// TestQueueDepthMonotonicThroughput is the acceptance sweep: on a
+// read-heavy workload against a 16-lane device, simulated throughput
+// must be monotonically non-decreasing in queue depth up to the
+// channel x way count, and must not collapse beyond it.
+func TestQueueDepthMonotonicThroughput(t *testing.T) {
+	qds := []int{1, 4, 16, 32}
+	var specs []Spec
+	for _, qd := range qds {
+		specs = append(specs, Spec{
+			Device:       parallelDevice(),
+			Engine:       LSM,
+			Scale:        2048,
+			QueueDepth:   qd,
+			ReadFraction: 0.95,
+			Dist:         workload.Uniform,
+			Duration:     20 * time.Minute,
+			Seed:         1,
+		})
+	}
+	results, err := RunGrid(specs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kops []float64
+	for _, r := range results {
+		if r.OutOfSpace {
+			t.Fatal("unexpected OOS in sweep")
+		}
+		// Mean throughput over the whole measured phase: the tail
+		// quarter alone is sensitive to where a compaction burst lands.
+		kops = append(kops, r.MeanScaledKOps())
+	}
+	t.Logf("QD sweep throughput (KOps): qd1=%.1f qd4=%.1f qd16=%.1f qd32=%.1f",
+		kops[0], kops[1], kops[2], kops[3])
+	// Non-decreasing up to the lane count (16).
+	for i := 1; i < 3; i++ {
+		if kops[i] < kops[i-1] {
+			t.Fatalf("throughput decreased from QD %d (%.2f) to QD %d (%.2f)",
+				qds[i-1], kops[i-1], qds[i], kops[i])
+		}
+	}
+	// Parallelism must actually pay off, not just hold steady.
+	if kops[2] < 1.5*kops[0] {
+		t.Fatalf("QD 16 (%.2f) should comfortably beat QD 1 (%.2f) on 16 lanes",
+			kops[2], kops[0])
+	}
+	// Past saturation throughput may flatten but must not collapse.
+	if kops[3] < 0.9*kops[2] {
+		t.Fatalf("QD 32 (%.2f) collapsed versus QD 16 (%.2f)", kops[3], kops[2])
+	}
+}
+
+// TestQueueDepthDefaultIsSerial: QueueDepth 0 validates to 1 and the
+// knob reaches the engine configs.
+func TestQueueDepthValidate(t *testing.T) {
+	s, err := (Spec{}).Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.QueueDepth != 1 {
+		t.Fatalf("default QueueDepth = %d, want 1", s.QueueDepth)
+	}
+}

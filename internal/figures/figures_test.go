@@ -312,3 +312,32 @@ func TestFig6OOSAtLargeDatasets(t *testing.T) {
 		}
 	}
 }
+
+func TestFigQDSweepMonotone(t *testing.T) {
+	rep, err := FigQDSweep(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "qdsweep" {
+		t.Fatalf("ID = %s", rep.ID)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("series count %d, want 2 (one per engine)", len(rep.Series))
+	}
+	for _, s := range rep.Series {
+		if len(s.Y) != len(qdSweepDepths) {
+			t.Fatalf("%s: %d points, want %d", s.Name, len(s.Y), len(qdSweepDepths))
+		}
+		// Throughput must be non-decreasing up to the 16-lane saturation
+		// point (QD 1, 4, 16).
+		for i := 1; i < 3; i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Fatalf("%s: throughput fell from QD %v (%.2f) to QD %v (%.2f)",
+					s.Name, s.X[i-1], s.Y[i-1], s.X[i], s.Y[i])
+			}
+		}
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables %d, want 2", len(rep.Tables))
+	}
+}

@@ -52,6 +52,42 @@ type Profile struct {
 	// NoGC marks media with in-place update capability (3DXP-like):
 	// the FTL is bypassed and WA-D is identically 1.
 	NoGC bool
+
+	// Channels and Ways describe the device's internal parallelism: the
+	// flash array is organized as Channels independent buses, each with
+	// Ways dies, giving Channels × Ways concurrent service lanes.
+	// Logical pages stripe round-robin over the lanes, and each lane
+	// serves its pages at 1/(Channels × Ways) of the device bandwidths
+	// above — so a single large request or many overlapping small ones
+	// reach full device bandwidth, while one small request at queue
+	// depth 1 occupies a single die, exactly the behaviour Roh et al.
+	// exploit ("B+-tree Index Optimization by Exploiting Internal
+	// Parallelism of Flash-based SSDs"). Zero values default to 1
+	// (a single serial lane: the classic FIFO device model, and the
+	// behaviour of every stock profile unless overridden).
+	Channels int
+	Ways     int
+}
+
+// WithParallelism returns a copy of the profile with the given internal
+// geometry (channels × ways service lanes).
+func (p Profile) WithParallelism(channels, ways int) Profile {
+	p.Channels = channels
+	p.Ways = ways
+	return p
+}
+
+// ParallelLanes returns the number of internal service lanes
+// (channels × ways, minimum 1).
+func (p Profile) ParallelLanes() int {
+	c, w := p.Channels, p.Ways
+	if c < 1 {
+		c = 1
+	}
+	if w < 1 {
+		w = 1
+	}
+	return c * w
 }
 
 // Scaled returns a copy of the profile with every bandwidth and the cache
@@ -214,6 +250,12 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.Streams <= 0 {
 		c.Streams = 96
+	}
+	if c.Profile.Channels < 1 {
+		c.Profile.Channels = 1
+	}
+	if c.Profile.Ways < 1 {
+		c.Profile.Ways = 1
 	}
 	if c.Profile.CacheBytes > 0 && c.Profile.CacheWriteBW <= 0 {
 		c.Profile.CacheWriteBW = c.Profile.WriteBW

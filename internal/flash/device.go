@@ -7,9 +7,18 @@ import (
 )
 
 // Device is a simulated flash SSD. It combines the FTL (mapping, GC) with
-// a service-time model and a FIFO queue, so that callers obtain virtual
-// completion times for every request. Device is not safe for concurrent
-// use; the whole simulation is single-threaded and deterministic.
+// a service-time model and a lane-parallel dispatch queue, so that
+// callers obtain virtual completion times for every request. Device is
+// not safe for concurrent use; the whole simulation is single-threaded
+// and deterministic.
+//
+// Internal parallelism: the device exposes Channels × Ways independent
+// service lanes (see Profile). Logical pages stripe round-robin over the
+// lanes, each lane running at 1/lanes of the device bandwidth, so
+// requests submitted at overlapping virtual times — a host queue depth
+// greater than one — genuinely overlap as long as they land on distinct
+// lanes. With one lane (every stock profile's default) the device is the
+// classic single FIFO of the paper's model.
 //
 // Device does not store data content: it accounts I/O and maintains the
 // logical-to-physical state that drives garbage collection. Content
@@ -18,15 +27,24 @@ import (
 type Device struct {
 	cfg  Config
 	ftl  *ftl
-	res  *sim.Resource
+	res  *sim.MultiResource
 	noGC bool
 
-	// Derived per-page service times.
+	// Derived per-page service times. The host/internal rates are
+	// device-wide; the lane* variants are the per-lane cost of one page
+	// (device rate × lane count), which is what striped submission
+	// charges.
 	hostReadPerPage  time.Duration
 	hostWritePerPage time.Duration
 	intReadPerPage   time.Duration
 	intWritePerPage  time.Duration
 	cacheWritePage   time.Duration
+	laneReadPerPage  time.Duration
+	laneWritePerPage time.Duration
+	laneIntRead      time.Duration
+	laneIntWrite     time.Duration
+	laneSvc          []time.Duration // per-request scratch, len = lanes
+	laneTouched      []bool          // per-request scratch, len = lanes
 
 	// Write-back cache state (enabled when cacheCapPages > 0). The cache
 	// absorbs host writes at cache speed and destages them to the FTL in
@@ -53,10 +71,13 @@ func NewDevice(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	lanes := cfg.Profile.ParallelLanes()
 	d := &Device{
-		cfg:  cfg,
-		res:  sim.NewResource(),
-		noGC: cfg.Profile.NoGC,
+		cfg:         cfg,
+		res:         sim.NewMultiResource(lanes),
+		noGC:        cfg.Profile.NoGC,
+		laneSvc:     make([]time.Duration, lanes),
+		laneTouched: make([]bool, lanes),
 	}
 	if !d.noGC {
 		d.ftl = newFTL(cfg)
@@ -71,6 +92,10 @@ func NewDevice(cfg Config) (*Device, error) {
 	d.hostWritePerPage = bwTime(ps, cfg.Profile.WriteBW)
 	d.intReadPerPage = bwTime(ps, cfg.Profile.InternalReadBW)
 	d.intWritePerPage = bwTime(ps, cfg.Profile.InternalWriteBW)
+	d.laneReadPerPage = d.hostReadPerPage * time.Duration(lanes)
+	d.laneWritePerPage = d.hostWritePerPage * time.Duration(lanes)
+	d.laneIntRead = d.intReadPerPage * time.Duration(lanes)
+	d.laneIntWrite = d.intWritePerPage * time.Duration(lanes)
 	if cfg.Profile.CacheBytes > 0 {
 		d.cacheCapPages = cfg.Profile.CacheBytes / ps
 		d.cacheWritePage = bwTime(ps, cfg.Profile.CacheWriteBW)
@@ -111,14 +136,76 @@ func (d *Device) Stats() Stats {
 // WAD returns cumulative device write amplification since construction.
 func (d *Device) WAD() float64 { return d.Stats().WAD() }
 
-// gcTime converts FTL-internal work into device time.
+// gcTime converts FTL-internal work into device time at device-wide
+// internal rates (used by the write-back cache's destage engine, which
+// models the drive's internal machinery as a whole).
 func (d *Device) gcTime(w gcWork) time.Duration {
 	return time.Duration(w.relocated)*(d.intReadPerPage+d.intWritePerPage) +
 		time.Duration(w.erases)*d.cfg.Profile.EraseTime
 }
 
+// laneGCTime converts FTL-internal work into the service time of the
+// single lane (die) whose write triggered it: relocations run at
+// per-lane internal rates, erases take their full per-block time. With
+// one lane this equals gcTime.
+func (d *Device) laneGCTime(w gcWork) time.Duration {
+	return time.Duration(w.relocated)*(d.laneIntRead+d.laneIntWrite) +
+		time.Duration(w.erases)*d.cfg.Profile.EraseTime
+}
+
+// ParallelLanes returns the number of internal service lanes.
+func (d *Device) ParallelLanes() int { return d.res.Lanes() }
+
+// submitStriped dispatches an n-page request starting at logical page
+// lpn: page lpn+i lands on lane (lpn+i) mod lanes (striped placement)
+// and charges that lane its per-page cost perPage(i); the request's
+// fixed command overhead (controller/command processing) is charged
+// once, on the lane holding the first page, rather than per lane — so a
+// multi-page request occupies the array for its data-transfer time plus
+// a single command setup, which is what lets overlapping requests scale
+// throughput up to the lane count instead of drowning in replicated
+// setup costs. All involved lanes start at now; the request completes
+// when its slowest lane finishes. perPage is called once per page in
+// ascending page order (FTL writes rely on that ordering).
+func (d *Device) submitStriped(now sim.Duration, lpn int64, n int,
+	fixed time.Duration, perPage func(i int64) time.Duration) sim.Duration {
+	lanes := len(d.laneSvc)
+	if lanes == 1 {
+		service := fixed
+		for i := int64(0); i < int64(n); i++ {
+			service += perPage(i)
+		}
+		return d.res.AcquireLane(0, now, service)
+	}
+	svc := d.laneSvc
+	touched := d.laneTouched
+	for i := range svc {
+		svc[i] = 0
+		touched[i] = false
+	}
+	lead := int(lpn % int64(lanes))
+	svc[lead] = fixed
+	touched[lead] = true
+	for i := int64(0); i < int64(n); i++ {
+		lane := int((lpn + i) % int64(lanes))
+		svc[lane] += perPage(i)
+		touched[lane] = true
+	}
+	done := now
+	for lane := 0; lane < lanes; lane++ {
+		if !touched[lane] {
+			continue
+		}
+		if end := d.res.AcquireLane(lane, now, svc[lane]); end > done {
+			done = end
+		}
+	}
+	return done
+}
+
 // SubmitWrite submits a write of n pages starting at logical page lpn at
-// virtual time now, and returns its completion time. The request is
+// virtual time now, and returns its completion time. Pages stripe over
+// the device's internal lanes; on a single-lane device the request is
 // FIFO-queued behind all previously submitted requests.
 func (d *Device) SubmitWrite(now sim.Duration, lpn int64, n int) sim.Duration {
 	if n <= 0 {
@@ -133,17 +220,16 @@ func (d *Device) SubmitWrite(now sim.Duration, lpn int64, n int) sim.Duration {
 				d.ftl.mappedPages++
 			}
 		}
-		service := d.cfg.Profile.WriteFixed + time.Duration(n)*d.hostWritePerPage
-		return d.res.Acquire(now, service)
+		return d.submitStriped(now, lpn, n, d.cfg.Profile.WriteFixed,
+			func(int64) time.Duration { return d.laneWritePerPage })
 	}
 	if d.cacheCapPages > 0 {
 		return d.cachedWrite(now, lpn, n)
 	}
-	service := d.cfg.Profile.WriteFixed + time.Duration(n)*d.hostWritePerPage
-	for i := 0; i < n; i++ {
-		service += d.gcTime(d.ftl.hostWrite(lpn + int64(i)))
-	}
-	return d.res.Acquire(now, service)
+	return d.submitStriped(now, lpn, n, d.cfg.Profile.WriteFixed,
+		func(i int64) time.Duration {
+			return d.laneWritePerPage + d.laneGCTime(d.ftl.hostWrite(lpn+i))
+		})
 }
 
 // cachedWrite implements the write-back cache path: writes land in the
@@ -185,7 +271,11 @@ func (d *Device) cachedWrite(now sim.Duration, lpn int64, n int) sim.Duration {
 		d.ftl.stats.HostPagesWritten += need
 	}
 	service := stall + d.cfg.Profile.CacheWriteFixed + time.Duration(need)*d.cacheWritePage
-	return d.res.Acquire(now, service)
+	// The write-back cache is a single controller front-end (DRAM/SLC
+	// port): its bandwidth does not multiply with the flash lane count,
+	// so cached writes always serialize through lane 0. On a one-lane
+	// device this is exactly the classic shared FIFO.
+	return d.res.AcquireLane(0, now, service)
 }
 
 // destageOnePage moves the oldest cached page to the FTL and returns the
@@ -210,6 +300,14 @@ func (d *Device) destageOnePage() time.Duration {
 		d.pendingHead++
 		if d.pendingHead >= len(d.pending) {
 			d.pending = d.pending[:0]
+			d.pendingHead = 0
+		} else if d.pendingHead >= 64 && d.pendingHead*2 >= len(d.pending) {
+			// Compact the drained prefix: a long run that appends and
+			// destages in lockstep never fully drains the queue, so
+			// without this the slice (and its dead prefix) would grow
+			// for the life of the device.
+			n := copy(d.pending, d.pending[d.pendingHead:])
+			d.pending = d.pending[:n]
 			d.pendingHead = 0
 		}
 	}
@@ -241,8 +339,8 @@ func (d *Device) SubmitRead(now sim.Duration, lpn int64, n int) sim.Duration {
 	}
 	d.checkRange(lpn, n)
 	d.ftl.stats.HostPagesRead += int64(n)
-	service := d.cfg.Profile.ReadFixed + time.Duration(n)*d.hostReadPerPage
-	return d.res.Acquire(now, service)
+	return d.submitStriped(now, lpn, n, d.cfg.Profile.ReadFixed,
+		func(int64) time.Duration { return d.laneReadPerPage })
 }
 
 // Trim discards the mapping for n pages starting at lpn (like a ranged

@@ -309,8 +309,15 @@ func (j *compactionJob) totalWritten() int64 {
 	return n + j.imgWritten
 }
 
-// chargeReads advances input read accounting up to target pages.
+// chargeReads advances input read accounting up to target pages. With
+// CompactionReadParallelism > 1 the per-file read requests of one step
+// are submitted at the same virtual time in waves of that size, so
+// reads from distinct input files overlap on the device's internal
+// lanes; otherwise each read queues behind the previous one.
 func (j *compactionJob) chargeReads(now sim.Duration, target int64) sim.Duration {
+	par := j.d.cfg.CompactionReadParallelism
+	inFlight := 0
+	waveEnd := now
 	for j.readCharged < target && j.readCursorFile < len(j.inputs) {
 		t := j.inputs[j.readCursorFile]
 		remainInFile := t.FilePages() - j.readCursorPage
@@ -328,12 +335,19 @@ func (j *compactionJob) chargeReads(now sim.Duration, target int64) sim.Duration
 			j.d.fatal = err
 			return now
 		}
-		now = done
+		if done > waveEnd {
+			waveEnd = done
+		}
+		inFlight++
+		if inFlight >= par {
+			now = waveEnd
+			inFlight = 0
+		}
 		j.readCursorPage += n
 		j.readCharged += n
 		j.d.ioStats.CompactionReadB += n * int64(j.d.fs.PageSize())
 	}
-	return now
+	return waveEnd
 }
 
 // commit atomically installs outputs and removes inputs.

@@ -75,6 +75,21 @@ type Config struct {
 	// interleave more finely with foreground I/O.
 	ChunkPages int
 
+	// ProbeParallelism is the number of SSTable point lookups a Get
+	// issues concurrently (same virtual submission time) when the key
+	// misses the memtables: candidate tables across L0 files and the
+	// sorted levels are probed in priority-ordered waves of this size,
+	// overlapping their block reads on the device's internal lanes.
+	// 1 (the default) probes strictly sequentially, the classic
+	// queue-depth-1 read path.
+	ProbeParallelism int
+
+	// CompactionReadParallelism is the number of input-table read
+	// requests a compaction step keeps in flight at once. With more
+	// than one, reads from distinct input files overlap on the device.
+	// Default 1 (sequential).
+	CompactionReadParallelism int
+
 	// Content selects content mode: values are materialized and written
 	// through to the device (requires a content-enabled block device).
 	Content bool
@@ -150,6 +165,12 @@ func (c Config) Validate() (Config, error) {
 	}
 	if c.ChunkPages <= 0 {
 		c.ChunkPages = 64
+	}
+	if c.ProbeParallelism < 1 {
+		c.ProbeParallelism = 1
+	}
+	if c.CompactionReadParallelism < 1 {
+		c.CompactionReadParallelism = 1
 	}
 	return c, nil
 }

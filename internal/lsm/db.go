@@ -50,6 +50,9 @@ type DB struct {
 	compactW  *sim.Worker // L0 -> L1
 	compactWD *sim.Worker // deep levels (L1+)
 
+	// probeCandidates is scratch for getParallel, reused across Gets.
+	probeCandidates []*sstable.Table
+
 	stats   kv.EngineStats
 	ioStats IOStats
 	fatal   error // out-of-space or similar; surfaced on every call
@@ -309,6 +312,9 @@ func (d *DB) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, erro
 			return d.foundEntry(now, e)
 		}
 	}
+	if d.cfg.ProbeParallelism > 1 {
+		return d.getParallel(now, key)
+	}
 	// L0: newest first, files overlap.
 	for _, t := range d.levels[0] {
 		done, e, found, err := t.Get(now, key)
@@ -333,6 +339,52 @@ func (d *DB) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, erro
 		}
 		if found {
 			return d.foundEntry(now, &e)
+		}
+	}
+	return now, nil, false, nil
+}
+
+// getParallel probes candidate tables in priority-ordered waves of
+// ProbeParallelism: every probe in a wave is submitted at the same
+// virtual time, so their block reads overlap on the device's internal
+// lanes; the wave completes when its slowest probe does. Within a wave
+// the newest table that holds the key wins, which preserves the exact
+// result of the sequential walk — the parallel path only trades
+// speculative read I/O for latency, as a real multi-queue read path
+// does.
+func (d *DB) getParallel(now sim.Duration, key []byte) (sim.Duration, []byte, bool, error) {
+	cands := d.probeCandidates[:0]
+	cands = append(cands, d.levels[0]...) // newest first, files overlap
+	for li := 1; li < len(d.levels); li++ {
+		if t := findInLevel(d.levels[li], key); t != nil {
+			cands = append(cands, t)
+		}
+	}
+	d.probeCandidates = cands[:0]
+	for start := 0; start < len(cands); start += d.cfg.ProbeParallelism {
+		end := start + d.cfg.ProbeParallelism
+		if end > len(cands) {
+			end = len(cands)
+		}
+		waveEnd := now
+		hit := -1
+		var hitEntry kv.Entry
+		for i := start; i < end; i++ {
+			done, e, found, err := cands[i].Get(now, key)
+			if err != nil {
+				return done, nil, false, err
+			}
+			if done > waveEnd {
+				waveEnd = done
+			}
+			if found && hit < 0 {
+				hit = i
+				hitEntry = e
+			}
+		}
+		now = waveEnd
+		if hit >= 0 {
+			return d.foundEntry(now, &hitEntry)
 		}
 	}
 	return now, nil, false, nil

@@ -1,0 +1,86 @@
+package sim
+
+// MultiResource models a shared dispatch queue feeding N independent
+// FIFO service lanes — the internal parallelism of an SSD, where the
+// host-visible queue fans out over channels × ways (dies). Requests
+// submitted at overlapping virtual times run concurrently as long as
+// free lanes remain; once every lane is busy, later requests queue
+// behind the earliest-finishing lane, exactly like commands waiting in
+// an NVMe submission queue.
+//
+// A MultiResource with one lane is behaviourally identical to Resource.
+// Like all sim primitives it is single-threaded and deterministic: ties
+// between equally idle lanes break toward the lowest lane index.
+type MultiResource struct {
+	lanes     []Duration // per-lane busyUntil
+	busyTotal Duration
+}
+
+// NewMultiResource returns an idle resource with n service lanes
+// (n < 1 is treated as 1).
+func NewMultiResource(n int) *MultiResource {
+	if n < 1 {
+		n = 1
+	}
+	return &MultiResource{lanes: make([]Duration, n)}
+}
+
+// Lanes returns the number of service lanes.
+func (m *MultiResource) Lanes() int { return len(m.lanes) }
+
+// Acquire dispatches a request submitted at time now to the
+// earliest-available lane and returns its completion time. Service must
+// be >= 0.
+func (m *MultiResource) Acquire(now, service Duration) Duration {
+	best := 0
+	for i := 1; i < len(m.lanes); i++ {
+		if m.lanes[i] < m.lanes[best] {
+			best = i
+		}
+	}
+	return m.AcquireLane(best, now, service)
+}
+
+// AcquireLane queues a request on a specific lane (placement-aware
+// callers use it to model data striped over channels and ways) and
+// returns its completion time.
+func (m *MultiResource) AcquireLane(lane int, now, service Duration) Duration {
+	start := now
+	if m.lanes[lane] > start {
+		start = m.lanes[lane]
+	}
+	done := start + service
+	m.lanes[lane] = done
+	m.busyTotal += service
+	return done
+}
+
+// BusyUntil reports the time at which the whole resource drains (the
+// maximum over lanes) — callers use it to quiesce.
+func (m *MultiResource) BusyUntil() Duration {
+	var max Duration
+	for _, b := range m.lanes {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// NextIdle reports the earliest time at which any lane becomes free.
+func (m *MultiResource) NextIdle() Duration {
+	min := m.lanes[0]
+	for _, b := range m.lanes[1:] {
+		if b < min {
+			min = b
+		}
+	}
+	return min
+}
+
+// BusyTotal reports the cumulative service time ever accepted, summed
+// over lanes. Dividing by (elapsed time × Lanes()) yields utilization.
+func (m *MultiResource) BusyTotal() Duration { return m.busyTotal }
+
+// Idle reports whether every lane is idle at time now.
+func (m *MultiResource) Idle(now Duration) bool { return m.BusyUntil() <= now }

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMultiResourceSingleLaneMatchesResource(t *testing.T) {
+	r := NewResource()
+	m := NewMultiResource(1)
+	subs := []struct {
+		at, svc Duration
+	}{
+		{0, 10 * time.Millisecond},
+		{2 * time.Millisecond, 5 * time.Millisecond},
+		{time.Second, time.Millisecond},
+	}
+	for _, s := range subs {
+		want := r.Acquire(s.at, s.svc)
+		got := m.Acquire(s.at, s.svc)
+		if got != want {
+			t.Fatalf("single-lane MultiResource diverged: %v vs %v", got, want)
+		}
+	}
+	if m.BusyTotal() != r.BusyTotal() {
+		t.Fatalf("BusyTotal %v vs %v", m.BusyTotal(), r.BusyTotal())
+	}
+	if m.BusyUntil() != r.BusyUntil() {
+		t.Fatalf("BusyUntil %v vs %v", m.BusyUntil(), r.BusyUntil())
+	}
+}
+
+func TestMultiResourceOverlap(t *testing.T) {
+	m := NewMultiResource(2)
+	// Two requests at t=0 run on distinct lanes and overlap fully.
+	d1 := m.Acquire(0, 10*time.Millisecond)
+	d2 := m.Acquire(0, 10*time.Millisecond)
+	if d1 != 10*time.Millisecond || d2 != 10*time.Millisecond {
+		t.Fatalf("overlapping requests: %v, %v (want both 10ms)", d1, d2)
+	}
+	// A third queues behind the earliest-finishing lane.
+	d3 := m.Acquire(0, time.Millisecond)
+	if d3 != 11*time.Millisecond {
+		t.Fatalf("third request %v, want 11ms", d3)
+	}
+	if m.BusyTotal() != 21*time.Millisecond {
+		t.Fatalf("BusyTotal %v, want 21ms", m.BusyTotal())
+	}
+}
+
+func TestMultiResourceAcquireLaneFIFO(t *testing.T) {
+	m := NewMultiResource(4)
+	// Requests pinned to one lane serialize; another lane stays free.
+	d1 := m.AcquireLane(2, 0, 5*time.Millisecond)
+	d2 := m.AcquireLane(2, time.Millisecond, 5*time.Millisecond)
+	if d1 != 5*time.Millisecond || d2 != 10*time.Millisecond {
+		t.Fatalf("lane FIFO: %v, %v", d1, d2)
+	}
+	if d := m.AcquireLane(0, time.Millisecond, time.Millisecond); d != 2*time.Millisecond {
+		t.Fatalf("free lane should start immediately: %v", d)
+	}
+	if m.NextIdle() != 0 {
+		t.Fatalf("NextIdle %v, want 0 (lanes 1 and 3 never used)", m.NextIdle())
+	}
+	if m.BusyUntil() != 10*time.Millisecond {
+		t.Fatalf("BusyUntil %v, want 10ms", m.BusyUntil())
+	}
+}
+
+func TestMultiResourceDeterministicTieBreak(t *testing.T) {
+	a := NewMultiResource(3)
+	b := NewMultiResource(3)
+	for i := 0; i < 100; i++ {
+		at := Duration(i) * 100 * time.Microsecond
+		if a.Acquire(at, time.Millisecond) != b.Acquire(at, time.Millisecond) {
+			t.Fatalf("tie-break diverged at request %d", i)
+		}
+	}
+}
+
+func TestMultiResourceIdleAndLanes(t *testing.T) {
+	m := NewMultiResource(0) // clamps to 1
+	if m.Lanes() != 1 {
+		t.Fatalf("Lanes = %d, want 1", m.Lanes())
+	}
+	if !m.Idle(0) {
+		t.Fatal("new resource should be idle")
+	}
+	m.Acquire(0, time.Millisecond)
+	if m.Idle(500 * time.Microsecond) {
+		t.Fatal("should be busy at 0.5ms")
+	}
+	if !m.Idle(time.Millisecond) {
+		t.Fatal("should be idle at 1ms")
+	}
+}

@@ -61,6 +61,15 @@ const (
 // instrumentation) and returns its result.
 func Run(spec Spec) (*Result, error) { return core.Run(spec) }
 
+// RunGrid executes independent experiment cells across goroutines
+// (bounded by workers; < 1 means GOMAXPROCS) and returns results in
+// cell order. Every cell seeds its own RNG from its Spec, so the
+// results are bit-identical to running each Spec through Run
+// sequentially — concurrency never costs determinism.
+func RunGrid(specs []Spec, workers int) ([]*Result, error) {
+	return core.RunGrid(specs, workers)
+}
+
 // DefaultDevice returns the paper's primary testbed device: a 400 GB
 // enterprise flash SSD (SSD1).
 func DefaultDevice() DeviceSpec { return core.DefaultDevice() }

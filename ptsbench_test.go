@@ -87,8 +87,9 @@ func TestRunFacade(t *testing.T) {
 }
 
 func TestFigureFacade(t *testing.T) {
-	if len(ptsbench.Figures()) != 10 {
-		t.Fatalf("expected 10 figures, got %d", len(ptsbench.Figures()))
+	// The paper's fig2..fig11 plus the qdsweep extension.
+	if len(ptsbench.Figures()) != 11 {
+		t.Fatalf("expected 11 figures, got %d", len(ptsbench.Figures()))
 	}
 	rep, err := ptsbench.Figure("fig4", ptsbench.FigureOptions{Quick: true, Scale: 2048})
 	if err != nil {
