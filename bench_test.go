@@ -293,14 +293,17 @@ func lsmChurnWAD(discard bool) (float64, error) {
 	rng := sim.NewRNG(3)
 	numKeys := uint64((128 << 20) / 4000)
 	var now sim.Duration
+	key := make([]byte, kv.KeySize)
 	for id := uint64(0); id < numKeys; id++ {
-		if now, err = db.Put(now, kv.EncodeKey(id), nil, 4000); err != nil {
+		kv.AppendKey(key, id)
+		if now, err = db.Put(now, key, nil, 4000); err != nil {
 			return 0, err
 		}
 	}
 	base := ssd.Stats()
 	for i := uint64(0); i < numKeys*4; i++ {
-		if now, err = db.Put(now, kv.EncodeKey(rng.Uint64n(numKeys)), nil, 4000); err != nil {
+		kv.AppendKey(key, rng.Uint64n(numKeys))
+		if now, err = db.Put(now, key, nil, 4000); err != nil {
 			return 0, err
 		}
 	}

@@ -8,10 +8,18 @@
 //	ptsbench run -figure fig2 [-scale 128] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench all [-quick] [-csv DIR]
+//	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]
 //
 // qdsweep is shorthand for "run -figure qdsweep": the queue-depth sweep
 // on an SSD with internal channel/way parallelism, whose cells execute
 // concurrently across host cores.
+//
+// bench runs the pinned performance suite (internal/perf): micro
+// benchmarks of the hot data structures plus the Fig 2 cells, reporting
+// ns/op, allocs/op and virtual-time-per-wall-second. -out writes the
+// results as JSON (this is how BENCH_baseline.json is refreshed);
+// -against compares the run to a committed baseline and exits non-zero
+// on regressions beyond the thresholds.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"time"
 
 	"ptsbench"
+	"ptsbench/internal/perf"
 )
 
 func main() {
@@ -52,6 +61,18 @@ func main() {
 		opts, csvDir := commonFlags(fs)
 		_ = fs.Parse(os.Args[2:])
 		if err := runOne("qdsweep", *opts, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "bench":
+		fs := flag.NewFlagSet("bench", flag.ExitOnError)
+		quick := fs.Bool("quick", false, "reduce iteration counts (same workload shapes)")
+		out := fs.String("out", "", "write results JSON to this file")
+		against := fs.String("against", "", "baseline JSON to diff against (non-zero exit on regression)")
+		nsThresh := fs.Float64("threshold", 10, "ns/op regression threshold (x baseline; generous, wall time is machine-dependent)")
+		allocThresh := fs.Float64("alloc-threshold", 2, "allocs/op regression threshold (x baseline; machine-independent)")
+		_ = fs.Parse(os.Args[2:])
+		if err := runBench(*quick, *out, *against, *nsThresh, *allocThresh); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -99,10 +120,50 @@ func runOne(id string, opts ptsbench.FigureOptions, csvDir string) error {
 	return nil
 }
 
+func runBench(quick bool, out, against string, nsThresh, allocThresh float64) error {
+	start := time.Now()
+	res, err := perf.RunSuite(perf.Options{Quick: quick})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-24s %14s %12s %14s %14s\n", "benchmark", "ns/op", "allocs/op", "B/op", "virt-s/wall-s")
+	for _, m := range res.Metrics {
+		extra := ""
+		if m.VirtualPerWall > 0 {
+			extra = fmt.Sprintf("%14.1f", m.VirtualPerWall)
+		}
+		fmt.Printf("%-24s %14.1f %12.2f %14.1f %s\n", m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, extra)
+	}
+	fmt.Printf("(suite completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	if out != "" {
+		if err := res.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", out)
+	}
+	if against != "" {
+		base, err := perf.ReadFile(against)
+		if err != nil {
+			return err
+		}
+		regs := perf.Compare(base, res, nsThresh, allocThresh)
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+			}
+			return fmt.Errorf("%d metric(s) regressed against %s", len(regs), against)
+		}
+		fmt.Printf("no regressions against %s (ns/op <= %.1fx, allocs/op <= %.1fx)\n",
+			against, nsThresh, allocThresh)
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ptsbench list
   ptsbench run -figure figN [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
-  ptsbench all [-quick] [-csv DIR]`)
+  ptsbench all [-quick] [-csv DIR]
+  ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]`)
 }

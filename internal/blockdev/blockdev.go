@@ -8,7 +8,7 @@ package blockdev
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"ptsbench/internal/flash"
 	"ptsbench/internal/sim"
@@ -55,6 +55,7 @@ func (c Counters) Sub(o Counters) Counters {
 // Device wraps a flash.Device with host-side instrumentation.
 type Device struct {
 	ssd      *flash.Device
+	ps       int // cached ssd.PageSize(), consulted on every I/O
 	counters Counters
 
 	// writeHist counts writes per logical page, like blktrace
@@ -70,6 +71,7 @@ type Device struct {
 func New(ssd *flash.Device) *Device {
 	return &Device{
 		ssd:       ssd,
+		ps:        ssd.PageSize(),
 		writeHist: make([]uint32, ssd.LogicalPages()),
 	}
 }
@@ -90,7 +92,7 @@ func (d *Device) ContentEnabled() bool { return d.content != nil }
 func (d *Device) SSD() *flash.Device { return d.ssd }
 
 // PageSize implements Dev.
-func (d *Device) PageSize() int { return d.ssd.PageSize() }
+func (d *Device) PageSize() int { return d.ps }
 
 // Pages implements Dev.
 func (d *Device) Pages() int64 { return d.ssd.LogicalPages() }
@@ -104,13 +106,15 @@ func (d *Device) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Du
 		return now
 	}
 	d.checkRange(off, n)
-	ps := d.ssd.PageSize()
+	ps := d.ps
 	if data != nil && len(data) != n*ps {
 		panic(fmt.Sprintf("blockdev: data length %d != %d pages", len(data), n))
 	}
 	d.counters.BytesWritten += int64(n) * int64(ps)
 	d.counters.WriteOps++
-	for i := 0; i < n; i++ {
+	// One bounds check for the whole run; the compiler keeps the rest
+	// branch-free.
+	for i := range d.writeHist[off : off+int64(n)] {
 		d.writeHist[off+int64(i)]++
 	}
 	if d.content != nil && data != nil {
@@ -129,7 +133,7 @@ func (d *Device) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Dura
 		return now
 	}
 	d.checkRange(off, n)
-	ps := d.ssd.PageSize()
+	ps := d.ps
 	if buf != nil && len(buf) != n*ps {
 		panic(fmt.Sprintf("blockdev: buffer length %d != %d pages", len(buf), n))
 	}
@@ -179,9 +183,7 @@ func (d *Device) BlkDiscardAll() {
 // measured run, as in the paper.
 func (d *Device) ResetInstrumentation() {
 	d.counters = Counters{}
-	for i := range d.writeHist {
-		d.writeHist[i] = 0
-	}
+	clear(d.writeHist)
 }
 
 func (d *Device) checkRange(off int64, n int) {
@@ -198,7 +200,13 @@ func (d *Device) checkRange(off int64, n int) {
 func (d *Device) WriteCDF(points int) []float64 {
 	counts := make([]uint32, len(d.writeHist))
 	copy(counts, d.writeHist)
-	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	// Ascending radix-free sort then reverse: slices.Sort on a plain
+	// uint32 slice avoids sort.Slice's per-compare closure over the
+	// device-sized histogram.
+	slices.Sort(counts)
+	for i, j := 0, len(counts)-1; i < j; i, j = i+1, j-1 {
+		counts[i], counts[j] = counts[j], counts[i]
+	}
 	var total float64
 	for _, c := range counts {
 		total += float64(c)

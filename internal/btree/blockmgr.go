@@ -18,7 +18,8 @@ type blockManager struct {
 	// pending holds extents freed since the last checkpoint; they join
 	// the free list only when the checkpoint commits, so the previous
 	// checkpoint's page images stay intact for crash recovery.
-	pending []fileExtent
+	pending      []fileExtent
+	pendingTotal int64 // sum of pending extent pages (checked per Put)
 	// growChunk batches file growth to limit filesystem fragmentation.
 	growChunk int64
 }
@@ -102,17 +103,12 @@ func (bm *blockManager) release(e fileExtent) {
 func (bm *blockManager) releaseDeferred(e fileExtent) {
 	if e.pages > 0 {
 		bm.pending = append(bm.pending, e)
+		bm.pendingTotal += e.pages
 	}
 }
 
 // pendingPages reports the total pages awaiting release.
-func (bm *blockManager) pendingPages() int64 {
-	var n int64
-	for _, e := range bm.pending {
-		n += e.pages
-	}
-	return n
-}
+func (bm *blockManager) pendingPages() int64 { return bm.pendingTotal }
 
 // pendingMark returns a cursor into the deferred-release queue; a
 // checkpoint snapshots it at creation and releases only that prefix at
@@ -127,6 +123,7 @@ func (bm *blockManager) commitPendingPrefix(n int) {
 		n = len(bm.pending)
 	}
 	for _, e := range bm.pending[:n] {
+		bm.pendingTotal -= e.pages
 		bm.release(e)
 	}
 	bm.pending = append(bm.pending[:0], bm.pending[n:]...)

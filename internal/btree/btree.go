@@ -22,7 +22,7 @@ type Tree struct {
 	file *extfs.File
 	bm   *blockManager
 
-	pages  map[pageID]*page
+	pages  []*page // indexed by pageID; ids are allocated sequentially
 	root   pageID
 	nextID pageID
 
@@ -30,7 +30,8 @@ type Tree struct {
 	lruHead, lruTail pageID
 	residentBytes    int64
 
-	dirty map[pageID]struct{} // pages needing a write at checkpoint
+	dirtyIDs   []pageID // append-order log of false->true dirty transitions
+	dirtyCount int      // number of pages currently dirty
 
 	journal     *wal.Writer
 	journalID   uint64
@@ -74,8 +75,7 @@ func Open(fs *extfs.FS, cfg Config) (*Tree, error) {
 		fs:    fs,
 		file:  f,
 		bm:    newBlockManager(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
-		pages: make(map[pageID]*page),
-		dirty: make(map[pageID]struct{}),
+		pages: make([]*page, 1, 64), // index 0 is nilPage
 		ckptW: sim.NewWorker("btree-checkpoint"),
 	}
 	rootLeaf := t.newPage(true)
@@ -97,24 +97,40 @@ func (t *Tree) journalName() string {
 	return fmt.Sprintf("journal-%06d", t.journalID)
 }
 
+// registerPage adds a freshly allocated page to the id-indexed slice;
+// ids are handed out sequentially, so the page's id always equals the
+// next free slot.
+func (t *Tree) registerPage(p *page) {
+	if int(p.id) != len(t.pages) {
+		panic("btree: page ids must be registered sequentially")
+	}
+	t.pages = append(t.pages, p)
+}
+
 func (t *Tree) newPage(leaf bool) *page {
 	t.nextID++
-	p := &page{id: t.nextID, leaf: leaf, dirty: true, serialized: pageHeaderBytes}
-	t.pages[p.id] = p
+	p := &page{id: t.nextID, leaf: leaf, serialized: pageHeaderBytes}
+	t.registerPage(p)
 	t.markDirty(p)
 	return p
 }
 
 func (t *Tree) markDirty(p *page) {
-	if !p.dirty {
-		p.dirty = true
+	if p.dirty {
+		return // already tracked for the next checkpoint
 	}
-	t.dirty[p.id] = struct{}{}
+	p.dirty = true
+	t.dirtyCount++
+	t.dirtyIDs = append(t.dirtyIDs, p.id)
 }
 
 func (t *Tree) clearDirty(p *page) {
-	p.dirty = false
-	delete(t.dirty, p.id)
+	if p.dirty {
+		p.dirty = false
+		t.dirtyCount--
+	}
+	// The page's entry in dirtyIDs stays behind; checkpoint snapshots
+	// filter on the dirty flag, so a stale id is skipped for free.
 }
 
 // Config returns the validated configuration.
@@ -419,11 +435,12 @@ func (t *Tree) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, er
 		return now, nil, false, err
 	}
 	i := leaf.search(key)
-	if i >= len(leaf.keys) || !equalBytes(leaf.keys[i], key) || leaf.dels[i] {
+	if i >= len(leaf.entries) || !equalBytes(leaf.entries[i].key, key) || leaf.entries[i].del {
 		return now, nil, false, nil
 	}
-	t.stats.UserBytesRead += int64(len(key)) + int64(leaf.vlens[i])
-	return now, leaf.vals[i], true, nil
+	e := &leaf.entries[i]
+	t.stats.UserBytesRead += int64(len(key)) + int64(e.vlen)
+	return now, e.val, true, nil
 }
 
 func equalBytes(a, b []byte) bool {
@@ -461,17 +478,18 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 			t.fatal = err
 			return now, nil, err
 		}
-		for ; idx < len(leaf.keys) && limit > 0; idx++ {
-			if leaf.dels[idx] {
+		for ; idx < len(leaf.entries) && limit > 0; idx++ {
+			le := &leaf.entries[idx]
+			if le.del {
 				continue
 			}
 			e := kv.Entry{
-				Key:      append([]byte(nil), leaf.keys[idx]...),
-				ValueLen: int(leaf.vlens[idx]),
-				Seq:      leaf.seqs[idx],
+				Key:      append([]byte(nil), le.key...),
+				ValueLen: int(le.vlen),
+				Seq:      le.seq,
 			}
-			if leaf.vals[idx] != nil {
-				e.Value = append([]byte(nil), leaf.vals[idx]...)
+			if le.val != nil {
+				e.Value = append([]byte(nil), le.val...)
 			}
 			t.stats.UserBytesRead += int64(len(e.Key) + e.ValueLen)
 			out = append(out, e)
@@ -493,7 +511,7 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 func (t *Tree) splitLeaf(leaf *page) {
 	right, sep := leaf.splitLeaf(t.nextID + 1)
 	t.nextID++
-	t.pages[right.id] = right
+	t.registerPage(right)
 	t.markDirty(right)
 	t.markDirty(leaf)
 	t.io.LeafSplits++
@@ -536,7 +554,7 @@ func (t *Tree) insertIntoParent(left *page, sep []byte, right *page) {
 func (t *Tree) splitInternalPage(p *page) {
 	right, promoted := p.splitInternal(t.nextID + 1)
 	t.nextID++
-	t.pages[right.id] = right
+	t.registerPage(right)
 	t.markDirty(right)
 	t.markDirty(p)
 	t.io.InternalSplits++
@@ -626,6 +644,9 @@ func (t *Tree) Depth() int {
 // PageCount returns the numbers of leaf and internal pages.
 func (t *Tree) PageCount() (leaves, internals int) {
 	for _, p := range t.pages {
+		if p == nil {
+			continue // index 0 (nilPage) placeholder
+		}
 		if p.leaf {
 			leaves++
 		} else {

@@ -222,8 +222,8 @@ func TestFlushAllWritesEverything(t *testing.T) {
 	if end < now {
 		t.Fatal("FlushAll went back in time")
 	}
-	if len(tr.dirty) != 0 {
-		t.Fatalf("%d dirty pages after FlushAll", len(tr.dirty))
+	if tr.dirtyCount != 0 {
+		t.Fatalf("%d dirty pages after FlushAll", tr.dirtyCount)
 	}
 }
 
@@ -314,13 +314,13 @@ func TestPageSerializationRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("parse failed")
 	}
-	if len(got.keys) != 2 || !bytes.Equal(got.keys[0], kv.EncodeKey(1)) {
-		t.Fatalf("keys wrong: %v", got.keys)
+	if len(got.entries) != 2 || !bytes.Equal(got.entries[0].key, kv.EncodeKey(1)) {
+		t.Fatalf("entries wrong: %v", got.entries)
 	}
-	if string(got.vals[0]) != "abc" || got.seqs[0] != 7 {
+	if string(got.entries[0].val) != "abc" || got.entries[0].seq != 7 {
 		t.Fatal("entry 0 wrong")
 	}
-	if !got.dels[1] || got.seqs[1] != 9 || got.vlens[1] != 64 {
+	if !got.entries[1].del || got.entries[1].seq != 9 || got.entries[1].vlen != 64 {
 		t.Fatal("tombstone entry wrong")
 	}
 

@@ -2,6 +2,7 @@ package btree
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"ptsbench/internal/sim"
 	"ptsbench/internal/wal"
@@ -22,13 +23,16 @@ type checkpointJob struct {
 // newCheckpointJob snapshots the dirty set and rotates the journal.
 // It returns nil if there is nothing to write.
 func (t *Tree) newCheckpointJob() (*checkpointJob, error) {
-	if len(t.dirty) == 0 {
+	if t.dirtyCount == 0 {
 		return nil, nil
 	}
 	job := &checkpointJob{t: t, pendingMark: t.bm.pendingMark()}
-	for id := range t.dirty {
-		job.ids = append(job.ids, id)
+	for _, id := range t.dirtyIDs {
+		if t.pages[id].dirty {
+			job.ids = append(job.ids, id)
+		}
 	}
+	t.dirtyIDs = nil
 	// Bottom-up order: leaves first, then internal pages deepest-first,
 	// the root last. Writing a child records its new extent before its
 	// parent's image is serialized, so a completed checkpoint is a
@@ -62,16 +66,15 @@ func (t *Tree) sortBottomUp(ids []pageID) {
 	for _, id := range ids {
 		depth[id] = t.depthOf(id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0; j-- {
-			a, b := ids[j], ids[j-1]
-			if depth[a] > depth[b] || (depth[a] == depth[b] && a < b) {
-				ids[j], ids[j-1] = ids[j-1], ids[j]
-			} else {
-				break
-			}
+	// (depth desc, id asc) is a total order over distinct ids, so any
+	// sort yields the same deterministic sequence.
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := ids[i], ids[j]
+		if depth[a] != depth[b] {
+			return depth[a] > depth[b]
 		}
-	}
+		return a < b
+	})
 }
 
 // Step implements sim.Job: write pages until the chunk budget is used.
@@ -83,9 +86,9 @@ func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
 	budget := t.cfg.ChunkPages
 	ps := t.fs.PageSize()
 	for budget > 0 && j.idx < len(j.ids) {
-		p, ok := t.pages[j.ids[j.idx]]
+		p := t.pages[j.ids[j.idx]]
 		j.idx++
-		if !ok || !p.dirty {
+		if p == nil || !p.dirty {
 			continue // evicted and written in the meantime
 		}
 		var err error
@@ -148,21 +151,22 @@ func serializePage(p *page, resolve func(pageID) fileExtent) []byte {
 		out[4] = 1
 	}
 	if p.leaf {
-		binary.LittleEndian.PutUint32(out[8:], uint32(len(p.keys)))
-		for i := range p.keys {
+		binary.LittleEndian.PutUint32(out[8:], uint32(len(p.entries)))
+		for i := range p.entries {
+			e := &p.entries[i]
 			var hdr [entryOverhead]byte
-			binary.LittleEndian.PutUint16(hdr[0:], uint16(len(p.keys[i])))
-			vl := int(p.vlens[i])
+			binary.LittleEndian.PutUint16(hdr[0:], uint16(len(e.key)))
+			vl := int(e.vlen)
 			binary.LittleEndian.PutUint32(hdr[2:], uint32(vl))
-			seq := p.seqs[i]
-			if p.dels[i] {
+			seq := e.seq
+			if e.del {
 				seq |= 1 << 63 // tombstone bit
 			}
 			binary.LittleEndian.PutUint64(hdr[6:], seq)
 			out = append(out, hdr[:]...)
-			out = append(out, p.keys[i]...)
-			if p.vals[i] != nil {
-				out = append(out, p.vals[i]...)
+			out = append(out, e.key...)
+			if e.val != nil {
+				out = append(out, e.val...)
 			} else {
 				out = append(out, make([]byte, vl)...)
 			}
@@ -215,11 +219,13 @@ func parsePage(data []byte) (*page, bool) {
 			if off+kl+vl > len(data) {
 				return nil, false
 			}
-			p.keys = append(p.keys, cloneBytes(data[off:off+kl]))
-			p.vals = append(p.vals, cloneBytes(data[off+kl:off+kl+vl]))
-			p.vlens = append(p.vlens, int32(vl))
-			p.seqs = append(p.seqs, seq)
-			p.dels = append(p.dels, del)
+			p.entries = append(p.entries, leafEntry{
+				key:  cloneBytes(data[off : off+kl]),
+				val:  cloneBytes(data[off+kl : off+kl+vl]),
+				seq:  seq,
+				vlen: int32(vl),
+				del:  del,
+			})
 			off += kl + vl
 		}
 		return p, true

@@ -149,8 +149,7 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 		fs:        fs,
 		file:      f,
 		bm:        newBlockManager(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
-		pages:     make(map[pageID]*page),
-		dirty:     make(map[pageID]struct{}),
+		pages:     make([]*page, 1, 64), // index 0 is nilPage
 		ckptW:     sim.NewWorker("btree-checkpoint"),
 		seq:       st.seq,
 		journalID: st.journalID,
@@ -256,14 +255,14 @@ func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent pageID, used
 	p.everOnDisk = true
 	if p.leaf {
 		var sz int
-		for i := range p.keys {
-			sz += entryOverhead + len(p.keys[i]) + int(p.vlens[i])
+		for i := range p.entries {
+			sz += p.entries[i].bytes()
 		}
 		p.serialized = pageHeaderBytes + sz
 	} else {
 		p.recomputeSerialized()
 	}
-	t.pages[p.id] = p
+	t.registerPage(p)
 	*used = append(*used, ext)
 	if !p.leaf {
 		for i, ce := range p.childExtents {
@@ -324,7 +323,7 @@ func (t *Tree) rebuildLeafChain() {
 func (t *Tree) applyRecovered(r *wal.Record) error {
 	leaf := t.descend(r.Key)
 	i := leaf.search(r.Key)
-	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], r.Key) && leaf.seqs[i] >= r.Seq {
+	if i < len(leaf.entries) && bytes.Equal(leaf.entries[i].key, r.Key) && leaf.entries[i].seq >= r.Seq {
 		return nil // on-disk state is as new or newer
 	}
 	vlen := r.ValueLen

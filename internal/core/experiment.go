@@ -297,10 +297,13 @@ func Run(spec Spec) (*Result, error) {
 	res := &Result{Spec: spec, DatasetBytes: datasetBytes, NumKeys: numKeys}
 
 	// Load phase: ingest all keys in sequential order (§3.2), then
-	// quiesce.
+	// quiesce. The key buffer is reused across iterations (engines copy
+	// what they keep), so the loop allocates nothing per key.
 	var now sim.Duration
+	loadKey := make([]byte, kv.KeySize)
 	for id := uint64(0); id < numKeys; id++ {
-		now, err = eng.Put(now, kv.EncodeKey(id), nil, spec.ValueBytes)
+		kv.AppendKey(loadKey, id)
+		now, err = eng.Put(now, loadKey, nil, spec.ValueBytes)
 		if err != nil {
 			if errors.Is(err, extfs.ErrNoSpace) {
 				res.OutOfSpace = true

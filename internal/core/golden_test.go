@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ptsbench/internal/flash"
+	"ptsbench/internal/sim"
+)
+
+// The golden fixtures pin the exact numeric output of the experiment
+// runner. The trimmed-device fixtures were generated from the per-page
+// (pre-batching) implementation of the flash, blockdev and engine hot
+// paths; the batched implementation must reproduce them bit for bit,
+// which is the load-bearing equivalence argument for the performance
+// work (batching is a speedup, not a remodel). The preconditioned
+// fixture pins the post-change O(blocks) sequential fill — the one
+// deliberate behavioural change of the batching work (block-sequential
+// placement instead of per-page stream striping during the timeless
+// setup phase) — so it guards against future drift rather than
+// pre-change equivalence.
+//
+// Regenerate (only when a deliberate behavioural change is made):
+//
+//	go test ./internal/core -run TestGoldenResults -update-golden
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden result fixtures")
+
+// goldenResult is the JSON-serializable deep content of a Result: every
+// sample of the series, the FTL/device counters embedded in them, the
+// derived steady-state stats and the latency percentiles.
+type goldenResult struct {
+	Series         Series
+	Steady         SteadyStats
+	SpaceAmp       float64
+	DiskUtilPct    float64
+	LBACDF         []float64
+	FracLBAs       float64
+	LoadDuration   sim.Duration
+	DatasetBytes   int64
+	NumKeys        uint64
+	LoadHostBytes  int64
+	LoadFlashPages int64
+	LoadWAD        float64
+	ScaledKOps     float64
+	Latency        LatencySummary
+}
+
+func goldenOf(r *Result) goldenResult {
+	return goldenResult{
+		Series:         r.Series,
+		Steady:         r.Steady,
+		SpaceAmp:       r.SpaceAmp,
+		DiskUtilPct:    r.DiskUtilPct,
+		LBACDF:         r.LBACDF,
+		FracLBAs:       r.FracLBAs,
+		LoadDuration:   r.LoadDuration,
+		DatasetBytes:   r.DatasetBytes,
+		NumKeys:        r.NumKeys,
+		LoadHostBytes:  r.LoadHostBytes,
+		LoadFlashPages: r.LoadFlashPages,
+		LoadWAD:        r.LoadWAD,
+		ScaledKOps:     r.ScaledKOps,
+		Latency:        r.Latency,
+	}
+}
+
+func goldenSpecs() map[string]Spec {
+	dev := func(p flash.Profile) DeviceSpec {
+		return DeviceSpec{
+			Profile:       p,
+			CapacityBytes: 400 << 30,
+			PageSize:      4096,
+			PagesPerBlock: 64 << 10,
+		}
+	}
+	// 4×4 internal lanes so that QD 16 genuinely stripes requests over
+	// multiple dies — the multi-lane striping arithmetic is exactly what
+	// the batched dispatch must reproduce.
+	lanes := flash.ProfileSSD1().WithParallelism(4, 4)
+	base := Spec{
+		Device:       dev(lanes),
+		Engine:       LSM,
+		Scale:        4096,
+		ReadFraction: 0.5,
+		Duration:     20 * time.Minute,
+		SampleEvery:  30 * time.Second,
+		Seed:         42,
+	}
+	qd16 := base
+	qd16.QueueDepth = 16
+	cached := base
+	cached.Device = dev(flash.ProfileSSD2()) // write-back cache: destage paths
+	btree := base
+	btree.Engine = BTree
+	btree.QueueDepth = 16
+	precond := base
+	precond.Initial = Preconditioned // pins the O(blocks) sequential fill
+	return map[string]Spec{
+		"lsm-ssd1-qd1":     base,
+		"lsm-ssd1-qd16":    qd16,
+		"lsm-ssd2-cache":   cached,
+		"btree-ssd1-qd16":  btree,
+		"lsm-ssd1-precond": precond,
+	}
+}
+
+func TestGoldenResults(t *testing.T) {
+	for name, spec := range goldenSpecs() {
+		t.Run(name, func(t *testing.T) {
+			res, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(goldenOf(res), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden_"+name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading fixture (run with -update-golden to create): %v", err)
+			}
+			if string(got) != string(want) {
+				diffAt := 0
+				for diffAt < len(got) && diffAt < len(want) && got[diffAt] == want[diffAt] {
+					diffAt++
+				}
+				lo := diffAt - 120
+				if lo < 0 {
+					lo = 0
+				}
+				hiG, hiW := diffAt+120, diffAt+120
+				if hiG > len(got) {
+					hiG = len(got)
+				}
+				if hiW > len(want) {
+					hiW = len(want)
+				}
+				t.Fatalf("result diverges from pre-batching golden fixture %s\nfirst difference at byte %d\ngot:  …%s…\nwant: …%s…",
+					path, diffAt, got[lo:hiG], want[lo:hiW])
+			}
+		})
+	}
+}

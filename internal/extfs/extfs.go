@@ -53,6 +53,7 @@ const metaPages = 4
 // FS is a mounted filesystem.
 type FS struct {
 	dev   blockdev.Dev
+	ps    int // cached dev.PageSize()
 	opts  Options
 	files map[string]*File
 	alloc *allocator
@@ -69,6 +70,7 @@ func Mount(dev blockdev.Dev, opts Options) (*FS, error) {
 	}
 	fs := &FS{
 		dev:   dev,
+		ps:    dev.PageSize(),
 		opts:  opts,
 		files: make(map[string]*File),
 		alloc: newAllocator(metaPages, dev.Pages()-metaPages),
@@ -77,7 +79,7 @@ func Mount(dev blockdev.Dev, opts Options) (*FS, error) {
 }
 
 // PageSize returns the underlying device page size.
-func (fs *FS) PageSize() int { return fs.dev.PageSize() }
+func (fs *FS) PageSize() int { return fs.ps }
 
 // Device exposes the block device the filesystem is mounted on.
 func (fs *FS) Device() blockdev.Dev { return fs.dev }
@@ -248,7 +250,7 @@ func (f *File) ReadAt(now sim.Duration, off int64, n int, buf []byte) (sim.Durat
 	if off < 0 || off+int64(n) > f.pages {
 		return now, fmt.Errorf("extfs: read [%d,+%d) beyond EOF %d of %s", off, n, f.pages, f.name)
 	}
-	ps := f.fs.dev.PageSize()
+	ps := f.fs.ps
 	for n > 0 {
 		start, count := f.mapRun(off, n)
 		var sub []byte
@@ -266,7 +268,7 @@ func (f *File) ReadAt(now sim.Duration, off int64, n int, buf []byte) (sim.Durat
 // writePages performs the device writes for a page run, splitting along
 // extent boundaries.
 func (f *File) writePages(now sim.Duration, off int64, n int, data []byte) sim.Duration {
-	ps := f.fs.dev.PageSize()
+	ps := f.fs.ps
 	for n > 0 {
 		start, count := f.mapRun(off, n)
 		var sub []byte
@@ -315,6 +317,9 @@ type allocator struct {
 	cursor    int64
 	base      int64 // first allocatable page
 	limit     int64 // one past last allocatable page
+	// scratch backs allocate's result slice; the result is only valid
+	// until the next allocate call (every caller copies immediately).
+	scratch []extent
 }
 
 func newAllocator(base, n int64) *allocator {
@@ -328,12 +333,15 @@ func newAllocator(base, n int64) *allocator {
 }
 
 // allocate returns extents totalling n pages, or ErrNoSpace (leaving the
-// allocator unchanged) when free space is insufficient.
+// allocator unchanged) when free space is insufficient. The returned
+// slice aliases the allocator's scratch buffer and is valid only until
+// the next allocate call.
 func (a *allocator) allocate(n int64) ([]extent, error) {
 	if n > a.totalFree {
 		return nil, fmt.Errorf("%w (want %d pages, have %d)", ErrNoSpace, n, a.totalFree)
 	}
-	var out []extent
+	out := a.scratch[:0]
+	defer func() { a.scratch = out }()
 	remaining := n
 	wrapped := false
 	for remaining > 0 {

@@ -151,6 +151,22 @@ func waSeries(name string, res *core.Result, window int) (Series, Series) {
 		Series{Name: name + " WA-D", XLabel: "time (min)", YLabel: "WA-D", X: t, Y: wad}
 }
 
+// bothEngines is the engine iteration order shared by most figures.
+var bothEngines = []core.EngineKind{core.LSM, core.BTree}
+
+// runCells executes a figure's independent experiment cells concurrently
+// via core.RunGrid (which is documented to return bit-identical Results
+// to sequential Run calls) and returns them in cell order. Every figure
+// whose loop body was a plain core.Run call goes through here, so a
+// figure's wall-clock cost is its slowest cell, not the sum of cells.
+func runCells(id string, specs []core.Spec) ([]*core.Result, error) {
+	results, err := core.RunGrid(specs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", id, err)
+	}
+	return results, nil
+}
+
 // Fig2 reproduces Figure 2: KV and device throughput, WA-A and WA-D over
 // time for both engines on a trimmed SSD.
 func Fig2(o Options) (*Report, error) {
@@ -159,11 +175,18 @@ func Fig2(o Options) (*Report, error) {
 		Caption: "Steady state vs bursty performance on a trimmed SSD: " +
 			"KV throughput, device write throughput, WA-A and WA-D over time",
 	}
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
-		res, err := core.Run(baseSpec(o, eng, core.Trimmed))
-		if err != nil {
-			return nil, fmt.Errorf("fig2 %v: %w", eng, err)
-		}
+	var specs []core.Spec
+	for _, eng := range bothEngines {
+		spec := baseSpec(o, eng, core.Trimmed)
+		spec.Name = fmt.Sprintf("fig2 %v", eng)
+		specs = append(specs, spec)
+	}
+	results, err := runCells("fig2", specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, eng := range bothEngines {
+		res := results[i]
 		if res.OutOfSpace {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("%s ran out of space", engineName(eng)))
 			continue
@@ -202,12 +225,23 @@ func Fig3(o Options) (*Report, error) {
 		Caption: "Impact of the initial state of the SSD (trimmed vs " +
 			"preconditioned) on throughput and WA-D over time",
 	}
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+	var specs []core.Spec
+	for _, eng := range bothEngines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
-			res, err := core.Run(baseSpec(o, eng, init))
-			if err != nil {
-				return nil, fmt.Errorf("fig3 %v/%v: %w", eng, init, err)
-			}
+			spec := baseSpec(o, eng, init)
+			spec.Name = fmt.Sprintf("fig3 %v/%v", eng, init)
+			specs = append(specs, spec)
+		}
+	}
+	results, err := runCells("fig3", specs)
+	if err != nil {
+		return nil, err
+	}
+	cell := 0
+	for _, eng := range bothEngines {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			res := results[cell]
+			cell++
 			if res.OutOfSpace {
 				rep.Notes = append(rep.Notes, fmt.Sprintf("%s %v ran out of space", engineName(eng), init))
 				continue
@@ -232,11 +266,18 @@ func Fig4(o Options) (*Report, error) {
 			"write count); WiredTiger leaves a large fraction of the LBA " +
 			"space unwritten",
 	}
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
-		res, err := core.Run(baseSpec(o, eng, core.Trimmed))
-		if err != nil {
-			return nil, fmt.Errorf("fig4 %v: %w", eng, err)
-		}
+	var specs []core.Spec
+	for _, eng := range bothEngines {
+		spec := baseSpec(o, eng, core.Trimmed)
+		spec.Name = fmt.Sprintf("fig4 %v", eng)
+		specs = append(specs, spec)
+	}
+	results, err := runCells("fig4", specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, eng := range bothEngines {
+		res := results[i]
 		x := make([]float64, len(res.LBACDF))
 		for i := range x {
 			x[i] = float64(i) / float64(len(x)-1)
@@ -279,20 +320,32 @@ func Fig5(o Options) (*Report, error) {
 		wad.Header = append(wad.Header, h)
 		waa.Header = append(waa.Header, h)
 	}
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+	var specs []core.Spec
+	for _, eng := range bothEngines {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			for _, frac := range fig5Fractions {
+				spec := baseSpec(o, eng, init)
+				spec.Name = fmt.Sprintf("fig5 %v/%v/%.2f", eng, init, frac)
+				spec.DatasetFraction = frac
+				spec.Duration = o.duration(150 * time.Minute)
+				specs = append(specs, spec)
+			}
+		}
+	}
+	results, err := runCells("fig5", specs)
+	if err != nil {
+		return nil, err
+	}
+	cell := 0
+	for _, eng := range bothEngines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			name := fmt.Sprintf("%s %v", engineName(eng), init)
 			tr := []string{name}
 			wr := []string{name}
 			ar := []string{name}
-			for _, frac := range fig5Fractions {
-				spec := baseSpec(o, eng, init)
-				spec.DatasetFraction = frac
-				spec.Duration = o.duration(150 * time.Minute)
-				res, err := core.Run(spec)
-				if err != nil {
-					return nil, fmt.Errorf("fig5 %v/%v/%.2f: %w", eng, init, frac, err)
-				}
+			for range fig5Fractions {
+				res := results[cell]
+				cell++
 				if res.OutOfSpace {
 					tr = append(tr, "OOS")
 					wr = append(wr, "OOS")
@@ -333,17 +386,27 @@ func Fig6(o Options) (*Report, error) {
 	// paper's use of its Fig 5a/6a measurements.
 	var options []costmodel.Option
 	devCap := float64(core.DefaultDevice().CapacityBytes)
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+	var specs []core.Spec
+	for _, eng := range bothEngines {
+		for _, frac := range fig6Fractions {
+			spec := baseSpec(o, eng, core.Preconditioned)
+			spec.Name = fmt.Sprintf("fig6 %v/%.2f", eng, frac)
+			spec.DatasetFraction = frac
+			spec.Duration = o.duration(120 * time.Minute)
+			specs = append(specs, spec)
+		}
+	}
+	results, err := runCells("fig6", specs)
+	if err != nil {
+		return nil, err
+	}
+	cell := 0
+	for _, eng := range bothEngines {
 		ur := []string{engineName(eng)}
 		ar := []string{engineName(eng)}
 		for _, frac := range fig6Fractions {
-			spec := baseSpec(o, eng, core.Preconditioned)
-			spec.DatasetFraction = frac
-			spec.Duration = o.duration(120 * time.Minute)
-			res, err := core.Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %v/%.2f: %w", eng, frac, err)
-			}
+			res := results[cell]
+			cell++
 			if res.OutOfSpace {
 				ur = append(ur, "OOS")
 				ar = append(ar, "OOS")
@@ -419,19 +482,31 @@ func Fig7(o Options) (*Report, error) {
 		Title:  "WA-D",
 		Header: []string{"config", "No OP", "Extra OP"},
 	}
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+	var specs []core.Spec
+	for _, eng := range bothEngines {
+		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
+			for _, partFrac := range []float64{1.0, 0.75} {
+				spec := baseSpec(o, eng, init)
+				spec.Name = fmt.Sprintf("fig7 %v/%v/%.2f", eng, init, partFrac)
+				spec.PartitionFraction = partFrac
+				spec.Duration = o.duration(150 * time.Minute)
+				specs = append(specs, spec)
+			}
+		}
+	}
+	results, err := runCells("fig7", specs)
+	if err != nil {
+		return nil, err
+	}
+	cell := 0
+	for _, eng := range bothEngines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			name := fmt.Sprintf("%s %v", engineName(eng), init)
 			tr := []string{name}
 			wr := []string{name}
-			for _, partFrac := range []float64{1.0, 0.75} {
-				spec := baseSpec(o, eng, init)
-				spec.PartitionFraction = partFrac
-				spec.Duration = o.duration(150 * time.Minute)
-				res, err := core.Run(spec)
-				if err != nil {
-					return nil, fmt.Errorf("fig7 %v/%v/%.2f: %w", eng, init, partFrac, err)
-				}
+			for range []float64{1.0, 0.75} {
+				res := results[cell]
+				cell++
 				if res.OutOfSpace {
 					tr = append(tr, "OOS")
 					wr = append(wr, "OOS")
@@ -457,14 +532,20 @@ func Fig8(o Options) (*Report, error) {
 	}
 	devCap := float64(core.DefaultDevice().CapacityBytes)
 	var options []costmodel.Option
+	var specs []core.Spec
 	for _, partFrac := range []float64{1.0, 0.75} {
 		spec := baseSpec(o, core.LSM, core.Preconditioned)
+		spec.Name = fmt.Sprintf("fig8 part=%.2f", partFrac)
 		spec.PartitionFraction = partFrac
 		spec.Duration = o.duration(150 * time.Minute)
-		res, err := core.Run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("fig8 part=%.2f: %w", partFrac, err)
-		}
+		specs = append(specs, spec)
+	}
+	results, err := runCells("fig8", specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, partFrac := range []float64{1.0, 0.75} {
+		res := results[i]
 		name := "No OP"
 		if partFrac < 1 {
 			name = "Extra OP"
@@ -509,17 +590,27 @@ func Fig9(o Options) (*Report, error) {
 		Caption: "Impact of SSD type on throughput (small dataset, trimmed)",
 	}
 	tbl := Table{Title: "Throughput (KOps/s)", Header: []string{"engine", "SSD1", "SSD2", "SSD3"}}
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
-		row := []string{engineName(eng)}
+	var specs []core.Spec
+	for _, eng := range bothEngines {
 		for _, dev := range fig9Devices() {
 			spec := baseSpec(o, eng, core.Trimmed)
+			spec.Name = fmt.Sprintf("fig9 %v/%s", eng, dev.Profile.Name)
 			spec.Device = dev
 			spec.DatasetFraction = 0.05 // 10x smaller than the default 0.5
 			spec.Duration = o.duration(90 * time.Minute)
-			res, err := core.Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %v/%s: %w", eng, dev.Profile.Name, err)
-			}
+			specs = append(specs, spec)
+		}
+	}
+	results, err := runCells("fig9", specs)
+	if err != nil {
+		return nil, err
+	}
+	cell := 0
+	for _, eng := range bothEngines {
+		row := []string{engineName(eng)}
+		for range fig9Devices() {
+			res := results[cell]
+			cell++
 			row = append(row, fmt.Sprintf("%.2f", res.ScaledKOps))
 		}
 		tbl.Rows = append(tbl.Rows, row)
@@ -536,16 +627,26 @@ func Fig10(o Options) (*Report, error) {
 		Caption: "Throughput variability (1-minute averages) per SSD type",
 	}
 	const oneMinuteWindow = 6 // 6 x 10s samples
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
-		for i, dev := range fig9Devices() {
+	var specs []core.Spec
+	for _, eng := range bothEngines {
+		for _, dev := range fig9Devices() {
 			spec := baseSpec(o, eng, core.Trimmed)
+			spec.Name = fmt.Sprintf("fig10 %v/%s", eng, dev.Profile.Name)
 			spec.Device = dev
 			spec.DatasetFraction = 0.05
 			spec.Duration = o.duration(90 * time.Minute)
-			res, err := core.Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %v/%s: %w", eng, dev.Profile.Name, err)
-			}
+			specs = append(specs, spec)
+		}
+	}
+	results, err := runCells("fig10", specs)
+	if err != nil {
+		return nil, err
+	}
+	cell := 0
+	for _, eng := range bothEngines {
+		for i := range fig9Devices() {
+			res := results[cell]
+			cell++
 			name := fmt.Sprintf("%s SSD%d", engineName(eng), i+1)
 			rep.Series = append(rep.Series, throughputSeries(name, res, oneMinuteWindow))
 			rep.Tables = append(rep.Tables, variabilityTable(name, res, oneMinuteWindow))
@@ -605,36 +706,37 @@ func Fig11(o Options) (*Report, error) {
 		ID:      "fig11",
 		Caption: "Additional workloads: 50:50 read:write mix and 128-byte values",
 	}
+	var specs []core.Spec
+	var names []string
 	// 50:50 mix at the default scale.
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+	for _, eng := range bothEngines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			spec := baseSpec(o, eng, init)
+			spec.Name = fmt.Sprintf("fig11 rw %v/%v", eng, init)
 			spec.ReadFraction = 0.5
-			res, err := core.Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 rw %v/%v: %w", eng, init, err)
-			}
-			name := fmt.Sprintf("%s 50:50 (%v)", engineName(eng), init)
-			rep.Series = append(rep.Series, throughputSeries(name+" throughput", res, windowSamples))
-			_, wad := waSeries(name, res, windowSamples)
-			rep.Series = append(rep.Series, wad)
+			specs = append(specs, spec)
+			names = append(names, fmt.Sprintf("%s 50:50 (%v)", engineName(eng), init))
 		}
 	}
 	// 128-byte values at a larger scale (more keys per byte).
-	for _, eng := range []core.EngineKind{core.LSM, core.BTree} {
+	for _, eng := range bothEngines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			spec := baseSpec(o, eng, init)
+			spec.Name = fmt.Sprintf("fig11 128B %v/%v", eng, init)
 			spec.Scale = o.scale(512)
 			spec.ValueBytes = 128
-			res, err := core.Run(spec)
-			if err != nil {
-				return nil, fmt.Errorf("fig11 128B %v/%v: %w", eng, init, err)
-			}
-			name := fmt.Sprintf("%s 128B (%v)", engineName(eng), init)
-			rep.Series = append(rep.Series, throughputSeries(name+" throughput", res, windowSamples))
-			_, wad := waSeries(name, res, windowSamples)
-			rep.Series = append(rep.Series, wad)
+			specs = append(specs, spec)
+			names = append(names, fmt.Sprintf("%s 128B (%v)", engineName(eng), init))
 		}
+	}
+	results, err := runCells("fig11", specs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rep.Series = append(rep.Series, throughputSeries(names[i]+" throughput", res, windowSamples))
+		_, wad := waSeries(names[i], res, windowSamples)
+		rep.Series = append(rep.Series, wad)
 	}
 	return rep, nil
 }

@@ -1,0 +1,202 @@
+package flash
+
+import (
+	"testing"
+	"time"
+
+	"ptsbench/internal/sim"
+)
+
+// Equivalence tests for the batched hot paths: the range and closed-form
+// implementations must reproduce the per-page primitives exactly. These
+// complement internal/core's golden fixtures (which pin whole-experiment
+// results against the pre-batching implementation).
+
+func twinFTLs(t *testing.T) (*ftl, *ftl) {
+	t.Helper()
+	cfg := Config{
+		LogicalBytes:  32 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 64,
+		Profile:       ProfileSSD1().Scaled(4096),
+	}
+	cfg, err := cfg.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newFTL(cfg), newFTL(cfg)
+}
+
+func sameFTLState(t *testing.T, a, b *ftl) {
+	t.Helper()
+	if err := a.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if a.stats != b.stats {
+		t.Fatalf("stats diverge: %+v vs %+v", a.stats, b.stats)
+	}
+	if a.mappedPages != b.mappedPages {
+		t.Fatalf("mappedPages %d vs %d", a.mappedPages, b.mappedPages)
+	}
+	for i := range a.l2p {
+		if a.l2p[i] != b.l2p[i] {
+			t.Fatalf("l2p[%d]: %d vs %d", i, a.l2p[i], b.l2p[i])
+		}
+	}
+	for i := range a.p2l {
+		if a.p2l[i] != b.p2l[i] {
+			t.Fatalf("p2l[%d]: %d vs %d", i, a.p2l[i], b.p2l[i])
+		}
+	}
+	if len(a.freeBlocks) != len(b.freeBlocks) {
+		t.Fatalf("free pool %d vs %d", len(a.freeBlocks), len(b.freeBlocks))
+	}
+}
+
+// TestHostWriteRangeEquivalence drives twin FTLs through an identical
+// workload — one using hostWriteRange, the other per-page hostWrite — and
+// requires identical state and identical aggregated GC work, including
+// phases where garbage collection triggers mid-range.
+func TestHostWriteRangeEquivalence(t *testing.T) {
+	ranged, paged := twinFTLs(t)
+	rng := sim.NewRNG(42)
+	total := ranged.logicalPages
+	// Overwrite pressure: 4x the logical space in ranges of 1..300 pages
+	// (many spanning several erase blocks), at random offsets.
+	var written int64
+	for written < 4*total {
+		n := 1 + int64(rng.Uint64n(300))
+		lpn := int64(rng.Uint64n(uint64(total - n)))
+		wantWork := gcWork{}
+		for i := int64(0); i < n; i++ {
+			wantWork.add(paged.hostWrite(lpn + i))
+		}
+		gotWork := ranged.hostWriteRange(lpn, n)
+		if gotWork != wantWork {
+			t.Fatalf("range [%d,+%d): gc work %+v, per-page %+v", lpn, n, gotWork, wantWork)
+		}
+		written += n
+	}
+	sameFTLState(t, ranged, paged)
+}
+
+// TestHostWriteRangeStripedEquivalence checks that the striped range
+// write attributes per-lane GC work exactly as per-page attribution
+// would, and mutates the FTL identically.
+func TestHostWriteRangeStripedEquivalence(t *testing.T) {
+	const lanes = 16
+	ranged, paged := twinFTLs(t)
+	rng := sim.NewRNG(7)
+	total := ranged.logicalPages
+	var written int64
+	for written < 3*total {
+		n := 1 + int64(rng.Uint64n(200))
+		lpn := int64(rng.Uint64n(uint64(total - n)))
+		var want [lanes]gcWork
+		for i := int64(0); i < n; i++ {
+			want[(lpn+i)%lanes].add(paged.hostWrite(lpn + i))
+		}
+		var got [lanes]gcWork
+		ranged.hostWriteRangeStriped(lpn, n, got[:])
+		if got != want {
+			t.Fatalf("range [%d,+%d): striped gc work %v, per-page %v", lpn, n, got, want)
+		}
+		written += n
+	}
+	sameFTLState(t, ranged, paged)
+}
+
+// TestSubmitUniformMatchesPerPageStriping cross-checks the closed-form
+// per-lane page counts of submitUniform against a brute-force per-page
+// computation over many (lpn, n, lanes) combinations.
+func TestSubmitUniformMatchesPerPageStriping(t *testing.T) {
+	for _, lanes := range []int{1, 2, 3, 4, 8, 16} {
+		dev, err := NewDevice(Config{
+			LogicalBytes:  32 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 64,
+			Profile:       ProfileSSD1().Scaled(4096).WithParallelism(lanes, 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute-force model of the pre-batching per-page dispatch.
+		brute := sim.NewMultiResource(lanes)
+		rng := sim.NewRNG(uint64(lanes))
+		var now sim.Duration
+		for iter := 0; iter < 500; iter++ {
+			n := 1 + int(rng.Uint64n(100))
+			lpn := int64(rng.Uint64n(uint64(dev.LogicalPages() - int64(n))))
+			got := dev.SubmitRead(now, lpn, n)
+
+			fixed := dev.cfg.Profile.ReadFixed
+			perPage := dev.laneReadPerPage
+			svc := make([]time.Duration, lanes)
+			touched := make([]bool, lanes)
+			lead := int(lpn % int64(lanes))
+			svc[lead] = fixed
+			touched[lead] = true
+			for i := 0; i < n; i++ {
+				lane := int((lpn + int64(i)) % int64(lanes))
+				svc[lane] += perPage
+				touched[lane] = true
+			}
+			want := now
+			for lane := 0; lane < lanes; lane++ {
+				if !touched[lane] {
+					continue
+				}
+				if end := brute.AcquireLane(lane, now, svc[lane]); end > want {
+					want = end
+				}
+			}
+			if got != want {
+				t.Fatalf("lanes=%d iter=%d lpn=%d n=%d: got %v want %v", lanes, iter, lpn, n, got, want)
+			}
+			now = got
+		}
+	}
+}
+
+// TestHostWriteRangeAllocFree asserts the batched FTL write path performs
+// no heap allocation per range.
+func TestHostWriteRangeAllocFree(t *testing.T) {
+	f, _ := twinFTLs(t)
+	total := f.logicalPages
+	f.sequentialFill(0, total)
+	rng := sim.NewRNG(3)
+	allocs := testing.AllocsPerRun(200, func() {
+		lpn := int64(rng.Uint64n(uint64(total - 64)))
+		f.hostWriteRange(lpn, 64)
+	})
+	if allocs > 0.02 {
+		t.Fatalf("hostWriteRange allocates %.2f objects per call, want 0", allocs)
+	}
+}
+
+// TestSequentialFillState checks the O(blocks) fill leaves a consistent,
+// fully mapped FTL with exact stats.
+func TestSequentialFillState(t *testing.T) {
+	f, _ := twinFTLs(t)
+	f.sequentialFill(0, f.logicalPages)
+	if err := f.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if f.mappedPages != f.logicalPages {
+		t.Fatalf("mapped %d of %d pages", f.mappedPages, f.logicalPages)
+	}
+	if f.stats.HostPagesWritten != f.logicalPages || f.stats.FlashPagesWritten != f.logicalPages {
+		t.Fatalf("stats %+v, want host=flash=%d", f.stats, f.logicalPages)
+	}
+	// Overwriting after a fill must behave (GC keeps up, invariants hold).
+	rng := sim.NewRNG(5)
+	for i := int64(0); i < 2*f.logicalPages; i++ {
+		f.hostWrite(int64(rng.Uint64n(uint64(f.logicalPages))))
+	}
+	if err := f.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -223,13 +223,12 @@ func (f *ftl) program(frontier *int32, lpn int64) int32 {
 	return ppn
 }
 
-// hostWrite performs a host-destined page write at logical page lpn and
-// returns the internal GC work it triggered. The target stream is chosen
-// pseudo-randomly, modelling die striping.
-func (f *ftl) hostWrite(lpn int64) gcWork {
-	if lpn < 0 || lpn >= f.logicalPages {
-		panic("flash: logical page out of range")
-	}
+// writeOne performs the mapping update and flash program for one
+// host-destined page write: invalidate the old version (if any), program
+// the new one at a pseudo-randomly chosen stream frontier (modelling die
+// striping). It is the single page-write primitive behind every direct,
+// cached and ranged host-write path.
+func (f *ftl) writeOne(lpn int64) {
 	if old := f.l2p[lpn]; old != unmapped {
 		f.invalidate(old)
 	} else {
@@ -237,6 +236,25 @@ func (f *ftl) hostWrite(lpn int64) gcWork {
 	}
 	f.program(&f.hostOpen[f.rng.Intn(len(f.hostOpen))], lpn)
 	f.stats.FlashPagesWritten++
+}
+
+func (f *ftl) checkLPN(lpn int64) {
+	if lpn < 0 || lpn >= f.logicalPages {
+		panic("flash: logical page out of range")
+	}
+}
+
+func (f *ftl) checkLPNRange(lpn, n int64) {
+	if lpn < 0 || n < 0 || lpn+n > f.logicalPages {
+		panic("flash: logical page range out of range")
+	}
+}
+
+// hostWrite performs a host-destined page write at logical page lpn and
+// returns the internal GC work it triggered.
+func (f *ftl) hostWrite(lpn int64) gcWork {
+	f.checkLPN(lpn)
+	f.writeOne(lpn)
 	f.stats.HostPagesWritten++
 	return f.maybeGC()
 }
@@ -245,17 +263,124 @@ func (f *ftl) hostWrite(lpn int64) gcWork {
 // the host-page counter was already incremented at cache admission, so
 // only the flash program is accounted here.
 func (f *ftl) hostWriteCached(lpn int64) gcWork {
-	if lpn < 0 || lpn >= f.logicalPages {
-		panic("flash: logical page out of range")
-	}
-	if old := f.l2p[lpn]; old != unmapped {
-		f.invalidate(old)
-	} else {
-		f.mappedPages++
-	}
-	f.program(&f.hostOpen[f.rng.Intn(len(f.hostOpen))], lpn)
-	f.stats.FlashPagesWritten++
+	f.checkLPN(lpn)
+	f.writeOne(lpn)
 	return f.maybeGC()
+}
+
+// hostWriteRange performs n consecutive host page writes starting at lpn
+// and returns the aggregated GC work. State transitions are identical to
+// n sequential hostWrite calls — pages program in ascending order and the
+// GC trigger is evaluated after every program (a single comparison while
+// the free pool is healthy) — but the bounds check and the host-page
+// counter update amortize over the range.
+func (f *ftl) hostWriteRange(lpn, n int64) gcWork {
+	f.checkLPNRange(lpn, n)
+	var work gcWork
+	for i := int64(0); i < n; i++ {
+		f.writeOne(lpn + i)
+		if len(f.freeBlocks) < f.gcLowWater {
+			work.add(f.maybeGC())
+		}
+	}
+	f.stats.HostPagesWritten += n
+	return work
+}
+
+// hostWriteCachedRange is hostWriteRange for destaged cache pages (the
+// host-page counter was already incremented at cache admission).
+func (f *ftl) hostWriteCachedRange(lpn, n int64) gcWork {
+	f.checkLPNRange(lpn, n)
+	var work gcWork
+	for i := int64(0); i < n; i++ {
+		f.writeOne(lpn + i)
+		if len(f.freeBlocks) < f.gcLowWater {
+			work.add(f.maybeGC())
+		}
+	}
+	return work
+}
+
+// hostWriteRangeStriped is hostWriteRange for striped multi-lane
+// dispatch: the GC work caused by page lpn+i accumulates into
+// perLane[(lpn+i) mod len(perLane)], preserving the per-die attribution
+// of per-page dispatch (the device converts each lane's work to service
+// time with a linear function, so aggregation is exact).
+func (f *ftl) hostWriteRangeStriped(lpn, n int64, perLane []gcWork) {
+	f.checkLPNRange(lpn, n)
+	lanes := int64(len(perLane))
+	for i := int64(0); i < n; i++ {
+		f.writeOne(lpn + i)
+		if len(f.freeBlocks) < f.gcLowWater {
+			perLane[(lpn+i)%lanes].add(f.maybeGC())
+		}
+	}
+	f.stats.HostPagesWritten += n
+}
+
+// markMappedRange records presence for [lpn, lpn+n) without any flash
+// machinery — the NoGC (in-place update) write path, where only the
+// mapped-pages utilization bookkeeping applies.
+func (f *ftl) markMappedRange(lpn, n int64) {
+	f.checkLPNRange(lpn, n)
+	for p := lpn; p < lpn+n; p++ {
+		if f.l2p[p] == unmapped {
+			f.l2p[p] = 0 // presence marker
+			f.mappedPages++
+		}
+	}
+}
+
+// unmarkMappedRange drops presence for [lpn, lpn+n) (NoGC trim).
+func (f *ftl) unmarkMappedRange(lpn, n int64) {
+	f.checkLPNRange(lpn, n)
+	for p := lpn; p < lpn+n; p++ {
+		if f.l2p[p] != unmapped {
+			f.l2p[p] = unmapped
+			f.mappedPages--
+		}
+	}
+}
+
+// sequentialFill lays pages [first, first+n) into freshly opened blocks
+// in LBA order — the O(blocks) fast path behind Precondition's
+// sequential-fill phase. Each block is claimed from the free pool, filled
+// with consecutive logical pages in one pass (block-sequential placement
+// rather than per-page pseudo-random striping: for preconditioning the
+// two are equivalent, because the subsequent random-overwrite phase is
+// what sets the steady-state invalidation pattern), closed, and the GC
+// trigger evaluated once per block — the only points at which the free
+// pool changes.
+func (f *ftl) sequentialFill(first, n int64) {
+	f.checkLPNRange(first, n)
+	ppb := int64(f.pagesPerBlock)
+	lpn := first
+	end := first + n
+	for lpn < end {
+		b := f.popFreeBlock()
+		base := int64(b) * ppb
+		count := ppb
+		if end-lpn < count {
+			count = end - lpn
+		}
+		for i := int64(0); i < count; i++ {
+			p := lpn + i
+			if old := f.l2p[p]; old != unmapped {
+				f.invalidate(old)
+			} else {
+				f.mappedPages++
+			}
+			f.p2l[base+i] = int32(p)
+			f.l2p[p] = int32(base + i)
+		}
+		f.writePtr[b] = int32(count)
+		f.validCount[b] = int32(count)
+		f.closeBlock(b)
+		f.maybeGC()
+		lpn += count
+	}
+	f.stats.FlashPagesWritten += n
+	f.stats.HostPagesWritten += n
 }
 
 // pickVictim returns the next GC victim, or -1 if no closed block exists.

@@ -74,10 +74,67 @@ type Entry struct {
 	Deleted  bool
 }
 
+// CompareKeys orders two keys like bytes.Compare, with a branch-light
+// fast path for the workload's fixed 16-byte keys (two big-endian word
+// compares instead of a generic memcmp call) — key comparison is the
+// single hottest operation in the merge, probe and memtable paths.
+func CompareKeys(a, b []byte) int {
+	if len(a) == KeySize && len(b) == KeySize {
+		ah, bh := binary.BigEndian.Uint64(a), binary.BigEndian.Uint64(b)
+		if ah != bh {
+			if ah < bh {
+				return -1
+			}
+			return 1
+		}
+		al, bl := binary.BigEndian.Uint64(a[8:]), binary.BigEndian.Uint64(b[8:])
+		if al != bl {
+			if al < bl {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+	return bytes.Compare(a, b)
+}
+
+// DecomposeKey splits a fixed-size key into two big-endian words whose
+// pairwise comparison reproduces bytes.Compare. Search loops call this
+// once per lookup and then compare raw words per probe. ok is false for
+// keys of any other length (callers fall back to CompareKeys).
+func DecomposeKey(k []byte) (hi, lo uint64, ok bool) {
+	if len(k) != KeySize {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(k), binary.BigEndian.Uint64(k[8:]), true
+}
+
+// CompareKeyWords compares key k — which must be exactly KeySize bytes
+// (callers guard the length) — against the decomposed words (hi, lo),
+// returning <0, 0, >0 like bytes.Compare(k, original).
+func CompareKeyWords(k []byte, hi, lo uint64) int {
+	kh := binary.BigEndian.Uint64(k)
+	if kh != hi {
+		if kh < hi {
+			return -1
+		}
+		return 1
+	}
+	kl := binary.BigEndian.Uint64(k[8:])
+	if kl != lo {
+		if kl < lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
 // Compare orders entries by key ascending, then by sequence descending
 // (newest first), the standard LSM internal ordering.
 func Compare(a, b *Entry) int {
-	if c := bytes.Compare(a.Key, b.Key); c != 0 {
+	if c := CompareKeys(a.Key, b.Key); c != 0 {
 		return c
 	}
 	switch {

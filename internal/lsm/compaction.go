@@ -3,6 +3,7 @@ package lsm
 import (
 	"bytes"
 	"container/heap"
+	"sort"
 
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
@@ -35,12 +36,11 @@ func (d *DB) pickDeepCompaction() sim.Job {
 		return nil
 	}
 	bestLevel, bestScore := -1, 1.0
-	sizes := d.LevelSizes()
 	for li := 1; li < len(d.levels)-1; li++ {
 		if len(d.levels[li]) == 0 {
 			continue
 		}
-		score := float64(sizes[li]) / float64(d.cfg.levelTarget(li))
+		score := float64(d.levelBytes[li]) / float64(d.cfg.levelTarget(li))
 		if score > bestScore {
 			bestScore, bestLevel = score, li
 		}
@@ -75,9 +75,10 @@ func (d *DB) pickFileMinOverlap(level int) *sstable.Table {
 		if d.busy[t.ID] {
 			continue
 		}
+		lo, hi := overlapRange(next, t.Smallest(), t.Largest())
 		var overlapBytes int64
 		busy := false
-		for _, o := range overlapping(next, t.Smallest(), t.Largest()) {
+		for _, o := range next[lo:hi] {
 			if d.busy[o.ID] {
 				busy = true
 				break
@@ -121,15 +122,31 @@ func rangeOf(tables []*sstable.Table) (lo, hi []byte) {
 	return lo, hi
 }
 
-// overlapping returns the tables in a sorted level intersecting [lo, hi].
-func overlapping(level []*sstable.Table, lo, hi []byte) []*sstable.Table {
-	var out []*sstable.Table
-	for _, t := range level {
-		if t.Overlaps(lo, hi) {
-			out = append(out, t)
-		}
+// overlapRange returns the half-open index range [i, j) of the files in
+// a sorted, non-overlapping level whose key ranges intersect [lo, hi]
+// (inclusive; nil bounds are unbounded). Binary search on the sorted
+// level replaces the per-file scan — the pickers call this for every
+// candidate file, so the level-squared comparison cost used to dominate
+// compaction scheduling.
+func overlapRange(level []*sstable.Table, lo, hi []byte) (int, int) {
+	i := 0
+	if lo != nil {
+		i = sort.Search(len(level), func(k int) bool {
+			return kv.CompareKeys(level[k].Largest(), lo) >= 0
+		})
 	}
-	return out
+	j := i
+	for j < len(level) && (hi == nil || kv.CompareKeys(level[j].Smallest(), hi) <= 0) {
+		j++
+	}
+	return i, j
+}
+
+// overlapping returns the tables in a sorted level intersecting [lo, hi]
+// as a subslice view of the level (callers copy what they retain).
+func overlapping(level []*sstable.Table, lo, hi []byte) []*sstable.Table {
+	i, j := overlapRange(level, lo, hi)
+	return level[i:j]
 }
 
 // compactionJob merges input tables from fromLevel and toLevel into new
@@ -139,6 +156,7 @@ type compactionJob struct {
 	fromLevel int
 	toLevel   int
 	inputs    []*sstable.Table // all inputs (both levels)
+	fromCount int              // first fromCount inputs are fromLevel files
 	fromIDs   map[uint64]bool  // IDs from fromLevel
 	images    []*sstable.FileImage
 
@@ -161,6 +179,7 @@ func (d *DB) newCompactionJob(from, to int, fromTables, toTables []*sstable.Tabl
 		fromIDs:   make(map[uint64]bool),
 	}
 	j.inputs = append(append([]*sstable.Table(nil), fromTables...), toTables...)
+	j.fromCount = len(fromTables)
 	for _, t := range fromTables {
 		j.fromIDs[t.ID] = true
 	}
@@ -168,6 +187,7 @@ func (d *DB) newCompactionJob(from, to int, fromTables, toTables []*sstable.Tabl
 		d.busy[t.ID] = true
 		j.readPagesTotal += t.FilePages()
 	}
+	d.shapeBusy++
 	j.merge()
 	return j
 }
@@ -179,11 +199,45 @@ func (d *DB) newCompactionJob(from, to int, fromTables, toTables []*sstable.Tabl
 func (j *compactionJob) merge() {
 	d := j.d
 	drop := j.toLevel >= d.deepestPopulatedLevel()
-	its := make([]kv.Iterator, len(j.inputs))
-	for i, t := range j.inputs {
-		its[i] = t.Iterator()
+	remaining := 0
+	var inputBytes int64
+	for _, t := range j.inputs {
+		remaining += t.NumEntries()
+		inputBytes += t.SizeBytes()
 	}
-	m := newMergeIter(its)
+	if j.fromCount == 1 && !d.cfg.Content {
+		// Deep compactions (one input file against its sorted overlap
+		// run) take the galloping bulk path: runs of entries between
+		// merge boundaries are appended straight from the input tables'
+		// side indexes, with binary-searched boundaries instead of a
+		// per-entry compare-and-copy.
+		j.mergeFast(drop, remaining, inputBytes)
+		return
+	}
+	// The toLevel inputs are a sorted, non-overlapping run: concatenate
+	// them (no comparisons) and merge against the fromLevel files. The
+	// common deep compaction — one input file against its overlap run —
+	// becomes a two-way merge with a single comparison per entry instead
+	// of a heap.
+	its := make([]kv.Iterator, 0, j.fromCount+1)
+	for _, t := range j.inputs[:j.fromCount] {
+		its = append(its, t.Iterator())
+	}
+	if len(j.inputs) > j.fromCount {
+		its = append(its, newConcatIter(j.inputs[j.fromCount:]))
+	}
+	var m kv.Iterator
+	switch len(its) {
+	case 1:
+		m = its[0]
+	case 2:
+		m = newTwoWayMergeIter(its[0], its[1])
+	default:
+		m = newMergeIter(its)
+	}
+	// Presize each output builder for the entries one target-size file
+	// holds (remaining entries when fewer) — dedup only shrinks the need.
+	perFileHint := j.perFileEntryHint(remaining, inputBytes)
 	var b *sstable.Builder
 	var lastKey []byte
 	flushImage := func() {
@@ -203,14 +257,119 @@ func (j *compactionJob) merge() {
 			continue
 		}
 		if b == nil {
-			b = sstable.NewBuilder(d.fs.PageSize(), d.cfg.BlockBytes, d.cfg.Content)
+			hint := perFileHint
+			if remaining < hint {
+				hint = remaining
+			}
+			b = sstable.NewBuilderHint(d.fs.PageSize(), d.cfg.BlockBytes, d.cfg.Content, hint)
 		}
+		remaining--
 		if err := b.Add(e); err != nil {
 			d.fatal = err
 			return
 		}
 		if b.EstimatedBytes() >= d.cfg.TargetFileBytes {
 			flushImage()
+		}
+	}
+	flushImage()
+}
+
+// perFileEntryHint sizes an output builder for one target-size file.
+func (j *compactionJob) perFileEntryHint(remaining int, inputBytes int64) int {
+	perFileHint := remaining
+	if remaining > 0 && inputBytes > 0 {
+		avg := inputBytes / int64(remaining)
+		if avg > 0 {
+			if h := int(j.d.cfg.TargetFileBytes/avg) + 16; h < perFileHint {
+				perFileHint = h
+			}
+		}
+	}
+	return perFileHint
+}
+
+// mergeFast is merge for the deep-compaction shape (one fromLevel file,
+// a sorted non-overlapping toLevel run) in accounting mode. It produces
+// bit-identical output images to the per-entry heap merge: the same
+// entries in the same order with the same file-roll points — runs
+// between merge boundaries are just appended in bulk, and only the
+// boundary entries (equal user keys across the two sides) are compared
+// individually. Equal keys keep the newer (higher-seq) version, exactly
+// like the heap's (key asc, seq desc) order plus last-key dedup.
+func (j *compactionJob) mergeFast(drop bool, remaining int, inputBytes int64) {
+	d := j.d
+	from := j.inputs[0]
+	toTables := j.inputs[1:]
+	target := d.cfg.TargetFileBytes
+	perFileHint := j.perFileEntryHint(remaining, inputBytes)
+
+	var b *sstable.Builder
+	flushImage := func() {
+		if b != nil && b.NumEntries() > 0 {
+			d.nextFileID++
+			j.images = append(j.images, b.Finish(d.nextFileID))
+		}
+		b = nil
+	}
+	emitRange := func(t *sstable.Table, lo, hi int) {
+		for lo < hi {
+			if b == nil {
+				hint := perFileHint
+				if remaining < hint {
+					hint = remaining
+				}
+				b = sstable.NewBuilderHint(d.fs.PageSize(), d.cfg.BlockBytes, false, hint)
+			}
+			next := b.AppendTableRange(t, lo, hi, drop, target)
+			remaining -= next - lo
+			lo = next
+			if b.EstimatedBytes() >= target {
+				flushImage()
+			}
+		}
+	}
+
+	fi, fn := 0, from.NumEntries()
+	tIdx, ti := 0, 0
+	for {
+		if tIdx >= len(toTables) {
+			emitRange(from, fi, fn)
+			break
+		}
+		tt := toTables[tIdx]
+		tn := tt.NumEntries()
+		if ti >= tn {
+			tIdx++
+			ti = 0
+			continue
+		}
+		if fi >= fn {
+			emitRange(tt, ti, tn)
+			tIdx++
+			ti = 0
+			continue
+		}
+		switch c := kv.CompareKeys(from.KeyAt(fi), tt.KeyAt(ti)); {
+		case c > 0:
+			upper := tt.SearchFrom(ti, from.KeyAt(fi))
+			emitRange(tt, ti, upper)
+			ti = upper
+		case c < 0:
+			upper := from.SearchFrom(fi, tt.KeyAt(ti))
+			emitRange(from, fi, upper)
+			fi = upper
+		default:
+			// Same user key on both sides: keep the newer version, drop
+			// the older (the heap emitted newer first and deduped).
+			if from.SeqAt(fi) >= tt.SeqAt(ti) {
+				emitRange(from, fi, fi+1)
+			} else {
+				emitRange(tt, ti, ti+1)
+			}
+			remaining-- // the shadowed version is consumed without output
+			fi++
+			ti++
 		}
 	}
 	flushImage()
@@ -383,6 +542,7 @@ func (j *compactionJob) commit(now sim.Duration) sim.Duration {
 	for _, t := range outputs {
 		d.levelBytes[j.toLevel] += t.SizeBytes()
 	}
+	d.shapeChanged()
 	// Delete input files (extents freed; no TRIM under nodiscard).
 	for _, t := range j.inputs {
 		if err := d.fs.Remove(t.FileName()); err != nil {
@@ -405,6 +565,7 @@ func (j *compactionJob) abort() {
 	for _, t := range j.inputs {
 		delete(d.busy, t.ID)
 	}
+	d.shapeBusy++
 	for _, f := range j.outFiles {
 		_ = d.fs.Remove(f.Name())
 	}
@@ -431,21 +592,23 @@ func minI64(a, b int64) int64 {
 }
 
 // mergeIter is a k-way merge over iterators ordered by (key asc, seq
-// desc).
+// desc). Elements hold entries by value, so advancing the merge performs
+// no per-entry allocation; Entry stays valid only until the next call to
+// Next, which every consumer already respects (they copy what they keep).
 type mergeIter struct {
-	h mergeHeap
-	e *kv.Entry
+	h   mergeHeap
+	cur kv.Entry
 }
 
 type mergeElem struct {
 	it kv.Iterator
-	e  *kv.Entry
+	e  kv.Entry
 }
 
 type mergeHeap []mergeElem
 
 func (h mergeHeap) Len() int           { return len(h) }
-func (h mergeHeap) Less(i, j int) bool { return kv.Compare(h[i].e, h[j].e) < 0 }
+func (h mergeHeap) Less(i, j int) bool { return kv.Compare(&h[i].e, &h[j].e) < 0 }
 func (h mergeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x any)        { *h = append(*h, x.(mergeElem)) }
 func (h *mergeHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
@@ -454,7 +617,7 @@ func newMergeIter(its []kv.Iterator) *mergeIter {
 	m := &mergeIter{}
 	for _, it := range its {
 		if it.Next() {
-			m.h = append(m.h, mergeElem{it: it, e: cloneEntry(it.Entry())})
+			m.h = append(m.h, mergeElem{it: it, e: *it.Entry()})
 		}
 	}
 	heap.Init(&m.h)
@@ -465,10 +628,10 @@ func (m *mergeIter) Next() bool {
 	if len(m.h) == 0 {
 		return false
 	}
-	top := m.h[0]
-	m.e = top.e
+	top := &m.h[0]
+	m.cur = top.e
 	if top.it.Next() {
-		m.h[0] = mergeElem{it: top.it, e: cloneEntry(top.it.Entry())}
+		top.e = *top.it.Entry()
 		heap.Fix(&m.h, 0)
 	} else {
 		heap.Pop(&m.h)
@@ -476,9 +639,77 @@ func (m *mergeIter) Next() bool {
 	return true
 }
 
-func (m *mergeIter) Entry() *kv.Entry { return m.e }
+func (m *mergeIter) Entry() *kv.Entry { return &m.cur }
 
-func cloneEntry(e *kv.Entry) *kv.Entry {
-	c := *e
-	return &c
+// concatIter iterates the tables of a sorted, non-overlapping run in
+// order — comparison-free, because within such a run table i's largest
+// key precedes table i+1's smallest.
+type concatIter struct {
+	tables []*sstable.Table
+	cur    kv.Iterator
+	idx    int
+}
+
+func newConcatIter(tables []*sstable.Table) *concatIter {
+	return &concatIter{tables: tables}
+}
+
+func (c *concatIter) Next() bool {
+	for {
+		if c.cur != nil && c.cur.Next() {
+			return true
+		}
+		if c.idx >= len(c.tables) {
+			return false
+		}
+		c.cur = c.tables[c.idx].Iterator()
+		c.idx++
+	}
+}
+
+func (c *concatIter) Entry() *kv.Entry { return c.cur.Entry() }
+
+// twoWayMergeIter merges two (key asc, seq desc)-ordered iterators with
+// one comparison per emitted entry — the shape of every deep compaction
+// (one input file against its next-level overlap run).
+type twoWayMergeIter struct {
+	a, b     kv.Iterator
+	aOK, bOK bool
+	last     int // 1 = a emitted last, 2 = b, 0 = none
+}
+
+func newTwoWayMergeIter(a, b kv.Iterator) *twoWayMergeIter {
+	return &twoWayMergeIter{a: a, b: b, aOK: a.Next(), bOK: b.Next()}
+}
+
+func (m *twoWayMergeIter) Next() bool {
+	switch m.last {
+	case 1:
+		m.aOK = m.a.Next()
+	case 2:
+		m.bOK = m.b.Next()
+	}
+	switch {
+	case m.aOK && m.bOK:
+		if kv.Compare(m.a.Entry(), m.b.Entry()) <= 0 {
+			m.last = 1
+		} else {
+			m.last = 2
+		}
+	case m.aOK:
+		m.last = 1
+	case m.bOK:
+		m.last = 2
+	default:
+		m.last = 0
+		return false
+	}
+	return true
+}
+
+func (m *twoWayMergeIter) Entry() *kv.Entry {
+	if m.last == 1 {
+		return m.a.Entry()
+	}
+	return m.b.Entry()
 }

@@ -53,6 +53,23 @@ type DB struct {
 	// probeCandidates is scratch for getParallel, reused across Gets.
 	probeCandidates []*sstable.Table
 
+	// shapeL0/shapeDeep/shapeBusy version the picker-relevant state:
+	// levels[0]+levelBytes[0], the sorted levels, and the busy set. The
+	// idle pullers are consulted on every foreground operation; memoizing
+	// "no work available at shape S" makes those probes O(1) instead of
+	// re-scanning file overlaps per operation. The split matters because
+	// flushes — by far the most frequent shape change — touch only L0,
+	// which the deep picker never reads, so they must not invalidate the
+	// deep picker's memo. Any mutation of levels, levelBytes or busy must
+	// bump the matching counter(s).
+	shapeL0      uint64
+	shapeDeep    uint64
+	shapeBusy    uint64
+	l0ProbedAt   uint64 // shapeSum for L0 at last nil pickL0Compaction
+	deepProbedAt uint64 // shapeSum for deep at last nil pickDeepCompaction
+	debtShape    uint64 // shapeL0+shapeDeep the debt memo was computed at
+	debtMemo     int64  // memoized compactionDebt (0 is a valid value; keyed by debtShape, which starts unmatched)
+
 	stats   kv.EngineStats
 	ioStats IOStats
 	fatal   error // out-of-space or similar; surfaced on every call
@@ -92,6 +109,7 @@ func Open(fs *extfs.FS, cfg Config, rng *sim.RNG) (*DB, error) {
 		compactW:   sim.NewWorker("lsm-compact-l0"),
 		compactWD:  sim.NewWorker("lsm-compact-deep"),
 	}
+	d.shapeL0 = 1
 	d.mem = memtable.New(rng.Split())
 	if !cfg.DisableWAL {
 		w, err := wal.Create(fs, d.walName(), cfg.Content)
@@ -100,9 +118,46 @@ func Open(fs *extfs.FS, cfg Config, rng *sim.RNG) (*DB, error) {
 		}
 		d.walW = w
 	}
-	d.compactW.SetIdlePuller(d.pickL0Compaction)
-	d.compactWD.SetIdlePuller(d.pickDeepCompaction)
+	d.compactW.SetIdlePuller(d.pullL0Compaction)
+	d.compactWD.SetIdlePuller(d.pullDeepCompaction)
 	return d, nil
+}
+
+// shapeChanged invalidates both pickers' no-work memos; mutations with a
+// narrower footprint bump the individual counters instead.
+func (d *DB) shapeChanged() {
+	d.shapeL0++
+	d.shapeDeep++
+	d.shapeBusy++
+}
+
+// pullL0Compaction wraps pickL0Compaction with the shape memo: the picker
+// is a pure function of the tree shape, so a nil answer stays nil until
+// the state it reads (L0, L1, busy set) changes.
+func (d *DB) pullL0Compaction() sim.Job {
+	s := d.shapeL0 + d.shapeDeep + d.shapeBusy
+	if d.l0ProbedAt == s {
+		return nil
+	}
+	j := d.pickL0Compaction()
+	if j == nil {
+		d.l0ProbedAt = s
+	}
+	return j
+}
+
+// pullDeepCompaction is the memoized pickDeepCompaction; it reads only
+// the sorted levels and the busy set, never L0.
+func (d *DB) pullDeepCompaction() sim.Job {
+	s := d.shapeDeep + d.shapeBusy
+	if d.deepProbedAt == s {
+		return nil
+	}
+	j := d.pickDeepCompaction()
+	if j == nil {
+		d.deepProbedAt = s
+	}
+	return j
 }
 
 func (d *DB) walName() string {
@@ -137,14 +192,21 @@ func (d *DB) LevelSizes() []int64 {
 
 // compactionDebt estimates pending compaction bytes: everything in L0
 // plus each sorted level's excess over its target (RocksDB's
-// estimated_pending_compaction_bytes analogue).
+// estimated_pending_compaction_bytes analogue). The value is a pure
+// function of levelBytes, so it is memoized on the shape counters — the
+// stall and slowdown checks consult it on every write.
 func (d *DB) compactionDebt() int64 {
+	s := d.shapeL0 + d.shapeDeep
+	if d.debtShape == s {
+		return d.debtMemo
+	}
 	debt := d.levelBytes[0]
 	for li := 1; li < len(d.levelBytes)-1; li++ {
 		if excess := d.levelBytes[li] - d.cfg.levelTarget(li); excess > 0 {
 			debt += excess
 		}
 	}
+	d.debtShape, d.debtMemo = s, debt
 	return debt
 }
 
@@ -405,9 +467,9 @@ func findInLevel(level []*sstable.Table, key []byte) *sstable.Table {
 	for lo <= hi {
 		mid := (lo + hi) / 2
 		t := level[mid]
-		if bytes.Compare(t.Largest(), key) < 0 {
+		if kv.CompareKeys(t.Largest(), key) < 0 {
 			lo = mid + 1
-		} else if bytes.Compare(t.Smallest(), key) > 0 {
+		} else if kv.CompareKeys(t.Smallest(), key) > 0 {
 			hi = mid - 1
 		} else {
 			return t
@@ -555,11 +617,11 @@ func (d *DB) drainAll() sim.Duration {
 			// probe creates must be submitted, since creation marks its
 			// inputs busy.
 			produced := false
-			if j := d.pickL0Compaction(); j != nil {
+			if j := d.pullL0Compaction(); j != nil {
 				d.compactW.Submit(j)
 				produced = true
 			}
-			if j := d.pickDeepCompaction(); j != nil {
+			if j := d.pullDeepCompaction(); j != nil {
 				d.compactWD.Submit(j)
 				produced = true
 			}

@@ -28,7 +28,7 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 	}
 	if j.img == nil {
 		// First step: lay out the table and create its file.
-		b := sstable.NewBuilder(d.fs.PageSize(), d.cfg.BlockBytes, d.cfg.Content)
+		b := sstable.NewBuilderHint(d.fs.PageSize(), d.cfg.BlockBytes, d.cfg.Content, j.im.mt.Len())
 		it := j.im.mt.Iterator()
 		for it.Next() {
 			if err := b.Add(it.Entry()); err != nil {
@@ -62,6 +62,7 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 	t := j.img.Install(j.file)
 	d.levels[0] = append([]*sstable.Table{t}, d.levels[0]...)
 	d.levelBytes[0] += t.SizeBytes()
+	d.shapeL0++ // flushes touch only L0; the deep picker's memo survives
 	if now, err = d.writeManifest(now); err != nil {
 		d.fatal = err
 		return now, true

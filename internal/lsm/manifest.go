@@ -140,21 +140,22 @@ func decodeManifest(b []byte) (*manifestState, error) {
 
 // writeManifest persists the current version into the older of the two
 // manifest slots and returns the completion time.
+// manifestEncodedLen returns the exact byte length manifestState.encode
+// would produce for the current tree, without building it — the
+// accounting-mode write path needs only the page count.
+func (d *DB) manifestEncodedLen() int {
+	n := 4 + 8 + 8 + 8 + 8 + 4 + 4 // magic, write/seq/file/wal ids, level count, crc
+	for _, lvl := range d.levels {
+		n += 4
+		for _, t := range lvl {
+			n += 4 + len(t.FileName())
+		}
+	}
+	return n
+}
+
 func (d *DB) writeManifest(now sim.Duration) (sim.Duration, error) {
 	d.manifestSeq++
-	st := manifestState{
-		writeSeq:   d.manifestSeq,
-		seq:        d.seq,
-		nextFileID: d.nextFileID,
-		walID:      d.walID,
-	}
-	for _, lvl := range d.levels {
-		names := make([]string, 0, len(lvl))
-		for _, t := range lvl {
-			names = append(names, t.FileName())
-		}
-		st.levels = append(st.levels, names)
-	}
 	name := manifestA
 	if d.manifestSeq%2 == 0 {
 		name = manifestB
@@ -166,18 +167,37 @@ func (d *DB) writeManifest(now sim.Duration) (sim.Duration, error) {
 			return now, err
 		}
 	}
-	payload := st.encode()
 	ps := d.fs.PageSize()
-	pages := (len(payload) + ps - 1) / ps
+	var pages int
+	var data []byte
+	if d.cfg.Content {
+		st := manifestState{
+			writeSeq:   d.manifestSeq,
+			seq:        d.seq,
+			nextFileID: d.nextFileID,
+			walID:      d.walID,
+		}
+		for _, lvl := range d.levels {
+			names := make([]string, 0, len(lvl))
+			for _, t := range lvl {
+				names = append(names, t.FileName())
+			}
+			st.levels = append(st.levels, names)
+		}
+		payload := st.encode()
+		pages = (len(payload) + ps - 1) / ps
+		data = make([]byte, pages*ps)
+		copy(data, payload)
+	} else {
+		// Accounting mode: the manifest bytes are never read back, so
+		// only the encoded length (and therefore the page count) is
+		// charged — no serialization buffers.
+		pages = (d.manifestEncodedLen() + ps - 1) / ps
+	}
 	if need := int64(pages) - f.SizePages(); need > 0 {
 		if err := f.Grow(need); err != nil {
 			return now, err
 		}
-	}
-	var data []byte
-	if d.cfg.Content {
-		data = make([]byte, pages*ps)
-		copy(data, payload)
 	}
 	return f.WriteAt(now, 0, pages, data)
 }
@@ -262,6 +282,7 @@ func Recover(fs *extfs.FS, cfg Config, rng *sim.RNG, now sim.Duration) (*DB, sim
 			d.levelBytes[li] += t.SizeBytes()
 		}
 	}
+	d.shapeChanged()
 	// Replay surviving WAL segments. Records across segments are ordered
 	// by sequence number (segments are recycled out of name order), so
 	// collect first, then apply in order. Records whose data already

@@ -14,9 +14,22 @@ import (
 
 const maxHeight = 16
 
+// Arena chunk sizes. Chunks are fixed-size and never reallocated, so
+// pointers into them stay valid; a memtable's entire footprint is a
+// handful of chunks that die together when the memtable is flushed.
+const (
+	nodeChunk = 256      // nodes per chunk
+	ptrChunk  = 1024     // tower pointers per chunk
+	byteChunk = 16 << 10 // key/value bytes per chunk
+)
+
+// node is one skiplist entry. The tower is a variable-height slice carved
+// from the memtable's pointer arena: the average tower height is 4/3
+// levels (p = 1/4), so towers cost ~11 bytes per entry instead of the
+// 128 bytes a fixed [16]*node would.
 type node struct {
 	entry kv.Entry
-	next  [maxHeight]*node
+	tower []*node
 }
 
 // Memtable is a single-writer skiplist. It applies upsert semantics: a
@@ -25,6 +38,10 @@ type node struct {
 // workload over a large keyspace, in-memtable overwrites are rare, so
 // this matches RocksDB's effective behaviour while keeping byte
 // accounting simple.
+//
+// All node, tower and key storage comes from per-memtable arenas, so the
+// steady-state Put path performs no heap allocation beyond the amortized
+// arena chunk refills.
 type Memtable struct {
 	head   *node
 	height int
@@ -33,16 +50,56 @@ type Memtable struct {
 	entries  int
 	sizeEst  int64 // approximate payload bytes (keys + values + overhead)
 	overhead int64 // per-entry bookkeeping estimate
+
+	nodes []node  // current node chunk; nodesUsed entries consumed
+	ptrs  []*node // current tower-pointer chunk
+	bytes []byte  // current key/value byte chunk
 }
 
 // New creates an empty memtable; rng drives skiplist tower heights.
 func New(rng *sim.RNG) *Memtable {
-	return &Memtable{
-		head:     &node{},
+	m := &Memtable{
 		height:   1,
 		rng:      rng,
 		overhead: 32,
 	}
+	m.head = m.newNode(maxHeight)
+	return m
+}
+
+// newNode carves a node with a tower of the given height from the arenas.
+func (m *Memtable) newNode(height int) *node {
+	if len(m.nodes) == cap(m.nodes) {
+		m.nodes = make([]node, 0, nodeChunk)
+	}
+	m.nodes = m.nodes[:len(m.nodes)+1]
+	n := &m.nodes[len(m.nodes)-1]
+	if cap(m.ptrs)-len(m.ptrs) < height {
+		m.ptrs = make([]*node, 0, ptrChunk)
+	}
+	u := len(m.ptrs)
+	m.ptrs = m.ptrs[:u+height]
+	n.tower = m.ptrs[u : u+height : u+height]
+	return n
+}
+
+// cloneBytes copies b into the byte arena (nil stays nil).
+func (m *Memtable) cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	if cap(m.bytes)-len(m.bytes) < len(b) {
+		size := byteChunk
+		if len(b) > size {
+			size = len(b)
+		}
+		m.bytes = make([]byte, 0, size)
+	}
+	u := len(m.bytes)
+	m.bytes = m.bytes[:u+len(b)]
+	out := m.bytes[u : u+len(b) : u+len(b)]
+	copy(out, b)
+	return out
 }
 
 // Len returns the number of live entries.
@@ -61,18 +118,34 @@ func (m *Memtable) randomHeight() int {
 }
 
 // findGreaterOrEqual returns the first node with key >= key, recording
-// the rightmost node before it at every level in prev.
+// the rightmost node before it at every level in prev. The target key is
+// decomposed into comparison words once, so each probe along the walk is
+// two word compares instead of a generic byte comparison.
 func (m *Memtable) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	hi, lo, fast := kv.DecomposeKey(key)
 	x := m.head
 	for level := m.height - 1; level >= 0; level-- {
-		for x.next[level] != nil && bytes.Compare(x.next[level].entry.Key, key) < 0 {
-			x = x.next[level]
+		for {
+			next := x.tower[level]
+			if next == nil {
+				break
+			}
+			var c int
+			if nk := next.entry.Key; fast && len(nk) == kv.KeySize {
+				c = kv.CompareKeyWords(nk, hi, lo)
+			} else {
+				c = kv.CompareKeys(nk, key)
+			}
+			if c >= 0 {
+				break
+			}
+			x = next
 		}
 		if prev != nil {
 			prev[level] = x
 		}
 	}
-	return x.next[0]
+	return x.tower[0]
 }
 
 // Put inserts or replaces the entry for key. valueLen is the accounted
@@ -85,7 +158,7 @@ func (m *Memtable) Put(key, value []byte, valueLen int, seq uint64, deleted bool
 	existing := m.findGreaterOrEqual(key, &prev)
 	if existing != nil && bytes.Equal(existing.entry.Key, key) {
 		old := int64(len(existing.entry.Key)) + int64(existing.entry.ValueLen) + m.overhead
-		existing.entry.Value = cloneBytes(value)
+		existing.entry.Value = m.cloneBytes(value)
 		existing.entry.ValueLen = valueLen
 		existing.entry.Seq = seq
 		existing.entry.Deleted = deleted
@@ -99,16 +172,17 @@ func (m *Memtable) Put(key, value []byte, valueLen int, seq uint64, deleted bool
 		}
 		m.height = h
 	}
-	n := &node{entry: kv.Entry{
-		Key:      cloneBytes(key),
-		Value:    cloneBytes(value),
+	n := m.newNode(h)
+	n.entry = kv.Entry{
+		Key:      m.cloneBytes(key),
+		Value:    m.cloneBytes(value),
 		ValueLen: valueLen,
 		Seq:      seq,
 		Deleted:  deleted,
-	}}
+	}
 	for level := 0; level < h; level++ {
-		n.next[level] = prev[level].next[level]
-		prev[level].next[level] = n
+		n.tower[level] = prev[level].tower[level]
+		prev[level].tower[level] = n
 	}
 	m.entries++
 	m.sizeEst += int64(len(key)) + int64(valueLen) + m.overhead
@@ -125,7 +199,7 @@ func (m *Memtable) Get(key []byte) *kv.Entry {
 
 // Iterator returns a kv.Iterator over all entries in ascending key order.
 func (m *Memtable) Iterator() kv.Iterator {
-	return &iterator{next: m.head.next[0]}
+	return &iterator{next: m.head.tower[0]}
 }
 
 // IteratorFrom returns a kv.Iterator positioned before the first entry
@@ -145,17 +219,8 @@ func (it *iterator) Next() bool {
 		return false
 	}
 	it.cur = it.next
-	it.next = it.next.next[0]
+	it.next = it.next.tower[0]
 	return true
 }
 
 func (it *iterator) Entry() *kv.Entry { return &it.cur.entry }
-
-func cloneBytes(b []byte) []byte {
-	if b == nil {
-		return nil
-	}
-	out := make([]byte, len(b))
-	copy(out, b)
-	return out
-}

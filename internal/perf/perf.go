@@ -1,0 +1,305 @@
+// Package perf implements the pinned benchmark suite behind `ptsbench
+// bench`: a fixed set of micro and figure-level workloads measured with
+// wall-clock and allocation counters, serialized to JSON so the repo can
+// commit a baseline (BENCH_baseline.json) and CI can flag regressions
+// against it. The suite's workload shapes are identical in quick and
+// full mode — quick only lowers iteration counts — so numbers stay
+// comparable across modes.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/core"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/lsm"
+	"ptsbench/internal/memtable"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/sstable"
+)
+
+// Metric is one measured suite entry.
+type Metric struct {
+	Name        string  `json:"name"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// VirtualPerWall is the simulated virtual time per wall-clock second
+	// (figure-level workloads only): the headline "how fast does the
+	// simulator run" number.
+	VirtualPerWall float64 `json:"virtual_per_wall,omitempty"`
+}
+
+// Result is a full suite run.
+type Result struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Quick     bool     `json:"quick"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// Metric returns the named metric, or nil.
+func (r *Result) Metric(name string) *Metric {
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// Options tune a suite run.
+type Options struct {
+	// Quick divides per-metric iteration counts (for CI smoke runs).
+	Quick bool
+}
+
+// measure times iters executions of fn (after one untimed warmup call)
+// and returns the per-op wall and allocation figures. Single-iteration
+// metrics (the figure-level cells, already seconds long and self-
+// warming) skip the warmup rather than double their cost.
+func measure(name string, iters int, fn func(i int)) Metric {
+	if iters > 1 {
+		fn(0) // warmup: page in code and steady-state structures
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return Metric{
+		Name:        name,
+		Iters:       iters,
+		NsPerOp:     float64(wall.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}
+}
+
+// RunSuite executes the pinned suite and returns its results.
+func RunSuite(o Options) (*Result, error) {
+	div := 1
+	if o.Quick {
+		div = 8
+	}
+	res := &Result{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     o.Quick,
+	}
+
+	// ---- micro: memtable ----
+	{
+		m := memtable.New(sim.NewRNG(1))
+		key := make([]byte, kv.KeySize)
+		n := 400000 / div
+		res.Metrics = append(res.Metrics, measure("memtable-put", n, func(i int) {
+			kv.AppendKey(key, uint64(i%100000))
+			m.Put(key, nil, 128, uint64(i), false)
+		}))
+		res.Metrics = append(res.Metrics, measure("memtable-get", n, func(i int) {
+			kv.AppendKey(key, uint64(i%100000))
+			m.Get(key)
+		}))
+	}
+
+	// ---- micro: sstable build ----
+	{
+		entries := make([]kv.Entry, 10000)
+		for i := range entries {
+			entries[i] = kv.Entry{Key: kv.EncodeKey(uint64(i)), ValueLen: 128, Seq: uint64(i)}
+		}
+		n := 80 / div
+		res.Metrics = append(res.Metrics, measure("sstable-build-10k", n, func(i int) {
+			b := sstable.NewBuilderHint(4096, sstable.DefaultBlockBytes, false, len(entries))
+			for j := range entries {
+				if err := b.Add(&entries[j]); err != nil {
+					panic(err)
+				}
+			}
+			b.Finish(uint64(i))
+		}))
+	}
+
+	// ---- micro: FTL ----
+	{
+		dev, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  256 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 256,
+			Profile:       flash.ProfileSSD1().Scaled(1024),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pages := dev.LogicalPages()
+		var now sim.Duration
+		for p := int64(0); p < pages; p += 256 {
+			now = dev.SubmitWrite(now, p, 256)
+		}
+		rng := sim.NewRNG(1)
+		n := 400000 / div
+		res.Metrics = append(res.Metrics, measure("ftl-random-write", n, func(int) {
+			now = dev.SubmitWrite(now, int64(rng.Uint64n(uint64(pages))), 1)
+		}))
+		res.Metrics = append(res.Metrics, measure("ftl-write-range-64", 8000/div, func(int) {
+			lpn := int64(rng.Uint64n(uint64(pages - 64)))
+			now = dev.SubmitWrite(now, lpn, 64)
+		}))
+	}
+
+	// ---- micro: striped reads on a multi-lane device ----
+	{
+		dev, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  64 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 64,
+			Profile:       flash.ProfileSSD1().Scaled(4096).WithParallelism(4, 4),
+		})
+		if err != nil {
+			return nil, err
+		}
+		pages := dev.LogicalPages()
+		rng := sim.NewRNG(7)
+		var now sim.Duration
+		res.Metrics = append(res.Metrics, measure("striped-read-16lane", 400000/div, func(int) {
+			now = dev.SubmitRead(now, int64(rng.Uint64n(uint64(pages-16))), 16)
+		}))
+	}
+
+	// ---- steady-state op loop (LSM put through the whole stack) ----
+	{
+		ssd, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  512 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 256,
+			Profile:       flash.ProfileSSD1().Scaled(512),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs, err := extfs.Mount(blockdev.New(ssd), extfs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		db, err := lsm.Open(fs, lsm.NewConfig(128<<20), sim.NewRNG(1))
+		if err != nil {
+			return nil, err
+		}
+		rng := sim.NewRNG(2)
+		key := make([]byte, kv.KeySize)
+		var now sim.Duration
+		res.Metrics = append(res.Metrics, measure("lsm-put", 200000/div, func(int) {
+			kv.AppendKey(key, rng.Uint64n(50000))
+			var err error
+			if now, err = db.Put(now, key, nil, 512); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	// ---- figure-level: Fig 2 cells at the benchmark scale ----
+	// Always the quick figure shape (60 virtual minutes at Scale 256),
+	// so quick and full suite runs stay comparable.
+	for _, cell := range []struct {
+		name   string
+		engine core.EngineKind
+	}{{"fig2-lsm-scale256", core.LSM}, {"fig2-btree-scale256", core.BTree}} {
+		spec := core.Spec{
+			Engine:   cell.engine,
+			Scale:    256,
+			Duration: 60 * time.Minute,
+			Seed:     1,
+		}
+		var virtual sim.Duration
+		m := measure(cell.name, 1, func(int) {
+			r, err := core.Run(spec)
+			if err != nil {
+				panic(err)
+			}
+			virtual = r.LoadDuration + spec.Duration
+		})
+		m.VirtualPerWall = float64(virtual) / m.NsPerOp
+		res.Metrics = append(res.Metrics, m)
+	}
+	return res, nil
+}
+
+// WriteFile serializes the result as indented JSON.
+func (r *Result) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile parses a previously written result.
+func ReadFile(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that exceeded its threshold against the
+// baseline.
+type Regression struct {
+	Name  string
+	Field string
+	Base  float64
+	Now   float64
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s regressed %.2fx (baseline %.1f, now %.1f)",
+		r.Name, r.Field, r.Ratio, r.Base, r.Now)
+}
+
+// Compare flags metrics of cur that regressed beyond the thresholds
+// relative to base. nsThreshold is deliberately generous (wall time
+// varies across machines); allocThreshold can be tight because
+// allocations per op are machine-independent. Metrics missing from
+// either side are skipped.
+func Compare(base, cur *Result, nsThreshold, allocThreshold float64) []Regression {
+	var out []Regression
+	for _, bm := range base.Metrics {
+		cm := cur.Metric(bm.Name)
+		if cm == nil {
+			continue
+		}
+		if bm.NsPerOp > 0 && nsThreshold > 0 {
+			if ratio := cm.NsPerOp / bm.NsPerOp; ratio > nsThreshold {
+				out = append(out, Regression{bm.Name, "ns/op", bm.NsPerOp, cm.NsPerOp, ratio})
+			}
+		}
+		if allocThreshold > 0 {
+			// +1 guards the zero-alloc metrics (0 -> 1 alloc should fail
+			// a 2x threshold only via the absolute +1 slack).
+			if ratio := (cm.AllocsPerOp + 1) / (bm.AllocsPerOp + 1); ratio > allocThreshold {
+				out = append(out, Regression{bm.Name, "allocs/op", bm.AllocsPerOp, cm.AllocsPerOp, ratio})
+			}
+		}
+	}
+	return out
+}

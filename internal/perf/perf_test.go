@@ -1,0 +1,54 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSuiteRunsAndRoundTrips(t *testing.T) {
+	res, err := RunSuite(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Metrics) < 8 {
+		t.Fatalf("suite produced only %d metrics", len(res.Metrics))
+	}
+	for _, m := range res.Metrics {
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: non-positive ns/op %v", m.Name, m.NsPerOp)
+		}
+	}
+	for _, name := range []string{"fig2-lsm-scale256", "fig2-btree-scale256"} {
+		m := res.Metric(name)
+		if m == nil {
+			t.Fatalf("missing %s", name)
+		}
+		if m.VirtualPerWall <= 0 {
+			t.Fatalf("%s: missing virtual-per-wall ratio", name)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := res.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Metrics) != len(res.Metrics) {
+		t.Fatalf("round trip lost metrics: %d vs %d", len(back.Metrics), len(res.Metrics))
+	}
+
+	// Self-comparison is regression-free; a doctored baseline flags one.
+	if regs := Compare(back, res, 10, 2); len(regs) != 0 {
+		t.Fatalf("self comparison reported regressions: %v", regs)
+	}
+	doctored := *back
+	doctored.Metrics = append([]Metric(nil), back.Metrics...)
+	doctored.Metrics[0].NsPerOp /= 100
+	doctored.Metrics[0].AllocsPerOp = 0
+	if regs := Compare(&doctored, res, 10, 2); len(regs) == 0 {
+		t.Fatal("doctored baseline produced no regression")
+	}
+}

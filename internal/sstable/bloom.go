@@ -67,6 +67,20 @@ func (b *Bloom) MayContain(key []byte) bool {
 // SizeBytes returns the filter's serialized size.
 func (b *Bloom) SizeBytes() int { return len(b.bits) + 8 }
 
+// BloomSizeBytes returns the serialized size NewBloom(n) would produce,
+// without building the filter — the accounting path sizes the filter
+// section lazily.
+func BloomSizeBytes(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	nbits := uint32(n * bloomBitsPerKey)
+	if nbits < 64 {
+		nbits = 64
+	}
+	return int(nbits+7)/8 + 8
+}
+
 // encode serializes the filter (k, nbits, bits).
 func (b *Bloom) encode() []byte {
 	out := make([]byte, 8+len(b.bits))

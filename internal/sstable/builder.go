@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
@@ -43,15 +44,49 @@ const DefaultBlockBytes = 32 << 10
 // NewBuilder creates a builder. pageSize is the device page size; content
 // selects whether real bytes are produced.
 func NewBuilder(pageSize, targetBlockBytes int, content bool) *Builder {
+	return NewBuilderHint(pageSize, targetBlockBytes, content, 0)
+}
+
+// NewBuilderHint is NewBuilder with an expected entry count: the side
+// index under construction is presized for entryHint entries (16-byte
+// keys assumed — a high estimate just wastes some slack), which converts
+// the O(log n) reallocation churn of appending into a single right-sized
+// allocation per column. Flush and compaction jobs know their input entry
+// counts exactly, so their builder slices never regrow.
+func NewBuilderHint(pageSize, targetBlockBytes int, content bool, entryHint int) *Builder {
 	if targetBlockBytes <= 0 {
 		targetBlockBytes = DefaultBlockBytes
 	}
-	return &Builder{
+	if entryHint < 0 {
+		entryHint = 0
+	}
+	b := &Builder{
 		pageSize:    pageSize,
 		targetBlock: targetBlockBytes,
 		content:     content,
-		keyOffsets:  []uint32{0},
 	}
+	if entryHint > 0 {
+		b.keyArena = make([]byte, 0, entryHint*16)
+		b.keyOffsets = append(make([]uint32, 0, entryHint+1), 0)
+		b.seqs = make([]uint64, 0, entryHint)
+		b.vlens = make([]uint32, 0, entryHint)
+		b.dels = make([]byte, 0, entryHint)
+	} else {
+		b.keyOffsets = []uint32{0}
+	}
+	if content {
+		b.data = (*contentBufPool.Get().(*[]byte))[:0]
+	}
+	return b
+}
+
+// contentBufPool recycles the serialized-data scratch of content-mode
+// builders (block buffers): Finish copies the laid-out bytes into the
+// final image and returns the scratch here. Pointers to slices are
+// pooled (not slice values) so Put/Get do not box a fresh interface
+// allocation per cycle.
+var contentBufPool = sync.Pool{
+	New: func() any { return new([]byte) },
 }
 
 // NumEntries returns the number of entries added so far.
@@ -104,6 +139,50 @@ func (b *Builder) Add(e *kv.Entry) error {
 	return nil
 }
 
+// AppendTableRange bulk-appends entries [i, j) of table t (which must
+// all sort after the builder's current contents — the merge guarantees
+// it). Entries land exactly as a sequence of per-entry Add calls would:
+// identical block boundaries, identical byte accounting. When drop is
+// set, tombstones are skipped (they do not contribute to size or block
+// layout, matching the merge loop's skip-before-Add). The walk stops
+// once the builder's data bytes reach limitBytes (checked after each
+// appended entry, mirroring the per-entry roll check) and returns the
+// next unconsumed index. Accounting mode only.
+func (b *Builder) AppendTableRange(t *Table, i, j int, drop bool, limitBytes int64) int {
+	if b.content || t.content {
+		panic("sstable: AppendTableRange is accounting-mode only")
+	}
+	for ; i < j; i++ {
+		if drop && t.dels[i] == 1 {
+			continue
+		}
+		keyLen := int(t.keyOffsets[i+1] - t.keyOffsets[i])
+		sz := entryHeaderSize + keyLen + int(t.vlens[i])
+		if b.curBlockBytes > 0 && b.curBlockBytes+sz > b.targetBlock {
+			b.finishBlock()
+		}
+		idx := int32(len(b.seqs))
+		if b.curBlockBytes == 0 {
+			b.curBlockFirst = idx
+		}
+		b.keyArena = append(b.keyArena, t.keyArena[t.keyOffsets[i]:t.keyOffsets[i+1]]...)
+		b.keyOffsets = append(b.keyOffsets, uint32(len(b.keyArena)))
+		b.seqs = append(b.seqs, t.seqs[i])
+		b.vlens = append(b.vlens, t.vlens[i])
+		b.dels = append(b.dels, t.dels[i])
+		b.curBlockBytes += sz
+		b.dataBytes += int64(sz)
+		if b.dataBytes >= limitBytes {
+			i++
+			break
+		}
+	}
+	if n := len(b.seqs); n > 0 {
+		b.lastKey = b.keyArena[b.keyOffsets[n-1]:b.keyOffsets[n]]
+	}
+	return i
+}
+
 // finishBlock closes the current data block, page-aligning the next one.
 func (b *Builder) finishBlock() {
 	if b.curBlockBytes == 0 {
@@ -141,15 +220,24 @@ type FileImage struct {
 func (b *Builder) Finish(id uint64) *FileImage {
 	b.finishBlock()
 	n := len(b.seqs)
-	bloom := NewBloom(n)
-	for i := 0; i < n; i++ {
-		bloom.Add(b.keyArena[b.keyOffsets[i]:b.keyOffsets[i+1]])
+	// In accounting mode the Bloom filter is built lazily on the table's
+	// first probe (see Table.MayContain): write-heavy runs churn through
+	// tables that die in compactions without ever serving a Get, and the
+	// per-key hashing + scattered bit-sets were the most expensive part
+	// of sealing a table. Content mode needs the bits now — they are
+	// serialized into the file image.
+	var bloom *Bloom
+	if b.content {
+		bloom = NewBloom(n)
+		for i := 0; i < n; i++ {
+			bloom.Add(b.keyArena[b.keyOffsets[i]:b.keyOffsets[i+1]])
+		}
 	}
 	// Metadata sections: index block (16 bytes per block entry as laid
 	// out below), filter, footer. They are written page-aligned after
 	// the data.
 	indexBytes := 4 + 16*len(b.blocks)
-	filterBytes := bloom.SizeBytes()
+	filterBytes := BloomSizeBytes(n)
 	const footerBytes = 32
 	metaBytes := indexBytes + filterBytes + footerBytes
 	metaPages := int64((metaBytes + b.pageSize - 1) / b.pageSize)
@@ -182,6 +270,9 @@ func (b *Builder) Finish(id uint64) *FileImage {
 	if b.content {
 		data := make([]byte, totalPages*int64(b.pageSize))
 		copy(data, b.data)
+		scratch := b.data[:0]
+		contentBufPool.Put(&scratch)
+		b.data = nil
 		off := int64(b.nextPage) * int64(b.pageSize)
 		// Index block: count then 16 bytes per block.
 		binary.LittleEndian.PutUint32(data[off:], uint32(len(b.blocks)))

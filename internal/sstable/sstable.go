@@ -13,7 +13,6 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
@@ -99,11 +98,31 @@ func (t *Table) entryAt(i int) kv.Entry {
 	}
 }
 
-// search returns the index of the first entry with key >= target.
+// search returns the index of the first entry with key >= target
+// (open-coded binary search; this sits under every Get and probe).
 func (t *Table) search(target []byte) int {
-	return sort.Search(t.numEntries, func(i int) bool {
-		return bytes.Compare(t.key(i), target) >= 0
-	})
+	return t.searchRange(0, t.numEntries, target)
+}
+
+// searchRange binary-searches [lo, hi) for the first key >= target,
+// decomposing the target into comparison words once per search.
+func (t *Table) searchRange(lo, hi int, target []byte) int {
+	wHi, wLo, fast := kv.DecomposeKey(target)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		var c int
+		if mk := t.key(mid); fast && len(mk) == kv.KeySize {
+			c = kv.CompareKeyWords(mk, wHi, wLo)
+		} else {
+			c = kv.CompareKeys(mk, target)
+		}
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Overlaps reports whether the table's key range intersects [lo, hi]
@@ -112,18 +131,29 @@ func (t *Table) Overlaps(lo, hi []byte) bool {
 	if t.numEntries == 0 {
 		return false
 	}
-	if hi != nil && bytes.Compare(t.Smallest(), hi) > 0 {
+	if hi != nil && kv.CompareKeys(t.Smallest(), hi) > 0 {
 		return false
 	}
-	if lo != nil && bytes.Compare(t.Largest(), lo) < 0 {
+	if lo != nil && kv.CompareKeys(t.Largest(), lo) < 0 {
 		return false
 	}
 	return true
 }
 
-// MayContain consults the Bloom filter only (no I/O).
+// MayContain consults the Bloom filter only (no I/O). In accounting mode
+// the filter is materialized here, on the table's first probe, from the
+// in-memory side index — its bits are a pure function of the key set, so
+// the lazy build answers exactly like an eager one while write-only runs
+// never pay for filters on tables that die unprobed.
 func (t *Table) MayContain(key []byte) bool {
-	return t.bloom == nil || t.bloom.MayContain(key)
+	if t.bloom == nil {
+		bloom := NewBloom(t.numEntries)
+		for i := 0; i < t.numEntries; i++ {
+			bloom.Add(t.key(i))
+		}
+		t.bloom = bloom
+	}
+	return t.bloom.MayContain(key)
 }
 
 // Get looks up key, charging the device for the data-block read when the
@@ -196,9 +226,16 @@ func minInt(a, b int) int {
 
 // blockOf returns the index of the block containing entry i.
 func (t *Table) blockOf(i int) int {
-	return sort.Search(len(t.blocks), func(b int) bool {
-		return int(t.blocks[b].firstEntry) > i
-	}) - 1
+	lo, hi := 0, len(t.blocks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(t.blocks[mid].firstEntry) <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
 }
 
 // ReadPages charges a bulk read of n file pages starting at pageOff,
@@ -243,6 +280,19 @@ func (t *Table) ReadRange(now sim.Duration, first, last int) (sim.Duration, erro
 
 // EntryIndex returns the index of the first entry with key >= target.
 func (t *Table) EntryIndex(target []byte) int { return t.search(target) }
+
+// KeyAt returns entry i's key (aliasing the table's arena; callers must
+// not mutate or retain it past the table's lifetime).
+func (t *Table) KeyAt(i int) []byte { return t.key(i) }
+
+// SeqAt returns entry i's sequence number.
+func (t *Table) SeqAt(i int) uint64 { return t.seqs[i] }
+
+// SearchFrom returns the index of the first entry in [start, NumEntries)
+// with key >= target — the galloping primitive of the bulk merge path.
+func (t *Table) SearchFrom(start int, target []byte) int {
+	return t.searchRange(start, t.numEntries, target)
+}
 
 type tableIter struct {
 	t *Table
