@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/btree"
 	"ptsbench/internal/core"
@@ -513,6 +514,43 @@ func BenchmarkBTreePut(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkBeTreePut(b *testing.B) {
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  512 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 256,
+		Profile:       flash.ProfileSSD1().Scaled(512),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := extfs.Mount(blockdev.New(ssd), extfs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := betree.Open(fs, betree.NewConfig(128<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	key := make([]byte, kv.KeySize)
+	var now sim.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kv.AppendKey(key, rng.Uint64n(50000))
+		if now, err = tr.Put(now, key, nil, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBetradeoff regenerates the Bε-tree ε × read-fraction
+// trade-off figure at the benchmark scale.
+func BenchmarkBetradeoff(b *testing.B) {
+	rep := runFigure(b, "betradeoff")
+	reportFirstTable(b, rep)
 }
 
 func BenchmarkLSMPut(b *testing.B) {

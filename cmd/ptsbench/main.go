@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ptsbench list
-//	ptsbench run -figure fig2 [-scale 128] [-quick] [-seed 1] [-csv DIR]
+//	ptsbench run -figure fig2 [-engine lsm,btree,betree] [-scale 128] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench all [-quick] [-csv DIR]
 //	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]
@@ -13,6 +13,11 @@
 // qdsweep is shorthand for "run -figure qdsweep": the queue-depth sweep
 // on an SSD with internal channel/way parallelism, whose cells execute
 // concurrently across host cores.
+//
+// -engine restricts an engine-generic figure to a subset of the three
+// tree structures; e.g. `ptsbench run -figure fig2 -engine betree`
+// measures the Bε-tree alone, and `run -figure betradeoff` sweeps its ε
+// (buffer fraction) knob against the read fraction.
 //
 // bench runs the pinned performance suite (internal/perf): micro
 // benchmarks of the hot data structures plus the Fig 2 cells, reporting
@@ -26,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ptsbench"
@@ -97,6 +103,16 @@ func commonFlags(fs *flag.FlagSet) (*ptsbench.FigureOptions, *string) {
 	fs.Int64Var(&opts.Scale, "scale", 0, "simulation scale override (0 = figure default)")
 	fs.BoolVar(&opts.Quick, "quick", false, "shorten runs for a fast smoke pass")
 	fs.Uint64Var(&opts.Seed, "seed", 0, "deterministic seed override")
+	fs.Func("engine", "restrict to engines (comma-separated: lsm, btree, betree)", func(v string) error {
+		for _, name := range strings.Split(v, ",") {
+			k, err := ptsbench.ParseEngine(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			opts.Engines = append(opts.Engines, k)
+		}
+		return nil
+	})
 	csvDir := fs.String("csv", "", "also write CSV files into this directory")
 	return opts, csvDir
 }
@@ -162,7 +178,7 @@ func runBench(quick bool, out, against string, nsThresh, allocThresh float64) er
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ptsbench list
-  ptsbench run -figure figN [-scale N] [-quick] [-seed N] [-csv DIR]
+  ptsbench run -figure figN [-engine lsm,btree,betree] [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench all [-quick] [-csv DIR]
   ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]`)

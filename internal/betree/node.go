@@ -1,0 +1,314 @@
+package betree
+
+import (
+	"bytes"
+
+	"ptsbench/internal/extalloc"
+	"ptsbench/internal/kv"
+)
+
+// fileExtent aliases the shared extent type; see internal/extalloc.
+type fileExtent = extalloc.Extent
+
+// nodeID identifies an in-memory node. IDs are never reused.
+type nodeID uint32
+
+const nilNode nodeID = 0
+
+// msgOverhead is the serialized per-message (and per-leaf-entry) header:
+// keyLen(2) + valueLen(4) + seq(8).
+const msgOverhead = 14
+
+// pageHeaderBytes is the serialized node header size.
+const pageHeaderBytes = 64
+
+// childRefBytes is the serialized size of one child reference in an
+// interior node: extent start (8) + extent pages (4).
+const childRefBytes = 12
+
+// message is one buffered update or leaf entry: key, optional value
+// bytes (content mode), accounted value length, sequence and tombstone
+// flag. Buffers and leaves share the representation because a flush
+// moves messages unchanged until they land in a leaf.
+type message struct {
+	key  []byte
+	val  []byte
+	seq  uint64
+	vlen int32
+	del  bool
+}
+
+// bytes returns the message's serialized footprint.
+func (m *message) bytes() int {
+	return msgOverhead + len(m.key) + int(m.vlen)
+}
+
+// node is an in-memory Bε-tree node. Leaves carry entries; interior
+// nodes carry separator keys, children and a message buffer sorted by
+// key (one message per key — a newer update overwrites the buffered
+// older one, which is the classic upsert collapse).
+type node struct {
+	id     nodeID
+	parent nodeID
+	leaf   bool
+
+	// Leaf payload, sorted by key.
+	entries []message
+
+	// Interior payload: children[i] holds keys < seps[i] for
+	// i < len(seps); children[len(seps)] holds the rest.
+	seps     [][]byte
+	children []nodeID
+
+	// buf is the interior message buffer, sorted by key. bufBytes is its
+	// serialized footprint.
+	buf      []message
+	bufBytes int
+
+	// childExtents is only populated on nodes reconstructed from disk
+	// (recovery): the on-disk locations of the children, in child order.
+	childExtents []fileExtent
+
+	// serialized is the full serialized size (pivot section + buffer for
+	// interiors; header + entries for leaves). pivotBytes tracks the
+	// pivot section alone — the quantity the fanout budget bounds.
+	serialized int
+	pivotBytes int
+
+	dirty bool
+
+	// On-disk location (pages within the collection file); pages==0
+	// means never written.
+	disk fileExtent
+
+	// Cache bookkeeping (leaves only): resident leaves form an LRU list.
+	resident   bool
+	lruNewer   nodeID
+	lruOlder   nodeID
+	everOnDisk bool
+
+	// next chains leaves left-to-right for range scans.
+	next nodeID
+}
+
+// searchMsgs returns the index of the first message in msgs with
+// key >= target.
+func searchMsgs(msgs []message, target []byte) int {
+	wHi, wLo, fast := kv.DecomposeKey(target)
+	lo, hi := 0, len(msgs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		var c int
+		if mk := msgs[mid].key; fast && len(mk) == kv.KeySize {
+			c = kv.CompareKeyWords(mk, wHi, wLo)
+		} else {
+			c = kv.CompareKeys(mk, target)
+		}
+		if c < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// search returns the index of the first leaf entry with key >= target.
+func (n *node) search(target []byte) int { return searchMsgs(n.entries, target) }
+
+// childFor returns the index of the child covering target.
+func (n *node) childFor(target []byte) int {
+	wHi, wLo, fast := kv.DecomposeKey(target)
+	lo, hi := 0, len(n.seps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		var c int
+		if sk := n.seps[mid]; fast && len(sk) == kv.KeySize {
+			c = kv.CompareKeyWords(sk, wHi, wLo)
+		} else {
+			c = kv.CompareKeys(sk, target)
+		}
+		if c <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns the position of child id.
+func (n *node) childIndex(id nodeID) int {
+	for i, c := range n.children {
+		if c == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// bufGet returns the buffered message for key, or nil.
+func (n *node) bufGet(key []byte) *message {
+	i := searchMsgs(n.buf, key)
+	if i < len(n.buf) && bytes.Equal(n.buf[i].key, key) {
+		return &n.buf[i]
+	}
+	return nil
+}
+
+// bufInsert upserts a message into the buffer, returning the serialized
+// size delta. owned says the message owns its key/value bytes (flushes
+// move already-owned messages down); with owned=false — the Put
+// boundary, where callers reuse their buffers — bytes are cloned only
+// when actually retained, so an overwrite (which keeps the resident
+// key) costs no key allocation. An existing message for the same key is
+// overwritten when the incoming one is at least as new (flush batches
+// always move the newest surviving version, so the guard only matters
+// on recovery replay).
+func (n *node) bufInsert(m message, owned bool) int {
+	i := searchMsgs(n.buf, m.key)
+	if i < len(n.buf) && bytes.Equal(n.buf[i].key, m.key) {
+		old := &n.buf[i]
+		if m.seq < old.seq {
+			return 0
+		}
+		delta := m.bytes() - old.bytes()
+		// Keep the resident key bytes; only the value changes.
+		m.key = old.key
+		if !owned {
+			m.val = cloneBytes(m.val)
+		}
+		*old = m
+		n.bufBytes += delta
+		n.serialized += delta
+		return delta
+	}
+	if !owned {
+		m.key = cloneBytes(m.key)
+		m.val = cloneBytes(m.val)
+	}
+	n.buf = append(n.buf, message{})
+	copy(n.buf[i+1:], n.buf[i:])
+	n.buf[i] = m
+	delta := m.bytes()
+	n.bufBytes += delta
+	n.serialized += delta
+	return delta
+}
+
+// insertLeaf inserts or replaces a leaf entry, returning the serialized
+// size delta. owned works as in bufInsert. Stale messages (older seq
+// than the stored entry) are dropped — they can only reach a leaf
+// through recovery replay.
+func (n *node) insertLeaf(m message, owned bool) int {
+	i := n.search(m.key)
+	if i < len(n.entries) && bytes.Equal(n.entries[i].key, m.key) {
+		e := &n.entries[i]
+		if m.seq < e.seq {
+			return 0
+		}
+		delta := m.bytes() - e.bytes()
+		m.key = e.key
+		if !owned {
+			m.val = cloneBytes(m.val)
+		}
+		*e = m
+		n.serialized += delta
+		return delta
+	}
+	if !owned {
+		m.key = cloneBytes(m.key)
+		m.val = cloneBytes(m.val)
+	}
+	n.entries = append(n.entries, message{})
+	copy(n.entries[i+1:], n.entries[i:])
+	n.entries[i] = m
+	delta := m.bytes()
+	n.serialized += delta
+	return delta
+}
+
+// splitLeaf moves the upper half of the entries to a new node and
+// returns it with the separator key (first key of the new node).
+func (n *node) splitLeaf(newID nodeID) (*node, []byte) {
+	mid := len(n.entries) / 2
+	right := &node{
+		id:      newID,
+		parent:  n.parent,
+		leaf:    true,
+		entries: append([]message(nil), n.entries[mid:]...),
+	}
+	var moved int
+	for i := mid; i < len(n.entries); i++ {
+		moved += n.entries[i].bytes()
+	}
+	right.serialized = pageHeaderBytes + moved
+	n.entries = n.entries[:mid]
+	n.serialized -= moved
+	right.next = n.next
+	n.next = right.id
+	return right, right.entries[0].key
+}
+
+// insertChild adds a separator and child after position idx.
+func (n *node) insertChild(idx int, sep []byte, child nodeID) {
+	n.seps = append(n.seps, nil)
+	copy(n.seps[idx+1:], n.seps[idx:])
+	n.seps[idx] = cloneBytes(sep)
+	n.children = append(n.children, nilNode)
+	copy(n.children[idx+2:], n.children[idx+1:])
+	n.children[idx+1] = child
+	delta := 2 + len(sep) + childRefBytes
+	n.pivotBytes += delta
+	n.serialized += delta
+}
+
+// splitInterior moves the upper half of an interior node (pivots AND the
+// buffered messages routed to them) to a new node, returning it and the
+// separator promoted to the parent.
+func (n *node) splitInterior(newID nodeID) (*node, []byte) {
+	mid := len(n.seps) / 2
+	promoted := n.seps[mid]
+	right := &node{
+		id:       newID,
+		parent:   n.parent,
+		leaf:     false,
+		seps:     append([][]byte(nil), n.seps[mid+1:]...),
+		children: append([]nodeID(nil), n.children[mid+1:]...),
+	}
+	// Messages with key >= promoted route to the right node (childFor
+	// sends key == sep to the right child).
+	cut := searchMsgs(n.buf, promoted)
+	right.buf = append([]message(nil), n.buf[cut:]...)
+	for i := range right.buf {
+		right.bufBytes += right.buf[i].bytes()
+	}
+	n.buf = n.buf[:cut]
+	n.bufBytes -= right.bufBytes
+
+	n.seps = n.seps[:mid]
+	n.children = n.children[:mid+1]
+	n.recomputeSerialized()
+	right.recomputeSerialized()
+	return right, promoted
+}
+
+// recomputeSerialized recalculates an interior node's pivot and total
+// footprints from scratch.
+func (n *node) recomputeSerialized() {
+	s := pageHeaderBytes + childRefBytes*len(n.children)
+	for _, sep := range n.seps {
+		s += 2 + len(sep)
+	}
+	n.pivotBytes = s
+	n.serialized = s + n.bufBytes
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

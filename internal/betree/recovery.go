@@ -1,4 +1,4 @@
-package btree
+package betree
 
 import (
 	"bytes"
@@ -15,20 +15,21 @@ import (
 )
 
 // Checkpoint metadata: a double-buffered pair of tiny files records the
-// root page's on-disk extent and the sequence high-water mark of the last
-// completed checkpoint. Recovery parses the tree from the root and
-// replays the surviving journal segments on top.
+// root node's on-disk extent and the sequence high-water mark of the
+// last completed checkpoint. Recovery parses the tree (including the
+// persisted interior buffers) from the root and replays the surviving
+// journal segments on top.
 
 const (
-	metaA     = "wtmeta-A"
-	metaB     = "wtmeta-B"
-	metaMagic = 0x57544D54 // "WTMT"
+	metaA     = "bemeta-A"
+	metaB     = "bemeta-B"
+	metaMagic = 0x42454D54 // "BEMT"
 	metaBytes = 4 + 8 + 8 + 8 + 4 + 8 + 4
 )
 
 type metaState struct {
-	gen       uint64 // checkpoint generation
-	seq       uint64 // KV sequence high-water mark at checkpoint
+	gen       uint64
+	seq       uint64
 	journalID uint64
 	root      fileExtent
 }
@@ -47,13 +48,13 @@ func (m *metaState) encode() []byte {
 
 func decodeMeta(b []byte) (*metaState, error) {
 	if len(b) < metaBytes {
-		return nil, fmt.Errorf("btree: metadata too short")
+		return nil, fmt.Errorf("betree: metadata too short")
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != metaMagic {
-		return nil, fmt.Errorf("btree: bad metadata magic")
+		return nil, fmt.Errorf("betree: bad metadata magic")
 	}
 	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:]) {
-		return nil, fmt.Errorf("btree: metadata CRC mismatch")
+		return nil, fmt.Errorf("betree: metadata CRC mismatch")
 	}
 	return &metaState{
 		gen:       binary.LittleEndian.Uint64(b[4:]),
@@ -68,10 +69,8 @@ func decodeMeta(b []byte) (*metaState, error) {
 
 // writeMeta persists the checkpoint metadata into the older slot.
 func (t *Tree) writeMeta(now sim.Duration) (sim.Duration, error) {
-	root := t.pages[t.root]
+	root := t.nodes[t.root]
 	if root.disk.Pages == 0 {
-		// A root that was never written (e.g. an empty tree checkpoint);
-		// nothing durable to point at yet.
 		return now, nil
 	}
 	t.metaGen++
@@ -121,45 +120,46 @@ func readMeta(fs *extfs.FS, now sim.Duration) (*metaState, sim.Duration, error) 
 	return best, now, nil
 }
 
-// Recover reopens a B+Tree from its on-device state: the newest
-// checkpoint metadata locates the root, the tree is parsed top-down, and
-// surviving journal records are replayed on top (sequence-guarded, so a
-// replay never regresses a newer on-disk value). It requires content
-// mode. The returned time includes all recovery I/O.
+// Recover reopens a Bε-tree from its on-device state: the newest
+// checkpoint metadata locates the root, the tree — interior buffers
+// included — is parsed top-down, and surviving journal records are
+// replayed on top (sequence-guarded, so a replay never regresses a
+// newer on-disk value). It requires content mode. The returned time
+// includes all recovery I/O.
 func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, error) {
 	cfg, err := cfg.Validate()
 	if err != nil {
 		return nil, now, err
 	}
 	if !cfg.Content {
-		return nil, now, fmt.Errorf("btree: Recover requires content mode")
+		return nil, now, fmt.Errorf("betree: Recover requires content mode")
 	}
 	st, now, err := readMeta(fs, now)
 	if err != nil {
 		return nil, now, err
 	}
 	if st == nil {
-		return nil, now, fmt.Errorf("btree: no valid checkpoint metadata found")
+		return nil, now, fmt.Errorf("betree: no valid checkpoint metadata found")
 	}
-	f, err := fs.Open("collection.wt")
+	f, err := fs.Open("collection.be")
 	if err != nil {
-		return nil, now, fmt.Errorf("btree: collection file missing: %w", err)
+		return nil, now, fmt.Errorf("betree: collection file missing: %w", err)
 	}
 	t := &Tree{
 		cfg:       cfg,
+		pivotMax:  cfg.pivotBudget(),
+		bufferMax: cfg.bufferBudget(),
 		fs:        fs,
 		file:      f,
 		bm:        extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
-		pages:     make([]*page, 1, 64), // index 0 is nilPage
-		ckptW:     sim.NewWorker("btree-checkpoint"),
+		nodes:     make([]*node, 1, 64), // index 0 is nilNode
+		ckptW:     sim.NewWorker("betree-checkpoint"),
 		seq:       st.seq,
 		journalID: st.journalID,
 		metaGen:   st.gen,
 	}
-	// Rebuild the tree from the root. Extents seen during the walk are
-	// live; everything else inside the file is free space.
 	used := []fileExtent{}
-	rootID, done, err := t.loadSubtree(now, st.root, nilPage, &used)
+	rootID, done, err := t.loadSubtree(now, st.root, nilNode, &used)
 	if err != nil {
 		return nil, now, err
 	}
@@ -167,15 +167,15 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	t.root = rootID
 	t.rebuildFreeList(used)
 	t.rebuildLeafChain()
-	if root := t.pages[t.root]; root.leaf {
+	if root := t.nodes[t.root]; root.leaf {
 		t.admit(root)
 	}
-	// Replay journals, newest records win; guard on per-key sequence so
-	// flushed updates are not regressed.
+	// Replay journals; the per-key sequence guard in the insert paths
+	// keeps checkpointed-newer state from being regressed.
 	var records []wal.Record
 	var segments []string
 	for _, name := range fs.List() {
-		if !strings.HasPrefix(name, "journal-") {
+		if !strings.HasPrefix(name, "bjournal-") {
 			continue
 		}
 		segments = append(segments, name)
@@ -190,15 +190,14 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
 	for i := range records {
 		r := &records[i]
-		if err := t.applyRecovered(r); err != nil {
+		now, err = t.applyRecovered(now, r)
+		if err != nil {
 			return nil, now, err
 		}
 		if r.Seq > t.seq {
 			t.seq = r.Seq
 		}
 	}
-	// Fresh journal; make the replayed state durable, then retire stale
-	// segments.
 	if !cfg.DisableJournal {
 		w, err := wal.Create(fs, t.journalName(), cfg.Content)
 		if err != nil {
@@ -234,49 +233,49 @@ func (t *Tree) poolTracks(name string) bool {
 	return false
 }
 
-// loadSubtree reads and parses the page at ext, recursing into children,
-// and returns the assigned in-memory page id.
-func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent pageID, used *[]fileExtent) (pageID, sim.Duration, error) {
+// loadSubtree reads and parses the node at ext, recursing into children,
+// and returns the assigned in-memory node id.
+func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent nodeID, used *[]fileExtent) (nodeID, sim.Duration, error) {
 	if ext.Pages <= 0 {
-		return nilPage, now, fmt.Errorf("btree: empty extent in tree walk")
+		return nilNode, now, fmt.Errorf("betree: empty extent in tree walk")
 	}
 	buf := make([]byte, int(ext.Pages)*t.fs.PageSize())
 	now, err := t.file.ReadAt(now, ext.Start, int(ext.Pages), buf)
 	if err != nil {
-		return nilPage, now, err
+		return nilNode, now, err
 	}
-	p, ok := parsePage(buf)
+	n, ok := parseNode(buf)
 	if !ok {
-		return nilPage, now, fmt.Errorf("btree: corrupt page at extent %d+%d", ext.Start, ext.Pages)
+		return nilNode, now, fmt.Errorf("betree: corrupt node at extent %d+%d", ext.Start, ext.Pages)
 	}
 	t.nextID++
-	p.id = t.nextID
-	p.parent = parent
-	p.disk = ext
-	p.everOnDisk = true
-	if p.leaf {
+	n.id = t.nextID
+	n.parent = parent
+	n.disk = ext
+	n.everOnDisk = true
+	if n.leaf {
 		var sz int
-		for i := range p.entries {
-			sz += p.entries[i].bytes()
+		for i := range n.entries {
+			sz += n.entries[i].bytes()
 		}
-		p.serialized = pageHeaderBytes + sz
+		n.serialized = pageHeaderBytes + sz
 	} else {
-		p.recomputeSerialized()
+		n.recomputeSerialized()
 	}
-	t.registerPage(p)
+	t.registerNode(n)
 	*used = append(*used, ext)
-	if !p.leaf {
-		for i, ce := range p.childExtents {
-			childID, done, err := t.loadSubtree(now, ce, p.id, used)
+	if !n.leaf {
+		for i, ce := range n.childExtents {
+			childID, done, err := t.loadSubtree(now, ce, n.id, used)
 			if err != nil {
-				return nilPage, now, err
+				return nilNode, now, err
 			}
 			now = done
-			p.children[i] = childID
+			n.children[i] = childID
 		}
-		p.childExtents = nil
+		n.childExtents = nil
 	}
-	return p.id, now, nil
+	return n.id, now, nil
 }
 
 // rebuildFreeList reconstructs the block manager's free list as the
@@ -300,44 +299,49 @@ func (t *Tree) rebuildFreeList(used []fileExtent) {
 // rebuildLeafChain links leaves left-to-right by walking the tree in
 // order.
 func (t *Tree) rebuildLeafChain() {
-	var prev *page
-	var walk func(id pageID)
-	walk = func(id pageID) {
-		p := t.pages[id]
-		if p.leaf {
+	var prev *node
+	var walk func(id nodeID)
+	walk = func(id nodeID) {
+		n := t.nodes[id]
+		if n.leaf {
 			if prev != nil {
-				prev.next = p.id
+				prev.next = n.id
 			}
-			prev = p
+			prev = n
 			return
 		}
-		for _, c := range p.children {
+		for _, c := range n.children {
 			walk(c)
 		}
 	}
 	walk(t.root)
 }
 
-// applyRecovered replays one journal record through the insert path
-// (without journaling, CPU costs or eviction), guarded by sequence so
-// stale records never overwrite newer on-disk state.
-func (t *Tree) applyRecovered(r *wal.Record) error {
-	leaf := t.descend(r.Key)
-	i := leaf.search(r.Key)
-	if i < len(leaf.entries) && bytes.Equal(leaf.entries[i].key, r.Key) && leaf.entries[i].seq >= r.Seq {
-		return nil // on-disk state is as new or newer
+// applyRecovered replays one journal record through the message path
+// (without journaling, CPU costs or eviction), threading the recovery
+// clock so leaf loads triggered by flush cascades are charged. A record
+// is dropped when ANY version along the key's root-to-leaf path — a
+// buffered message or the leaf entry — is at least as new: inserting an
+// older message at the root would shadow the newer deeper version on
+// reads.
+func (t *Tree) applyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, error) {
+	n := t.nodes[t.root]
+	for !n.leaf {
+		if m := n.bufGet(r.Key); m != nil && m.seq >= r.Seq {
+			return now, nil
+		}
+		n = t.nodes[n.children[n.childFor(r.Key)]]
+	}
+	if i := n.search(r.Key); i < len(n.entries) &&
+		bytes.Equal(n.entries[i].key, r.Key) && n.entries[i].seq >= r.Seq {
+		return now, nil
 	}
 	vlen := r.ValueLen
 	if r.Value != nil {
 		vlen = len(r.Value)
 	}
-	delta := leaf.insertLeaf(r.Key, r.Value, vlen, r.Seq, r.Deleted)
-	if leaf.resident {
-		t.residentBytes += int64(delta)
-	}
-	t.markDirty(leaf)
-	if leaf.serialized > t.cfg.LeafPageBytes {
-		t.splitLeaf(leaf)
-	}
-	return nil
+	// Replayed records own their bytes (decodeRecord allocates fresh
+	// slices per record), so the message transfers them without cloning.
+	msg := message{key: r.Key, val: r.Value, seq: r.Seq, vlen: int32(vlen), del: r.Deleted}
+	return t.apply(now, msg, true)
 }

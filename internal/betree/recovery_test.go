@@ -1,4 +1,4 @@
-package btree
+package betree
 
 import (
 	"bytes"
@@ -10,10 +10,12 @@ import (
 	"ptsbench/internal/sim"
 )
 
-// recoveryEnv builds a content-mode tree with synced journaling.
+// recoveryEnv builds a content-mode tree with synced journaling and
+// small nodes (so buffers, flushes and splits all participate).
 func recoveryEnv(t *testing.T, tweak func(*Config)) (*Tree, *extfs.FS) {
 	t.Helper()
 	tr, _, fs := testEnv(t, 32, true, func(c *Config) {
+		smallNodes(c)
 		c.JournalSync = true
 		if tweak != nil {
 			tweak(c)
@@ -22,12 +24,12 @@ func recoveryEnv(t *testing.T, tweak func(*Config)) (*Tree, *extfs.FS) {
 	return tr, fs
 }
 
-func TestBTreeRecoverAfterCleanClose(t *testing.T) {
-	tr, fs := recoveryEnv(t, func(c *Config) { c.LeafPageBytes = 2 << 10 })
+func TestRecoverAfterCleanClose(t *testing.T) {
+	tr, fs := recoveryEnv(t, nil)
 	var now sim.Duration
 	var err error
 	want := map[uint64][]byte{}
-	for id := uint64(0); id < 400; id++ {
+	for id := uint64(0); id < 600; id++ {
 		v := []byte{byte(id), byte(id >> 8)}
 		want[id] = v
 		now, err = tr.Put(now, kv.EncodeKey(id), v, 0)
@@ -54,7 +56,6 @@ func TestBTreeRecoverAfterCleanClose(t *testing.T) {
 			t.Fatalf("key %d value corrupted: %v vs %v", id, got, v)
 		}
 	}
-	// Structure survived: multi-level tree, working scans.
 	if re.Depth() < 2 {
 		t.Fatalf("recovered depth %d, want >= 2", re.Depth())
 	}
@@ -72,23 +73,22 @@ func TestBTreeRecoverAfterCleanClose(t *testing.T) {
 	}
 }
 
-func TestBTreeRecoverAfterCrash(t *testing.T) {
-	// Updates after the last checkpoint live only in the journal.
-	tr, fs := recoveryEnv(t, func(c *Config) { c.LeafPageBytes = 2 << 10 })
+func TestRecoverAfterCrash(t *testing.T) {
+	// Updates after the last checkpoint live only in the journal; the
+	// checkpoint itself holds part of the data in interior buffers.
+	tr, fs := recoveryEnv(t, nil)
 	var now sim.Duration
 	var err error
-	for id := uint64(0); id < 200; id++ {
+	for id := uint64(0); id < 300; id++ {
 		now, err = tr.Put(now, kv.EncodeKey(id), []byte{1}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 	}
-	now, err = tr.FlushAll(now) // checkpoint generation 1
+	now, err = tr.FlushAll(now) // checkpoint (buffers persisted in images)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Overwrite a subset and delete another subset, then "crash" (no
-	// checkpoint, no close).
 	for id := uint64(0); id < 50; id++ {
 		now, err = tr.Put(now, kv.EncodeKey(id), []byte{2}, 0)
 		if err != nil {
@@ -101,11 +101,12 @@ func TestBTreeRecoverAfterCrash(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// "Crash": no checkpoint, no close.
 	re, rnow, err := Recover(fs, tr.cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for id := uint64(0); id < 200; id++ {
+	for id := uint64(0); id < 300; id++ {
 		_, got, found, err := re.Get(rnow, kv.EncodeKey(id))
 		if err != nil {
 			t.Fatal(err)
@@ -127,7 +128,7 @@ func TestBTreeRecoverAfterCrash(t *testing.T) {
 	}
 }
 
-func TestBTreeRecoveredTreeAcceptsWrites(t *testing.T) {
+func TestRecoveredTreeAcceptsWrites(t *testing.T) {
 	tr, fs := recoveryEnv(t, nil)
 	now, err := tr.Put(0, kv.EncodeKey(1), []byte("a"), 0)
 	if err != nil {
@@ -155,7 +156,7 @@ func TestBTreeRecoveredTreeAcceptsWrites(t *testing.T) {
 	}
 }
 
-func TestBTreeRecoverRequiresContentMode(t *testing.T) {
+func TestRecoverRequiresContentMode(t *testing.T) {
 	_, _, fs := testEnv(t, 16, false, nil)
 	cfg := NewConfig(8 << 20)
 	if _, _, err := Recover(fs, cfg, 0); err == nil {
@@ -163,7 +164,7 @@ func TestBTreeRecoverRequiresContentMode(t *testing.T) {
 	}
 }
 
-func TestBTreeRecoverWithoutMetaFails(t *testing.T) {
+func TestRecoverWithoutMetaFails(t *testing.T) {
 	_, _, fs := testEnv(t, 16, true, nil)
 	cfg := NewConfig(8 << 20)
 	cfg.Content = true
@@ -172,55 +173,77 @@ func TestBTreeRecoverWithoutMetaFails(t *testing.T) {
 	}
 }
 
-// TestBTreeRecoverSingleLeafUpdateBetweenCheckpoints is the regression
-// test for the checkpoint ancestor-closure bug: an update that dirties
-// only one leaf must survive checkpoint + crash + recovery. Before the
-// fix, the checkpoint rewrote the leaf but committed metadata pointing
-// at the unchanged old root image — whose child references still named
-// the leaf's old extent — while recycling the journal that held the
-// update.
-func TestBTreeRecoverSingleLeafUpdateBetweenCheckpoints(t *testing.T) {
-	tr, fs := recoveryEnv(t, func(c *Config) { c.LeafPageBytes = 2 << 10 })
-	var now sim.Duration
-	var err error
-	for id := uint64(0); id < 500; id++ {
-		now, err = tr.Put(now, kv.EncodeKey(id), []byte{1}, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	now, err = tr.FlushAll(now) // checkpoint 1
+func TestMetaEncodeDecode(t *testing.T) {
+	st := metaState{gen: 7, seq: 1234, journalID: 3, root: fileExtent{Start: 99, Pages: 4}}
+	got, err := decodeMeta(st.encode())
 	if err != nil {
 		t.Fatal(err)
 	}
-	now, err = tr.Put(now, kv.EncodeKey(42), []byte{2}, 0)
-	if err != nil {
-		t.Fatal(err)
+	if *got != st {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, st)
 	}
-	now, err = tr.FlushAll(now) // checkpoint 2 covers the update
-	if err != nil {
-		t.Fatal(err)
+	enc := st.encode()
+	enc[5] ^= 0xFF
+	if _, err := decodeMeta(enc); err == nil {
+		t.Fatal("corrupted metadata should fail")
 	}
-	_ = now
-	re, rnow, err := Recover(fs, tr.cfg, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, got, found, err := re.Get(rnow, kv.EncodeKey(42))
-	if err != nil || !found || got[0] != 2 {
-		t.Fatalf("key 42 recovered %v found=%v err=%v, want generation 2", got, found, err)
+	if _, err := decodeMeta([]byte{1}); err == nil {
+		t.Fatal("short metadata should fail")
 	}
 }
 
-// TestBTreeRecoverAfterMidCheckpointSplits is the regression test for
-// the checkpoint/split race: with a tiny checkpoint interval and a
-// 1-page I/O chunk, foreground splits constantly overlap in-flight
-// checkpoints. Before the fix, an in-job internal page serialized after
-// a concurrent split embedded a zero extent for the split's brand-new
-// child, so Recover failed with "empty extent in tree walk".
-func TestBTreeRecoverAfterMidCheckpointSplits(t *testing.T) {
+// TestRecoverSingleLeafUpdateBetweenCheckpoints is the regression test
+// for the checkpoint ancestor-closure bug: an update that dirties ONLY
+// a leaf (the ε=1 direct-to-leaf path) must survive a checkpoint +
+// crash + recovery. Before the fix, the checkpoint wrote the leaf to a
+// new extent but committed metadata pointing at the unchanged old root
+// image — whose child references still named the leaf's old extent —
+// while recycling the journal that held the update: silent data loss.
+func TestRecoverSingleLeafUpdateBetweenCheckpoints(t *testing.T) {
+	for _, eps := range []float64{1.0, 0.6} {
+		tr, fs := recoveryEnv(t, func(c *Config) { c.Epsilon = eps })
+		var now sim.Duration
+		var err error
+		for id := uint64(0); id < 500; id++ {
+			now, err = tr.Put(now, kv.EncodeKey(id), []byte{1}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		now, err = tr.FlushAll(now) // checkpoint 1
+		if err != nil {
+			t.Fatal(err)
+		}
+		now, err = tr.Put(now, kv.EncodeKey(42), []byte{2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now, err = tr.FlushAll(now) // checkpoint 2 covers the update
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = now
+		re, rnow, err := Recover(fs, tr.cfg, 0)
+		if err != nil {
+			t.Fatalf("ε=%.1f: %v", eps, err)
+		}
+		_, got, found, err := re.Get(rnow, kv.EncodeKey(42))
+		if err != nil || !found || got[0] != 2 {
+			t.Fatalf("ε=%.1f: key 42 recovered %v found=%v err=%v, want generation 2",
+				eps, got, found, err)
+		}
+	}
+}
+
+// TestRecoverAfterMidCheckpointSplits is the regression test for the
+// checkpoint/split race: with a tiny checkpoint interval and a 1-page
+// I/O chunk, foreground splits constantly overlap in-flight
+// checkpoints. Before the fix, an in-job interior serialized after a
+// concurrent split embedded a zero extent for the split's brand-new
+// child, so Recover failed with "empty extent in tree walk" and the
+// whole dataset was unreadable.
+func TestRecoverAfterMidCheckpointSplits(t *testing.T) {
 	tr, fs := recoveryEnv(t, func(c *Config) {
-		c.LeafPageBytes = 2 << 10
 		c.CheckpointInterval = 2 * time.Millisecond
 		c.ChunkPages = 1
 	})
@@ -246,15 +269,17 @@ func TestBTreeRecoverAfterMidCheckpointSplits(t *testing.T) {
 	}
 }
 
-// TestBTreeRecoverAfterMidCheckpointRootGrowth pins the commit-path fix
-// for root growth during an in-flight checkpoint (see the betree twin
-// for the full mechanism): the test asserts the race actually occurred
-// (white-box: the root id changed while a checkpoint job was queued),
-// then crash-recovers and verifies every key.
-func TestBTreeRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
+// TestRecoverAfterMidCheckpointRootGrowth pins the commit-path fix for
+// root growth during an in-flight checkpoint: the new root is an
+// ANCESTOR of every snapshot node, so neither the snapshot closure nor
+// writeSubtreeClean (descendants only) writes it. Before the fix,
+// writeMeta silently declined (no on-disk root image) while the commit
+// still released the previous checkpoint's extents and recycled the
+// journal — data loss across the next crash. The test asserts the race
+// actually occurred (white-box: the root id changed while a checkpoint
+// job was queued), then crash-recovers and verifies every key.
+func TestRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
 	tr, fs := recoveryEnv(t, func(c *Config) {
-		c.LeafPageBytes = 1 << 10
-		c.InternalPageBytes = 512
 		c.CheckpointInterval = time.Hour // only the manual checkpoint below
 		c.ChunkPages = 1
 	})
@@ -263,7 +288,7 @@ func TestBTreeRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
 	// Some initial data, then start a checkpoint WITHOUT stepping it —
 	// deterministic in-flight state.
 	var id uint64
-	for ; id < 50; id++ {
+	for ; id < 200; id++ {
 		now, err = tr.Put(now, kv.EncodeKey(id), []byte{byte(id)}, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -305,71 +330,40 @@ func TestBTreeRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
 	}
 }
 
-func TestMetaEncodeDecode(t *testing.T) {
-	st := metaState{gen: 7, seq: 1234, journalID: 3, root: fileExtent{Start: 99, Pages: 4}}
-	got, err := decodeMeta(st.encode())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if *got != st {
-		t.Fatalf("round trip mismatch: %+v vs %+v", got, st)
-	}
-	enc := st.encode()
-	enc[5] ^= 0xFF
-	if _, err := decodeMeta(enc); err == nil {
-		t.Fatal("corrupted metadata should fail")
-	}
-	if _, err := decodeMeta([]byte{1}); err == nil {
-		t.Fatal("short metadata should fail")
-	}
-}
-
-func TestBTreeRecoverUnderEvictionChurn(t *testing.T) {
-	// Heavy eviction between checkpoints relocates leaves; the deferred
-	// extent release must keep the last checkpoint readable.
-	tr, fs := recoveryEnv(t, func(c *Config) {
-		c.LeafPageBytes = 2 << 10
-		c.CacheBytes = 32 << 10
-	})
+func TestRecoverySequenceGuard(t *testing.T) {
+	// A checkpointed-newer version must not be regressed by an older
+	// journal record that survives in a stale segment, and a journal
+	// record newer than a buffered version must win.
+	tr, fs := recoveryEnv(t, nil)
 	var now sim.Duration
 	var err error
-	rng := sim.NewRNG(8)
-	for id := uint64(0); id < 500; id++ {
-		now, err = tr.Put(now, kv.EncodeKey(id), []byte{byte(id)}, 0)
+	for id := uint64(0); id < 200; id++ {
+		now, err = tr.Put(now, kv.EncodeKey(id), []byte{1}, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Overwrite a key twice with a checkpoint between: the journal holds
+	// only the newest generation, the checkpoint the middle one.
+	now, err = tr.Put(now, kv.EncodeKey(7), []byte{2}, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
 	now, err = tr.FlushAll(now)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Churn: random overwrites cause evictions and relocations but NO
-	// new checkpoint (short virtual time, small pending backlog).
-	for i := 0; i < 400; i++ {
-		id := rng.Uint64n(500)
-		now, err = tr.Put(now, kv.EncodeKey(id), []byte{byte(id), 9}, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
+	now, err = tr.Put(now, kv.EncodeKey(7), []byte{3}, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
+	_ = now
 	re, rnow, err := Recover(fs, tr.cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Every key readable; values are either the checkpointed or the
-	// journal-replayed version, and the journal version must win where
-	// it exists.
-	for id := uint64(0); id < 500; id++ {
-		_, got, found, err := re.Get(rnow, kv.EncodeKey(id))
-		if err != nil || !found {
-			t.Fatalf("key %d lost: %v %v", id, found, err)
-		}
-		if len(got) == 2 && (got[0] != byte(id) || got[1] != 9) {
-			t.Fatalf("key %d journal version corrupted", id)
-		}
-		if len(got) == 1 && got[0] != byte(id) {
-			t.Fatalf("key %d checkpoint version corrupted", id)
-		}
+	_, got, found, err := re.Get(rnow, kv.EncodeKey(7))
+	if err != nil || !found || got[0] != 3 {
+		t.Fatalf("key 7 after recovery: %v found=%v err=%v, want value 3", got, found, err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ptsbench/internal/extalloc"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/sim"
@@ -20,7 +21,7 @@ type Tree struct {
 	fs  *extfs.FS
 
 	file *extfs.File
-	bm   *blockManager
+	bm   *extalloc.Manager
 
 	pages  []*page // indexed by pageID; ids are allocated sequentially
 	root   pageID
@@ -74,7 +75,7 @@ func Open(fs *extfs.FS, cfg Config) (*Tree, error) {
 		cfg:   cfg,
 		fs:    fs,
 		file:  f,
-		bm:    newBlockManager(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
+		bm:    extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
 		pages: make([]*page, 1, 64), // index 0 is nilPage
 		ckptW: sim.NewWorker("btree-checkpoint"),
 	}
@@ -250,10 +251,10 @@ func (t *Tree) evictToFit(now sim.Duration) (sim.Duration, error) {
 func (t *Tree) writePage(now sim.Duration, p *page) (sim.Duration, error) {
 	ps := t.fs.PageSize()
 	n := int64((p.serialized + ps - 1) / ps)
-	if p.disk.pages > 0 {
-		t.bm.releaseDeferred(p.disk)
+	if p.disk.Pages > 0 {
+		t.bm.ReleaseDeferred(p.disk)
 	}
-	ext, err := t.bm.alloc(n)
+	ext, err := t.bm.Alloc(n)
 	if err != nil {
 		return now, err
 	}
@@ -264,7 +265,7 @@ func (t *Tree) writePage(now sim.Duration, p *page) (sim.Duration, error) {
 			return t.pages[id].disk
 		}))
 	}
-	done, err := t.file.WriteAt(now, ext.start, int(n), data)
+	done, err := t.file.WriteAt(now, ext.Start, int(n), data)
 	if err != nil {
 		return now, err
 	}
@@ -290,7 +291,7 @@ func (t *Tree) loadLeaf(now sim.Duration, p *page) (sim.Duration, error) {
 	t.io.CacheMisses++
 	if p.everOnDisk {
 		var err error
-		now, err = t.file.ReadAt(now, p.disk.start, int(p.disk.pages), nil)
+		now, err = t.file.ReadAt(now, p.disk.Start, int(p.disk.Pages), nil)
 		if err != nil {
 			return now, err
 		}
@@ -319,7 +320,7 @@ func (t *Tree) loadLeafPrefetching(now sim.Duration, leaf *page) (sim.Duration, 
 		if !p.resident {
 			t.io.CacheMisses++
 			if p.everOnDisk {
-				end, err := t.file.ReadAt(now, p.disk.start, int(p.disk.pages), nil)
+				end, err := t.file.ReadAt(now, p.disk.Start, int(p.disk.Pages), nil)
 				if err != nil {
 					return now, err
 				}
@@ -571,7 +572,7 @@ func (t *Tree) maybeCheckpoint(now sim.Duration) {
 		return
 	}
 	intervalDue := now-t.lastCkpt >= t.cfg.CheckpointInterval
-	pendingDue := t.bm.pendingPages()*int64(t.fs.PageSize()) >= t.cfg.CheckpointPendingBytes
+	pendingDue := t.bm.PendingPages()*int64(t.fs.PageSize()) >= t.cfg.CheckpointPendingBytes
 	if !intervalDue && !pendingDue {
 		return
 	}

@@ -20,16 +20,34 @@ type checkpointJob struct {
 	pendingMark int // deferred-release prefix safe to free at commit
 }
 
-// newCheckpointJob snapshots the dirty set and rotates the journal.
-// It returns nil if there is nothing to write.
+// newCheckpointJob snapshots the dirty set — expanded to the ancestor
+// closure — and rotates the journal. It returns nil if there is nothing
+// to write.
+//
+// The closure is load-bearing for recovery: writing a page moves it on
+// disk, so every ancestor's serialized child references change and the
+// whole root-to-page spine must be rewritten within the SAME
+// checkpoint. Without it, a checkpoint whose dirty snapshot contains
+// only a leaf would commit metadata pointing at the old root image
+// (whose refs still name the leaf's old extent) while recycling the
+// journal that held the leaf's updates — data loss on recovery, and
+// corruption once the old extent is reused.
 func (t *Tree) newCheckpointJob() (*checkpointJob, error) {
 	if t.dirtyCount == 0 {
 		return nil, nil
 	}
-	job := &checkpointJob{t: t, pendingMark: t.bm.pendingMark()}
+	job := &checkpointJob{t: t, pendingMark: t.bm.PendingMark()}
+	inJob := make(map[pageID]bool)
 	for _, id := range t.dirtyIDs {
-		if t.pages[id].dirty {
-			job.ids = append(job.ids, id)
+		if !t.pages[id].dirty || inJob[id] {
+			continue
+		}
+		inJob[id] = true
+		job.ids = append(job.ids, id)
+		for p := t.pages[id].parent; p != nilPage && !inJob[p]; p = t.pages[p].parent {
+			inJob[p] = true
+			t.markDirty(t.pages[p]) // ancestors must be written too
+			job.ids = append(job.ids, p)
 		}
 	}
 	t.dirtyIDs = nil
@@ -91,7 +109,21 @@ func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
 		if p == nil || !p.dirty {
 			continue // evicted and written in the meantime
 		}
+		// Foreground splits that ran since the snapshot may have hung
+		// children under p that this job has never written (or even
+		// never-written brand-new pages with a zero extent). Serializing
+		// p's child references without writing them first would commit
+		// an image pointing at stale or nonexistent extents — an
+		// unrecoverable tree. Flush p's dirty/unwritten descendants
+		// before p itself.
 		var err error
+		var extra int
+		now, extra, err = t.writeSubtreeClean(now, p)
+		if err != nil {
+			t.fatal = err
+			return now, true
+		}
+		budget -= extra
 		now, err = t.writePage(now, p)
 		if err != nil {
 			t.fatal = err
@@ -103,17 +135,36 @@ func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
 	if j.idx < len(j.ids) {
 		return now, false
 	}
-	// Commit: write the checkpoint metadata (root location), release the
-	// previous checkpoint's extents, sync, and recycle the old journal
-	// segment (its updates are now covered by the checkpoint). Recycling
-	// keeps the journal on a fixed set of LBAs, like real log
-	// pre-allocation.
+	// Commit. A foreground split may have grown a NEW root while the job
+	// ran — an ancestor of every snapshot page, so neither the snapshot
+	// closure nor writeSubtreeClean (descendants only) wrote it. Without
+	// an on-disk root image writeMeta would decline, yet the commit below
+	// would still release the previous checkpoint's extents and recycle
+	// the journal — destroying the only durable copies of recent updates.
+	// Write the current root (and its unwritten spine) first, so the
+	// metadata always points at a complete current tree.
 	var err error
+	if root := t.pages[t.root]; root.dirty || root.disk.Pages == 0 {
+		// writeSubtreeClean counts the descendants it writes itself.
+		if now, _, err = t.writeSubtreeClean(now, root); err != nil {
+			t.fatal = err
+			return now, true
+		}
+		if now, err = t.writePage(now, root); err != nil {
+			t.fatal = err
+			return now, true
+		}
+		t.io.CheckpointPgs++
+	}
+	// Write the checkpoint metadata (root location), release the previous
+	// checkpoint's extents, sync, and recycle the old journal segment
+	// (its updates are now covered by the checkpoint). Recycling keeps
+	// the journal on a fixed set of LBAs, like real log pre-allocation.
 	if now, err = t.writeMeta(now); err != nil {
 		t.fatal = err
 		return now, true
 	}
-	t.bm.commitPendingPrefix(j.pendingMark)
+	t.bm.CommitPendingPrefix(j.pendingMark)
 	now = t.fs.Sync(now)
 	if j.oldJournal != nil {
 		now, err = j.oldJournal.Recycle(now)
@@ -126,6 +177,39 @@ func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
 	}
 	t.io.Checkpoints++
 	return now, true
+}
+
+// writeSubtreeClean writes every dirty or never-written descendant of p
+// (deepest first), returning the pages written. Pages registered by
+// splits that ran while the checkpoint was in flight are not in the
+// job's snapshot, and their ancestors' images must not be serialized
+// before they have on-disk extents.
+func (t *Tree) writeSubtreeClean(now sim.Duration, p *page) (sim.Duration, int, error) {
+	if p.leaf {
+		return now, 0, nil
+	}
+	ps := t.fs.PageSize()
+	pages := 0
+	for _, c := range p.children {
+		child := t.pages[c]
+		if !child.dirty && child.disk.Pages != 0 {
+			continue
+		}
+		var err error
+		var extra int
+		now, extra, err = t.writeSubtreeClean(now, child)
+		if err != nil {
+			return now, pages, err
+		}
+		pages += extra
+		now, err = t.writePage(now, child)
+		if err != nil {
+			return now, pages, err
+		}
+		t.io.CheckpointPgs++
+		pages += (child.serialized + ps - 1) / ps
+	}
+	return now, pages, nil
 }
 
 // wrapJournal opens the next journal segment, reusing a recycled one when
@@ -186,8 +270,8 @@ func serializePage(p *page, resolve func(pageID) fileExtent) []byte {
 			ext = resolve(c)
 		}
 		var b [childRefBytes]byte
-		binary.LittleEndian.PutUint64(b[0:], uint64(ext.start))
-		binary.LittleEndian.PutUint32(b[8:], uint32(ext.pages))
+		binary.LittleEndian.PutUint64(b[0:], uint64(ext.Start))
+		binary.LittleEndian.PutUint32(b[8:], uint32(ext.Pages))
 		out = append(out, b[:]...)
 	}
 	return out
@@ -247,8 +331,8 @@ func parsePage(data []byte) (*page, bool) {
 			return nil, false
 		}
 		p.childExtents = append(p.childExtents, fileExtent{
-			start: int64(binary.LittleEndian.Uint64(data[off:])),
-			pages: int64(binary.LittleEndian.Uint32(data[off+8:])),
+			Start: int64(binary.LittleEndian.Uint64(data[off:])),
+			Pages: int64(binary.LittleEndian.Uint32(data[off+8:])),
 		})
 		p.children = append(p.children, nilPage) // assigned during rebuild
 		off += childRefBytes

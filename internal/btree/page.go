@@ -3,8 +3,12 @@ package btree
 import (
 	"bytes"
 
+	"ptsbench/internal/extalloc"
 	"ptsbench/internal/kv"
 )
+
+// fileExtent aliases the shared extent type; see internal/extalloc.
+type fileExtent = extalloc.Extent
 
 // pageID identifies an in-memory page. IDs are never reused.
 type pageID uint32

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/btree"
 	"ptsbench/internal/extfs"
@@ -24,6 +25,8 @@ const (
 	LSM EngineKind = iota
 	// BTree is the WiredTiger-style B+Tree.
 	BTree
+	// Betree is the buffered copy-on-write Bε-tree.
+	Betree
 )
 
 // String implements fmt.Stringer.
@@ -33,8 +36,25 @@ func (k EngineKind) String() string {
 		return "lsm"
 	case BTree:
 		return "btree"
+	case Betree:
+		return "betree"
 	default:
 		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// ParseEngine maps an engine name (as produced by String) back to its
+// kind.
+func ParseEngine(name string) (EngineKind, error) {
+	switch name {
+	case "lsm":
+		return LSM, nil
+	case "btree":
+		return BTree, nil
+	case "betree":
+		return Betree, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine %q (have lsm, btree, betree)", name)
 	}
 }
 
@@ -123,9 +143,11 @@ type Spec struct {
 
 	Seed uint64
 
-	// TweakLSM / TweakBTree adjust engine configs after scaling.
-	TweakLSM   func(*lsm.Config)
-	TweakBTree func(*btree.Config)
+	// TweakLSM / TweakBTree / TweakBetree adjust engine configs after
+	// scaling.
+	TweakLSM    func(*lsm.Config)
+	TweakBTree  func(*btree.Config)
+	TweakBetree func(*betree.Config)
 }
 
 // Validate fills defaults.
@@ -286,6 +308,19 @@ func Run(spec Spec) (*Result, error) {
 			spec.TweakBTree(&cfg)
 		}
 		tr, err := btree.Open(fs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eng = tr
+	case Betree:
+		cfg := betree.NewConfig(datasetBytes)
+		cfg.CPUPutTime *= time.Duration(spec.Scale)
+		cfg.CPUGetTime *= time.Duration(spec.Scale)
+		cfg.CPUPerByte *= time.Duration(spec.Scale)
+		if spec.TweakBetree != nil {
+			spec.TweakBetree(&cfg)
+		}
+		tr, err := betree.Open(fs, cfg)
 		if err != nil {
 			return nil, err
 		}

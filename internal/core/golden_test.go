@@ -13,16 +13,19 @@ import (
 )
 
 // The golden fixtures pin the exact numeric output of the experiment
-// runner. The trimmed-device fixtures were generated from the per-page
-// (pre-batching) implementation of the flash, blockdev and engine hot
-// paths; the batched implementation must reproduce them bit for bit,
-// which is the load-bearing equivalence argument for the performance
-// work (batching is a speedup, not a remodel). The preconditioned
-// fixture pins the post-change O(blocks) sequential fill — the one
-// deliberate behavioural change of the batching work (block-sequential
-// placement instead of per-page stream striping during the timeless
-// setup phase) — so it guards against future drift rather than
-// pre-change equivalence.
+// runner. The trimmed-device LSM fixtures were generated from the
+// per-page (pre-batching) implementation of the flash, blockdev and
+// engine hot paths; the batched implementation must reproduce them bit
+// for bit, which is the load-bearing equivalence argument for the
+// performance work (batching is a speedup, not a remodel). The
+// preconditioned fixture pins the post-change O(blocks) sequential fill
+// — the one deliberate behavioural change of the batching work — and
+// the B+Tree fixture was regenerated after the deliberate checkpoint
+// ancestor-closure fix (checkpoints must rewrite the root-to-leaf spine
+// of every dirty page or recovery reads a stale tree), so both guard
+// against future drift rather than pre-change equivalence. The Bε-tree
+// fixtures pin the buffered engine at QD 1/QD 16 from its initial
+// (post-fix) implementation.
 //
 // Regenerate (only when a deliberate behavioural change is made):
 //
@@ -100,12 +103,22 @@ func goldenSpecs() map[string]Spec {
 	btree.QueueDepth = 16
 	precond := base
 	precond.Initial = Preconditioned // pins the O(blocks) sequential fill
+	// Bε-tree fixtures at QD 1 and QD 16 (same scheme as the others):
+	// they pin the buffered-flush engine bit-identically so future
+	// refactors of the flush/checkpoint paths are provably behaviour-
+	// preserving for the new engine too.
+	betreeQD1 := base
+	betreeQD1.Engine = Betree
+	betreeQD16 := betreeQD1
+	betreeQD16.QueueDepth = 16
 	return map[string]Spec{
 		"lsm-ssd1-qd1":     base,
 		"lsm-ssd1-qd16":    qd16,
 		"lsm-ssd2-cache":   cached,
 		"btree-ssd1-qd16":  btree,
 		"lsm-ssd1-precond": precond,
+		"betree-ssd1-qd1":  betreeQD1,
+		"betree-ssd1-qd16": betreeQD16,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"ptsbench/internal/betree"
 	"ptsbench/internal/core"
 	"ptsbench/internal/costmodel"
 	"ptsbench/internal/flash"
@@ -24,6 +25,9 @@ type Options struct {
 	Quick bool
 	// Seed overrides the default deterministic seed.
 	Seed uint64
+	// Engines restricts a figure to the given engines (nil keeps the
+	// figure's default set). The CLI's -engine flag feeds this.
+	Engines []core.EngineKind
 }
 
 func (o Options) scale(def int64) int64 {
@@ -48,6 +52,15 @@ func (o Options) seed() uint64 {
 		return o.Seed
 	}
 	return 1
+}
+
+// engines returns the engine iteration set: the override when given,
+// the figure's default otherwise.
+func (o Options) engines(def []core.EngineKind) []core.EngineKind {
+	if len(o.Engines) > 0 {
+		return o.Engines
+	}
+	return def
 }
 
 // Series is one named curve.
@@ -91,13 +104,17 @@ func Registry() map[string]func(Options) (*Report, error) {
 		// qdsweep extends the paper: queue-depth vs throughput on a
 		// device with internal channel/way parallelism.
 		"qdsweep": FigQDSweep,
+		// betradeoff extends the paper: the Bε-tree's three-way
+		// trade-off between throughput and write amplification as the
+		// buffer fraction (ε) and the read fraction vary.
+		"betradeoff": FigBetradeoff,
 	}
 }
 
 // IDs lists the figure identifiers in paper order, followed by the
 // extension figures.
 func IDs() []string {
-	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qdsweep"}
+	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qdsweep", "betradeoff"}
 }
 
 // windowSamples is how many 10s samples form the paper's 10-minute
@@ -120,10 +137,14 @@ func baseSpec(o Options, engine core.EngineKind, init core.InitialState) core.Sp
 }
 
 func engineName(k core.EngineKind) string {
-	if k == core.LSM {
+	switch k {
+	case core.LSM:
 		return "RocksDB-like LSM"
+	case core.Betree:
+		return "Be-tree (buffered)"
+	default:
+		return "WiredTiger-like B+Tree"
 	}
-	return "WiredTiger-like B+Tree"
 }
 
 // throughputSeries extracts the scaled KOps curve.
@@ -151,8 +172,15 @@ func waSeries(name string, res *core.Result, window int) (Series, Series) {
 		Series{Name: name + " WA-D", XLabel: "time (min)", YLabel: "WA-D", X: t, Y: wad}
 }
 
-// bothEngines is the engine iteration order shared by most figures.
+// bothEngines is the engine pair of the paper's own evaluation; the
+// dataset-size / over-provisioning / cost-model figures keep it as
+// their default so they reproduce the paper's two-way comparisons.
 var bothEngines = []core.EngineKind{core.LSM, core.BTree}
+
+// allEngines adds the Bε-tree: the workload-generic figures (steady
+// state, initial state, LBA coverage, SSD types, workload variants,
+// queue-depth sweep) run all three tree structures by default.
+var allEngines = []core.EngineKind{core.LSM, core.BTree, core.Betree}
 
 // runCells executes a figure's independent experiment cells concurrently
 // via core.RunGrid (which is documented to return bit-identical Results
@@ -175,8 +203,9 @@ func Fig2(o Options) (*Report, error) {
 		Caption: "Steady state vs bursty performance on a trimmed SSD: " +
 			"KV throughput, device write throughput, WA-A and WA-D over time",
 	}
+	engines := o.engines(allEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		spec := baseSpec(o, eng, core.Trimmed)
 		spec.Name = fmt.Sprintf("fig2 %v", eng)
 		specs = append(specs, spec)
@@ -185,7 +214,7 @@ func Fig2(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, eng := range bothEngines {
+	for i, eng := range engines {
 		res := results[i]
 		if res.OutOfSpace {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("%s ran out of space", engineName(eng)))
@@ -225,8 +254,9 @@ func Fig3(o Options) (*Report, error) {
 		Caption: "Impact of the initial state of the SSD (trimmed vs " +
 			"preconditioned) on throughput and WA-D over time",
 	}
+	engines := o.engines(allEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			spec := baseSpec(o, eng, init)
 			spec.Name = fmt.Sprintf("fig3 %v/%v", eng, init)
@@ -238,7 +268,7 @@ func Fig3(o Options) (*Report, error) {
 		return nil, err
 	}
 	cell := 0
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			res := results[cell]
 			cell++
@@ -266,8 +296,9 @@ func Fig4(o Options) (*Report, error) {
 			"write count); WiredTiger leaves a large fraction of the LBA " +
 			"space unwritten",
 	}
+	engines := o.engines(allEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		spec := baseSpec(o, eng, core.Trimmed)
 		spec.Name = fmt.Sprintf("fig4 %v", eng)
 		specs = append(specs, spec)
@@ -276,7 +307,7 @@ func Fig4(o Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, eng := range bothEngines {
+	for i, eng := range engines {
 		res := results[i]
 		x := make([]float64, len(res.LBACDF))
 		for i := range x {
@@ -320,8 +351,9 @@ func Fig5(o Options) (*Report, error) {
 		wad.Header = append(wad.Header, h)
 		waa.Header = append(waa.Header, h)
 	}
+	engines := o.engines(bothEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			for _, frac := range fig5Fractions {
 				spec := baseSpec(o, eng, init)
@@ -337,7 +369,7 @@ func Fig5(o Options) (*Report, error) {
 		return nil, err
 	}
 	cell := 0
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			name := fmt.Sprintf("%s %v", engineName(eng), init)
 			tr := []string{name}
@@ -386,8 +418,9 @@ func Fig6(o Options) (*Report, error) {
 	// paper's use of its Fig 5a/6a measurements.
 	var options []costmodel.Option
 	devCap := float64(core.DefaultDevice().CapacityBytes)
+	engines := o.engines(bothEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, frac := range fig6Fractions {
 			spec := baseSpec(o, eng, core.Preconditioned)
 			spec.Name = fmt.Sprintf("fig6 %v/%.2f", eng, frac)
@@ -401,7 +434,7 @@ func Fig6(o Options) (*Report, error) {
 		return nil, err
 	}
 	cell := 0
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		ur := []string{engineName(eng)}
 		ar := []string{engineName(eng)}
 		for _, frac := range fig6Fractions {
@@ -426,7 +459,7 @@ func Fig6(o Options) (*Report, error) {
 		amp.Rows = append(amp.Rows, ar)
 	}
 	rep.Tables = []Table{util, amp}
-	if len(options) == 2 {
+	if len(options) >= 2 {
 		heat, err := costmodel.Compute(options, tbRange(1, 5), kopsRange(5, 25))
 		if err != nil {
 			return nil, err
@@ -482,8 +515,9 @@ func Fig7(o Options) (*Report, error) {
 		Title:  "WA-D",
 		Header: []string{"config", "No OP", "Extra OP"},
 	}
+	engines := o.engines(bothEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			for _, partFrac := range []float64{1.0, 0.75} {
 				spec := baseSpec(o, eng, init)
@@ -499,7 +533,7 @@ func Fig7(o Options) (*Report, error) {
 		return nil, err
 	}
 	cell := 0
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			name := fmt.Sprintf("%s %v", engineName(eng), init)
 			tr := []string{name}
@@ -529,6 +563,10 @@ func Fig8(o Options) (*Report, error) {
 	rep := &Report{
 		ID:      "fig8",
 		Caption: "Storage cost of RocksDB with vs without extra OP (preconditioned)",
+	}
+	if len(o.Engines) > 0 {
+		rep.Notes = append(rep.Notes,
+			"fig8 is an LSM-specific over-provisioning study; the -engine override is ignored")
 	}
 	devCap := float64(core.DefaultDevice().CapacityBytes)
 	var options []costmodel.Option
@@ -590,8 +628,9 @@ func Fig9(o Options) (*Report, error) {
 		Caption: "Impact of SSD type on throughput (small dataset, trimmed)",
 	}
 	tbl := Table{Title: "Throughput (KOps/s)", Header: []string{"engine", "SSD1", "SSD2", "SSD3"}}
+	engines := o.engines(allEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, dev := range fig9Devices() {
 			spec := baseSpec(o, eng, core.Trimmed)
 			spec.Name = fmt.Sprintf("fig9 %v/%s", eng, dev.Profile.Name)
@@ -606,7 +645,7 @@ func Fig9(o Options) (*Report, error) {
 		return nil, err
 	}
 	cell := 0
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		row := []string{engineName(eng)}
 		for range fig9Devices() {
 			res := results[cell]
@@ -627,8 +666,9 @@ func Fig10(o Options) (*Report, error) {
 		Caption: "Throughput variability (1-minute averages) per SSD type",
 	}
 	const oneMinuteWindow = 6 // 6 x 10s samples
+	engines := o.engines(allEngines)
 	var specs []core.Spec
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, dev := range fig9Devices() {
 			spec := baseSpec(o, eng, core.Trimmed)
 			spec.Name = fmt.Sprintf("fig10 %v/%s", eng, dev.Profile.Name)
@@ -643,7 +683,7 @@ func Fig10(o Options) (*Report, error) {
 		return nil, err
 	}
 	cell := 0
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for i := range fig9Devices() {
 			res := results[cell]
 			cell++
@@ -706,10 +746,11 @@ func Fig11(o Options) (*Report, error) {
 		ID:      "fig11",
 		Caption: "Additional workloads: 50:50 read:write mix and 128-byte values",
 	}
+	engines := o.engines(allEngines)
 	var specs []core.Spec
 	var names []string
 	// 50:50 mix at the default scale.
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			spec := baseSpec(o, eng, init)
 			spec.Name = fmt.Sprintf("fig11 rw %v/%v", eng, init)
@@ -719,7 +760,7 @@ func Fig11(o Options) (*Report, error) {
 		}
 	}
 	// 128-byte values at a larger scale (more keys per byte).
-	for _, eng := range bothEngines {
+	for _, eng := range engines {
 		for _, init := range []core.InitialState{core.Trimmed, core.Preconditioned} {
 			spec := baseSpec(o, eng, init)
 			spec.Name = fmt.Sprintf("fig11 128B %v/%v", eng, init)
@@ -751,6 +792,14 @@ var qdSweepDepths = []int{1, 4, 16, 32}
 // from queue-depth-1 evaluations and Roh et al. exploit inside a
 // B+Tree. The independent cells of the sweep execute concurrently via
 // core.RunGrid.
+//
+// Engine-internal QD usage differs by design: the LSM additionally
+// parallelizes the multi-table probes of a single Get
+// (ProbeParallelism), while the B+Tree and Bε-tree answer a point read
+// from at most one leaf — there is nothing inside one lookup to
+// overlap, so their curves reflect host-level read batching alone
+// (their PrefetchDepth/scan-side parallelism only matters for range
+// scans, which this workload does not issue).
 func FigQDSweep(o Options) (*Report, error) {
 	rep := &Report{
 		ID: "qdsweep",
@@ -760,7 +809,7 @@ func FigQDSweep(o Options) (*Report, error) {
 	}
 	dev := core.DefaultDevice()
 	dev.Profile = dev.Profile.WithParallelism(4, 4)
-	engines := []core.EngineKind{core.LSM, core.BTree}
+	engines := o.engines(allEngines)
 	var specs []core.Spec
 	for _, eng := range engines {
 		for _, qd := range qdSweepDepths {
@@ -818,6 +867,95 @@ func FigQDSweep(o Options) (*Report, error) {
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("device: %d channels x %d ways (%d lanes)",
 			dev.Profile.Channels, dev.Profile.Ways, dev.Profile.ParallelLanes()))
+	return rep, nil
+}
+
+// betradeoffEpsilons are the buffer-fraction knob settings of the
+// Bε-tree trade-off sweep; 1.0 is the degenerate B+Tree point (no
+// buffering).
+var betradeoffEpsilons = []float64{0.4, 0.6, 0.8, 1.0}
+
+// betradeoffReadFracs are the workload mixes of the sweep: write-heavy,
+// balanced, read-heavy.
+var betradeoffReadFracs = []float64{0.05, 0.5, 0.95}
+
+// FigBetradeoff goes beyond the paper: it maps the Bε-tree's three-way
+// trade-off — throughput, application-level WA and device-level WA — as
+// the buffer fraction (ε) and the read fraction vary. Small ε buys
+// write batching (fewer, larger leaf write-backs) at the cost of fanout
+// (deeper tree); ε = 1 is the B+Tree end of the spectrum. The paper's
+// steady-state methodology applies unchanged: every cell is measured
+// over the tail of a long run on a trimmed device.
+func FigBetradeoff(o Options) (*Report, error) {
+	rep := &Report{
+		ID: "betradeoff",
+		Caption: "Be-tree trade-off: throughput, WA-A and WA-D vs buffer " +
+			"fraction (ε) and read fraction (ε = 1 degenerates to a B+Tree)",
+	}
+	if len(o.Engines) > 0 && !(len(o.Engines) == 1 && o.Engines[0] == core.Betree) {
+		rep.Notes = append(rep.Notes,
+			"betradeoff sweeps the Bε-tree's ε knob; the -engine override is ignored")
+	}
+	var specs []core.Spec
+	for _, rf := range betradeoffReadFracs {
+		for _, eps := range betradeoffEpsilons {
+			eps := eps
+			spec := baseSpec(o, core.Betree, core.Trimmed)
+			spec.Name = fmt.Sprintf("betradeoff rf=%.2f eps=%.2f", rf, eps)
+			spec.ReadFraction = rf
+			spec.Duration = o.duration(120 * time.Minute)
+			spec.TweakBetree = func(c *betree.Config) { c.Epsilon = eps }
+			specs = append(specs, spec)
+		}
+	}
+	results, err := runCells("betradeoff", specs)
+	if err != nil {
+		return nil, err
+	}
+	tput := Table{Title: "Throughput (KOps/s)", Header: []string{"read fraction"}}
+	waa := Table{Title: "WA-A", Header: []string{"read fraction"}}
+	wad := Table{Title: "WA-D", Header: []string{"read fraction"}}
+	for _, eps := range betradeoffEpsilons {
+		h := fmt.Sprintf("ε=%.1f", eps)
+		tput.Header = append(tput.Header, h)
+		waa.Header = append(waa.Header, h)
+		wad.Header = append(wad.Header, h)
+	}
+	cell := 0
+	for _, rf := range betradeoffReadFracs {
+		name := fmt.Sprintf("reads %.0f%%", rf*100)
+		ts := Series{Name: name + " throughput", XLabel: "ε", YLabel: "KOps/s"}
+		as := Series{Name: name + " WA-A", XLabel: "ε", YLabel: "WA-A"}
+		ds := Series{Name: name + " WA-D", XLabel: "ε", YLabel: "WA-D"}
+		tr := []string{name}
+		ar := []string{name}
+		dr := []string{name}
+		for _, eps := range betradeoffEpsilons {
+			res := results[cell]
+			cell++
+			if res.OutOfSpace {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s ε=%.1f ran out of space", name, eps))
+				tr = append(tr, "OOS")
+				ar = append(ar, "OOS")
+				dr = append(dr, "OOS")
+				continue
+			}
+			ts.X = append(ts.X, eps)
+			ts.Y = append(ts.Y, res.ScaledKOps)
+			as.X = append(as.X, eps)
+			as.Y = append(as.Y, res.Steady.WAA)
+			ds.X = append(ds.X, eps)
+			ds.Y = append(ds.Y, res.Steady.WAD)
+			tr = append(tr, fmt.Sprintf("%.2f", res.ScaledKOps))
+			ar = append(ar, fmt.Sprintf("%.2f", res.Steady.WAA))
+			dr = append(dr, fmt.Sprintf("%.2f", res.Steady.WAD))
+		}
+		rep.Series = append(rep.Series, ts, as, ds)
+		tput.Rows = append(tput.Rows, tr)
+		waa.Rows = append(waa.Rows, ar)
+		wad.Rows = append(wad.Rows, dr)
+	}
+	rep.Tables = []Table{tput, waa, wad}
 	return rep, nil
 }
 

@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"ptsbench/internal/core"
 )
 
 // fastOptions keep figure tests quick: coarse scale, short runs.
@@ -34,12 +36,12 @@ func TestFig2Structure(t *testing.T) {
 	if rep.ID != "fig2" {
 		t.Fatalf("ID = %s", rep.ID)
 	}
-	// Two engines x (throughput, device writes, WA-A, WA-D).
-	if len(rep.Series) != 8 {
-		t.Fatalf("series count %d, want 8", len(rep.Series))
+	// Three engines x (throughput, device writes, WA-A, WA-D).
+	if len(rep.Series) != 12 {
+		t.Fatalf("series count %d, want 12", len(rep.Series))
 	}
-	if len(rep.Tables) != 2 {
-		t.Fatalf("table count %d, want 2", len(rep.Tables))
+	if len(rep.Tables) != 3 {
+		t.Fatalf("table count %d, want 3", len(rep.Tables))
 	}
 	for _, s := range rep.Series {
 		if len(s.X) == 0 || len(s.X) != len(s.Y) {
@@ -54,7 +56,8 @@ func TestFig4WTConfined(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The paper's headline for Fig 4: WiredTiger leaves a substantial
-	// fraction of LBAs unwritten; RocksDB covers far more.
+	// fraction of LBAs unwritten; RocksDB covers far more. The Bε-tree
+	// writes through one collection file too, so it is also confined.
 	frac := map[string]float64{}
 	for _, tbl := range rep.Tables {
 		for _, row := range tbl.Rows {
@@ -67,12 +70,15 @@ func TestFig4WTConfined(t *testing.T) {
 			}
 		}
 	}
-	var lsmFrac, btFrac float64
+	var lsmFrac, btFrac, beFrac float64
 	for title, v := range frac {
-		if strings.Contains(title, "LSM") {
+		switch {
+		case strings.Contains(title, "LSM"):
 			lsmFrac = v
-		} else {
+		case strings.Contains(title, "B+Tree"):
 			btFrac = v
+		case strings.Contains(title, "Be-tree"):
+			beFrac = v
 		}
 	}
 	if lsmFrac <= btFrac {
@@ -80,6 +86,12 @@ func TestFig4WTConfined(t *testing.T) {
 	}
 	if btFrac > 0.7 {
 		t.Fatalf("B+Tree coverage %.2f should be confined", btFrac)
+	}
+	if beFrac > 0.7 || beFrac <= 0 {
+		t.Fatalf("Bε-tree coverage %.2f should be confined and nonzero", beFrac)
+	}
+	if lsmFrac <= beFrac {
+		t.Fatalf("LSM LBA coverage (%.2f) should exceed the Bε-tree's (%.2f)", lsmFrac, beFrac)
 	}
 }
 
@@ -89,7 +101,7 @@ func TestFig9Shape(t *testing.T) {
 		t.Fatal(err)
 	}
 	tbl := rep.Tables[0]
-	if len(tbl.Rows) != 2 || len(tbl.Rows[0]) != 4 {
+	if len(tbl.Rows) != 3 || len(tbl.Rows[0]) != 4 {
 		t.Fatalf("fig9 table malformed: %+v", tbl)
 	}
 	parse := func(s string) float64 {
@@ -202,8 +214,8 @@ func TestFig3InitialStateContrast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 2 engines x 2 states x (throughput + WA-D) series, 4 tables.
-	if len(rep.Series) != 8 || len(rep.Tables) != 4 {
+	// 3 engines x 2 states x (throughput + WA-D) series, 6 tables.
+	if len(rep.Series) != 12 || len(rep.Tables) != 6 {
 		t.Fatalf("fig3 shape: %d series, %d tables", len(rep.Series), len(rep.Tables))
 	}
 	// Pitfall #3 headline: B+Tree WA-D differs by initial state.
@@ -313,6 +325,63 @@ func TestFig6OOSAtLargeDatasets(t *testing.T) {
 	}
 }
 
+func TestEngineOverrideRestrictsFigure(t *testing.T) {
+	o := fastOptions()
+	o.Engines = []core.EngineKind{core.Betree}
+	rep, err := Fig2(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One engine x (throughput, device writes, WA-A, WA-D) + its table.
+	if len(rep.Series) != 4 || len(rep.Tables) != 1 {
+		t.Fatalf("restricted fig2 shape: %d series, %d tables", len(rep.Series), len(rep.Tables))
+	}
+	for _, s := range rep.Series {
+		if !strings.Contains(s.Name, "Be-tree") {
+			t.Fatalf("unexpected series %q for betree-only run", s.Name)
+		}
+	}
+}
+
+func TestFigBetradeoffShape(t *testing.T) {
+	rep, err := FigBetradeoff(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "betradeoff" {
+		t.Fatalf("ID = %s", rep.ID)
+	}
+	// 3 read fractions x (throughput, WA-A, WA-D) series; 3 tables.
+	if len(rep.Series) != 9 || len(rep.Tables) != 3 {
+		t.Fatalf("betradeoff shape: %d series, %d tables", len(rep.Series), len(rep.Tables))
+	}
+	for _, s := range rep.Series {
+		if len(s.X) != len(betradeoffEpsilons) {
+			t.Fatalf("series %s has %d points, want %d", s.Name, len(s.X), len(betradeoffEpsilons))
+		}
+	}
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	// The design-space headline on the write-heavy mix: the buffered end
+	// (smallest ε) must beat the degenerate B+Tree end (ε = 1) on both
+	// throughput and application-level write amplification.
+	tput, waa := rep.Tables[0], rep.Tables[1]
+	writeHeavy := tput.Rows[0]
+	last := len(writeHeavy) - 1
+	if parse(writeHeavy[1]) <= parse(writeHeavy[last]) {
+		t.Fatalf("buffered ε should out-write ε=1: %v", writeHeavy)
+	}
+	waaRow := waa.Rows[0]
+	if parse(waaRow[1]) >= parse(waaRow[last]) {
+		t.Fatalf("buffered ε should have lower WA-A than ε=1: %v", waaRow)
+	}
+}
+
 func TestFigQDSweepMonotone(t *testing.T) {
 	rep, err := FigQDSweep(fastOptions())
 	if err != nil {
@@ -321,8 +390,8 @@ func TestFigQDSweepMonotone(t *testing.T) {
 	if rep.ID != "qdsweep" {
 		t.Fatalf("ID = %s", rep.ID)
 	}
-	if len(rep.Series) != 2 {
-		t.Fatalf("series count %d, want 2 (one per engine)", len(rep.Series))
+	if len(rep.Series) != 3 {
+		t.Fatalf("series count %d, want 3 (one per engine)", len(rep.Series))
 	}
 	for _, s := range rep.Series {
 		if len(s.Y) != len(qdSweepDepths) {

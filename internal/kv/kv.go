@@ -1,7 +1,7 @@
-// Package kv defines the types shared by the two storage engines: keys,
-// entries, iterators, the engine interface the benchmark harness drives,
-// and deterministic value synthesis used at benchmark scale (where value
-// bytes are accounted but not retained).
+// Package kv defines the types shared by the storage engines (LSM,
+// B+Tree, Bε-tree): keys, entries, iterators, the engine interface the
+// benchmark harness drives, and deterministic value synthesis used at
+// benchmark scale (where value bytes are accounted but not retained).
 package kv
 
 import (

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"errors"
 	"testing"
-	"testing/quick"
 	"time"
 
 	"ptsbench/internal/blockdev"
@@ -61,28 +60,6 @@ func testEnvBW(t *testing.T, capacityMiB, writeBW int64, content bool, tweak fun
 	return db, dev, fs
 }
 
-func TestPutGetContentMode(t *testing.T) {
-	db, _, _ := testEnv(t, 16, true, nil)
-	var now sim.Duration
-	var err error
-	val := []byte("the quick brown fox")
-	now, err = db.Put(now, kv.EncodeKey(7), val, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, got, found, err := db.Get(now, kv.EncodeKey(7))
-	if err != nil || !found {
-		t.Fatalf("Get: found=%v err=%v", found, err)
-	}
-	if !bytes.Equal(got, val) {
-		t.Fatalf("value mismatch: %q", got)
-	}
-	_, _, found, err = db.Get(now, kv.EncodeKey(8))
-	if err != nil || found {
-		t.Fatalf("missing key: found=%v err=%v", found, err)
-	}
-}
-
 func TestGetAfterFlush(t *testing.T) {
 	db, _, _ := testEnv(t, 16, true, func(c *Config) {
 		c.MemtableBytes = 16 << 10 // rotate fast
@@ -114,71 +91,6 @@ func TestGetAfterFlush(t *testing.T) {
 		if !bytes.Equal(got, vals[i]) {
 			t.Fatalf("key %d value mismatch after flush", i)
 		}
-	}
-}
-
-func TestOverwriteLatestWins(t *testing.T) {
-	db, _, _ := testEnv(t, 16, true, func(c *Config) {
-		c.MemtableBytes = 8 << 10
-	})
-	var now sim.Duration
-	var err error
-	// Write three generations of the same keys, with flushes between.
-	for gen := 0; gen < 3; gen++ {
-		for i := uint64(0); i < 50; i++ {
-			v := []byte{byte(gen), byte(i)}
-			now, err = db.Put(now, kv.EncodeKey(i), v, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-		now, err = db.FlushAll(now)
-		if err != nil {
-			t.Fatal(err)
-		}
-	}
-	for i := uint64(0); i < 50; i++ {
-		_, got, found, err := db.Get(now, kv.EncodeKey(i))
-		if err != nil || !found {
-			t.Fatalf("key %d: %v %v", i, found, err)
-		}
-		if got[0] != 2 {
-			t.Fatalf("key %d returned generation %d, want 2", i, got[0])
-		}
-	}
-}
-
-func TestDeleteTombstone(t *testing.T) {
-	db, _, _ := testEnv(t, 16, true, func(c *Config) {
-		c.MemtableBytes = 8 << 10
-	})
-	var now sim.Duration
-	var err error
-	now, err = db.Put(now, kv.EncodeKey(1), []byte("x"), 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	now, err = db.FlushAll(now) // key 1 now on disk
-	if err != nil {
-		t.Fatal(err)
-	}
-	now, err = db.Delete(now, kv.EncodeKey(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Visible as deleted from the memtable.
-	_, _, found, err := db.Get(now, kv.EncodeKey(1))
-	if err != nil || found {
-		t.Fatalf("deleted key visible: %v %v", found, err)
-	}
-	// And still deleted after the tombstone reaches disk.
-	now, err = db.FlushAll(now)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, _, found, err = db.Get(now, kv.EncodeKey(1))
-	if err != nil || found {
-		t.Fatalf("deleted key visible after flush: %v %v", found, err)
 	}
 }
 
@@ -381,74 +293,8 @@ func TestDisableWAL(t *testing.T) {
 	_ = now
 }
 
-func TestDeterministicRuns(t *testing.T) {
-	run := func() (sim.Duration, int64, IOStats) {
-		db, dev, _ := testEnv(t, 32, false, func(c *Config) {
-			c.MemtableBytes = 16 << 10
-		})
-		var now sim.Duration
-		var err error
-		rng := sim.NewRNG(5)
-		for i := 0; i < 5000; i++ {
-			now, err = db.Put(now, kv.EncodeKey(rng.Uint64n(2000)), nil, 300)
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-		end, err := db.FlushAll(now)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return end, dev.Counters().BytesWritten, db.IO()
-	}
-	t1, b1, io1 := run()
-	t2, b2, io2 := run()
-	if t1 != t2 || b1 != b2 || io1 != io2 {
-		t.Fatalf("nondeterministic: %v/%d/%+v vs %v/%d/%+v", t1, b1, io1, t2, b2, io2)
-	}
-}
-
 // Property: the DB agrees with a reference map under random workloads
 // (accounting mode: presence/absence only).
-func TestDBMatchesReferenceMapProperty(t *testing.T) {
-	f := func(seed uint64) bool {
-		db, _, _ := testEnv(t, 32, false, func(c *Config) {
-			c.MemtableBytes = 8 << 10
-		})
-		rng := sim.NewRNG(seed)
-		ref := map[uint64]bool{}
-		var now sim.Duration
-		var err error
-		for i := 0; i < 3000; i++ {
-			id := rng.Uint64n(500)
-			if rng.Uint64n(10) < 2 {
-				now, err = db.Delete(now, kv.EncodeKey(id))
-				ref[id] = false
-			} else {
-				now, err = db.Put(now, kv.EncodeKey(id), nil, 200)
-				ref[id] = true
-			}
-			if err != nil {
-				return false
-			}
-		}
-		now, err = db.FlushAll(now)
-		if err != nil {
-			return false
-		}
-		for id, want := range ref {
-			_, _, found, err := db.Get(now, kv.EncodeKey(id))
-			if err != nil || found != want {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestLevelInvariants(t *testing.T) {
 	db, _, _ := testEnv(t, 32, false, func(c *Config) {
 		c.MemtableBytes = 8 << 10

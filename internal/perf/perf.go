@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"time"
 
+	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/core"
 	"ptsbench/internal/extfs"
@@ -212,13 +213,44 @@ func RunSuite(o Options) (*Result, error) {
 		}))
 	}
 
+	// ---- steady-state op loop (Bε-tree put through the whole stack) ----
+	{
+		ssd, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  512 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 256,
+			Profile:       flash.ProfileSSD1().Scaled(512),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs, err := extfs.Mount(blockdev.New(ssd), extfs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := betree.Open(fs, betree.NewConfig(128<<20))
+		if err != nil {
+			return nil, err
+		}
+		rng := sim.NewRNG(2)
+		key := make([]byte, kv.KeySize)
+		var now sim.Duration
+		res.Metrics = append(res.Metrics, measure("betree-put", 200000/div, func(int) {
+			kv.AppendKey(key, rng.Uint64n(50000))
+			var err error
+			if now, err = tr.Put(now, key, nil, 512); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
 	// ---- figure-level: Fig 2 cells at the benchmark scale ----
 	// Always the quick figure shape (60 virtual minutes at Scale 256),
 	// so quick and full suite runs stay comparable.
 	for _, cell := range []struct {
 		name   string
 		engine core.EngineKind
-	}{{"fig2-lsm-scale256", core.LSM}, {"fig2-btree-scale256", core.BTree}} {
+	}{{"fig2-lsm-scale256", core.LSM}, {"fig2-btree-scale256", core.BTree}, {"fig2-betree-scale256", core.Betree}} {
 		spec := core.Spec{
 			Engine:   cell.engine,
 			Scale:    256,

@@ -18,7 +18,7 @@ func TestSuiteRunsAndRoundTrips(t *testing.T) {
 			t.Fatalf("%s: non-positive ns/op %v", m.Name, m.NsPerOp)
 		}
 	}
-	for _, name := range []string{"fig2-lsm-scale256", "fig2-btree-scale256"} {
+	for _, name := range []string{"fig2-lsm-scale256", "fig2-btree-scale256", "fig2-betree-scale256"} {
 		m := res.Metric(name)
 		if m == nil {
 			t.Fatalf("missing %s", name)

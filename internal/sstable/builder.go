@@ -28,6 +28,8 @@ type Builder struct {
 	vlens      []uint32
 	dels       []byte
 	blocks     []blockMeta
+	valArena   []byte   // content mode: retained value bytes, packed
+	valOffsets []uint32 // content mode: len = entries+1
 
 	curBlockBytes int   // payload bytes in the current block
 	curBlockFirst int32 // first entry index of current block
@@ -133,6 +135,14 @@ func (b *Builder) Add(e *kv.Entry) error {
 		b.data = append(b.data, hdr[:]...)
 		b.data = append(b.data, e.Key...)
 		b.data = append(b.data, e.Value...)
+		// Retain the value in the side index (arena-packed, like keys):
+		// compactions merge through it, and their output blocks must
+		// carry the real bytes.
+		if b.valOffsets == nil {
+			b.valOffsets = []uint32{0}
+		}
+		b.valArena = append(b.valArena, e.Value...)
+		b.valOffsets = append(b.valOffsets, uint32(len(b.valArena)))
 	}
 	b.curBlockBytes += sz
 	b.dataBytes += int64(sz)
@@ -255,6 +265,8 @@ func (b *Builder) Finish(id uint64) *FileImage {
 		dels:       b.dels,
 		blocks:     b.blocks,
 		bloom:      bloom,
+		valArena:   b.valArena,
+		valOffsets: b.valOffsets,
 		numEntries: n,
 		sizeBytes:  b.dataBytes + int64(metaBytes),
 		filePages:  totalPages,
@@ -428,6 +440,11 @@ func parseTable(data []byte, pageSize int) (*Table, error) {
 			t.seqs = append(t.seqs, seq)
 			t.vlens = append(t.vlens, uint32(vl))
 			t.dels = append(t.dels, del)
+			if t.valOffsets == nil {
+				t.valOffsets = []uint32{0}
+			}
+			t.valArena = append(t.valArena, data[pos+entryHeaderSize+kl:pos+entryHeaderSize+kl+vl]...)
+			t.valOffsets = append(t.valOffsets, uint32(len(t.valArena)))
 			entries++
 			pos += entryHeaderSize + kl + vl
 		}

@@ -1,0 +1,106 @@
+package sstable
+
+import (
+	"bytes"
+	"testing"
+
+	"ptsbench/internal/kv"
+)
+
+// buildContentBlock serializes one data block the way the unit tests
+// build tables: n entries with SynthValue payloads through the content
+// builder. It returns the raw bytes of the first data block.
+func buildContentBlock(n, valLen int) []byte {
+	b := NewBuilder(4096, DefaultBlockBytes, true)
+	val := make([]byte, valLen)
+	for i := 0; i < n; i++ {
+		k := kv.EncodeKey(uint64(i))
+		kv.SynthValue(val, k, uint64(i))
+		if err := b.Add(&kv.Entry{Key: k, Value: val}); err != nil {
+			panic(err)
+		}
+	}
+	img := b.Finish(1)
+	return img.Data
+}
+
+// FuzzBlockEntryValue feeds arbitrary block bytes to the data-block
+// value walk that sits under every content-mode Get. Seeds come from
+// the same block shapes the unit tests build (small/large values,
+// many/few entries), so the fuzzer starts from well-formed corpora and
+// mutates toward the corruption edges. The walk must never panic: it
+// either returns the value or a corruption error.
+func FuzzBlockEntryValue(f *testing.F) {
+	f.Add(buildContentBlock(16, 32), 3)
+	f.Add(buildContentBlock(100, 8), 99)
+	f.Add(buildContentBlock(1, 512), 0)
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0, 1, 2, 3}, 1)
+	f.Fuzz(func(t *testing.T, block []byte, idx int) {
+		if idx < 0 || idx > 1<<16 {
+			return // the walk is linear in idx; bound the work, not the input
+		}
+		v, err := blockEntryValue(block, idx)
+		if err == nil && v == nil {
+			t.Fatal("nil value without error")
+		}
+	})
+}
+
+// FuzzTableLookup drives the whole table lookup surface — binary search,
+// block mapping, range charging — over tables built from fuzz-chosen key
+// sets, and cross-checks the found entries against the input. Seeded
+// from the unit-test corpus shapes.
+func FuzzTableLookup(f *testing.F) {
+	f.Add(uint64(1), uint16(100), uint64(50))
+	f.Add(uint64(7), uint16(1), uint64(0))
+	f.Add(uint64(9), uint16(4000), uint64(12345))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16, probe uint64) {
+		if n == 0 {
+			return
+		}
+		// Deterministic, strictly increasing key ids derived from seed.
+		b := NewBuilderHint(4096, 4096, false, int(n))
+		ids := make([]uint64, 0, n)
+		id := seed % 97
+		for i := 0; i < int(n); i++ {
+			ids = append(ids, id)
+			if err := b.Add(&kv.Entry{Key: kv.EncodeKey(id), ValueLen: int(id % 300), Seq: uint64(i)}); err != nil {
+				t.Fatal(err)
+			}
+			id += 1 + (id^seed)%13
+		}
+		tab := b.Finish(1).table
+
+		// search returns the first index with key >= probe, and the key
+		// set must be found exactly.
+		pk := kv.EncodeKey(probe)
+		i := tab.search(pk)
+		if i < 0 || i > tab.NumEntries() {
+			t.Fatalf("search out of range: %d", i)
+		}
+		if i < tab.NumEntries() && kv.CompareKeys(tab.KeyAt(i), pk) < 0 {
+			t.Fatal("search landed before probe")
+		}
+		if i > 0 && kv.CompareKeys(tab.KeyAt(i-1), pk) >= 0 {
+			t.Fatal("search skipped a candidate")
+		}
+		for pos, want := range ids {
+			j := tab.search(kv.EncodeKey(want))
+			if j != pos || !bytes.Equal(tab.KeyAt(j), kv.EncodeKey(want)) {
+				t.Fatalf("key %d not found at %d (got %d)", want, pos, j)
+			}
+			// Every entry maps into a valid block that covers it.
+			bi := tab.blockOf(j)
+			if bi < 0 || bi >= len(tab.blocks) {
+				t.Fatalf("blockOf(%d) = %d out of range", j, bi)
+			}
+			if int(tab.blocks[bi].firstEntry) > j {
+				t.Fatalf("blockOf(%d) = %d starts after the entry", j, bi)
+			}
+			if bi+1 < len(tab.blocks) && int(tab.blocks[bi+1].firstEntry) <= j {
+				t.Fatalf("blockOf(%d) = %d ends before the entry", j, bi)
+			}
+		}
+	})
+}

@@ -59,6 +59,12 @@ type Table struct {
 	dels       []byte // 1 = tombstone
 	blocks     []blockMeta
 	bloom      *Bloom
+	// valArena/valOffsets hold the value bytes in content mode (nil in
+	// accounting mode), arena-packed like the keys. Compactions merge
+	// through the side index, so rebuilding well-formed blocks for the
+	// output tables needs the values here.
+	valArena   []byte
+	valOffsets []uint32 // len = numEntries+1
 
 	numEntries int
 	sizeBytes  int64 // logical bytes (payload + metadata sections)
@@ -90,12 +96,16 @@ func (t *Table) key(i int) []byte {
 }
 
 func (t *Table) entryAt(i int) kv.Entry {
-	return kv.Entry{
+	e := kv.Entry{
 		Key:      t.key(i),
 		ValueLen: int(t.vlens[i]),
 		Seq:      t.seqs[i],
 		Deleted:  t.dels[i] == 1,
 	}
+	if t.valOffsets != nil && t.dels[i] != 1 {
+		e.Value = t.valArena[t.valOffsets[i]:t.valOffsets[i+1]]
+	}
+	return e
 }
 
 // search returns the index of the first entry with key >= target

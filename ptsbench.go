@@ -3,9 +3,10 @@
 // methodology and every experiment of Didona, Ioannou, Stoica and
 // Kourtis, "Toward a Better Understanding and Evaluation of Tree
 // Structures on Flash SSDs" (VLDB 2020): seven benchmarking pitfalls
-// demonstrated with an LSM-tree (RocksDB-like) and a B+Tree
-// (WiredTiger-like) engine running on a simulated flash device with a
-// page-mapped FTL, garbage collection and over-provisioning.
+// demonstrated with an LSM-tree (RocksDB-like), a B+Tree
+// (WiredTiger-like) and a Bε-tree (buffered copy-on-write B-tree)
+// engine running on a simulated flash device with a page-mapped FTL,
+// garbage collection and over-provisioning.
 //
 // The package is a facade over the internal implementation:
 //
@@ -15,8 +16,8 @@
 //   - Figures: Figure/Figures regenerate the paper's evaluation figures
 //     and tables.
 //   - Stack: NewStack builds the simulated device + filesystem so the
-//     two engines can be driven directly (see OpenLSM / OpenBTree and
-//     the examples directory).
+//     engines can be driven directly (see OpenLSM / OpenBTree /
+//     OpenBetree and the examples directory).
 //
 // All simulation is deterministic: the same Spec and seed produce
 // bit-identical results.
@@ -25,6 +26,7 @@ package ptsbench
 import (
 	"fmt"
 
+	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/btree"
 	"ptsbench/internal/core"
@@ -53,9 +55,14 @@ type (
 const (
 	LSM            = core.LSM
 	BTree          = core.BTree
+	Betree         = core.Betree
 	Trimmed        = core.Trimmed
 	Preconditioned = core.Preconditioned
 )
+
+// ParseEngine maps an engine name ("lsm", "btree", "betree") to its
+// kind; the CLI's -engine flag uses it.
+func ParseEngine(name string) (EngineKind, error) { return core.ParseEngine(name) }
 
 // Run executes one experiment (load phase, measured update phase,
 // instrumentation) and returns its result.
@@ -169,6 +176,11 @@ type (
 	BPlusTree = btree.Tree
 	// BTreeConfig tunes the B+Tree engine.
 	BTreeConfig = btree.Config
+	// BeTree is the buffered copy-on-write Bε-tree engine.
+	BeTree = betree.Tree
+	// BetreeConfig tunes the Bε-tree engine (notably Epsilon, the
+	// pivot/buffer split of interior nodes).
+	BetreeConfig = betree.Config
 	// VirtualTime is a duration on the simulation clock.
 	VirtualTime = sim.Duration
 )
@@ -178,6 +190,9 @@ func NewLSMConfig(datasetBytes int64) LSMConfig { return lsm.NewConfig(datasetBy
 
 // NewBTreeConfig returns engine defaults sized for a dataset.
 func NewBTreeConfig(datasetBytes int64) BTreeConfig { return btree.NewConfig(datasetBytes) }
+
+// NewBetreeConfig returns Bε-tree defaults sized for a dataset.
+func NewBetreeConfig(datasetBytes int64) BetreeConfig { return betree.NewConfig(datasetBytes) }
 
 // OpenLSM opens an LSM engine on the stack's filesystem. seed drives the
 // engine's internal randomness (skiplist heights).
@@ -190,6 +205,12 @@ func OpenLSM(s *Stack, cfg LSMConfig, seed uint64) (*LSMTree, error) {
 func OpenBTree(s *Stack, cfg BTreeConfig) (*BPlusTree, error) {
 	cfg.Content = s.BlockDev.ContentEnabled()
 	return btree.Open(s.FS, cfg)
+}
+
+// OpenBetree opens a Bε-tree engine on the stack's filesystem.
+func OpenBetree(s *Stack, cfg BetreeConfig) (*BeTree, error) {
+	cfg.Content = s.BlockDev.ContentEnabled()
+	return betree.Open(s.FS, cfg)
 }
 
 // RecoverLSM reopens an LSM database from the stack's on-device state
@@ -207,6 +228,14 @@ func RecoverLSM(s *Stack, cfg LSMConfig, seed uint64, now VirtualTime) (*LSMTree
 func RecoverBTree(s *Stack, cfg BTreeConfig, now VirtualTime) (*BPlusTree, VirtualTime, error) {
 	cfg.Content = s.BlockDev.ContentEnabled()
 	return btree.Recover(s.FS, cfg, now)
+}
+
+// RecoverBetree reopens a Bε-tree from the stack's on-device state
+// (checkpoint metadata + node tree with persisted buffers + journal
+// replay). The stack must have its content store enabled.
+func RecoverBetree(s *Stack, cfg BetreeConfig, now VirtualTime) (*BeTree, VirtualTime, error) {
+	cfg.Content = s.BlockDev.ContentEnabled()
+	return betree.Recover(s.FS, cfg, now)
 }
 
 // EncodeKey produces the canonical 16-byte key for a numeric id (the

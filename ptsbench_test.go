@@ -61,6 +61,74 @@ func TestStackAndBTreeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStackAndBetreeRoundTrip(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{
+		CapacityBytes: 256 << 20,
+		ContentStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ptsbench.OpenBetree(stack, ptsbench.NewBetreeConfig(32<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ptsbench.VirtualTime
+	now, err = tr.Put(now, ptsbench.EncodeKey(7), []byte("buffered"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, found, err := tr.Get(now, ptsbench.EncodeKey(7))
+	if err != nil || !found || string(v) != "buffered" {
+		t.Fatalf("Get: %q %v %v", v, found, err)
+	}
+}
+
+func TestBetreeRecoveryThroughFacade(t *testing.T) {
+	stack, err := ptsbench.NewStack(ptsbench.StackOptions{
+		CapacityBytes: 256 << 20,
+		ContentStore:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ptsbench.NewBetreeConfig(16 << 20)
+	tr, err := ptsbench.OpenBetree(stack, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now ptsbench.VirtualTime
+	now, err = tr.Put(now, ptsbench.EncodeKey(3), []byte("durable"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Close(now); err != nil {
+		t.Fatal(err)
+	}
+	re, rnow, err := ptsbench.RecoverBetree(stack, cfg, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v, found, err := re.Get(rnow, ptsbench.EncodeKey(3))
+	if err != nil || !found || string(v) != "durable" {
+		t.Fatalf("recovered Get: %q %v %v", v, found, err)
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for name, want := range map[string]ptsbench.EngineKind{
+		"lsm": ptsbench.LSM, "btree": ptsbench.BTree, "betree": ptsbench.Betree,
+	} {
+		got, err := ptsbench.ParseEngine(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseEngine(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ptsbench.ParseEngine("bogus"); err == nil {
+		t.Fatal("unknown engine should error")
+	}
+}
+
 func TestEncodeKeyMatchesOrdering(t *testing.T) {
 	a, b := ptsbench.EncodeKey(10), ptsbench.EncodeKey(11)
 	if len(a) != 16 {
@@ -87,9 +155,9 @@ func TestRunFacade(t *testing.T) {
 }
 
 func TestFigureFacade(t *testing.T) {
-	// The paper's fig2..fig11 plus the qdsweep extension.
-	if len(ptsbench.Figures()) != 11 {
-		t.Fatalf("expected 11 figures, got %d", len(ptsbench.Figures()))
+	// The paper's fig2..fig11 plus the qdsweep and betradeoff extensions.
+	if len(ptsbench.Figures()) != 12 {
+		t.Fatalf("expected 12 figures, got %d", len(ptsbench.Figures()))
 	}
 	rep, err := ptsbench.Figure("fig4", ptsbench.FigureOptions{Quick: true, Scale: 2048})
 	if err != nil {
