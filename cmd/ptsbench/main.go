@@ -5,10 +5,20 @@
 // Usage:
 //
 //	ptsbench list
+//	ptsbench engines
 //	ptsbench run -figure fig2 [-engine lsm,btree,betree] [-scale 128] [-quick] [-seed 1] [-csv DIR]
+//	ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench all [-quick] [-csv DIR]
 //	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]
+//
+// engines lists the registered engine drivers and every declarative
+// tunable each accepts; exp runs a declarative experiment spec file (a
+// JSON document sweeping engines, read fractions, queue depths and
+// scales — see examples/specs and the README's "Running your own
+// experiments"), executing the grid concurrently and rendering a
+// summary table plus per-cell throughput curves. -json additionally
+// writes the raw results (specs included) as JSON.
 //
 // qdsweep is shorthand for "run -figure qdsweep": the queue-depth sweep
 // on an SSD with internal channel/way parallelism, whose cells execute
@@ -30,7 +40,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -48,6 +60,24 @@ func main() {
 		fmt.Println("available figures:")
 		for _, id := range ptsbench.Figures() {
 			fmt.Printf("  %s\n", id)
+		}
+	case "engines":
+		listEngines(os.Stdout)
+	case "exp":
+		fs := flag.NewFlagSet("exp", flag.ExitOnError)
+		specPath := fs.String("spec", "", "experiment spec file (JSON; see examples/specs)")
+		quick := fs.Bool("quick", false, "shorten runs for a fast smoke pass")
+		csvDir := fs.String("csv", "", "also write CSV files into this directory")
+		jsonOut := fs.String("json", "", "write raw results (specs included) as JSON to this file")
+		workers := fs.Int("workers", 0, "concurrent cells (0 = GOMAXPROCS)")
+		_ = fs.Parse(os.Args[2:])
+		if *specPath == "" {
+			fmt.Fprintln(os.Stderr, "exp: -spec is required")
+			os.Exit(2)
+		}
+		if err := runExp(*specPath, *quick, *csvDir, *jsonOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
 		}
 	case "run":
 		fs := flag.NewFlagSet("run", flag.ExitOnError)
@@ -136,6 +166,79 @@ func runOne(id string, opts ptsbench.FigureOptions, csvDir string) error {
 	return nil
 }
 
+// listEngines prints the driver registry: every engine and the
+// declarative tunables its spec files accept.
+func listEngines(w io.Writer) {
+	for _, info := range ptsbench.Engines() {
+		fmt.Fprintf(w, "%s\n", info.Name)
+		width := 0
+		for _, t := range info.Tunables {
+			if len(t.Name) > width {
+				width = len(t.Name)
+			}
+		}
+		for _, t := range info.Tunables {
+			fmt.Fprintf(w, "  %-*s  %-8s  %s\n", width, t.Name, t.Kind, t.Doc)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// runExp executes a declarative experiment spec file: parse, expand the
+// sweep grid, run the cells concurrently, render.
+func runExp(specPath string, quick bool, csvDir, jsonOut string, workers int) error {
+	start := time.Now()
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	exp, err := ptsbench.ParseExperiment(data)
+	if err != nil {
+		return err
+	}
+	if exp.Name == "" {
+		// Resolve the fallback before expansion so cell names and the
+		// report label agree.
+		exp.Name = strings.TrimSuffix(filepath.Base(specPath), filepath.Ext(specPath))
+	}
+	name := exp.Name
+	specs, err := exp.Specs(quick)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("running %d cells from %s\n", len(specs), specPath)
+	results, err := ptsbench.RunGrid(specs, workers)
+	if err != nil {
+		return err
+	}
+	rep := ptsbench.ExpReport(name, specs, results)
+	if err := rep.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	if csvDir != "" {
+		if err := rep.WriteCSV(csvDir); err != nil {
+			return err
+		}
+		fmt.Printf("CSV written to %s\n", csvDir)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := ptsbench.WriteResultsJSON(f, results); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("results written to %s\n", jsonOut)
+	}
+	return nil
+}
+
 func runBench(quick bool, out, against string, nsThresh, allocThresh float64) error {
 	start := time.Now()
 	res, err := perf.RunSuite(perf.Options{Quick: quick})
@@ -178,7 +281,9 @@ func runBench(quick bool, out, against string, nsThresh, allocThresh float64) er
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ptsbench list
+  ptsbench engines
   ptsbench run -figure figN [-engine lsm,btree,betree] [-scale N] [-quick] [-seed N] [-csv DIR]
+  ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench all [-quick] [-csv DIR]
   ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]`)

@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ptsbench"
@@ -29,5 +32,123 @@ func TestRunOneSmoke(t *testing.T) {
 func TestRunOneUnknownFigure(t *testing.T) {
 	if err := runOne("nope", ptsbench.FigureOptions{}, ""); err == nil {
 		t.Fatal("unknown figure should error")
+	}
+}
+
+// TestExpSmoke drives the declarative spec-file path end to end with
+// the committed example file — the same invocation CI runs — so
+// examples/specs can never silently rot: parse, expand, run the grid,
+// render, write CSV and results JSON.
+func TestExpSmoke(t *testing.T) {
+	dir := t.TempDir()
+	jsonOut := filepath.Join(dir, "results.json")
+	spec := filepath.Join("..", "..", "examples", "specs", "smoke.json")
+	if err := runExp(spec, true, dir, jsonOut, 0); err != nil {
+		t.Fatalf("runExp: %v", err)
+	}
+	csvs, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(csvs) == 0 {
+		t.Fatal("no CSV files written")
+	}
+	f, err := os.Open(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	results, err := ptsbench.ReadResultsJSON(f)
+	if err != nil {
+		t.Fatalf("results JSON unreadable: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("smoke spec should produce 3 cells (one per engine), got %d", len(results))
+	}
+	for _, res := range results {
+		if res.Steady.ThroughputKOps <= 0 {
+			t.Fatalf("cell %q measured no throughput", res.Spec.Name)
+		}
+	}
+}
+
+// TestExpExampleSpecsParse keeps every committed example spec file
+// loadable and expandable.
+func TestExpExampleSpecsParse(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 3 {
+		t.Fatalf("expected committed example specs, found %d", len(files))
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := ptsbench.ParseExperiment(data)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		specs, err := exp.Specs(true)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if len(specs) == 0 {
+			t.Fatalf("%s expands to no cells", file)
+		}
+	}
+}
+
+func TestExpErrors(t *testing.T) {
+	if err := runExp(filepath.Join(t.TempDir(), "missing.json"), true, "", "", 0); err == nil {
+		t.Fatal("missing spec file should error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"engines": ["fractal"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runExp(bad, true, "", "", 0); err == nil {
+		t.Fatal("unknown engine in spec file should error")
+	}
+}
+
+// TestExpUnnamedSpecUsesFileName: a spec file without "name" labels its
+// cells (and therefore its CSV artifacts) after the file, not a generic
+// fallback, so two unnamed sweeps stay distinguishable.
+func TestExpUnnamedSpecUsesFileName(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "mysweep.json")
+	doc := `{"engines": ["btree"], "scale": 4096, "duration": "4m", "sample_every": "30s"}`
+	if err := os.WriteFile(spec, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	csvDir := filepath.Join(dir, "csv")
+	if err := runExp(spec, true, csvDir, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(csvDir, "*mysweep*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("cell CSV names should carry the spec file's base name")
+	}
+}
+
+// TestEnginesListing pins the `ptsbench engines` output shape: every
+// registered engine appears with at least one documented tunable.
+func TestEnginesListing(t *testing.T) {
+	var buf bytes.Buffer
+	listEngines(&buf)
+	out := buf.String()
+	for _, name := range []string{"lsm", "btree", "betree"} {
+		if !strings.Contains(out, name+"\n") {
+			t.Fatalf("engine %q missing from listing:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "epsilon") || !strings.Contains(out, "memtable_bytes") {
+		t.Fatalf("tunables missing from listing:\n%s", out)
 	}
 }

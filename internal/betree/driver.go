@@ -1,0 +1,72 @@
+package betree
+
+import (
+	"ptsbench/internal/engine"
+	"ptsbench/internal/sim"
+)
+
+func init() { engine.Register(Driver{}) }
+
+// Driver is the self-registering engine driver for the buffered
+// copy-on-write Bε-tree. Registry name: "betree".
+type Driver struct{}
+
+// Name implements engine.Driver.
+func (Driver) Name() string { return "betree" }
+
+// Configure implements engine.Driver: Bε-tree defaults sized for the
+// dataset with CPU costs dilated by the simulation scale — the
+// arithmetic the experiment runner applied before the registry existed,
+// preserved bit-identically. The Bε-tree answers a point read from at
+// most one leaf, so there is no queue-depth-dependent knob here; host-
+// level read batching is handled by the runner.
+func (Driver) Configure(s engine.Sizing) engine.Config {
+	cfg := NewConfig(s.DatasetBytes)
+	if f := s.CPUScale(); f > 1 {
+		cfg.CPUPutTime *= f
+		cfg.CPUGetTime *= f
+		cfg.CPUPerByte *= f
+	}
+	return &cfg
+}
+
+// knobs binds the declarative tunable names to the receiver's fields.
+func (c *Config) knobs() *engine.Knobs {
+	k := engine.NewKnobs("betree")
+	k.Float("epsilon", "pivot/buffer split of interior nodes in (0,1]; 1 degenerates to a B+Tree", &c.Epsilon)
+	k.Int("node_bytes", "total serialized budget of an interior node (bytes)", &c.NodeBytes)
+	k.Int("leaf_page_bytes", "maximum serialized leaf size (bytes)", &c.LeafPageBytes)
+	k.Int64("cache_bytes", "leaf cache bound (bytes)", &c.CacheBytes)
+	k.Duration("checkpoint_interval", "virtual time between checkpoints", &c.CheckpointInterval)
+	k.Int64("checkpoint_pending_bytes", "freed bytes awaiting release that force a checkpoint", &c.CheckpointPendingBytes)
+	k.Bool("journal_sync", "sync the journal on every update", &c.JournalSync)
+	k.Bool("disable_journal", "turn journaling off entirely", &c.DisableJournal)
+	k.Duration("cpu_put_time", "per-put engine CPU cost", &c.CPUPutTime)
+	k.Duration("cpu_get_time", "per-get engine CPU cost", &c.CPUGetTime)
+	k.Duration("cpu_per_byte", "payload-size-dependent CPU cost per byte", &c.CPUPerByte)
+	k.Int("chunk_pages", "checkpoint I/O granularity (pages per job step)", &c.ChunkPages)
+	return k
+}
+
+// Tunables implements engine.Config.
+func (c *Config) Tunables() []engine.Tunable { return c.knobs().Docs() }
+
+// ApplyTunables implements engine.Config.
+func (c *Config) ApplyTunables(tunables map[string]string) error {
+	return c.knobs().Apply(tunables)
+}
+
+// Open implements engine.Config. The Bε-tree is deterministic and does
+// not consume env.RNG.
+func (c *Config) Open(env engine.Env) (engine.Engine, error) {
+	cfg := *c
+	cfg.Content = env.Content
+	return Open(env.FS, cfg)
+}
+
+// Recover implements engine.Config.
+func (c *Config) Recover(env engine.Env, now sim.Duration) (engine.Engine, sim.Duration, error) {
+	cfg := *c
+	cfg.Content = env.Content
+	return Recover(env.FS, cfg, now)
+}

@@ -1,0 +1,74 @@
+package btree
+
+import (
+	"ptsbench/internal/engine"
+	"ptsbench/internal/sim"
+)
+
+func init() { engine.Register(Driver{}) }
+
+// Driver is the self-registering engine driver for the WiredTiger-style
+// B+Tree. Registry name: "btree".
+type Driver struct{}
+
+// Name implements engine.Driver.
+func (Driver) Name() string { return "btree" }
+
+// Configure implements engine.Driver: WiredTiger-flavoured defaults
+// sized for the dataset, CPU costs dilated by the simulation scale and
+// scan prefetch following the host queue depth — the arithmetic the
+// experiment runner applied before the registry existed, preserved
+// bit-identically.
+func (Driver) Configure(s engine.Sizing) engine.Config {
+	cfg := NewConfig(s.DatasetBytes)
+	if f := s.CPUScale(); f > 1 {
+		cfg.CPUPutTime *= f
+		cfg.CPUGetTime *= f
+		cfg.CPUPerByte *= f
+	}
+	if s.QueueDepth > 1 {
+		cfg.PrefetchDepth = s.QueueDepth
+	}
+	return &cfg
+}
+
+// knobs binds the declarative tunable names to the receiver's fields.
+func (c *Config) knobs() *engine.Knobs {
+	k := engine.NewKnobs("btree")
+	k.Int("leaf_page_bytes", "maximum serialized leaf size (bytes)", &c.LeafPageBytes)
+	k.Int("internal_page_bytes", "maximum serialized internal page size (bytes)", &c.InternalPageBytes)
+	k.Int64("cache_bytes", "leaf-page cache bound (bytes)", &c.CacheBytes)
+	k.Duration("checkpoint_interval", "virtual time between checkpoints", &c.CheckpointInterval)
+	k.Int64("checkpoint_pending_bytes", "freed bytes awaiting release that force a checkpoint", &c.CheckpointPendingBytes)
+	k.Bool("journal_sync", "sync the journal on every update", &c.JournalSync)
+	k.Bool("disable_journal", "turn journaling off entirely", &c.DisableJournal)
+	k.Duration("cpu_put_time", "per-put engine CPU cost", &c.CPUPutTime)
+	k.Duration("cpu_get_time", "per-get engine CPU cost", &c.CPUGetTime)
+	k.Duration("cpu_per_byte", "payload-size-dependent CPU cost per byte", &c.CPUPerByte)
+	k.Int("chunk_pages", "checkpoint I/O granularity (pages per job step)", &c.ChunkPages)
+	k.Int("prefetch_depth", "leaf reads a range scan keeps in flight", &c.PrefetchDepth)
+	return k
+}
+
+// Tunables implements engine.Config.
+func (c *Config) Tunables() []engine.Tunable { return c.knobs().Docs() }
+
+// ApplyTunables implements engine.Config.
+func (c *Config) ApplyTunables(tunables map[string]string) error {
+	return c.knobs().Apply(tunables)
+}
+
+// Open implements engine.Config. The B+Tree is deterministic and does
+// not consume env.RNG.
+func (c *Config) Open(env engine.Env) (engine.Engine, error) {
+	cfg := *c
+	cfg.Content = env.Content
+	return Open(env.FS, cfg)
+}
+
+// Recover implements engine.Config.
+func (c *Config) Recover(env engine.Env, now sim.Duration) (engine.Engine, sim.Duration, error) {
+	cfg := *c
+	cfg.Content = env.Content
+	return Recover(env.FS, cfg, now)
+}

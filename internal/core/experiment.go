@@ -5,57 +5,49 @@ import (
 	"fmt"
 	"time"
 
-	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
-	"ptsbench/internal/btree"
+	"ptsbench/internal/engine"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/flash"
 	"ptsbench/internal/kv"
-	"ptsbench/internal/lsm"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/workload"
 )
 
-// EngineKind selects the persistent tree structure under test.
-type EngineKind int
+// EngineKind names the persistent tree structure under test. It is the
+// engine driver's registry name (see internal/engine), so the set of
+// valid kinds is open: adding an engine package that registers itself
+// makes its name valid everywhere — specs, spec files, the CLI —
+// without touching this package.
+type EngineKind string
 
-// Engine kinds.
+// Names of the built-in engines, as convenience constants. The strings
+// are the registry keys; a fourth engine needs no constant here.
 const (
 	// LSM is the RocksDB-style log-structured merge tree.
-	LSM EngineKind = iota
+	LSM EngineKind = "lsm"
 	// BTree is the WiredTiger-style B+Tree.
-	BTree
+	BTree EngineKind = "btree"
 	// Betree is the buffered copy-on-write Bε-tree.
-	Betree
+	Betree EngineKind = "betree"
 )
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. The zero value reads as the default
+// engine (LSM), matching Validate.
 func (k EngineKind) String() string {
-	switch k {
-	case LSM:
-		return "lsm"
-	case BTree:
-		return "btree"
-	case Betree:
-		return "betree"
-	default:
-		return fmt.Sprintf("engine(%d)", int(k))
+	if k == "" {
+		return string(LSM)
 	}
+	return string(k)
 }
 
-// ParseEngine maps an engine name (as produced by String) back to its
-// kind.
+// ParseEngine maps an engine name to its kind, verifying it against the
+// driver registry.
 func ParseEngine(name string) (EngineKind, error) {
-	switch name {
-	case "lsm":
-		return LSM, nil
-	case "btree":
-		return BTree, nil
-	case "betree":
-		return Betree, nil
-	default:
-		return 0, fmt.Errorf("core: unknown engine %q (have lsm, btree, betree)", name)
+	if _, err := engine.Lookup(name); err != nil {
+		return "", err
 	}
+	return EngineKind(name), nil
 }
 
 // InitialState is the drive state before the experiment (§3.4).
@@ -75,6 +67,19 @@ func (s InitialState) String() string {
 		return "preconditioned"
 	}
 	return "trimmed"
+}
+
+// ParseInitialState maps an initial-state name (as produced by String)
+// back to its value.
+func ParseInitialState(name string) (InitialState, error) {
+	switch name {
+	case "trimmed":
+		return Trimmed, nil
+	case "preconditioned":
+		return Preconditioned, nil
+	default:
+		return 0, fmt.Errorf("core: unknown initial state %q (have trimmed, preconditioned)", name)
+	}
 }
 
 // DeviceSpec describes the simulated SSD at full (paper) scale.
@@ -98,7 +103,11 @@ func DefaultDevice() DeviceSpec {
 	}
 }
 
-// Spec fully describes one experiment run.
+// Spec fully describes one experiment run. It is pure data: every field
+// — the engine included, via its registry name and string-valued
+// tunables — serializes to JSON and back (see the codec in
+// specjson.go), so experiments can be saved, diffed and launched from
+// spec files.
 type Spec struct {
 	Name   string
 	Device DeviceSpec
@@ -116,6 +125,9 @@ type Spec struct {
 	ValueBytes      int
 	ReadFraction    float64
 	Dist            workload.Dist
+	// ZipfTheta is the Zipfian skew (only meaningful with
+	// Dist == workload.Zipfian; 0 selects the YCSB default 0.99).
+	ZipfTheta float64
 
 	Initial InitialState
 
@@ -143,20 +155,50 @@ type Spec struct {
 
 	Seed uint64
 
-	// TweakLSM / TweakBTree / TweakBetree adjust engine configs after
-	// scaling.
-	TweakLSM    func(*lsm.Config)
-	TweakBTree  func(*btree.Config)
-	TweakBetree func(*betree.Config)
+	// Tunables are declarative engine knob overrides, applied to the
+	// engine's sized default config after scaling. Keys live in the
+	// engine's namespace ("epsilon" for betree, "memtable_bytes" for
+	// lsm, ...); `ptsbench engines` lists every knob. Unlike the
+	// closure-based Tweak hooks they replace, tunables serialize, so a
+	// Spec with engine overrides is still a plain JSON document.
+	Tunables map[string]string
 }
 
-// Validate fills defaults.
+// Validate fills defaults and fails fast on anything the downstream
+// layers would only reject after the device has been built and the
+// entire load phase has run: an unknown engine, tunable keys the engine
+// doesn't have, a read fraction outside [0,1], an unknown distribution,
+// or a nonsense Zipf skew.
 func (s Spec) Validate() (Spec, error) {
+	def := DefaultDevice()
 	if s.Device.CapacityBytes == 0 {
-		s.Device = DefaultDevice()
+		s.Device.CapacityBytes = def.CapacityBytes
+	}
+	if s.Device.PageSize == 0 {
+		s.Device.PageSize = def.PageSize
+	}
+	if s.Device.PagesPerBlock == 0 {
+		s.Device.PagesPerBlock = def.PagesPerBlock
+	}
+	if s.Device.Profile == (flash.Profile{}) {
+		s.Device.Profile = def.Profile
 	}
 	if s.Scale <= 0 {
 		s.Scale = 128
+	}
+	if s.Engine == "" {
+		s.Engine = LSM
+	}
+	drv, err := engine.Lookup(string(s.Engine))
+	if err != nil {
+		return s, fmt.Errorf("core: %w", err)
+	}
+	if len(s.Tunables) > 0 {
+		// Dry-run the tunables against a throwaway config so a typo in
+		// a spec file surfaces here, not after a full load phase.
+		if err := drv.Configure(engine.Sizing{}).ApplyTunables(s.Tunables); err != nil {
+			return s, fmt.Errorf("core: %w", err)
+		}
 	}
 	if s.DatasetFraction <= 0 {
 		s.DatasetFraction = 0.5
@@ -166,6 +208,20 @@ func (s Spec) Validate() (Spec, error) {
 	}
 	if s.ValueBytes <= 0 {
 		s.ValueBytes = 4000
+	}
+	if s.ReadFraction < 0 || s.ReadFraction > 1 {
+		return s, fmt.Errorf("core: read fraction %v outside [0,1]", s.ReadFraction)
+	}
+	switch s.Dist {
+	case workload.Uniform, workload.Zipfian, workload.SequentialDist:
+	default:
+		return s, fmt.Errorf("core: unknown distribution %v", s.Dist)
+	}
+	if s.ZipfTheta < 0 {
+		return s, fmt.Errorf("core: negative ZipfTheta %v", s.ZipfTheta)
+	}
+	if s.Dist == workload.Zipfian && s.ZipfTheta >= 1 {
+		return s, fmt.Errorf("core: ZipfTheta %v outside [0,1) (the Zipfian generator requires theta < 1)", s.ZipfTheta)
 	}
 	if s.PartitionFraction <= 0 || s.PartitionFraction > 1 {
 		s.PartitionFraction = 1
@@ -220,17 +276,18 @@ func (r *Result) MeanScaledKOps() float64 {
 	return r.Series.MeanKOps() * float64(r.Spec.Scale)
 }
 
-// engine unifies the two stores for the runner.
-type engine interface {
-	kv.Engine
-	Quiesce(now sim.Duration) sim.Duration
-}
-
-// Run executes one experiment.
+// Run executes one experiment. The engine is resolved through the
+// driver registry: Run has no per-engine code, so a new tree structure
+// only needs its own package plus a registration import somewhere in
+// the caller's build (internal/engine/all collects the built-ins).
 func Run(spec Spec) (*Result, error) {
 	spec, err := spec.Validate()
 	if err != nil {
 		return nil, err
+	}
+	drv, err := engine.Lookup(string(spec.Engine))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	rng := sim.NewRNG(spec.Seed)
 
@@ -273,60 +330,25 @@ func Run(spec Spec) (*Result, error) {
 		return nil, err
 	}
 
-	// Engine, scaled. CPU costs scale with the device so that per-op
-	// time dilates uniformly (see DESIGN.md "Scaling model").
+	// Engine, resolved through the registry and scaled by its driver.
+	// CPU costs scale with the device so that per-op time dilates
+	// uniformly (see DESIGN.md "Scaling model").
 	datasetBytes := int64(float64(spec.Device.CapacityBytes)*spec.DatasetFraction) / spec.Scale
 	numKeys := uint64(datasetBytes / int64(spec.ValueBytes))
 	if numKeys == 0 {
 		return nil, errors.New("core: dataset too small for value size")
 	}
-	var eng engine
-	switch spec.Engine {
-	case LSM:
-		cfg := lsm.NewConfig(datasetBytes)
-		cfg.CPUPutTime *= time.Duration(spec.Scale)
-		cfg.CPUGetTime *= time.Duration(spec.Scale)
-		cfg.CPUPerByte *= time.Duration(spec.Scale)
-		cfg.DelayedWriteBytesPerSec /= spec.Scale
-		cfg.ProbeParallelism = spec.QueueDepth
-		cfg.CompactionReadParallelism = spec.QueueDepth
-		if spec.TweakLSM != nil {
-			spec.TweakLSM(&cfg)
-		}
-		db, err := lsm.Open(fs, cfg, rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		eng = db
-	case BTree:
-		cfg := btree.NewConfig(datasetBytes)
-		cfg.CPUPutTime *= time.Duration(spec.Scale)
-		cfg.CPUGetTime *= time.Duration(spec.Scale)
-		cfg.CPUPerByte *= time.Duration(spec.Scale)
-		cfg.PrefetchDepth = spec.QueueDepth
-		if spec.TweakBTree != nil {
-			spec.TweakBTree(&cfg)
-		}
-		tr, err := btree.Open(fs, cfg)
-		if err != nil {
-			return nil, err
-		}
-		eng = tr
-	case Betree:
-		cfg := betree.NewConfig(datasetBytes)
-		cfg.CPUPutTime *= time.Duration(spec.Scale)
-		cfg.CPUGetTime *= time.Duration(spec.Scale)
-		cfg.CPUPerByte *= time.Duration(spec.Scale)
-		if spec.TweakBetree != nil {
-			spec.TweakBetree(&cfg)
-		}
-		tr, err := betree.Open(fs, cfg)
-		if err != nil {
-			return nil, err
-		}
-		eng = tr
-	default:
-		return nil, fmt.Errorf("core: unknown engine %v", spec.Engine)
+	cfg := drv.Configure(engine.Sizing{
+		DatasetBytes: datasetBytes,
+		Scale:        spec.Scale,
+		QueueDepth:   spec.QueueDepth,
+	})
+	if err := cfg.ApplyTunables(spec.Tunables); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	eng, err := cfg.Open(engine.Env{FS: fs, RNG: rng})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{Spec: spec, DatasetBytes: datasetBytes, NumKeys: numKeys}
@@ -372,6 +394,7 @@ func Run(spec Spec) (*Result, error) {
 		ValueBytes:   spec.ValueBytes,
 		ReadFraction: spec.ReadFraction,
 		Dist:         spec.Dist,
+		ZipfTheta:    spec.ZipfTheta,
 	}, rng.Split())
 	if err != nil {
 		return nil, err

@@ -1,0 +1,6 @@
+package core
+
+// The package under test resolves engines through the driver registry
+// and deliberately imports no engine package; its tests exercise real
+// engines, so they pull in the registrations explicitly.
+import _ "ptsbench/internal/engine/all"

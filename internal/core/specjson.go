@@ -1,0 +1,438 @@
+package core
+
+// The JSON codec for Spec and Result, and the declarative Experiment
+// file format behind `ptsbench exp`.
+//
+// A Spec is pure data (the engine is a registry name, its knobs are
+// string-valued tunables), so it round-trips through JSON: encode,
+// decode, Validate — and you have the identical experiment back. The
+// codec keeps the wire format human-friendly (durations as "210m",
+// distributions and initial states by name, stock device profiles as
+// "ssd1"/"ssd2"/"ssd3" with an optional channels × ways override)
+// while Result serializes with Go's default layout everywhere else, so
+// existing numeric fixtures are untouched.
+//
+// An Experiment is a Spec template plus sweep lists (engines, read
+// fractions, queue depths, scales); Specs expands the cross product
+// into runnable cells, each carrying the per-engine tunables block.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"ptsbench/internal/flash"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/workload"
+)
+
+// specJSON is the wire format of Spec.
+type specJSON struct {
+	Name              string            `json:"name,omitempty"`
+	Device            *deviceJSON       `json:"device,omitempty"`
+	Scale             int64             `json:"scale,omitempty"`
+	Engine            string            `json:"engine,omitempty"`
+	DatasetFraction   float64           `json:"dataset_fraction,omitempty"`
+	ValueBytes        int               `json:"value_bytes,omitempty"`
+	ReadFraction      float64           `json:"read_fraction,omitempty"`
+	Dist              string            `json:"dist,omitempty"`
+	ZipfTheta         float64           `json:"zipf_theta,omitempty"`
+	Initial           string            `json:"initial,omitempty"`
+	PartitionFraction float64           `json:"partition_fraction,omitempty"`
+	QueueDepth        int               `json:"queue_depth,omitempty"`
+	Duration          string            `json:"duration,omitempty"`
+	SampleEvery       string            `json:"sample_every,omitempty"`
+	Seed              uint64            `json:"seed,omitempty"`
+	Tunables          map[string]string `json:"tunables,omitempty"`
+}
+
+// deviceJSON is the wire format of DeviceSpec. Stock profiles are
+// referenced by short name; anything custom is embedded in full under
+// profile_spec.
+type deviceJSON struct {
+	Profile       string         `json:"profile,omitempty"`
+	ProfileSpec   *flash.Profile `json:"profile_spec,omitempty"`
+	Channels      int            `json:"channels,omitempty"`
+	Ways          int            `json:"ways,omitempty"`
+	CapacityBytes int64          `json:"capacity_bytes,omitempty"`
+	PageSize      int            `json:"page_size,omitempty"`
+	PagesPerBlock int            `json:"pages_per_block,omitempty"`
+}
+
+// stockProfile resolves the short profile names of the paper's three
+// SSD types.
+func stockProfile(name string) (flash.Profile, bool) {
+	switch name {
+	case "ssd1":
+		return flash.ProfileSSD1(), true
+	case "ssd2":
+		return flash.ProfileSSD2(), true
+	case "ssd3":
+		return flash.ProfileSSD3(), true
+	default:
+		return flash.Profile{}, false
+	}
+}
+
+// stockNameOf recognizes a profile as a stock one modulo its
+// channels × ways geometry.
+func stockNameOf(p flash.Profile) (string, bool) {
+	base := p
+	base.Channels, base.Ways = 0, 0
+	for _, name := range []string{"ssd1", "ssd2", "ssd3"} {
+		stock, _ := stockProfile(name)
+		if base == stock {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func marshalDevice(d DeviceSpec) *deviceJSON {
+	if d == (DeviceSpec{}) {
+		return nil
+	}
+	dj := &deviceJSON{
+		CapacityBytes: d.CapacityBytes,
+		PageSize:      d.PageSize,
+		PagesPerBlock: d.PagesPerBlock,
+	}
+	if name, ok := stockNameOf(d.Profile); ok {
+		dj.Profile = name
+		dj.Channels = d.Profile.Channels
+		dj.Ways = d.Profile.Ways
+	} else if d.Profile != (flash.Profile{}) {
+		p := d.Profile
+		dj.ProfileSpec = &p
+	}
+	return dj
+}
+
+func unmarshalDevice(dj *deviceJSON) (DeviceSpec, error) {
+	if dj == nil {
+		return DeviceSpec{}, nil
+	}
+	d := DeviceSpec{
+		CapacityBytes: dj.CapacityBytes,
+		PageSize:      dj.PageSize,
+		PagesPerBlock: dj.PagesPerBlock,
+	}
+	switch {
+	case dj.ProfileSpec != nil:
+		d.Profile = *dj.ProfileSpec
+	case dj.Profile != "":
+		p, ok := stockProfile(dj.Profile)
+		if !ok {
+			return d, fmt.Errorf("core: unknown device profile %q (have ssd1, ssd2, ssd3)", dj.Profile)
+		}
+		d.Profile = p
+	}
+	// The channels/ways override applies to stock and custom profiles
+	// alike (taking precedence over a geometry embedded in
+	// profile_spec), so a spec can give any device internal lanes.
+	if dj.Channels > 0 || dj.Ways > 0 {
+		d.Profile = d.Profile.WithParallelism(dj.Channels, dj.Ways)
+	}
+	return d, nil
+}
+
+// MarshalJSON implements json.Marshaler with the human-friendly wire
+// format (durations as strings, names instead of enum ordinals).
+func (s Spec) MarshalJSON() ([]byte, error) {
+	sj := specJSON{
+		Name:              s.Name,
+		Device:            marshalDevice(s.Device),
+		Scale:             s.Scale,
+		Engine:            string(s.Engine),
+		DatasetFraction:   s.DatasetFraction,
+		ValueBytes:        s.ValueBytes,
+		ReadFraction:      s.ReadFraction,
+		ZipfTheta:         s.ZipfTheta,
+		PartitionFraction: s.PartitionFraction,
+		QueueDepth:        s.QueueDepth,
+		Seed:              s.Seed,
+		Tunables:          s.Tunables,
+	}
+	if s.Dist != workload.Uniform {
+		sj.Dist = s.Dist.String()
+	}
+	if s.Initial != Trimmed {
+		sj.Initial = s.Initial.String()
+	}
+	if s.Duration != 0 {
+		sj.Duration = time.Duration(s.Duration).String()
+	}
+	if s.SampleEvery != 0 {
+		sj.SampleEvery = time.Duration(s.SampleEvery).String()
+	}
+	return json.Marshal(sj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Unknown fields are errors:
+// a typo in a saved experiment should fail loudly, not silently run the
+// default it was trying to override.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var sj specJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sj); err != nil {
+		return fmt.Errorf("core: parsing spec: %w", err)
+	}
+	out := Spec{
+		Name:              sj.Name,
+		Scale:             sj.Scale,
+		Engine:            EngineKind(sj.Engine),
+		DatasetFraction:   sj.DatasetFraction,
+		ValueBytes:        sj.ValueBytes,
+		ReadFraction:      sj.ReadFraction,
+		ZipfTheta:         sj.ZipfTheta,
+		PartitionFraction: sj.PartitionFraction,
+		QueueDepth:        sj.QueueDepth,
+		Seed:              sj.Seed,
+		Tunables:          sj.Tunables,
+	}
+	var err error
+	if out.Device, err = unmarshalDevice(sj.Device); err != nil {
+		return err
+	}
+	if sj.Dist != "" {
+		if out.Dist, err = workload.ParseDist(sj.Dist); err != nil {
+			return err
+		}
+	}
+	if sj.Initial != "" {
+		if out.Initial, err = ParseInitialState(sj.Initial); err != nil {
+			return err
+		}
+	}
+	if sj.Duration != "" {
+		d, err := time.ParseDuration(sj.Duration)
+		if err != nil {
+			return fmt.Errorf("core: parsing spec duration: %w", err)
+		}
+		out.Duration = sim.Duration(d)
+	}
+	if sj.SampleEvery != "" {
+		d, err := time.ParseDuration(sj.SampleEvery)
+		if err != nil {
+			return fmt.Errorf("core: parsing spec sample_every: %w", err)
+		}
+		out.SampleEvery = sim.Duration(d)
+	}
+	*s = out
+	return nil
+}
+
+// WriteResultsJSON writes results as one indented JSON array; Spec's
+// codec keeps the embedded specs declarative, so a result file can be
+// re-run by extracting its specs.
+func WriteResultsJSON(w io.Writer, results []*Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadResultsJSON parses a WriteResultsJSON file.
+func ReadResultsJSON(r io.Reader) ([]*Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var results []*Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Experiment is the declarative description of an experiment grid: a
+// Spec template plus sweep lists. It is what a `ptsbench exp` spec file
+// parses into.
+type Experiment struct {
+	// Name labels the run and prefixes every cell name.
+	Name string
+	// Base holds the per-cell template (device, dataset, workload,
+	// durations, seed). Its Engine/ReadFraction/QueueDepth/Scale are
+	// the fallback when the corresponding sweep list is empty.
+	Base Spec
+	// Engines, ReadFractions, QueueDepths and Scales are the sweep
+	// axes; Specs expands their cross product.
+	Engines       []EngineKind
+	ReadFractions []float64
+	QueueDepths   []int
+	Scales        []int64
+	// Tunables are per-engine knob overrides: cells of engine E run
+	// with Tunables[E].
+	Tunables map[EngineKind]map[string]string
+}
+
+// experimentJSON is the wire format of Experiment: the spec fields
+// flattened to the top level, plural sweep lists beside their singular
+// fallbacks, and tunables namespaced per engine.
+type experimentJSON struct {
+	Name              string                       `json:"name,omitempty"`
+	Device            *deviceJSON                  `json:"device,omitempty"`
+	Engines           []string                     `json:"engines,omitempty"`
+	Engine            string                       `json:"engine,omitempty"`
+	Scales            []int64                      `json:"scales,omitempty"`
+	Scale             int64                        `json:"scale,omitempty"`
+	DatasetFraction   float64                      `json:"dataset_fraction,omitempty"`
+	ValueBytes        int                          `json:"value_bytes,omitempty"`
+	ReadFractions     []float64                    `json:"read_fractions,omitempty"`
+	ReadFraction      float64                      `json:"read_fraction,omitempty"`
+	QueueDepths       []int                        `json:"queue_depths,omitempty"`
+	QueueDepth        int                          `json:"queue_depth,omitempty"`
+	Dist              string                       `json:"dist,omitempty"`
+	ZipfTheta         float64                      `json:"zipf_theta,omitempty"`
+	Initial           string                       `json:"initial,omitempty"`
+	PartitionFraction float64                      `json:"partition_fraction,omitempty"`
+	Duration          string                       `json:"duration,omitempty"`
+	SampleEvery       string                       `json:"sample_every,omitempty"`
+	Seed              uint64                       `json:"seed,omitempty"`
+	Tunables          map[string]map[string]string `json:"tunables,omitempty"`
+}
+
+// ParseExperiment parses a declarative experiment file. Unknown fields,
+// unknown engines, distributions or initial states are errors.
+func ParseExperiment(data []byte) (*Experiment, error) {
+	var ej experimentJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ej); err != nil {
+		return nil, fmt.Errorf("core: parsing experiment: %w", err)
+	}
+	e := &Experiment{
+		Name: ej.Name,
+		Base: Spec{
+			Scale:             ej.Scale,
+			Engine:            EngineKind(ej.Engine),
+			DatasetFraction:   ej.DatasetFraction,
+			ValueBytes:        ej.ValueBytes,
+			ReadFraction:      ej.ReadFraction,
+			ZipfTheta:         ej.ZipfTheta,
+			PartitionFraction: ej.PartitionFraction,
+			QueueDepth:        ej.QueueDepth,
+			Seed:              ej.Seed,
+		},
+	}
+	var err error
+	if e.Base.Device, err = unmarshalDevice(ej.Device); err != nil {
+		return nil, err
+	}
+	if ej.Dist != "" {
+		if e.Base.Dist, err = workload.ParseDist(ej.Dist); err != nil {
+			return nil, err
+		}
+	}
+	if ej.Initial != "" {
+		if e.Base.Initial, err = ParseInitialState(ej.Initial); err != nil {
+			return nil, err
+		}
+	}
+	if ej.Duration != "" {
+		d, err := time.ParseDuration(ej.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing experiment duration: %w", err)
+		}
+		e.Base.Duration = sim.Duration(d)
+	}
+	if ej.SampleEvery != "" {
+		d, err := time.ParseDuration(ej.SampleEvery)
+		if err != nil {
+			return nil, fmt.Errorf("core: parsing experiment sample_every: %w", err)
+		}
+		e.Base.SampleEvery = sim.Duration(d)
+	}
+	for _, name := range ej.Engines {
+		k, err := ParseEngine(name)
+		if err != nil {
+			return nil, err
+		}
+		e.Engines = append(e.Engines, k)
+	}
+	if len(ej.Tunables) > 0 {
+		e.Tunables = make(map[EngineKind]map[string]string, len(ej.Tunables))
+		for name, t := range ej.Tunables {
+			k, err := ParseEngine(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: tunables: %w", err)
+			}
+			e.Tunables[k] = t
+		}
+	}
+	e.ReadFractions = ej.ReadFractions
+	e.QueueDepths = ej.QueueDepths
+	e.Scales = ej.Scales
+	return e, nil
+}
+
+// Specs expands the experiment's sweep cross product into validated,
+// runnable cells (engines × read fractions × queue depths × scales).
+// Empty sweep lists fall back to the Base value for that axis. With
+// quick set, each cell's measured phase is shortened the way the
+// figures' -quick mode shortens runs (capped at 60 virtual minutes,
+// shorter runs halved).
+func (e *Experiment) Specs(quick bool) ([]Spec, error) {
+	engines := e.Engines
+	if len(engines) == 0 {
+		engines = []EngineKind{e.Base.Engine}
+	}
+	readFracs := e.ReadFractions
+	if len(readFracs) == 0 {
+		readFracs = []float64{e.Base.ReadFraction}
+	}
+	queueDepths := e.QueueDepths
+	if len(queueDepths) == 0 {
+		queueDepths = []int{e.Base.QueueDepth}
+	}
+	scales := e.Scales
+	if len(scales) == 0 {
+		scales = []int64{e.Base.Scale}
+	}
+	name := e.Name
+	if name == "" {
+		name = "exp"
+	}
+	var specs []Spec
+	for _, eng := range engines {
+		for _, rf := range readFracs {
+			for _, qd := range queueDepths {
+				for _, scale := range scales {
+					spec := e.Base
+					spec.Engine = eng
+					spec.ReadFraction = rf
+					spec.QueueDepth = qd
+					spec.Scale = scale
+					if t := e.Tunables[eng]; len(t) > 0 {
+						// Clone so cells never share a mutable map.
+						spec.Tunables = make(map[string]string, len(t))
+						for k, v := range t {
+							spec.Tunables[k] = v
+						}
+					}
+					spec, err := spec.Validate()
+					if err != nil {
+						return nil, err
+					}
+					spec.Name = fmt.Sprintf("%s %s rf=%g qd=%d x%d",
+						name, eng, spec.ReadFraction, spec.QueueDepth, spec.Scale)
+					if quick {
+						if spec.Duration > 60*time.Minute {
+							spec.Duration = 60 * time.Minute
+						} else {
+							spec.Duration /= 2
+						}
+					}
+					specs = append(specs, spec)
+				}
+			}
+		}
+	}
+	return specs, nil
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type fakeDriver struct{ name string }
+
+func (d fakeDriver) Name() string              { return d.name }
+func (d fakeDriver) Configure(s Sizing) Config { return nil }
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	Register(fakeDriver{name: "zzz-test-engine"})
+	d, err := Lookup("zzz-test-engine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "zzz-test-engine" {
+		t.Fatalf("wrong driver: %q", d.Name())
+	}
+	found := false
+	names := Names()
+	for i, name := range names {
+		if i > 0 && names[i-1] > name {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+		if name == "zzz-test-engine" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered driver missing from Names: %v", names)
+	}
+	if _, err := Lookup("no-such-engine"); err == nil {
+		t.Fatal("unknown engine should error")
+	} else if !strings.Contains(err.Error(), "zzz-test-engine") {
+		t.Fatalf("lookup error should list registered engines: %v", err)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	Register(fakeDriver{name: "dup-test-engine"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	Register(fakeDriver{name: "dup-test-engine"})
+}
+
+func TestRegisterRejectsEmptyName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty driver name should panic")
+		}
+	}()
+	Register(fakeDriver{})
+}
+
+func TestKnobsApply(t *testing.T) {
+	var (
+		i   int
+		i64 int64
+		f   float64
+		b   bool
+		d   time.Duration
+	)
+	k := NewKnobs("toy")
+	k.Int("count", "a count", &i)
+	k.Int64("bytes", "a size", &i64)
+	k.Float("ratio", "a ratio", &f)
+	k.Bool("flag", "a flag", &b)
+	k.Duration("pause", "a pause", &d)
+
+	if err := k.Apply(nil); err != nil {
+		t.Fatalf("nil map should be a no-op: %v", err)
+	}
+	err := k.Apply(map[string]string{
+		"count": "7",
+		"bytes": "1048576",
+		"ratio": "0.75",
+		"flag":  "true",
+		"pause": "90ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 7 || i64 != 1<<20 || f != 0.75 || !b || d != 90*time.Millisecond {
+		t.Fatalf("values not applied: %d %d %v %v %v", i, i64, f, b, d)
+	}
+
+	docs := k.Docs()
+	if len(docs) != 5 || docs[0].Name != "count" || docs[0].Kind != "int" {
+		t.Fatalf("docs wrong: %+v", docs)
+	}
+}
+
+func TestKnobsApplyErrors(t *testing.T) {
+	var i int
+	k := NewKnobs("toy")
+	k.Int("count", "a count", &i)
+
+	err := k.Apply(map[string]string{"nope": "1"})
+	if err == nil {
+		t.Fatal("unknown knob should error")
+	}
+	if !strings.Contains(err.Error(), "toy") || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("error should name engine and knob: %v", err)
+	}
+	if !strings.Contains(err.Error(), "count") {
+		t.Fatalf("error should list the valid knobs: %v", err)
+	}
+	err = k.Apply(map[string]string{"count": "not-a-number"})
+	if err == nil || !strings.Contains(err.Error(), "toy") {
+		t.Fatalf("parse failure should name the engine: %v", err)
+	}
+}
+
+func TestSizingCPUScale(t *testing.T) {
+	if (Sizing{}).CPUScale() != 1 || (Sizing{Scale: 1}).CPUScale() != 1 {
+		t.Fatal("unscaled sizing should return 1")
+	}
+	if (Sizing{Scale: 128}).CPUScale() != 128 {
+		t.Fatal("scale factor lost")
+	}
+}

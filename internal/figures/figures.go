@@ -8,11 +8,12 @@ package figures
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"time"
 
-	"ptsbench/internal/betree"
 	"ptsbench/internal/core"
 	"ptsbench/internal/costmodel"
+	_ "ptsbench/internal/engine/all" // register every engine driver for core.Run
 	"ptsbench/internal/flash"
 )
 
@@ -899,12 +900,16 @@ func FigBetradeoff(o Options) (*Report, error) {
 	var specs []core.Spec
 	for _, rf := range betradeoffReadFracs {
 		for _, eps := range betradeoffEpsilons {
-			eps := eps
 			spec := baseSpec(o, core.Betree, core.Trimmed)
 			spec.Name = fmt.Sprintf("betradeoff rf=%.2f eps=%.2f", rf, eps)
 			spec.ReadFraction = rf
 			spec.Duration = o.duration(120 * time.Minute)
-			spec.TweakBetree = func(c *betree.Config) { c.Epsilon = eps }
+			// The ε override travels as a declarative tunable (the
+			// spec stays serializable); 'g'/-1 formatting round-trips
+			// the float64 exactly.
+			spec.Tunables = map[string]string{
+				"epsilon": strconv.FormatFloat(eps, 'g', -1, 64),
+			}
 			specs = append(specs, spec)
 		}
 	}

@@ -1,0 +1,97 @@
+package lsm
+
+import (
+	"errors"
+
+	"ptsbench/internal/engine"
+	"ptsbench/internal/sim"
+)
+
+func init() { engine.Register(Driver{}) }
+
+// Driver is the self-registering engine driver for the RocksDB-style
+// LSM tree. Registry name: "lsm".
+type Driver struct{}
+
+// Name implements engine.Driver.
+func (Driver) Name() string { return "lsm" }
+
+// Configure implements engine.Driver: RocksDB-flavoured defaults sized
+// for the dataset, with per-op CPU costs dilated by the simulation
+// scale, the write throttle divided by it, and both engine-internal
+// read parallelism knobs (SSTable probe waves, compaction read
+// batching) following the host queue depth — exactly the arithmetic
+// the experiment runner applied before the registry existed, so golden
+// results are bit-identical.
+func (Driver) Configure(s engine.Sizing) engine.Config {
+	cfg := NewConfig(s.DatasetBytes)
+	if f := s.CPUScale(); f > 1 {
+		cfg.CPUPutTime *= f
+		cfg.CPUGetTime *= f
+		cfg.CPUPerByte *= f
+		cfg.DelayedWriteBytesPerSec /= s.Scale
+	}
+	if s.QueueDepth > 1 {
+		cfg.ProbeParallelism = s.QueueDepth
+		cfg.CompactionReadParallelism = s.QueueDepth
+	}
+	return &cfg
+}
+
+// knobs binds the declarative tunable names to the receiver's fields.
+func (c *Config) knobs() *engine.Knobs {
+	k := engine.NewKnobs("lsm")
+	k.Int64("memtable_bytes", "memtable rotation threshold (bytes)", &c.MemtableBytes)
+	k.Int("max_immutable_memtables", "rotated memtables awaiting flush before writes stall", &c.MaxImmutableMemtables)
+	k.Int("l0_compaction_trigger", "L0 file count starting an L0->L1 compaction", &c.L0CompactionTrigger)
+	k.Int("l0_slowdown_trigger", "L0 file count throttling writes", &c.L0SlowdownTrigger)
+	k.Int("l0_stall_trigger", "L0 file count stopping writes", &c.L0StallTrigger)
+	k.Int64("soft_pending_bytes", "compaction debt throttling writes (bytes)", &c.SoftPendingBytes)
+	k.Int64("hard_pending_bytes", "compaction debt stopping writes (bytes)", &c.HardPendingBytes)
+	k.Int64("delayed_write_bytes_per_sec", "throttled ingest rate under slowdown", &c.DelayedWriteBytesPerSec)
+	k.Int64("base_level_bytes", "L1 size target (bytes)", &c.BaseLevelBytes)
+	k.Int("level_size_multiplier", "per-level growth factor", &c.LevelSizeMultiplier)
+	k.Int("num_levels", "level count (L0 plus sorted levels)", &c.NumLevels)
+	k.Int64("target_file_bytes", "compaction output file size (bytes)", &c.TargetFileBytes)
+	k.Int("block_bytes", "SSTable data block target (bytes)", &c.BlockBytes)
+	k.Bool("disable_wal", "turn off write-ahead logging", &c.DisableWAL)
+	k.Bool("sync_wal", "persist the WAL (see wal_flush_bytes)", &c.SyncWAL)
+	k.Int64("wal_flush_bytes", "WAL write batching (0 syncs every put)", &c.WALFlushBytes)
+	k.Duration("cpu_put_time", "per-put engine CPU cost", &c.CPUPutTime)
+	k.Duration("cpu_get_time", "per-get engine CPU cost", &c.CPUGetTime)
+	k.Duration("cpu_per_byte", "payload-size-dependent CPU cost per byte", &c.CPUPerByte)
+	k.Int("chunk_pages", "background I/O granularity (pages per job step)", &c.ChunkPages)
+	k.Int("probe_parallelism", "concurrent SSTable point lookups per Get", &c.ProbeParallelism)
+	k.Int("compaction_read_parallelism", "concurrent compaction input reads", &c.CompactionReadParallelism)
+	return k
+}
+
+// Tunables implements engine.Config.
+func (c *Config) Tunables() []engine.Tunable { return c.knobs().Docs() }
+
+// ApplyTunables implements engine.Config.
+func (c *Config) ApplyTunables(tunables map[string]string) error {
+	return c.knobs().Apply(tunables)
+}
+
+// Open implements engine.Config. The LSM consumes a child RNG stream
+// for its skiplist tower heights, split from env.RNG exactly the way
+// the pre-registry runner did.
+func (c *Config) Open(env engine.Env) (engine.Engine, error) {
+	if env.RNG == nil {
+		return nil, errors.New("lsm: engine.Env.RNG is required")
+	}
+	cfg := *c
+	cfg.Content = env.Content
+	return Open(env.FS, cfg, env.RNG.Split())
+}
+
+// Recover implements engine.Config.
+func (c *Config) Recover(env engine.Env, now sim.Duration) (engine.Engine, sim.Duration, error) {
+	if env.RNG == nil {
+		return nil, 0, errors.New("lsm: engine.Env.RNG is required")
+	}
+	cfg := *c
+	cfg.Content = env.Content
+	return Recover(env.FS, cfg, env.RNG.Split(), now)
+}

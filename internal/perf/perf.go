@@ -17,6 +17,7 @@ import (
 	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/core"
+	_ "ptsbench/internal/engine/all" // register every engine driver for core.Run
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/flash"
 	"ptsbench/internal/kv"

@@ -38,6 +38,21 @@ func (d Dist) String() string {
 	}
 }
 
+// ParseDist maps a distribution name (as produced by String) back to
+// its value; spec files and CLI flags use it.
+func ParseDist(name string) (Dist, error) {
+	switch name {
+	case "uniform":
+		return Uniform, nil
+	case "zipfian":
+		return Zipfian, nil
+	case "sequential":
+		return SequentialDist, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown distribution %q (have uniform, zipfian, sequential)", name)
+	}
+}
+
 // Spec describes a workload.
 type Spec struct {
 	NumKeys      uint64

@@ -12,12 +12,20 @@
 //
 //   - Experiments: Spec/Run execute a full workload (load + measured
 //     update phase) and return throughput, WA-A, WA-D and space
-//     amplification series — the paper's §3.3 metrics.
+//     amplification series — the paper's §3.3 metrics. Spec is pure
+//     data (the engine is a registry name, its knobs are string-valued
+//     tunables), so experiments serialize to JSON: ParseExperiment
+//     loads a declarative spec file and expands its sweep lists into a
+//     grid of cells (`ptsbench exp`).
+//   - Engines: the tree structures are pluggable drivers behind a
+//     registry (internal/engine). Engines lists them with their
+//     tunables; OpenEngine/RecoverEngine resolve one by name. The
+//     typed wrappers (OpenLSM / OpenBTree / OpenBetree and friends)
+//     remain as thin aliases for callers that want concrete types.
 //   - Figures: Figure/Figures regenerate the paper's evaluation figures
 //     and tables.
 //   - Stack: NewStack builds the simulated device + filesystem so the
-//     engines can be driven directly (see OpenLSM / OpenBTree /
-//     OpenBetree and the examples directory).
+//     engines can be driven directly (see the examples directory).
 //
 // All simulation is deterministic: the same Spec and seed produce
 // bit-identical results.
@@ -25,30 +33,39 @@ package ptsbench
 
 import (
 	"fmt"
+	"io"
 
 	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/btree"
 	"ptsbench/internal/core"
+	"ptsbench/internal/engine"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/figures"
 	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
 	"ptsbench/internal/lsm"
 	"ptsbench/internal/sim"
 )
 
 // Experiment types (see internal/core for full documentation).
 type (
-	// Spec describes one experiment run.
+	// Spec describes one experiment run. It is fully declarative and
+	// round-trips through JSON.
 	Spec = core.Spec
 	// Result carries the series and steady-state figures of a run.
 	Result = core.Result
 	// DeviceSpec describes the simulated SSD at paper scale.
 	DeviceSpec = core.DeviceSpec
-	// EngineKind selects the tree structure under test.
+	// EngineKind selects the tree structure under test; it is the
+	// engine's driver-registry name.
 	EngineKind = core.EngineKind
 	// InitialState is the drive state before the experiment.
 	InitialState = core.InitialState
+	// Experiment is a declarative experiment grid: a Spec template
+	// plus sweep lists over engines, read fractions, queue depths and
+	// scales. ParseExperiment loads one from JSON.
+	Experiment = core.Experiment
 )
 
 // Engine and initial-state constants.
@@ -60,9 +77,33 @@ const (
 	Preconditioned = core.Preconditioned
 )
 
-// ParseEngine maps an engine name ("lsm", "btree", "betree") to its
-// kind; the CLI's -engine flag uses it.
+// ParseEngine maps an engine name ("lsm", "btree", "betree", ...) to
+// its kind, validating it against the driver registry; the CLI's
+// -engine flag uses it.
 func ParseEngine(name string) (EngineKind, error) { return core.ParseEngine(name) }
+
+// ParseExperiment parses a declarative experiment spec file (see the
+// README's "Running your own experiments" and examples/specs). The
+// returned Experiment's Specs method expands the sweep cross product
+// into runnable cells for Run or RunGrid.
+func ParseExperiment(data []byte) (*Experiment, error) { return core.ParseExperiment(data) }
+
+// ExpReport renders an experiment grid's results as a figure-style
+// report (summary table plus one throughput curve per cell) that can
+// be printed with Render and exported with WriteCSV.
+func ExpReport(name string, specs []Spec, results []*Result) *FigureReport {
+	return figures.ExpReport(name, specs, results)
+}
+
+// WriteResultsJSON writes experiment results as one JSON array; the
+// embedded specs stay declarative, so a result file documents exactly
+// how to reproduce itself.
+func WriteResultsJSON(w io.Writer, results []*Result) error {
+	return core.WriteResultsJSON(w, results)
+}
+
+// ReadResultsJSON parses a WriteResultsJSON file.
+func ReadResultsJSON(r io.Reader) ([]*Result, error) { return core.ReadResultsJSON(r) }
 
 // Run executes one experiment (load phase, measured update phase,
 // instrumentation) and returns its result.
@@ -166,6 +207,89 @@ func NewStack(opts StackOptions) (*Stack, error) {
 	return &Stack{SSD: ssd, BlockDev: bdev, FS: fs}, nil
 }
 
+// Generic engine access. The registry makes every engine reachable by
+// name with one code path; the typed wrappers below remain for callers
+// that want the concrete types.
+type (
+	// Engine is the generic engine handle: the kv operations plus the
+	// simulation lifecycle (Quiesce, Close). OpenEngine and
+	// RecoverEngine return it.
+	Engine = engine.Engine
+	// EngineTunable documents one declarative engine knob.
+	EngineTunable = engine.Tunable
+)
+
+// EngineInfo describes one registered engine driver.
+type EngineInfo struct {
+	// Name is the registry name ("lsm", "btree", "betree", ...).
+	Name string
+	// Tunables lists the declarative knobs the engine accepts in
+	// Spec.Tunables, spec files and OpenEngine.
+	Tunables []EngineTunable
+}
+
+// Engines lists the registered engine drivers with their tunables, in
+// name order. `ptsbench engines` prints this.
+func Engines() []EngineInfo {
+	var infos []EngineInfo
+	for _, name := range engine.Names() {
+		drv, err := engine.Lookup(name)
+		if err != nil {
+			continue // racing deregistration cannot happen; defensive
+		}
+		infos = append(infos, EngineInfo{
+			Name:     name,
+			Tunables: drv.Configure(engine.Sizing{}).Tunables(),
+		})
+	}
+	return infos
+}
+
+// engineConfig resolves an engine by name and sizes + tunes its config.
+func engineConfig(name string, datasetBytes int64, tunables map[string]string) (engine.Config, error) {
+	drv, err := engine.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := drv.Configure(engine.Sizing{DatasetBytes: datasetBytes})
+	if err := cfg.ApplyTunables(tunables); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// OpenEngine opens any registered engine by name on the stack's
+// filesystem, with defaults sized for datasetBytes and declarative
+// tunable overrides (nil for none). seed drives engine-internal
+// randomness where the engine uses any.
+func OpenEngine(s *Stack, name string, datasetBytes int64, tunables map[string]string, seed uint64) (Engine, error) {
+	cfg, err := engineConfig(name, datasetBytes, tunables)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Open(engine.Env{
+		FS:      s.FS,
+		RNG:     sim.NewRNG(seed),
+		Content: s.BlockDev.ContentEnabled(),
+	})
+}
+
+// RecoverEngine reopens any registered engine by name from the stack's
+// on-device state (checkpoint metadata, manifests, journal/WAL replay).
+// The stack must have its content store enabled. It returns the
+// recovered engine and the virtual time consumed by recovery I/O.
+func RecoverEngine(s *Stack, name string, datasetBytes int64, tunables map[string]string, seed uint64, now VirtualTime) (Engine, VirtualTime, error) {
+	cfg, err := engineConfig(name, datasetBytes, tunables)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cfg.Recover(engine.Env{
+		FS:      s.FS,
+		RNG:     sim.NewRNG(seed),
+		Content: s.BlockDev.ContentEnabled(),
+	}, now)
+}
+
 // Engine facade types.
 type (
 	// LSMTree is the RocksDB-like engine.
@@ -239,14 +363,7 @@ func RecoverBetree(s *Stack, cfg BetreeConfig, now VirtualTime) (*BeTree, Virtua
 }
 
 // EncodeKey produces the canonical 16-byte key for a numeric id (the
-// paper's key format).
-func EncodeKey(id uint64) []byte { return encodeKey(id) }
-
-// encodeKey avoids importing internal/kv into this file's doc surface.
-func encodeKey(id uint64) []byte {
-	k := make([]byte, 16)
-	for i := 0; i < 8; i++ {
-		k[15-i] = byte(id >> (8 * i))
-	}
-	return k
-}
+// paper's key format). It delegates to internal/kv — the single
+// definition the engines and the workload generator share — so the
+// facade can never drift from the keys the harness actually writes.
+func EncodeKey(id uint64) []byte { return kv.EncodeKey(id) }
