@@ -10,7 +10,7 @@
 //	ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench all [-quick] [-csv DIR]
-//	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]
+//	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-cpuprofile FILE] [-memprofile FILE]
 //
 // engines lists the registered engine drivers and every declarative
 // tunable each accepts; exp runs a declarative experiment spec file (a
@@ -34,7 +34,11 @@
 // ns/op, allocs/op and virtual-time-per-wall-second. -out writes the
 // results as JSON (this is how BENCH_baseline.json is refreshed);
 // -against compares the run to a committed baseline and exits non-zero
-// on regressions beyond the thresholds.
+// on regressions beyond the thresholds (metrics with no baseline entry
+// fail the diff until the baseline is refreshed); -alloc-gate names
+// steady-state metrics whose allocs/op additionally gate hard at
+// -alloc-gate-threshold. -cpuprofile/-memprofile capture pprof profiles
+// of the suite so perf work needs no ad-hoc harnesses.
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -107,8 +112,17 @@ func main() {
 		against := fs.String("against", "", "baseline JSON to diff against (non-zero exit on regression)")
 		nsThresh := fs.Float64("threshold", 10, "ns/op regression threshold (x baseline; generous, wall time is machine-dependent)")
 		allocThresh := fs.Float64("alloc-threshold", 2, "allocs/op regression threshold (x baseline; machine-independent)")
+		allocGate := fs.String("alloc-gate", "", "comma-separated metrics whose allocs/op gate hard against the baseline")
+		gateThresh := fs.Float64("alloc-gate-threshold", 1.1, "allocs/op ceiling for -alloc-gate metrics (x baseline)")
+		cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the suite to this file")
+		memProfile := fs.String("memprofile", "", "write a pprof allocation profile of the suite to this file")
 		_ = fs.Parse(os.Args[2:])
-		if err := runBench(*quick, *out, *against, *nsThresh, *allocThresh); err != nil {
+		if err := runBench(benchOptions{
+			quick: *quick, out: *out, against: *against,
+			nsThresh: *nsThresh, allocThresh: *allocThresh,
+			allocGate: *allocGate, gateThresh: *gateThresh,
+			cpuProfile: *cpuProfile, memProfile: *memProfile,
+		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -239,11 +253,46 @@ func runExp(specPath string, quick bool, csvDir, jsonOut string, workers int) er
 	return nil
 }
 
-func runBench(quick bool, out, against string, nsThresh, allocThresh float64) error {
+// benchOptions carries the bench subcommand's flags.
+type benchOptions struct {
+	quick                 bool
+	out, against          string
+	nsThresh, allocThresh float64
+	allocGate             string
+	gateThresh            float64
+	cpuProfile            string
+	memProfile            string
+}
+
+func runBench(o benchOptions) error {
 	start := time.Now()
-	res, err := perf.RunSuite(perf.Options{Quick: quick})
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	res, err := perf.RunSuite(perf.Options{Quick: o.quick})
 	if err != nil {
 		return err
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%-24s %14s %12s %14s %14s\n", "benchmark", "ns/op", "allocs/op", "B/op", "virt-s/wall-s")
 	for _, m := range res.Metrics {
@@ -254,26 +303,48 @@ func runBench(quick bool, out, against string, nsThresh, allocThresh float64) er
 		fmt.Printf("%-24s %14.1f %12.2f %14.1f %s\n", m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, extra)
 	}
 	fmt.Printf("(suite completed in %v)\n", time.Since(start).Round(time.Millisecond))
-	if out != "" {
-		if err := res.WriteFile(out); err != nil {
+	if o.out != "" {
+		if err := res.WriteFile(o.out); err != nil {
 			return err
 		}
-		fmt.Printf("results written to %s\n", out)
+		fmt.Printf("results written to %s\n", o.out)
 	}
-	if against != "" {
-		base, err := perf.ReadFile(against)
+	if o.against != "" {
+		base, err := perf.ReadFile(o.against)
 		if err != nil {
 			return err
 		}
-		regs := perf.Compare(base, res, nsThresh, allocThresh)
+		regs := perf.Compare(base, res, o.nsThresh, o.allocThresh)
+		if o.allocGate != "" {
+			var names []string
+			for _, n := range strings.Split(o.allocGate, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+			// A gated metric new to the suite is already flagged by
+			// Compare's new-metric pass; keep one line per problem.
+			seen := map[string]bool{}
+			for _, r := range regs {
+				if r.NoBaseline {
+					seen[r.Name] = true
+				}
+			}
+			for _, r := range perf.GateAllocs(base, res, names, o.gateThresh) {
+				if r.NoBaseline && r.MissingFrom == "baseline" && seen[r.Name] {
+					continue
+				}
+				regs = append(regs, r)
+			}
+		}
 		if len(regs) > 0 {
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 			}
-			return fmt.Errorf("%d metric(s) regressed against %s", len(regs), against)
+			return fmt.Errorf("%d metric(s) regressed against %s", len(regs), o.against)
 		}
 		fmt.Printf("no regressions against %s (ns/op <= %.1fx, allocs/op <= %.1fx)\n",
-			against, nsThresh, allocThresh)
+			o.against, o.nsThresh, o.allocThresh)
 	}
 	return nil
 }
@@ -286,5 +357,5 @@ func usage() {
   ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench all [-quick] [-csv DIR]
-  ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N]`)
+  ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-alloc-gate M1,M2] [-cpuprofile FILE] [-memprofile FILE]`)
 }

@@ -3,9 +3,9 @@ package betree
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"time"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
@@ -16,7 +16,29 @@ import (
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("betree: tree is closed")
 
-// Tree is the Bε-tree engine.
+// metaMagic tags the checkpoint metadata files ("BEMT").
+const metaMagic = 0x42454D54
+
+// coreConfig maps the engine configuration onto the shared
+// checkpoint/recovery core's knobs. The naming fields reproduce the
+// pre-extraction on-device footprint exactly.
+func coreConfig(cfg Config) cowtree.Config {
+	return cowtree.Config{
+		Name:                   "betree",
+		MetaPrefix:             "bemeta",
+		MetaMagic:              metaMagic,
+		JournalPrefix:          "bjournal-",
+		ChunkPages:             cfg.ChunkPages,
+		CheckpointInterval:     cfg.CheckpointInterval,
+		CheckpointPendingBytes: cfg.CheckpointPendingBytes,
+		Content:                cfg.Content,
+		DisableJournal:         cfg.DisableJournal,
+	}
+}
+
+// Tree is the Bε-tree engine. The copy-on-write checkpoint/recovery
+// discipline lives in the embedded cowtree core; the engine implements
+// cowtree.RecoveryEngine over its node type.
 type Tree struct {
 	cfg       Config
 	pivotMax  int // cached cfg.pivotBudget()
@@ -25,6 +47,8 @@ type Tree struct {
 
 	file *extfs.File
 	bm   *extalloc.Manager
+
+	core cowtree.Core
 
 	nodes  []*node // indexed by nodeID; ids are allocated sequentially
 	root   nodeID
@@ -35,26 +59,23 @@ type Tree struct {
 	lruHead, lruTail nodeID
 	residentBytes    int64
 
-	dirtyIDs   []nodeID // append-order log of false->true dirty transitions
-	dirtyCount int
-
 	// overfull queues interior nodes whose buffer exceeded its budget
 	// through an interior split (the split partitions the buffer, and one
 	// half can keep most of it); the apply path drains it.
 	overfull []nodeID
 
-	journal     *wal.Writer
-	journalID   uint64
-	journalPool []*wal.Writer
+	// mem bundles the key/value arena and the recycled message-array
+	// pool; slab backs node structs. Node structs and retained keys are
+	// immortal in this design (ids are never reused), so bump and pool
+	// allocation keep the steady-state op path allocation-free.
+	mem  mem
+	slab cowtree.Slab[node]
 
-	ckptW    *sim.Worker
-	lastCkpt sim.Duration
-	metaGen  uint64
+	writeBuf []byte // reused serialization image (content mode)
 
 	seq    uint64
 	stats  kv.EngineStats
 	io     IOStats
-	fatal  error
 	closed bool
 }
 
@@ -97,25 +118,16 @@ func Open(fs *extfs.FS, cfg Config) (*Tree, error) {
 		file:      f,
 		bm:        extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
 		nodes:     make([]*node, 1, 64), // index 0 is nilNode
-		ckptW:     sim.NewWorker("betree-checkpoint"),
 	}
+	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
 	rootLeaf := t.newNode(true)
 	rootLeaf.parent = nilNode
 	t.root = rootLeaf.id
 	t.admit(rootLeaf)
-	if !cfg.DisableJournal {
-		w, err := wal.Create(fs, t.journalName(), cfg.Content)
-		if err != nil {
-			return nil, err
-		}
-		t.journal = w
+	if err := t.core.StartJournal(); err != nil {
+		return nil, err
 	}
 	return t, nil
-}
-
-func (t *Tree) journalName() string {
-	t.journalID++
-	return fmt.Sprintf("bjournal-%06d", t.journalID)
 }
 
 // registerNode adds a freshly allocated node to the id-indexed slice.
@@ -128,7 +140,10 @@ func (t *Tree) registerNode(n *node) {
 
 func (t *Tree) newNode(leaf bool) *node {
 	t.nextID++
-	n := &node{id: t.nextID, leaf: leaf, serialized: pageHeaderBytes}
+	n := t.slab.Get()
+	n.id = t.nextID
+	n.leaf = leaf
+	n.serialized = pageHeaderBytes
 	if !leaf {
 		n.pivotBytes = pageHeaderBytes
 	}
@@ -142,18 +157,70 @@ func (t *Tree) markDirty(n *node) {
 		return
 	}
 	n.dirty = true
-	t.dirtyCount++
-	t.dirtyIDs = append(t.dirtyIDs, n.id)
+	t.core.TrackDirty(n.id)
 }
 
 func (t *Tree) clearDirty(n *node) {
 	if n.dirty {
 		n.dirty = false
-		t.dirtyCount--
+		t.core.NoteClean()
 	}
-	// The node's entry in dirtyIDs stays behind; checkpoint snapshots
-	// filter on the dirty flag.
+	// The node's entry in the core's transition log stays behind;
+	// checkpoint snapshots filter on the dirty flag.
 }
+
+// ---- cowtree.Engine implementation ----
+
+// Root implements cowtree.Engine.
+func (t *Tree) Root() cowtree.NodeID { return t.root }
+
+// Parent implements cowtree.Engine.
+func (t *Tree) Parent(id cowtree.NodeID) cowtree.NodeID { return t.nodes[id].parent }
+
+// Leaf implements cowtree.Engine.
+func (t *Tree) Leaf(id cowtree.NodeID) bool { return t.nodes[id].leaf }
+
+// Children implements cowtree.Engine.
+func (t *Tree) Children(id cowtree.NodeID) []cowtree.NodeID { return t.nodes[id].children }
+
+// Dirty implements cowtree.Engine.
+func (t *Tree) Dirty(id cowtree.NodeID) bool { return t.nodes[id].dirty }
+
+// NeedsWrite implements cowtree.Engine.
+func (t *Tree) NeedsWrite(id cowtree.NodeID) bool {
+	n := t.nodes[id]
+	return n.dirty || n.disk.Pages == 0
+}
+
+// AppendNeedsWrite implements cowtree.Engine.
+func (t *Tree) AppendNeedsWrite(id cowtree.NodeID, dst []cowtree.NodeID) []cowtree.NodeID {
+	for _, c := range t.nodes[id].children {
+		if n := t.nodes[c]; n.dirty || n.disk.Pages == 0 {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// Live implements cowtree.Engine (nodes are never deallocated).
+func (t *Tree) Live(id cowtree.NodeID) bool { return t.nodes[id] != nil }
+
+// DiskExtent implements cowtree.Engine.
+func (t *Tree) DiskExtent(id cowtree.NodeID) cowtree.Extent { return t.nodes[id].disk }
+
+// SerializedBytes implements cowtree.Engine.
+func (t *Tree) SerializedBytes(id cowtree.NodeID) int { return t.nodes[id].serialized }
+
+// MarkDirty implements cowtree.Engine.
+func (t *Tree) MarkDirty(id cowtree.NodeID) { t.markDirty(t.nodes[id]) }
+
+// WriteNode implements cowtree.Engine.
+func (t *Tree) WriteNode(now sim.Duration, id cowtree.NodeID) (sim.Duration, error) {
+	return t.writeNode(now, t.nodes[id])
+}
+
+// Seq implements cowtree.Engine.
+func (t *Tree) Seq() uint64 { return t.seq }
 
 // Config returns the validated configuration.
 func (t *Tree) Config() Config { return t.cfg }
@@ -162,13 +229,19 @@ func (t *Tree) Config() Config { return t.cfg }
 func (t *Tree) Stats() kv.EngineStats { return t.stats }
 
 // IO returns internal activity counters.
-func (t *Tree) IO() IOStats { return t.io }
+func (t *Tree) IO() IOStats {
+	io := t.io
+	cio := t.core.IO()
+	io.Checkpoints = cio.Checkpoints
+	io.CheckpointPgs = cio.CheckpointPgs
+	return io
+}
 
 // DiskUsageBytes implements kv.Engine.
 func (t *Tree) DiskUsageBytes() int64 { return t.fs.UsedBytes() }
 
 // Err returns the sticky fatal error, if any.
-func (t *Tree) Err() error { return t.fatal }
+func (t *Tree) Err() error { return t.core.Err() }
 
 // ---- cache (LRU over resident leaves; interiors pinned) ----
 
@@ -249,7 +322,7 @@ func (t *Tree) evictToFit(now sim.Duration) (sim.Duration, error) {
 			var err error
 			now, err = t.writeNode(now, victim)
 			if err != nil {
-				t.fatal = err
+				t.core.Fail(err)
 				return now, err
 			}
 			t.io.EvictionWrites++
@@ -273,10 +346,7 @@ func (t *Tree) writeNode(now sim.Duration, n *node) (sim.Duration, error) {
 	}
 	var data []byte
 	if t.cfg.Content {
-		data = make([]byte, np*int64(ps))
-		copy(data, serializeNode(n, func(id nodeID) fileExtent {
-			return t.nodes[id].disk
-		}))
+		data = t.serializeImage(n, int(np)*ps)
 	}
 	done, err := t.file.WriteAt(now, ext.Start, int(np), data)
 	if err != nil {
@@ -289,6 +359,26 @@ func (t *Tree) writeNode(now sim.Duration, n *node) (sim.Duration, error) {
 		t.markDirty(t.nodes[n.parent])
 	}
 	return done, nil
+}
+
+// serializeImage produces the zero-padded on-disk image of a node in the
+// tree's reused write buffer (the block device copies written bytes, so
+// aliasing the scratch across writes is safe).
+func (t *Tree) serializeImage(n *node, size int) []byte {
+	buf := serializeNode(t.writeBuf[:0], n, func(id nodeID) fileExtent {
+		return t.nodes[id].disk
+	})
+	if cap(buf) < size {
+		grown := make([]byte, size)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		ln := len(buf)
+		buf = buf[:size]
+		clear(buf[ln:])
+	}
+	t.writeBuf = buf
+	return buf
 }
 
 // loadLeaf charges the read I/O for a non-resident leaf and admits it.
@@ -324,22 +414,22 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	if t.closed {
 		return now, ErrClosed
 	}
-	if t.fatal != nil {
-		return now, t.fatal
+	if err := t.core.Err(); err != nil {
+		return now, err
 	}
 	if value != nil {
 		valueLen = len(value)
 	}
-	t.ckptW.Pump(now)
+	t.core.Pump(now)
 	now += t.cfg.CPUPutTime + time.Duration(valueLen)*t.cfg.CPUPerByte
 	t.seq++
 
-	if t.journal != nil {
+	if w := t.core.Journal(); w != nil {
 		rec := wal.Record{Seq: t.seq, Key: key, Value: value, Deleted: del, ValueLen: valueLen}
 		var err error
-		now, err = t.journal.Append(now, &rec, t.cfg.JournalSync)
+		now, err = w.Append(now, &rec, t.cfg.JournalSync)
 		if err != nil {
-			t.fatal = err
+			t.core.Fail(err)
 			return now, err
 		}
 	}
@@ -347,11 +437,11 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	// The caller reuses its key/value buffers, so the message does not
 	// own its bytes: the node inserts clone them only when actually
 	// retained (an overwrite keeps the resident key — no allocation).
-	msg := message{key: key, val: value, seq: t.seq, vlen: int32(valueLen), del: del}
+	msg := makeMessage(key, value, t.seq, valueLen, del)
 	var err error
 	now, err = t.apply(now, msg, false)
 	if err != nil {
-		t.fatal = err
+		t.core.Fail(err)
 		return now, err
 	}
 	t.stats.Puts++
@@ -361,7 +451,7 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	if err != nil {
 		return now, err
 	}
-	t.maybeCheckpoint(now)
+	t.core.MaybeCheckpoint(now)
 	return now, nil
 }
 
@@ -378,7 +468,7 @@ func (t *Tree) apply(now sim.Duration, msg message, owned bool) (sim.Duration, e
 		if err != nil {
 			return now, err
 		}
-		delta := root.insertLeaf(msg, owned)
+		delta := root.insertLeaf(&t.mem, msg, owned)
 		t.residentBytes += int64(delta)
 		t.markDirty(root)
 		t.splitLeafToFit(root)
@@ -388,7 +478,7 @@ func (t *Tree) apply(now sim.Duration, msg message, owned bool) (sim.Duration, e
 		// Degenerate B+Tree mode: descend to the leaf directly.
 		return t.applyToLeaf(now, msg, owned)
 	}
-	root.bufInsert(msg, owned)
+	root.bufInsert(&t.mem, msg, owned)
 	t.markDirty(root)
 	return t.drainOverflow(now)
 }
@@ -431,7 +521,7 @@ func (t *Tree) applyToLeaf(now sim.Duration, msg message, owned bool) (sim.Durat
 	if err != nil {
 		return now, err
 	}
-	delta := n.insertLeaf(msg, owned)
+	delta := n.insertLeaf(&t.mem, msg, owned)
 	t.residentBytes += int64(delta)
 	t.markDirty(n)
 	t.splitLeafToFit(n)
@@ -482,16 +572,14 @@ func (t *Tree) flushInterior(now sim.Duration, n *node) (sim.Duration, error) {
 		if err != nil {
 			return now, err
 		}
-		for i := range batch {
-			delta := child.insertLeaf(batch[i], true)
-			if child.resident {
-				t.residentBytes += int64(delta)
-			}
+		delta := child.insertBatch(&t.mem, batch)
+		if child.resident {
+			t.residentBytes += int64(delta)
 		}
 		t.markDirty(child)
 	} else {
 		for i := range batch {
-			child.bufInsert(batch[i], true)
+			child.bufInsert(&t.mem, batch[i], true)
 		}
 		t.markDirty(child)
 	}
@@ -523,8 +611,8 @@ func (t *Tree) flushInterior(now sim.Duration, n *node) (sim.Duration, error) {
 // splits.
 func (t *Tree) splitLeafToFit(leaf *node) {
 	for leaf.serialized > t.cfg.LeafPageBytes && len(leaf.entries) > 1 {
-		right, sep := leaf.splitLeaf(t.nextID + 1)
 		t.nextID++
+		right, sep := leaf.splitLeaf(&t.mem, t.slab.Get(), t.nextID)
 		t.registerNode(right)
 		t.markDirty(right)
 		t.markDirty(leaf)
@@ -547,8 +635,9 @@ func (t *Tree) insertIntoParent(left *node, sep []byte, right *node) {
 	if left.id == t.root {
 		newRoot := t.newNode(false)
 		newRoot.children = []nodeID{left.id, right.id}
-		newRoot.seps = [][]byte{cloneBytes(sep)}
+		newRoot.seps = [][]byte{t.mem.arena.Clone(sep)}
 		newRoot.recomputeSerialized()
+		newRoot.refreshSepCache()
 		left.parent = newRoot.id
 		right.parent = newRoot.id
 		t.root = newRoot.id
@@ -556,7 +645,7 @@ func (t *Tree) insertIntoParent(left *node, sep []byte, right *node) {
 	}
 	parent := t.nodes[left.parent]
 	idx := parent.childIndex(left.id)
-	parent.insertChild(idx, sep, right.id)
+	parent.insertChild(&t.mem, idx, sep, right.id)
 	right.parent = parent.id
 	t.markDirty(parent)
 	if parent.pivotBytes > t.pivotMax {
@@ -568,8 +657,8 @@ func (t *Tree) insertIntoParent(left *node, sep []byte, right *node) {
 // reparents moved children. A half left over its buffer budget is
 // queued for the apply path to flush.
 func (t *Tree) splitInteriorNode(n *node) {
-	right, promoted := n.splitInterior(t.nextID + 1)
 	t.nextID++
+	right, promoted := n.splitInterior(&t.mem, t.slab.Get(), t.nextID)
 	t.registerNode(right)
 	t.markDirty(right)
 	t.markDirty(n)
@@ -594,10 +683,10 @@ func (t *Tree) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, er
 	if t.closed {
 		return now, nil, false, ErrClosed
 	}
-	if t.fatal != nil {
-		return now, nil, false, t.fatal
+	if err := t.core.Err(); err != nil {
+		return now, nil, false, err
 	}
-	t.ckptW.Pump(now)
+	t.core.Pump(now)
 	now += t.cfg.CPUGetTime
 	t.stats.Gets++
 
@@ -616,7 +705,7 @@ func (t *Tree) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, er
 	var err error
 	now, err = t.loadLeaf(now, n)
 	if err != nil {
-		t.fatal = err
+		t.core.Fail(err)
 		return now, nil, false, err
 	}
 	now, err = t.evictToFit(now)
@@ -640,10 +729,10 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 	if t.closed {
 		return now, nil, ErrClosed
 	}
-	if t.fatal != nil {
-		return now, nil, t.fatal
+	if err := t.core.Err(); err != nil {
+		return now, nil, err
 	}
-	t.ckptW.Pump(now)
+	t.core.Pump(now)
 	now += t.cfg.CPUGetTime
 
 	stream := t.newMsgStream(start)
@@ -676,7 +765,7 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 		var err error
 		now, err = t.loadLeaf(now, leaf)
 		if err != nil {
-			t.fatal = err
+			t.core.Fail(err)
 			return now, nil, err
 		}
 		for ; idx < len(leaf.entries) && limit > 0; idx++ {
@@ -801,28 +890,6 @@ func (s *msgStream) consume(key []byte) {
 	}
 }
 
-// maybeCheckpoint starts a checkpoint when the interval elapsed — or the
-// deferred-release backlog grew too large — and none is running.
-func (t *Tree) maybeCheckpoint(now sim.Duration) {
-	if t.ckptW.QueueLen() > 0 {
-		return
-	}
-	intervalDue := now-t.lastCkpt >= t.cfg.CheckpointInterval
-	pendingDue := t.bm.PendingPages()*int64(t.fs.PageSize()) >= t.cfg.CheckpointPendingBytes
-	if !intervalDue && !pendingDue {
-		return
-	}
-	t.lastCkpt = now
-	job, err := t.newCheckpointJob()
-	if err != nil {
-		t.fatal = err
-		return
-	}
-	if job != nil {
-		t.ckptW.Submit(job)
-	}
-}
-
 // FlushAll implements kv.Engine: runs a full checkpoint synchronously.
 // Buffered messages are NOT pushed to the leaves — they are durable
 // inside the checkpointed interior node images, exactly as a real
@@ -831,33 +898,12 @@ func (t *Tree) FlushAll(now sim.Duration) (sim.Duration, error) {
 	if t.closed {
 		return now, ErrClosed
 	}
-	t.ckptW.Pump(now)
-	end := t.ckptW.RunUntilDrained()
-	if end < now {
-		end = now
-	}
-	job, err := t.newCheckpointJob()
-	if err != nil {
-		return end, err
-	}
-	if job != nil {
-		t.ckptW.Submit(job)
-		end = t.ckptW.RunUntilDrained()
-	}
-	if t.fatal != nil {
-		return end, t.fatal
-	}
-	return end, nil
+	return t.core.Checkpoint(now)
 }
 
 // Quiesce drains background checkpoint work.
 func (t *Tree) Quiesce(now sim.Duration) sim.Duration {
-	t.ckptW.Pump(now)
-	end := t.ckptW.RunUntilDrained()
-	if end < now {
-		end = now
-	}
-	return end
+	return t.core.Quiesce(now)
 }
 
 // Close checkpoints and shuts the tree down.

@@ -282,8 +282,8 @@ func TestFlushAllWritesEverything(t *testing.T) {
 	if end < now {
 		t.Fatal("FlushAll went back in time")
 	}
-	if tr.dirtyCount != 0 {
-		t.Fatalf("%d dirty nodes after FlushAll", tr.dirtyCount)
+	if n := tr.core.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty nodes after FlushAll", n)
 	}
 	// Buffered messages survive FlushAll in the interior images; reads
 	// still see them.
@@ -339,9 +339,10 @@ func TestWALowerThanPagePerUpdate(t *testing.T) {
 
 func TestNodeSerializationRoundTrip(t *testing.T) {
 	leaf := &node{leaf: true, serialized: pageHeaderBytes}
-	leaf.insertLeaf(message{key: kv.EncodeKey(1), val: []byte("abc"), seq: 7, vlen: 3}, true)
-	leaf.insertLeaf(message{key: kv.EncodeKey(2), seq: 9, vlen: 64, del: true}, true)
-	data := serializeNode(leaf, nil)
+	var m mem
+	leaf.insertLeaf(&m, message{key: kv.EncodeKey(1), val: []byte("abc"), seq: 7, vlen: 3}, true)
+	leaf.insertLeaf(&m, message{key: kv.EncodeKey(2), seq: 9, vlen: 64, del: true}, true)
+	data := serializeNode(nil, leaf, nil)
 	got, ok := parseNode(data)
 	if !ok {
 		t.Fatal("parse failed")
@@ -361,10 +362,10 @@ func TestNodeSerializationRoundTrip(t *testing.T) {
 		children: []nodeID{1, 2, 3},
 		seps:     [][]byte{kv.EncodeKey(10), kv.EncodeKey(20)},
 	}
-	interior.bufInsert(message{key: kv.EncodeKey(5), seq: 11, vlen: 32}, true)
-	interior.bufInsert(message{key: kv.EncodeKey(15), seq: 12, vlen: 16, del: true}, true)
+	interior.bufInsert(&m, message{key: kv.EncodeKey(5), seq: 11, vlen: 32}, true)
+	interior.bufInsert(&m, message{key: kv.EncodeKey(15), seq: 12, vlen: 16, del: true}, true)
 	interior.recomputeSerialized()
-	data = serializeNode(interior, func(id nodeID) fileExtent {
+	data = serializeNode(nil, interior, func(id nodeID) fileExtent {
 		return fileExtent{Start: int64(id) * 100, Pages: 4}
 	})
 	got, ok = parseNode(data)
@@ -379,6 +380,14 @@ func TestNodeSerializationRoundTrip(t *testing.T) {
 	}
 	if got.bufBytes != interior.bufBytes {
 		t.Fatalf("bufBytes %d != %d", got.bufBytes, interior.bufBytes)
+	}
+
+	prefixed := serializeNode([]byte("prefix"), interior, nil)
+	if string(prefixed[:6]) != "prefix" {
+		t.Fatalf("serialize clobbered the buffer prefix: %q", prefixed[:6])
+	}
+	if got, ok := parseNode(prefixed[6:]); !ok || len(got.buf) != 2 {
+		t.Fatal("image appended after a prefix failed to parse")
 	}
 
 	if _, ok := parseNode([]byte{1, 2, 3}); ok {

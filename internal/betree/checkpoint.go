@@ -2,222 +2,17 @@ package betree
 
 import (
 	"encoding/binary"
-	"sort"
 
-	"ptsbench/internal/sim"
-	"ptsbench/internal/wal"
+	"ptsbench/internal/cowtree"
 )
 
-// checkpointJob writes all nodes that were dirty when the checkpoint
-// began — including interior nodes, whose images carry their message
-// buffers, which is what makes buffered-but-unflushed updates durable —
-// then retires the journal segment that preceded it. The journal is
-// rotated at job creation (foreground), so updates arriving during the
-// checkpoint land in the new segment.
-type checkpointJob struct {
-	t           *Tree
-	ids         []nodeID
-	idx         int
-	oldJournal  *wal.Writer
-	pendingMark int
-}
-
-// newCheckpointJob snapshots the dirty set — expanded to the ancestor
-// closure — and rotates the journal. It returns nil if there is nothing
-// to write.
-//
-// The closure is load-bearing for recovery: writing a node moves it on
-// disk, so every ancestor's serialized child references change and the
-// whole root-to-node spine must be rewritten within the SAME
-// checkpoint. Without it, a checkpoint whose dirty snapshot contains
-// only a leaf would commit metadata pointing at the old root image
-// (whose refs still name the leaf's old extent) while recycling the
-// journal that held the leaf's updates — data loss on recovery, and
-// corruption once the old extent is reused.
-func (t *Tree) newCheckpointJob() (*checkpointJob, error) {
-	if t.dirtyCount == 0 {
-		return nil, nil
-	}
-	job := &checkpointJob{t: t, pendingMark: t.bm.PendingMark()}
-	inJob := make(map[nodeID]bool)
-	for _, id := range t.dirtyIDs {
-		if !t.nodes[id].dirty || inJob[id] {
-			continue
-		}
-		inJob[id] = true
-		job.ids = append(job.ids, id)
-		for p := t.nodes[id].parent; p != nilNode && !inJob[p]; p = t.nodes[p].parent {
-			inJob[p] = true
-			t.markDirty(t.nodes[p]) // ancestors must be written too
-			job.ids = append(job.ids, p)
-		}
-	}
-	t.dirtyIDs = nil
-	// Bottom-up order: writing a child records its new extent before its
-	// parent's image is serialized, so a completed checkpoint is a
-	// consistent tree.
-	t.sortBottomUp(job.ids)
-	if t.journal != nil {
-		job.oldJournal = t.journal
-		w, err := t.wrapJournal()
-		if err != nil {
-			return nil, err
-		}
-		t.journal = w
-	}
-	return job, nil
-}
-
-// depthOf returns a node's distance from the root (root = 0).
-func (t *Tree) depthOf(id nodeID) int {
-	d := 0
-	for n := t.nodes[id]; n != nil && n.parent != nilNode; n = t.nodes[n.parent] {
-		d++
-	}
-	return d
-}
-
-// sortBottomUp orders node ids deepest-first (ties by id for
-// determinism).
-func (t *Tree) sortBottomUp(ids []nodeID) {
-	depth := make(map[nodeID]int, len(ids))
-	for _, id := range ids {
-		depth[id] = t.depthOf(id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ids[i], ids[j]
-		if depth[a] != depth[b] {
-			return depth[a] > depth[b]
-		}
-		return a < b
-	})
-}
-
-// Step implements sim.Job: write nodes until the chunk budget is used.
-func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
-	t := j.t
-	if t.fatal != nil {
-		return now, true
-	}
-	budget := t.cfg.ChunkPages
-	ps := t.fs.PageSize()
-	for budget > 0 && j.idx < len(j.ids) {
-		n := t.nodes[j.ids[j.idx]]
-		j.idx++
-		if n == nil || !n.dirty {
-			continue // evicted and written in the meantime
-		}
-		// Foreground splits that ran since the snapshot may have hung
-		// children under n that this job has never written (or even
-		// never-written brand-new nodes with a zero extent). Serializing
-		// n's child references without writing them first would commit
-		// an image pointing at stale or nonexistent extents — an
-		// unrecoverable tree. Flush n's dirty/unwritten descendants
-		// before n itself.
-		var err error
-		var extra int
-		now, extra, err = t.writeSubtreeClean(now, n)
-		if err != nil {
-			t.fatal = err
-			return now, true
-		}
-		budget -= extra
-		now, err = t.writeNode(now, n)
-		if err != nil {
-			t.fatal = err
-			return now, true
-		}
-		t.io.CheckpointPgs++
-		budget -= (n.serialized + ps - 1) / ps
-	}
-	if j.idx < len(j.ids) {
-		return now, false
-	}
-	// Commit. A foreground split may have grown a NEW root while the job
-	// ran — an ancestor of every snapshot node, so neither the snapshot
-	// closure nor writeSubtreeClean (descendants only) wrote it. Without
-	// an on-disk root image writeMeta would decline, yet the commit below
-	// would still release the previous checkpoint's extents and recycle
-	// the journal — destroying the only durable copies of recent updates.
-	// Write the current root (and its unwritten spine) first, so the
-	// metadata always points at a complete current tree.
-	var err error
-	if root := t.nodes[t.root]; root.dirty || root.disk.Pages == 0 {
-		// writeSubtreeClean counts the descendants it writes itself.
-		if now, _, err = t.writeSubtreeClean(now, root); err != nil {
-			t.fatal = err
-			return now, true
-		}
-		if now, err = t.writeNode(now, root); err != nil {
-			t.fatal = err
-			return now, true
-		}
-		t.io.CheckpointPgs++
-	}
-	// Write the checkpoint metadata (root location), release the previous
-	// checkpoint's extents, sync, and recycle the old journal segment.
-	if now, err = t.writeMeta(now); err != nil {
-		t.fatal = err
-		return now, true
-	}
-	t.bm.CommitPendingPrefix(j.pendingMark)
-	now = t.fs.Sync(now)
-	if j.oldJournal != nil {
-		now, err = j.oldJournal.Recycle(now)
-		if err != nil {
-			t.fatal = err
-			return now, true
-		}
-		t.journalPool = append(t.journalPool, j.oldJournal)
-		j.oldJournal = nil
-	}
-	t.io.Checkpoints++
-	return now, true
-}
-
-// writeSubtreeClean writes every dirty or never-written descendant of n
-// (deepest first), returning the pages written. Nodes registered by
-// splits that ran while the checkpoint was in flight are not in the
-// job's snapshot, and their ancestors' images must not be serialized
-// before they have on-disk extents.
-func (t *Tree) writeSubtreeClean(now sim.Duration, n *node) (sim.Duration, int, error) {
-	if n.leaf {
-		return now, 0, nil
-	}
-	ps := t.fs.PageSize()
-	pages := 0
-	for _, c := range n.children {
-		child := t.nodes[c]
-		if !child.dirty && child.disk.Pages != 0 {
-			continue
-		}
-		var err error
-		var extra int
-		now, extra, err = t.writeSubtreeClean(now, child)
-		if err != nil {
-			return now, pages, err
-		}
-		pages += extra
-		now, err = t.writeNode(now, child)
-		if err != nil {
-			return now, pages, err
-		}
-		t.io.CheckpointPgs++
-		pages += (child.serialized + ps - 1) / ps
-	}
-	return now, pages, nil
-}
-
-// wrapJournal opens the next journal segment, reusing a recycled one
-// when available.
-func (t *Tree) wrapJournal() (*wal.Writer, error) {
-	if n := len(t.journalPool); n > 0 {
-		w := t.journalPool[n-1]
-		t.journalPool = t.journalPool[:n-1]
-		return w, nil
-	}
-	return wal.Create(t.fs, t.journalName(), t.cfg.Content)
-}
+// The checkpoint discipline — dirty-ancestor-closure snapshot, bottom-up
+// write order, writeSubtreeClean for split-orphaned descendants, the
+// root-spine write at commit, journal rotation/recycling and the
+// double-buffered metadata — lives in internal/cowtree. What makes the
+// Bε-tree's checkpoints distinctive is purely a codec property kept
+// here: interior images carry their message buffers, which is what makes
+// buffered-but-unflushed updates durable.
 
 // nodeMagic marks a serialized Bε-tree node ("BEPG").
 const nodeMagic = 0x42455047
@@ -240,7 +35,7 @@ func putMessage(out []byte, m *message) []byte {
 	if m.val != nil {
 		out = append(out, m.val...)
 	} else {
-		out = append(out, make([]byte, vl)...)
+		out = cowtree.AppendZeros(out, vl)
 	}
 	return out
 }
@@ -257,34 +52,33 @@ func parseMessage(data []byte) (message, int) {
 	if msgOverhead+kl+vl > len(data) {
 		return message{}, 0
 	}
-	m := message{
-		key:  cloneBytes(data[msgOverhead : msgOverhead+kl]),
-		val:  cloneBytes(data[msgOverhead+kl : msgOverhead+kl+vl]),
-		seq:  seq &^ (1 << 63),
-		vlen: int32(vl),
-		del:  seq&(1<<63) != 0,
-	}
+	m := makeMessage(
+		cloneBytes(data[msgOverhead:msgOverhead+kl]),
+		cloneBytes(data[msgOverhead+kl:msgOverhead+kl+vl]),
+		seq&^(1<<63), vl, seq&(1<<63) != 0)
 	return m, msgOverhead + kl + vl
 }
 
-// serializeNode produces the on-disk image of a node (content mode).
-// Layout: header {magic, leaf flag, count, bufCount}, then entries
-// (leaf) or separators + child extent references + buffered messages
-// (interior). resolve maps a child nodeID to its current on-disk
-// extent.
-func serializeNode(n *node, resolve func(nodeID) fileExtent) []byte {
-	out := make([]byte, pageHeaderBytes, n.serialized)
-	binary.LittleEndian.PutUint32(out[0:], nodeMagic)
+// serializeNode appends the on-disk image of a node (content mode) to
+// out and returns it. Layout: header {magic, leaf flag, count,
+// bufCount}, then entries (leaf) or separators + child extent references
+// + buffered messages (interior). resolve maps a child nodeID to its
+// current on-disk extent.
+func serializeNode(out []byte, n *node, resolve func(nodeID) fileExtent) []byte {
+	var hdr [pageHeaderBytes]byte
+	base := len(out)
+	out = append(out, hdr[:]...)
+	binary.LittleEndian.PutUint32(out[base:], nodeMagic)
 	if n.leaf {
-		out[4] = 1
-		binary.LittleEndian.PutUint32(out[8:], uint32(len(n.entries)))
+		out[base+4] = 1
+		binary.LittleEndian.PutUint32(out[base+8:], uint32(len(n.entries)))
 		for i := range n.entries {
 			out = putMessage(out, &n.entries[i])
 		}
 		return out
 	}
-	binary.LittleEndian.PutUint32(out[8:], uint32(len(n.seps)))
-	binary.LittleEndian.PutUint32(out[12:], uint32(len(n.buf)))
+	binary.LittleEndian.PutUint32(out[base+8:], uint32(len(n.seps)))
+	binary.LittleEndian.PutUint32(out[base+12:], uint32(len(n.buf)))
 	for _, sep := range n.seps {
 		var l [2]byte
 		binary.LittleEndian.PutUint16(l[:], uint16(len(sep)))

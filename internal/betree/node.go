@@ -3,6 +3,7 @@ package betree
 import (
 	"bytes"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/kv"
 )
@@ -10,10 +11,12 @@ import (
 // fileExtent aliases the shared extent type; see internal/extalloc.
 type fileExtent = extalloc.Extent
 
-// nodeID identifies an in-memory node. IDs are never reused.
-type nodeID uint32
+// nodeID identifies an in-memory node. IDs are never reused. It aliases
+// the shared core's node id so nodes plug into internal/cowtree without
+// conversions.
+type nodeID = cowtree.NodeID
 
-const nilNode nodeID = 0
+const nilNode = cowtree.NilNode
 
 // msgOverhead is the serialized per-message (and per-leaf-entry) header:
 // keyLen(2) + valueLen(4) + seq(8).
@@ -26,6 +29,17 @@ const pageHeaderBytes = 64
 // interior node: extent start (8) + extent pages (4).
 const childRefBytes = 12
 
+// mem bundles the tree's allocation helpers handed to node methods: the
+// arena backs retained key/value copies, the pool recycles the message
+// arrays (leaf entries and interior buffers) displaced by growth and
+// splits, and scratch holds a flush batch's fresh inserts between
+// insertBatch's classify and merge passes.
+type mem struct {
+	arena   cowtree.Arena
+	msgs    cowtree.Pool[message]
+	scratch []message
+}
+
 // message is one buffered update or leaf entry: key, optional value
 // bytes (content mode), accounted value length, sequence and tombstone
 // flag. Buffers and leaves share the representation because a flush
@@ -36,6 +50,12 @@ type message struct {
 	seq  uint64
 	vlen int32
 	del  bool
+}
+
+// makeMessage builds a message value (one construction point keeps the
+// field order in one place).
+func makeMessage(key, val []byte, seq uint64, vlen int, del bool) message {
+	return message{key: key, val: val, seq: seq, vlen: int32(vlen), del: del}
 }
 
 // bytes returns the message's serialized footprint.
@@ -59,6 +79,11 @@ type node struct {
 	// i < len(seps); children[len(seps)] holds the rest.
 	seps     [][]byte
 	children []nodeID
+
+	// sepCache holds the separators' word decomposition so descents
+	// probe raw uint64 pairs (see kv.SepCache); maintained by
+	// refreshSepCache/insertSepCache after any seps mutation.
+	sepCache kv.SepCache
 
 	// buf is the interior message buffer, sorted by key. bufBytes is its
 	// serialized footprint.
@@ -116,9 +141,16 @@ func searchMsgs(msgs []message, target []byte) int {
 // search returns the index of the first leaf entry with key >= target.
 func (n *node) search(target []byte) int { return searchMsgs(n.entries, target) }
 
+// refreshSepCache rebuilds the separator word cache. Callers invoke it
+// after every seps mutation.
+func (n *node) refreshSepCache() { n.sepCache.Refresh(n.seps) }
+
 // childFor returns the index of the child covering target.
 func (n *node) childFor(target []byte) int {
 	wHi, wLo, fast := kv.DecomposeKey(target)
+	if fast && n.sepCache.Fast() {
+		return n.sepCache.UpperBound(wHi, wLo)
+	}
 	lo, hi := 0, len(n.seps)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -159,13 +191,13 @@ func (n *node) bufGet(key []byte) *message {
 // bufInsert upserts a message into the buffer, returning the serialized
 // size delta. owned says the message owns its key/value bytes (flushes
 // move already-owned messages down); with owned=false — the Put
-// boundary, where callers reuse their buffers — bytes are cloned only
-// when actually retained, so an overwrite (which keeps the resident
-// key) costs no key allocation. An existing message for the same key is
-// overwritten when the incoming one is at least as new (flush batches
-// always move the newest surviving version, so the guard only matters
-// on recovery replay).
-func (n *node) bufInsert(m message, owned bool) int {
+// boundary, where callers reuse their buffers — bytes are cloned (from
+// the tree's arena, so no heap allocation) only when actually retained,
+// so an overwrite (which keeps the resident key) costs no key copy at
+// all. An existing message for the same key is overwritten when the
+// incoming one is at least as new (flush batches always move the newest
+// surviving version, so the guard only matters on recovery replay).
+func (n *node) bufInsert(mm *mem, m message, owned bool) int {
 	i := searchMsgs(n.buf, m.key)
 	if i < len(n.buf) && bytes.Equal(n.buf[i].key, m.key) {
 		old := &n.buf[i]
@@ -176,7 +208,7 @@ func (n *node) bufInsert(m message, owned bool) int {
 		// Keep the resident key bytes; only the value changes.
 		m.key = old.key
 		if !owned {
-			m.val = cloneBytes(m.val)
+			m.val = mm.arena.Clone(m.val)
 		}
 		*old = m
 		n.bufBytes += delta
@@ -184,12 +216,10 @@ func (n *node) bufInsert(m message, owned bool) int {
 		return delta
 	}
 	if !owned {
-		m.key = cloneBytes(m.key)
-		m.val = cloneBytes(m.val)
+		m.key = mm.arena.Clone(m.key)
+		m.val = mm.arena.Clone(m.val)
 	}
-	n.buf = append(n.buf, message{})
-	copy(n.buf[i+1:], n.buf[i:])
-	n.buf[i] = m
+	n.buf = mm.msgs.GrowInsert(n.buf, i, m)
 	delta := m.bytes()
 	n.bufBytes += delta
 	n.serialized += delta
@@ -200,7 +230,7 @@ func (n *node) bufInsert(m message, owned bool) int {
 // size delta. owned works as in bufInsert. Stale messages (older seq
 // than the stored entry) are dropped — they can only reach a leaf
 // through recovery replay.
-func (n *node) insertLeaf(m message, owned bool) int {
+func (n *node) insertLeaf(mm *mem, m message, owned bool) int {
 	i := n.search(m.key)
 	if i < len(n.entries) && bytes.Equal(n.entries[i].key, m.key) {
 		e := &n.entries[i]
@@ -210,76 +240,150 @@ func (n *node) insertLeaf(m message, owned bool) int {
 		delta := m.bytes() - e.bytes()
 		m.key = e.key
 		if !owned {
-			m.val = cloneBytes(m.val)
+			m.val = mm.arena.Clone(m.val)
 		}
 		*e = m
 		n.serialized += delta
 		return delta
 	}
 	if !owned {
-		m.key = cloneBytes(m.key)
-		m.val = cloneBytes(m.val)
+		m.key = mm.arena.Clone(m.key)
+		m.val = mm.arena.Clone(m.val)
 	}
-	n.entries = append(n.entries, message{})
-	copy(n.entries[i+1:], n.entries[i:])
-	n.entries[i] = m
+	n.entries = mm.msgs.GrowInsert(n.entries, i, m)
 	delta := m.bytes()
 	n.serialized += delta
 	return delta
 }
 
-// splitLeaf moves the upper half of the entries to a new node and
-// returns it with the separator key (first key of the new node).
-func (n *node) splitLeaf(newID nodeID) (*node, []byte) {
+// insertBatch applies a sorted run of owned messages (distinct keys —
+// the buffer upsert-collapses duplicates) to a leaf in two passes: one
+// classify pass that applies overwrites in place and collects fresh
+// inserts, then one merge pass that splices all inserts in a single
+// sweep. It replaces the per-message insertLeaf loop of a buffer flush,
+// whose repeated binary search + entry shift made flush cascades the
+// Bε-tree cell's hottest CPU path. The returned serialized delta equals
+// the sum insertLeaf would have returned message by message.
+func (n *node) insertBatch(mm *mem, batch []message) int {
+	delta := 0
+	toIns := mm.scratch[:0]
+	ei := n.search(batch[0].key)
+	for bi := range batch {
+		m := &batch[bi]
+		for ei < len(n.entries) && kv.CompareKeys(n.entries[ei].key, m.key) < 0 {
+			ei++
+		}
+		if ei < len(n.entries) && bytes.Equal(n.entries[ei].key, m.key) {
+			e := &n.entries[ei]
+			if m.seq < e.seq {
+				continue // stale (recovery replay only)
+			}
+			delta += m.bytes() - e.bytes()
+			key := e.key // keep the resident key bytes
+			*e = *m
+			e.key = key
+			continue
+		}
+		toIns = append(toIns, *m)
+		delta += m.bytes()
+	}
+	mm.scratch = toIns[:0]
+	n.serialized += delta
+	if len(toIns) == 0 {
+		return delta
+	}
+	oldLen := len(n.entries)
+	if cap(n.entries) >= oldLen+len(toIns) {
+		// Backward in-place merge: walk both runs from the end so no
+		// surviving entry is overwritten before it moves.
+		n.entries = n.entries[:oldLen+len(toIns)]
+		si, bi := oldLen-1, len(toIns)-1
+		for dst := len(n.entries) - 1; bi >= 0; dst-- {
+			if si >= 0 && kv.CompareKeys(n.entries[si].key, toIns[bi].key) > 0 {
+				n.entries[dst] = n.entries[si]
+				si--
+			} else {
+				n.entries[dst] = toIns[bi]
+				bi--
+			}
+		}
+		return delta
+	}
+	grown := mm.msgs.Get(oldLen + len(toIns))
+	si, bi := 0, 0
+	for dst := 0; dst < len(grown); dst++ {
+		switch {
+		case si >= oldLen:
+			grown[dst] = toIns[bi]
+			bi++
+		case bi >= len(toIns) || kv.CompareKeys(n.entries[si].key, toIns[bi].key) < 0:
+			grown[dst] = n.entries[si]
+			si++
+		default:
+			grown[dst] = toIns[bi]
+			bi++
+		}
+	}
+	mm.msgs.Put(n.entries)
+	n.entries = grown
+	return delta
+}
+
+// splitLeaf moves the upper half of the entries into right (a fresh
+// slab-allocated node) and returns it with the separator key (first key
+// of the new node). The moved half draws pooled storage.
+func (n *node) splitLeaf(mm *mem, right *node, newID nodeID) (*node, []byte) {
 	mid := len(n.entries) / 2
-	right := &node{
-		id:      newID,
-		parent:  n.parent,
-		leaf:    true,
-		entries: append([]message(nil), n.entries[mid:]...),
-	}
-	var moved int
+	right.id = newID
+	right.parent = n.parent
+	right.leaf = true
+	right.entries = mm.msgs.CloneTail(n.entries, mid)
+	var movedBytes int
 	for i := mid; i < len(n.entries); i++ {
-		moved += n.entries[i].bytes()
+		movedBytes += n.entries[i].bytes()
 	}
-	right.serialized = pageHeaderBytes + moved
+	right.serialized = pageHeaderBytes + movedBytes
 	n.entries = n.entries[:mid]
-	n.serialized -= moved
+	n.serialized -= movedBytes
 	right.next = n.next
 	n.next = right.id
 	return right, right.entries[0].key
 }
 
-// insertChild adds a separator and child after position idx.
-func (n *node) insertChild(idx int, sep []byte, child nodeID) {
+// insertChild adds a separator and child after position idx. The
+// separator copy comes from the tree's arena.
+func (n *node) insertChild(mm *mem, idx int, sep []byte, child nodeID) {
 	n.seps = append(n.seps, nil)
 	copy(n.seps[idx+1:], n.seps[idx:])
-	n.seps[idx] = cloneBytes(sep)
+	n.seps[idx] = mm.arena.Clone(sep)
 	n.children = append(n.children, nilNode)
 	copy(n.children[idx+2:], n.children[idx+1:])
 	n.children[idx+1] = child
 	delta := 2 + len(sep) + childRefBytes
 	n.pivotBytes += delta
 	n.serialized += delta
+	n.insertSepCache(idx, n.seps[idx])
 }
 
+// insertSepCache splices one separator's decomposed words into the word
+// cache.
+func (n *node) insertSepCache(idx int, sep []byte) { n.sepCache.Insert(idx, sep) }
+
 // splitInterior moves the upper half of an interior node (pivots AND the
-// buffered messages routed to them) to a new node, returning it and the
-// separator promoted to the parent.
-func (n *node) splitInterior(newID nodeID) (*node, []byte) {
+// buffered messages routed to them) into right (a fresh slab-allocated
+// node), returning it and the separator promoted to the parent.
+func (n *node) splitInterior(mm *mem, right *node, newID nodeID) (*node, []byte) {
 	mid := len(n.seps) / 2
 	promoted := n.seps[mid]
-	right := &node{
-		id:       newID,
-		parent:   n.parent,
-		leaf:     false,
-		seps:     append([][]byte(nil), n.seps[mid+1:]...),
-		children: append([]nodeID(nil), n.children[mid+1:]...),
-	}
+	right.id = newID
+	right.parent = n.parent
+	right.leaf = false
+	right.seps = append([][]byte(nil), n.seps[mid+1:]...)
+	right.children = append([]nodeID(nil), n.children[mid+1:]...)
 	// Messages with key >= promoted route to the right node (childFor
 	// sends key == sep to the right child).
 	cut := searchMsgs(n.buf, promoted)
-	right.buf = append([]message(nil), n.buf[cut:]...)
+	right.buf = mm.msgs.CloneTail(n.buf, cut)
 	for i := range right.buf {
 		right.bufBytes += right.buf[i].bytes()
 	}
@@ -289,7 +393,9 @@ func (n *node) splitInterior(newID nodeID) (*node, []byte) {
 	n.seps = n.seps[:mid]
 	n.children = n.children[:mid+1]
 	n.recomputeSerialized()
+	n.refreshSepCache()
 	right.recomputeSerialized()
+	right.refreshSepCache()
 	return right, promoted
 }
 

@@ -2,123 +2,20 @@ package betree
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
-	"sort"
-	"strings"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/wal"
 )
 
-// Checkpoint metadata: a double-buffered pair of tiny files records the
-// root node's on-disk extent and the sequence high-water mark of the
-// last completed checkpoint. Recovery parses the tree (including the
-// persisted interior buffers) from the root and replays the surviving
-// journal segments on top.
-
-const (
-	metaA     = "bemeta-A"
-	metaB     = "bemeta-B"
-	metaMagic = 0x42454D54 // "BEMT"
-	metaBytes = 4 + 8 + 8 + 8 + 4 + 8 + 4
-)
-
-type metaState struct {
-	gen       uint64
-	seq       uint64
-	journalID uint64
-	root      fileExtent
-}
-
-func (m *metaState) encode() []byte {
-	b := make([]byte, metaBytes)
-	binary.LittleEndian.PutUint32(b[0:], metaMagic)
-	binary.LittleEndian.PutUint64(b[4:], m.gen)
-	binary.LittleEndian.PutUint64(b[12:], m.seq)
-	binary.LittleEndian.PutUint64(b[20:], uint64(m.root.Start))
-	binary.LittleEndian.PutUint32(b[28:], uint32(m.root.Pages))
-	binary.LittleEndian.PutUint64(b[32:], m.journalID)
-	binary.LittleEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
-	return b
-}
-
-func decodeMeta(b []byte) (*metaState, error) {
-	if len(b) < metaBytes {
-		return nil, fmt.Errorf("betree: metadata too short")
-	}
-	if binary.LittleEndian.Uint32(b[0:]) != metaMagic {
-		return nil, fmt.Errorf("betree: bad metadata magic")
-	}
-	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:]) {
-		return nil, fmt.Errorf("betree: metadata CRC mismatch")
-	}
-	return &metaState{
-		gen:       binary.LittleEndian.Uint64(b[4:]),
-		seq:       binary.LittleEndian.Uint64(b[12:]),
-		journalID: binary.LittleEndian.Uint64(b[32:]),
-		root: fileExtent{
-			Start: int64(binary.LittleEndian.Uint64(b[20:])),
-			Pages: int64(binary.LittleEndian.Uint32(b[28:])),
-		},
-	}, nil
-}
-
-// writeMeta persists the checkpoint metadata into the older slot.
-func (t *Tree) writeMeta(now sim.Duration) (sim.Duration, error) {
-	root := t.nodes[t.root]
-	if root.disk.Pages == 0 {
-		return now, nil
-	}
-	t.metaGen++
-	st := metaState{gen: t.metaGen, seq: t.seq, journalID: t.journalID, root: root.disk}
-	name := metaA
-	if t.metaGen%2 == 0 {
-		name = metaB
-	}
-	f, err := t.fs.Open(name)
-	if err != nil {
-		if f, err = t.fs.Create(name); err != nil {
-			return now, err
-		}
-		if err := f.Grow(1); err != nil {
-			return now, err
-		}
-	}
-	var data []byte
-	if t.cfg.Content {
-		data = make([]byte, t.fs.PageSize())
-		copy(data, st.encode())
-	}
-	return f.WriteAt(now, 0, 1, data)
-}
-
-// readMeta loads the newest valid checkpoint metadata, or nil.
-func readMeta(fs *extfs.FS, now sim.Duration) (*metaState, sim.Duration, error) {
-	var best *metaState
-	for _, name := range []string{metaA, metaB} {
-		f, err := fs.Open(name)
-		if err != nil {
-			continue
-		}
-		buf := make([]byte, f.SizePages()*int64(fs.PageSize()))
-		now, err = f.ReadAt(now, 0, int(f.SizePages()), buf)
-		if err != nil {
-			return nil, now, err
-		}
-		st, err := decodeMeta(buf)
-		if err != nil {
-			continue
-		}
-		if best == nil || st.gen > best.gen {
-			best = st
-		}
-	}
-	return best, now, nil
-}
+// The recovery skeleton — metadata selection, the top-down tree walk,
+// free-list reconstruction, leaf-chain rebuild, sequence-ordered journal
+// replay and stale-segment retirement — lives in internal/cowtree. This
+// file provides the engine-specific hooks: node materialization (the
+// codec, interior buffers included) and the journal-record apply path.
 
 // Recover reopens a Bε-tree from its on-device state: the newest
 // checkpoint metadata locates the root, the tree — interior buffers
@@ -134,7 +31,7 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	if !cfg.Content {
 		return nil, now, fmt.Errorf("betree: Recover requires content mode")
 	}
-	st, now, err := readMeta(fs, now)
+	st, now, err := cowtree.ReadMeta(fs, "bemeta", metaMagic, "betree", now)
 	if err != nil {
 		return nil, now, err
 	}
@@ -153,100 +50,42 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 		file:      f,
 		bm:        extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
 		nodes:     make([]*node, 1, 64), // index 0 is nilNode
-		ckptW:     sim.NewWorker("betree-checkpoint"),
-		seq:       st.seq,
-		journalID: st.journalID,
-		metaGen:   st.gen,
+		seq:       st.Seq,
 	}
-	used := []fileExtent{}
-	rootID, done, err := t.loadSubtree(now, st.root, nilNode, &used)
+	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
+	t.core.SetJournalState(st.JournalID, st.Gen)
+	// Rebuild the tree (interior buffers included) from the root, then
+	// replay the surviving journal segments, newest records winning.
+	now, err = t.core.RecoverTree(now, st.Root, t, func(id cowtree.NodeID) {
+		t.root = id
+		if root := t.nodes[id]; root.leaf {
+			t.admit(root)
+		}
+	})
 	if err != nil {
 		return nil, now, err
 	}
-	now = done
-	t.root = rootID
-	t.rebuildFreeList(used)
-	t.rebuildLeafChain()
-	if root := t.nodes[t.root]; root.leaf {
-		t.admit(root)
-	}
-	// Replay journals; the per-key sequence guard in the insert paths
-	// keeps checkpointed-newer state from being regressed.
-	var records []wal.Record
-	var segments []string
-	for _, name := range fs.List() {
-		if !strings.HasPrefix(name, "bjournal-") {
-			continue
-		}
-		segments = append(segments, name)
-		done, err := wal.Replay(fs, name, now, func(r wal.Record) {
-			records = append(records, r)
-		})
-		if err != nil {
-			return nil, now, err
-		}
-		now = done
-	}
-	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
-	for i := range records {
-		r := &records[i]
-		now, err = t.applyRecovered(now, r)
-		if err != nil {
-			return nil, now, err
-		}
-		if r.Seq > t.seq {
-			t.seq = r.Seq
-		}
-	}
-	if !cfg.DisableJournal {
-		w, err := wal.Create(fs, t.journalName(), cfg.Content)
-		if err != nil {
-			return nil, now, err
-		}
-		t.journal = w
+	if err := t.core.StartJournal(); err != nil {
+		return nil, now, err
 	}
 	if end, err := t.FlushAll(now); err != nil {
 		return nil, now, err
 	} else if end > now {
 		now = end
 	}
-	for _, name := range segments {
-		if t.journal != nil && name == t.journal.Name() {
-			continue
-		}
-		if t.poolTracks(name) {
-			continue
-		}
-		if err := fs.Remove(name); err != nil {
-			return nil, now, err
-		}
+	if err := t.core.RetireStaleSegments(); err != nil {
+		return nil, now, err
 	}
 	return t, now, nil
 }
 
-func (t *Tree) poolTracks(name string) bool {
-	for _, w := range t.journalPool {
-		if w.Name() == name {
-			return true
-		}
-	}
-	return false
-}
-
-// loadSubtree reads and parses the node at ext, recursing into children,
-// and returns the assigned in-memory node id.
-func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent nodeID, used *[]fileExtent) (nodeID, sim.Duration, error) {
-	if ext.Pages <= 0 {
-		return nilNode, now, fmt.Errorf("betree: empty extent in tree walk")
-	}
-	buf := make([]byte, int(ext.Pages)*t.fs.PageSize())
-	now, err := t.file.ReadAt(now, ext.Start, int(ext.Pages), buf)
-	if err != nil {
-		return nilNode, now, err
-	}
-	n, ok := parseNode(buf)
+// MaterializeNode implements cowtree.RecoveryEngine: parse one on-disk
+// image (interior buffers included), register the node and return its
+// child extents for the walk.
+func (t *Tree) MaterializeNode(data []byte, ext cowtree.Extent, parent cowtree.NodeID) (cowtree.NodeID, []cowtree.Extent, error) {
+	n, ok := parseNode(data)
 	if !ok {
-		return nilNode, now, fmt.Errorf("betree: corrupt node at extent %d+%d", ext.Start, ext.Pages)
+		return nilNode, nil, fmt.Errorf("betree: corrupt node at extent %d+%d", ext.Start, ext.Pages)
 	}
 	t.nextID++
 	n.id = t.nextID
@@ -261,70 +100,34 @@ func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent nodeID, used
 		n.serialized = pageHeaderBytes + sz
 	} else {
 		n.recomputeSerialized()
+		n.refreshSepCache()
 	}
 	t.registerNode(n)
-	*used = append(*used, ext)
-	if !n.leaf {
-		for i, ce := range n.childExtents {
-			childID, done, err := t.loadSubtree(now, ce, n.id, used)
-			if err != nil {
-				return nilNode, now, err
-			}
-			now = done
-			n.children[i] = childID
-		}
-		n.childExtents = nil
-	}
-	return n.id, now, nil
+	childExts := n.childExtents
+	n.childExtents = nil
+	return n.id, childExts, nil
 }
 
-// rebuildFreeList reconstructs the block manager's free list as the
-// complement of the extents the tree references.
-func (t *Tree) rebuildFreeList(used []fileExtent) {
-	sort.Slice(used, func(i, j int) bool { return used[i].Start < used[j].Start })
-	var cursor int64
-	for _, e := range used {
-		if e.Start > cursor {
-			t.bm.Release(fileExtent{Start: cursor, Pages: e.Start - cursor})
-		}
-		if end := e.Start + e.Pages; end > cursor {
-			cursor = end
-		}
-	}
-	if total := t.file.SizePages(); total > cursor {
-		t.bm.Release(fileExtent{Start: cursor, Pages: total - cursor})
-	}
+// LinkChild implements cowtree.RecoveryEngine.
+func (t *Tree) LinkChild(parent cowtree.NodeID, i int, child cowtree.NodeID) {
+	t.nodes[parent].children[i] = child
 }
 
-// rebuildLeafChain links leaves left-to-right by walking the tree in
-// order.
-func (t *Tree) rebuildLeafChain() {
-	var prev *node
-	var walk func(id nodeID)
-	walk = func(id nodeID) {
-		n := t.nodes[id]
-		if n.leaf {
-			if prev != nil {
-				prev.next = n.id
-			}
-			prev = n
-			return
-		}
-		for _, c := range n.children {
-			walk(c)
-		}
-	}
-	walk(t.root)
-}
+// SetNext implements cowtree.RecoveryEngine (the left-to-right leaf
+// chain scans follow).
+func (t *Tree) SetNext(id, next cowtree.NodeID) { t.nodes[id].next = next }
 
-// applyRecovered replays one journal record through the message path
-// (without journaling, CPU costs or eviction), threading the recovery
-// clock so leaf loads triggered by flush cascades are charged. A record
-// is dropped when ANY version along the key's root-to-leaf path — a
-// buffered message or the leaf entry — is at least as new: inserting an
-// older message at the root would shadow the newer deeper version on
-// reads.
-func (t *Tree) applyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, error) {
+// ApplyRecovered implements cowtree.RecoveryEngine: replay one journal
+// record through the message path (without journaling, CPU costs or
+// eviction), threading the recovery clock so leaf loads triggered by
+// flush cascades are charged. A record is dropped when ANY version along
+// the key's root-to-leaf path — a buffered message or the leaf entry —
+// is at least as new: inserting an older message at the root would
+// shadow the newer deeper version on reads.
+func (t *Tree) ApplyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, error) {
+	if r.Seq > t.seq {
+		t.seq = r.Seq
+	}
 	n := t.nodes[t.root]
 	for !n.leaf {
 		if m := n.bufGet(r.Key); m != nil && m.seq >= r.Seq {
@@ -342,6 +145,6 @@ func (t *Tree) applyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, er
 	}
 	// Replayed records own their bytes (decodeRecord allocates fresh
 	// slices per record), so the message transfers them without cloning.
-	msg := message{key: r.Key, val: r.Value, seq: r.Seq, vlen: int32(vlen), del: r.Deleted}
+	msg := makeMessage(r.Key, r.Value, r.Seq, vlen, r.Deleted)
 	return t.apply(now, msg, true)
 }

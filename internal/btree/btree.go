@@ -2,9 +2,9 @@ package btree
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
@@ -15,13 +15,37 @@ import (
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("btree: tree is closed")
 
-// Tree is the WiredTiger-style B+Tree engine.
+// metaMagic tags the checkpoint metadata files ("WTMT").
+const metaMagic = 0x57544D54
+
+// coreConfig maps the engine configuration onto the shared
+// checkpoint/recovery core's knobs. The naming fields reproduce the
+// pre-extraction on-device footprint exactly.
+func coreConfig(cfg Config) cowtree.Config {
+	return cowtree.Config{
+		Name:                   "btree",
+		MetaPrefix:             "wtmeta",
+		MetaMagic:              metaMagic,
+		JournalPrefix:          "journal-",
+		ChunkPages:             cfg.ChunkPages,
+		CheckpointInterval:     cfg.CheckpointInterval,
+		CheckpointPendingBytes: cfg.CheckpointPendingBytes,
+		Content:                cfg.Content,
+		DisableJournal:         cfg.DisableJournal,
+	}
+}
+
+// Tree is the WiredTiger-style B+Tree engine. The copy-on-write
+// checkpoint/recovery discipline lives in the embedded cowtree core;
+// the engine implements cowtree.RecoveryEngine over its page type.
 type Tree struct {
 	cfg Config
 	fs  *extfs.FS
 
 	file *extfs.File
 	bm   *extalloc.Manager
+
+	core cowtree.Core
 
 	pages  []*page // indexed by pageID; ids are allocated sequentially
 	root   pageID
@@ -31,21 +55,18 @@ type Tree struct {
 	lruHead, lruTail pageID
 	residentBytes    int64
 
-	dirtyIDs   []pageID // append-order log of false->true dirty transitions
-	dirtyCount int      // number of pages currently dirty
+	// mem bundles the key/value arena and the recycled entry-array
+	// pool; slab backs page structs. Page structs and retained keys are
+	// immortal in this design (ids are never reused), so bump and pool
+	// allocation keep the steady-state op path allocation-free.
+	mem  mem
+	slab cowtree.Slab[page]
 
-	journal     *wal.Writer
-	journalID   uint64
-	journalPool []*wal.Writer // recycled segments awaiting reuse
-
-	ckptW    *sim.Worker
-	lastCkpt sim.Duration
-	metaGen  uint64 // checkpoint metadata generation
+	writeBuf []byte // reused serialization image (content mode)
 
 	seq    uint64
 	stats  kv.EngineStats
 	io     IOStats
-	fatal  error
 	closed bool
 }
 
@@ -77,25 +98,16 @@ func Open(fs *extfs.FS, cfg Config) (*Tree, error) {
 		file:  f,
 		bm:    extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
 		pages: make([]*page, 1, 64), // index 0 is nilPage
-		ckptW: sim.NewWorker("btree-checkpoint"),
 	}
+	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
 	rootLeaf := t.newPage(true)
 	rootLeaf.parent = nilPage
 	t.root = rootLeaf.id
 	t.admit(rootLeaf)
-	if !cfg.DisableJournal {
-		w, err := wal.Create(fs, t.journalName(), cfg.Content)
-		if err != nil {
-			return nil, err
-		}
-		t.journal = w
+	if err := t.core.StartJournal(); err != nil {
+		return nil, err
 	}
 	return t, nil
-}
-
-func (t *Tree) journalName() string {
-	t.journalID++
-	return fmt.Sprintf("journal-%06d", t.journalID)
 }
 
 // registerPage adds a freshly allocated page to the id-indexed slice;
@@ -110,7 +122,10 @@ func (t *Tree) registerPage(p *page) {
 
 func (t *Tree) newPage(leaf bool) *page {
 	t.nextID++
-	p := &page{id: t.nextID, leaf: leaf, serialized: pageHeaderBytes}
+	p := t.slab.Get()
+	p.id = t.nextID
+	p.leaf = leaf
+	p.serialized = pageHeaderBytes
 	t.registerPage(p)
 	t.markDirty(p)
 	return p
@@ -121,18 +136,71 @@ func (t *Tree) markDirty(p *page) {
 		return // already tracked for the next checkpoint
 	}
 	p.dirty = true
-	t.dirtyCount++
-	t.dirtyIDs = append(t.dirtyIDs, p.id)
+	t.core.TrackDirty(p.id)
 }
 
 func (t *Tree) clearDirty(p *page) {
 	if p.dirty {
 		p.dirty = false
-		t.dirtyCount--
+		t.core.NoteClean()
 	}
-	// The page's entry in dirtyIDs stays behind; checkpoint snapshots
-	// filter on the dirty flag, so a stale id is skipped for free.
+	// The page's entry in the core's transition log stays behind;
+	// checkpoint snapshots filter on the dirty flag, so a stale id is
+	// skipped for free.
 }
+
+// ---- cowtree.Engine implementation ----
+
+// Root implements cowtree.Engine.
+func (t *Tree) Root() cowtree.NodeID { return t.root }
+
+// Parent implements cowtree.Engine.
+func (t *Tree) Parent(id cowtree.NodeID) cowtree.NodeID { return t.pages[id].parent }
+
+// Leaf implements cowtree.Engine.
+func (t *Tree) Leaf(id cowtree.NodeID) bool { return t.pages[id].leaf }
+
+// Children implements cowtree.Engine.
+func (t *Tree) Children(id cowtree.NodeID) []cowtree.NodeID { return t.pages[id].children }
+
+// Dirty implements cowtree.Engine.
+func (t *Tree) Dirty(id cowtree.NodeID) bool { return t.pages[id].dirty }
+
+// NeedsWrite implements cowtree.Engine.
+func (t *Tree) NeedsWrite(id cowtree.NodeID) bool {
+	n := t.pages[id]
+	return n.dirty || n.disk.Pages == 0
+}
+
+// AppendNeedsWrite implements cowtree.Engine.
+func (t *Tree) AppendNeedsWrite(id cowtree.NodeID, dst []cowtree.NodeID) []cowtree.NodeID {
+	for _, c := range t.pages[id].children {
+		if n := t.pages[c]; n.dirty || n.disk.Pages == 0 {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// Live implements cowtree.Engine (pages are never deallocated).
+func (t *Tree) Live(id cowtree.NodeID) bool { return t.pages[id] != nil }
+
+// DiskExtent implements cowtree.Engine.
+func (t *Tree) DiskExtent(id cowtree.NodeID) cowtree.Extent { return t.pages[id].disk }
+
+// SerializedBytes implements cowtree.Engine.
+func (t *Tree) SerializedBytes(id cowtree.NodeID) int { return t.pages[id].serialized }
+
+// MarkDirty implements cowtree.Engine.
+func (t *Tree) MarkDirty(id cowtree.NodeID) { t.markDirty(t.pages[id]) }
+
+// WriteNode implements cowtree.Engine.
+func (t *Tree) WriteNode(now sim.Duration, id cowtree.NodeID) (sim.Duration, error) {
+	return t.writePage(now, t.pages[id])
+}
+
+// Seq implements cowtree.Engine.
+func (t *Tree) Seq() uint64 { return t.seq }
 
 // Config returns the validated configuration.
 func (t *Tree) Config() Config { return t.cfg }
@@ -141,13 +209,19 @@ func (t *Tree) Config() Config { return t.cfg }
 func (t *Tree) Stats() kv.EngineStats { return t.stats }
 
 // IO returns internal activity counters.
-func (t *Tree) IO() IOStats { return t.io }
+func (t *Tree) IO() IOStats {
+	io := t.io
+	cio := t.core.IO()
+	io.Checkpoints = cio.Checkpoints
+	io.CheckpointPgs = cio.CheckpointPgs
+	return io
+}
 
 // DiskUsageBytes implements kv.Engine.
 func (t *Tree) DiskUsageBytes() int64 { return t.fs.UsedBytes() }
 
 // Err returns the sticky fatal error, if any.
-func (t *Tree) Err() error { return t.fatal }
+func (t *Tree) Err() error { return t.core.Err() }
 
 // ---- cache (LRU over resident leaves) ----
 
@@ -233,7 +307,7 @@ func (t *Tree) evictToFit(now sim.Duration) (sim.Duration, error) {
 			var err error
 			now, err = t.writePage(now, victim)
 			if err != nil {
-				t.fatal = err
+				t.core.Fail(err)
 				return now, err
 			}
 			t.io.EvictionWrites++
@@ -260,10 +334,7 @@ func (t *Tree) writePage(now sim.Duration, p *page) (sim.Duration, error) {
 	}
 	var data []byte
 	if t.cfg.Content {
-		data = make([]byte, n*int64(ps))
-		copy(data, serializePage(p, func(id pageID) fileExtent {
-			return t.pages[id].disk
-		}))
+		data = t.serializeImage(p, int(n)*ps)
 	}
 	done, err := t.file.WriteAt(now, ext.Start, int(n), data)
 	if err != nil {
@@ -279,6 +350,26 @@ func (t *Tree) writePage(now sim.Duration, p *page) (sim.Duration, error) {
 		t.markDirty(t.pages[p.parent])
 	}
 	return done, nil
+}
+
+// serializeImage produces the zero-padded on-disk image of a page in the
+// tree's reused write buffer (the block device copies written bytes, so
+// aliasing the scratch across writes is safe).
+func (t *Tree) serializeImage(p *page, size int) []byte {
+	buf := serializePage(t.writeBuf[:0], p, func(id pageID) fileExtent {
+		return t.pages[id].disk
+	})
+	if cap(buf) < size {
+		grown := make([]byte, size)
+		copy(grown, buf)
+		buf = grown
+	} else {
+		n := len(buf)
+		buf = buf[:size]
+		clear(buf[n:])
+	}
+	t.writeBuf = buf
+	return buf
 }
 
 // loadLeaf charges the read I/O for a non-resident leaf and admits it.
@@ -369,13 +460,13 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	if t.closed {
 		return now, ErrClosed
 	}
-	if t.fatal != nil {
-		return now, t.fatal
+	if err := t.core.Err(); err != nil {
+		return now, err
 	}
 	if value != nil {
 		valueLen = len(value)
 	}
-	t.ckptW.Pump(now)
+	t.core.Pump(now)
 	now += t.cfg.CPUPutTime + time.Duration(valueLen)*t.cfg.CPUPerByte
 	t.seq++
 
@@ -383,18 +474,18 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	var err error
 	now, err = t.loadLeaf(now, leaf)
 	if err != nil {
-		t.fatal = err
+		t.core.Fail(err)
 		return now, err
 	}
-	delta := leaf.insertLeaf(key, value, valueLen, t.seq, del)
+	delta := leaf.insertLeaf(&t.mem, key, value, valueLen, t.seq, del)
 	t.residentBytes += int64(delta)
 	t.markDirty(leaf)
 
-	if t.journal != nil {
+	if w := t.core.Journal(); w != nil {
 		rec := wal.Record{Seq: t.seq, Key: key, Value: value, Deleted: del, ValueLen: valueLen}
-		now, err = t.journal.Append(now, &rec, t.cfg.JournalSync)
+		now, err = w.Append(now, &rec, t.cfg.JournalSync)
 		if err != nil {
-			t.fatal = err
+			t.core.Fail(err)
 			return now, err
 		}
 	}
@@ -408,7 +499,7 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	if err != nil {
 		return now, err
 	}
-	t.maybeCheckpoint(now)
+	t.core.MaybeCheckpoint(now)
 	return now, nil
 }
 
@@ -417,10 +508,10 @@ func (t *Tree) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, er
 	if t.closed {
 		return now, nil, false, ErrClosed
 	}
-	if t.fatal != nil {
-		return now, nil, false, t.fatal
+	if err := t.core.Err(); err != nil {
+		return now, nil, false, err
 	}
-	t.ckptW.Pump(now)
+	t.core.Pump(now)
 	now += t.cfg.CPUGetTime
 	t.stats.Gets++
 
@@ -428,7 +519,7 @@ func (t *Tree) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, er
 	var err error
 	now, err = t.loadLeaf(now, leaf)
 	if err != nil {
-		t.fatal = err
+		t.core.Fail(err)
 		return now, nil, false, err
 	}
 	now, err = t.evictToFit(now)
@@ -464,10 +555,10 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 	if t.closed {
 		return now, nil, ErrClosed
 	}
-	if t.fatal != nil {
-		return now, nil, t.fatal
+	if err := t.core.Err(); err != nil {
+		return now, nil, err
 	}
-	t.ckptW.Pump(now)
+	t.core.Pump(now)
 	now += t.cfg.CPUGetTime
 	var out []kv.Entry
 	leaf := t.descend(start)
@@ -476,7 +567,7 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 		var err error
 		now, err = t.loadLeafPrefetching(now, leaf)
 		if err != nil {
-			t.fatal = err
+			t.core.Fail(err)
 			return now, nil, err
 		}
 		for ; idx < len(leaf.entries) && limit > 0; idx++ {
@@ -510,8 +601,8 @@ func (t *Tree) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []
 
 // splitLeaf splits an oversized leaf and propagates internal splits.
 func (t *Tree) splitLeaf(leaf *page) {
-	right, sep := leaf.splitLeaf(t.nextID + 1)
 	t.nextID++
+	right, sep := leaf.splitLeaf(&t.mem, t.slab.Get(), t.nextID)
 	t.registerPage(right)
 	t.markDirty(right)
 	t.markDirty(leaf)
@@ -530,20 +621,17 @@ func (t *Tree) insertIntoParent(left *page, sep []byte, right *page) {
 	if left.id == t.root {
 		newRoot := t.newPage(false)
 		newRoot.children = []pageID{left.id, right.id}
-		newRoot.seps = [][]byte{cloneBytes(sep)}
+		newRoot.seps = [][]byte{t.mem.arena.Clone(sep)}
 		newRoot.recomputeSerialized()
+		newRoot.refreshSepCache()
 		left.parent = newRoot.id
 		right.parent = newRoot.id
 		t.root = newRoot.id
-		if left.leaf {
-			// The old root was a resident leaf; nothing else to fix.
-			_ = left
-		}
 		return
 	}
 	parent := t.pages[left.parent]
 	idx := parent.childIndex(left.id)
-	parent.insertChild(idx, sep, right.id)
+	parent.insertChild(&t.mem, idx, sep, right.id)
 	right.parent = parent.id
 	t.markDirty(parent)
 	if parent.serialized > t.cfg.InternalPageBytes {
@@ -553,8 +641,8 @@ func (t *Tree) insertIntoParent(left *page, sep []byte, right *page) {
 
 // splitInternalPage splits an internal page and reparents moved children.
 func (t *Tree) splitInternalPage(p *page) {
-	right, promoted := p.splitInternal(t.nextID + 1)
 	t.nextID++
+	right, promoted := p.splitInternal(t.slab.Get(), t.nextID)
 	t.registerPage(right)
 	t.markDirty(right)
 	t.markDirty(p)
@@ -565,60 +653,17 @@ func (t *Tree) splitInternalPage(p *page) {
 	t.insertIntoParent(p, promoted, right)
 }
 
-// maybeCheckpoint starts a checkpoint when the interval elapsed — or the
-// deferred-release backlog has grown too large — and none is running.
-func (t *Tree) maybeCheckpoint(now sim.Duration) {
-	if t.ckptW.QueueLen() > 0 {
-		return
-	}
-	intervalDue := now-t.lastCkpt >= t.cfg.CheckpointInterval
-	pendingDue := t.bm.PendingPages()*int64(t.fs.PageSize()) >= t.cfg.CheckpointPendingBytes
-	if !intervalDue && !pendingDue {
-		return
-	}
-	t.lastCkpt = now
-	job, err := t.newCheckpointJob()
-	if err != nil {
-		t.fatal = err
-		return
-	}
-	if job != nil {
-		t.ckptW.Submit(job)
-	}
-}
-
 // FlushAll implements kv.Engine: runs a full checkpoint synchronously.
 func (t *Tree) FlushAll(now sim.Duration) (sim.Duration, error) {
 	if t.closed {
 		return now, ErrClosed
 	}
-	t.ckptW.Pump(now)
-	end := t.ckptW.RunUntilDrained()
-	if end < now {
-		end = now
-	}
-	job, err := t.newCheckpointJob()
-	if err != nil {
-		return end, err
-	}
-	if job != nil {
-		t.ckptW.Submit(job)
-		end = t.ckptW.RunUntilDrained()
-	}
-	if t.fatal != nil {
-		return end, t.fatal
-	}
-	return end, nil
+	return t.core.Checkpoint(now)
 }
 
 // Quiesce drains background checkpoint work.
 func (t *Tree) Quiesce(now sim.Duration) sim.Duration {
-	t.ckptW.Pump(now)
-	end := t.ckptW.RunUntilDrained()
-	if end < now {
-		end = now
-	}
-	return end
+	return t.core.Quiesce(now)
 }
 
 // Close checkpoints and shuts the tree down.

@@ -167,8 +167,8 @@ func TestFlushAllWritesEverything(t *testing.T) {
 	if end < now {
 		t.Fatal("FlushAll went back in time")
 	}
-	if tr.dirtyCount != 0 {
-		t.Fatalf("%d dirty pages after FlushAll", tr.dirtyCount)
+	if n := tr.core.DirtyCount(); n != 0 {
+		t.Fatalf("%d dirty pages after FlushAll", n)
 	}
 }
 
@@ -251,10 +251,11 @@ func TestWAAStableOverTime(t *testing.T) {
 }
 
 func TestPageSerializationRoundTrip(t *testing.T) {
+	var m mem
 	leaf := &page{leaf: true, serialized: pageHeaderBytes}
-	leaf.insertLeaf(kv.EncodeKey(1), []byte("abc"), 0, 7, false)
-	leaf.insertLeaf(kv.EncodeKey(2), nil, 64, 9, true)
-	data := serializePage(leaf, nil)
+	leaf.insertLeaf(&m, kv.EncodeKey(1), []byte("abc"), 0, 7, false)
+	leaf.insertLeaf(&m, kv.EncodeKey(2), nil, 64, 9, true)
+	data := serializePage(nil, leaf, nil)
 	got, ok := parsePage(data)
 	if !ok {
 		t.Fatal("parse failed")
@@ -271,7 +272,7 @@ func TestPageSerializationRoundTrip(t *testing.T) {
 
 	internal := &page{leaf: false, children: []pageID{1, 2, 3}, seps: [][]byte{kv.EncodeKey(10), kv.EncodeKey(20)}}
 	internal.recomputeSerialized()
-	data = serializePage(internal, func(id pageID) fileExtent {
+	data = serializePage(nil, internal, func(id pageID) fileExtent {
 		return fileExtent{Start: int64(id) * 100, Pages: 4}
 	})
 	got, ok = parsePage(data)
@@ -287,6 +288,17 @@ func TestPageSerializationRoundTrip(t *testing.T) {
 
 	if _, ok := parsePage([]byte{1, 2, 3}); ok {
 		t.Fatal("short page should fail")
+	}
+
+	// Appending to a non-empty buffer must leave the prefix intact and
+	// produce a parseable image after it (the serializer writes its
+	// header relative to the append point, not index 0).
+	prefixed := serializePage([]byte("prefix"), leaf, nil)
+	if string(prefixed[:6]) != "prefix" {
+		t.Fatalf("serialize clobbered the buffer prefix: %q", prefixed[:6])
+	}
+	if got, ok := parsePage(prefixed[6:]); !ok || len(got.entries) != 2 {
+		t.Fatal("image appended after a prefix failed to parse")
 	}
 }
 

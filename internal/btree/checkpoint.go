@@ -2,262 +2,53 @@ package btree
 
 import (
 	"encoding/binary"
-	"sort"
 
-	"ptsbench/internal/sim"
-	"ptsbench/internal/wal"
+	"ptsbench/internal/cowtree"
 )
 
-// checkpointJob writes all pages that were dirty when the checkpoint
-// began, then retires the journal segment that preceded it. The journal
-// is rotated at job creation (foreground), so updates arriving during the
-// checkpoint land in the new segment.
-type checkpointJob struct {
-	t           *Tree
-	ids         []pageID
-	idx         int
-	oldJournal  *wal.Writer
-	pendingMark int // deferred-release prefix safe to free at commit
-}
+// The checkpoint discipline — dirty-ancestor-closure snapshot, bottom-up
+// write order, writeSubtreeClean for split-orphaned descendants, the
+// root-spine write at commit, journal rotation/recycling and the
+// double-buffered metadata — lives in internal/cowtree. This file keeps
+// only the engine's page codec.
 
-// newCheckpointJob snapshots the dirty set — expanded to the ancestor
-// closure — and rotates the journal. It returns nil if there is nothing
-// to write.
-//
-// The closure is load-bearing for recovery: writing a page moves it on
-// disk, so every ancestor's serialized child references change and the
-// whole root-to-page spine must be rewritten within the SAME
-// checkpoint. Without it, a checkpoint whose dirty snapshot contains
-// only a leaf would commit metadata pointing at the old root image
-// (whose refs still name the leaf's old extent) while recycling the
-// journal that held the leaf's updates — data loss on recovery, and
-// corruption once the old extent is reused.
-func (t *Tree) newCheckpointJob() (*checkpointJob, error) {
-	if t.dirtyCount == 0 {
-		return nil, nil
-	}
-	job := &checkpointJob{t: t, pendingMark: t.bm.PendingMark()}
-	inJob := make(map[pageID]bool)
-	for _, id := range t.dirtyIDs {
-		if !t.pages[id].dirty || inJob[id] {
-			continue
-		}
-		inJob[id] = true
-		job.ids = append(job.ids, id)
-		for p := t.pages[id].parent; p != nilPage && !inJob[p]; p = t.pages[p].parent {
-			inJob[p] = true
-			t.markDirty(t.pages[p]) // ancestors must be written too
-			job.ids = append(job.ids, p)
-		}
-	}
-	t.dirtyIDs = nil
-	// Bottom-up order: leaves first, then internal pages deepest-first,
-	// the root last. Writing a child records its new extent before its
-	// parent's image is serialized, so a completed checkpoint is a
-	// consistent tree.
-	t.sortBottomUp(job.ids)
-	if t.journal != nil {
-		job.oldJournal = t.journal
-		w, err := t.wrapJournal()
-		if err != nil {
-			return nil, err
-		}
-		t.journal = w
-	}
-	return job, nil
-}
-
-// depthOf returns a page's distance from the root (root = 0).
-func (t *Tree) depthOf(id pageID) int {
-	d := 0
-	for p := t.pages[id]; p != nil && p.parent != nilPage; p = t.pages[p.parent] {
-		d++
-	}
-	return d
-}
-
-// sortBottomUp orders page ids deepest-first (ties by id for
-// determinism); since leaves are the deepest layer they come first and
-// the root comes last.
-func (t *Tree) sortBottomUp(ids []pageID) {
-	depth := make(map[pageID]int, len(ids))
-	for _, id := range ids {
-		depth[id] = t.depthOf(id)
-	}
-	// (depth desc, id asc) is a total order over distinct ids, so any
-	// sort yields the same deterministic sequence.
-	sort.Slice(ids, func(i, j int) bool {
-		a, b := ids[i], ids[j]
-		if depth[a] != depth[b] {
-			return depth[a] > depth[b]
-		}
-		return a < b
-	})
-}
-
-// Step implements sim.Job: write pages until the chunk budget is used.
-func (j *checkpointJob) Step(now sim.Duration) (sim.Duration, bool) {
-	t := j.t
-	if t.fatal != nil {
-		return now, true
-	}
-	budget := t.cfg.ChunkPages
-	ps := t.fs.PageSize()
-	for budget > 0 && j.idx < len(j.ids) {
-		p := t.pages[j.ids[j.idx]]
-		j.idx++
-		if p == nil || !p.dirty {
-			continue // evicted and written in the meantime
-		}
-		// Foreground splits that ran since the snapshot may have hung
-		// children under p that this job has never written (or even
-		// never-written brand-new pages with a zero extent). Serializing
-		// p's child references without writing them first would commit
-		// an image pointing at stale or nonexistent extents — an
-		// unrecoverable tree. Flush p's dirty/unwritten descendants
-		// before p itself.
-		var err error
-		var extra int
-		now, extra, err = t.writeSubtreeClean(now, p)
-		if err != nil {
-			t.fatal = err
-			return now, true
-		}
-		budget -= extra
-		now, err = t.writePage(now, p)
-		if err != nil {
-			t.fatal = err
-			return now, true
-		}
-		t.io.CheckpointPgs++
-		budget -= (p.serialized + ps - 1) / ps
-	}
-	if j.idx < len(j.ids) {
-		return now, false
-	}
-	// Commit. A foreground split may have grown a NEW root while the job
-	// ran — an ancestor of every snapshot page, so neither the snapshot
-	// closure nor writeSubtreeClean (descendants only) wrote it. Without
-	// an on-disk root image writeMeta would decline, yet the commit below
-	// would still release the previous checkpoint's extents and recycle
-	// the journal — destroying the only durable copies of recent updates.
-	// Write the current root (and its unwritten spine) first, so the
-	// metadata always points at a complete current tree.
-	var err error
-	if root := t.pages[t.root]; root.dirty || root.disk.Pages == 0 {
-		// writeSubtreeClean counts the descendants it writes itself.
-		if now, _, err = t.writeSubtreeClean(now, root); err != nil {
-			t.fatal = err
-			return now, true
-		}
-		if now, err = t.writePage(now, root); err != nil {
-			t.fatal = err
-			return now, true
-		}
-		t.io.CheckpointPgs++
-	}
-	// Write the checkpoint metadata (root location), release the previous
-	// checkpoint's extents, sync, and recycle the old journal segment
-	// (its updates are now covered by the checkpoint). Recycling keeps
-	// the journal on a fixed set of LBAs, like real log pre-allocation.
-	if now, err = t.writeMeta(now); err != nil {
-		t.fatal = err
-		return now, true
-	}
-	t.bm.CommitPendingPrefix(j.pendingMark)
-	now = t.fs.Sync(now)
-	if j.oldJournal != nil {
-		now, err = j.oldJournal.Recycle(now)
-		if err != nil {
-			t.fatal = err
-			return now, true
-		}
-		t.journalPool = append(t.journalPool, j.oldJournal)
-		j.oldJournal = nil
-	}
-	t.io.Checkpoints++
-	return now, true
-}
-
-// writeSubtreeClean writes every dirty or never-written descendant of p
-// (deepest first), returning the pages written. Pages registered by
-// splits that ran while the checkpoint was in flight are not in the
-// job's snapshot, and their ancestors' images must not be serialized
-// before they have on-disk extents.
-func (t *Tree) writeSubtreeClean(now sim.Duration, p *page) (sim.Duration, int, error) {
+// serializePage appends the on-disk image of a page (content mode) to
+// out and returns it. Layout: header {magic, leaf flag, count}, then
+// entries (leaf) or separators + child extent references (internal),
+// zero-padded by the caller to the extent size. resolve maps a child
+// pageID to its current on-disk extent; it may be nil for leaves.
+func serializePage(out []byte, p *page, resolve func(pageID) fileExtent) []byte {
+	var hdr [pageHeaderBytes]byte
+	base := len(out)
+	out = append(out, hdr[:]...)
+	binary.LittleEndian.PutUint32(out[base:], 0x42545047) // "BTPG"
 	if p.leaf {
-		return now, 0, nil
-	}
-	ps := t.fs.PageSize()
-	pages := 0
-	for _, c := range p.children {
-		child := t.pages[c]
-		if !child.dirty && child.disk.Pages != 0 {
-			continue
-		}
-		var err error
-		var extra int
-		now, extra, err = t.writeSubtreeClean(now, child)
-		if err != nil {
-			return now, pages, err
-		}
-		pages += extra
-		now, err = t.writePage(now, child)
-		if err != nil {
-			return now, pages, err
-		}
-		t.io.CheckpointPgs++
-		pages += (child.serialized + ps - 1) / ps
-	}
-	return now, pages, nil
-}
-
-// wrapJournal opens the next journal segment, reusing a recycled one when
-// available.
-func (t *Tree) wrapJournal() (*wal.Writer, error) {
-	if n := len(t.journalPool); n > 0 {
-		w := t.journalPool[n-1]
-		t.journalPool = t.journalPool[:n-1]
-		return w, nil
-	}
-	return wal.Create(t.fs, t.journalName(), t.cfg.Content)
-}
-
-// serializePage produces the on-disk image of a page (content mode).
-// Layout: header {magic, leaf flag, count}, then entries (leaf) or
-// separators + child extent references (internal), zero-padded by the
-// caller to the extent size. resolve maps a child pageID to its current
-// on-disk extent; it may be nil for leaves.
-func serializePage(p *page, resolve func(pageID) fileExtent) []byte {
-	out := make([]byte, pageHeaderBytes, p.serialized)
-	binary.LittleEndian.PutUint32(out[0:], 0x42545047) // "BTPG"
-	if p.leaf {
-		out[4] = 1
+		out[base+4] = 1
 	}
 	if p.leaf {
-		binary.LittleEndian.PutUint32(out[8:], uint32(len(p.entries)))
+		binary.LittleEndian.PutUint32(out[base+8:], uint32(len(p.entries)))
 		for i := range p.entries {
 			e := &p.entries[i]
-			var hdr [entryOverhead]byte
-			binary.LittleEndian.PutUint16(hdr[0:], uint16(len(e.key)))
+			var eh [entryOverhead]byte
+			binary.LittleEndian.PutUint16(eh[0:], uint16(len(e.key)))
 			vl := int(e.vlen)
-			binary.LittleEndian.PutUint32(hdr[2:], uint32(vl))
+			binary.LittleEndian.PutUint32(eh[2:], uint32(vl))
 			seq := e.seq
 			if e.del {
 				seq |= 1 << 63 // tombstone bit
 			}
-			binary.LittleEndian.PutUint64(hdr[6:], seq)
-			out = append(out, hdr[:]...)
+			binary.LittleEndian.PutUint64(eh[6:], seq)
+			out = append(out, eh[:]...)
 			out = append(out, e.key...)
 			if e.val != nil {
 				out = append(out, e.val...)
 			} else {
-				out = append(out, make([]byte, vl)...)
+				out = cowtree.AppendZeros(out, vl)
 			}
 		}
 		return out
 	}
-	binary.LittleEndian.PutUint32(out[8:], uint32(len(p.seps)))
+	binary.LittleEndian.PutUint32(out[base+8:], uint32(len(p.seps)))
 	for _, sep := range p.seps {
 		var l [2]byte
 		binary.LittleEndian.PutUint16(l[:], uint16(len(sep)))
@@ -303,13 +94,10 @@ func parsePage(data []byte) (*page, bool) {
 			if off+kl+vl > len(data) {
 				return nil, false
 			}
-			p.entries = append(p.entries, leafEntry{
-				key:  cloneBytes(data[off : off+kl]),
-				val:  cloneBytes(data[off+kl : off+kl+vl]),
-				seq:  seq,
-				vlen: int32(vl),
-				del:  del,
-			})
+			p.entries = append(p.entries, makeEntry(
+				cloneBytes(data[off:off+kl]),
+				cloneBytes(data[off+kl:off+kl+vl]),
+				seq, vl, del))
 			off += kl + vl
 		}
 		return p, true

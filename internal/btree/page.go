@@ -3,6 +3,7 @@ package btree
 import (
 	"bytes"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/kv"
 )
@@ -10,10 +11,12 @@ import (
 // fileExtent aliases the shared extent type; see internal/extalloc.
 type fileExtent = extalloc.Extent
 
-// pageID identifies an in-memory page. IDs are never reused.
-type pageID uint32
+// pageID identifies an in-memory page. IDs are never reused. It aliases
+// the shared core's node id so pages plug into internal/cowtree without
+// conversions.
+type pageID = cowtree.NodeID
 
-const nilPage pageID = 0
+const nilPage = cowtree.NilNode
 
 // entryOverhead is the serialized per-entry header in a leaf:
 // keyLen(2) + valueLen(4) + seq(8).
@@ -42,6 +45,11 @@ type page struct {
 	seps     [][]byte
 	children []pageID
 
+	// sepCache holds the separators' word decomposition so descents
+	// probe raw uint64 pairs (see kv.SepCache); maintained by
+	// refreshSepCache/insertSepCache after any seps mutation.
+	sepCache kv.SepCache
+
 	// childExtents is only populated on pages reconstructed from disk
 	// (recovery): the on-disk locations of the children, in child order.
 	childExtents []fileExtent
@@ -63,6 +71,14 @@ type page struct {
 	next pageID
 }
 
+// mem bundles the tree's allocation helpers handed to page methods: the
+// arena backs retained key/value copies, the pool recycles leaf entry
+// arrays displaced by growth and splits.
+type mem struct {
+	arena   cowtree.Arena
+	entries cowtree.Pool[leafEntry]
+}
+
 // leafEntry is one key-value record inside a leaf page.
 type leafEntry struct {
 	key  []byte
@@ -70,6 +86,12 @@ type leafEntry struct {
 	seq  uint64
 	vlen int32
 	del  bool
+}
+
+// makeEntry builds a leafEntry value (one construction point keeps the
+// field order in one place).
+func makeEntry(key, val []byte, seq uint64, vlen int, del bool) leafEntry {
+	return leafEntry{key: key, val: val, seq: seq, vlen: int32(vlen), del: del}
 }
 
 // bytes returns the entry's serialized footprint.
@@ -100,9 +122,16 @@ func (p *page) search(target []byte) int {
 	return lo
 }
 
+// refreshSepCache rebuilds the separator word cache. Callers invoke it
+// after every seps mutation.
+func (p *page) refreshSepCache() { p.sepCache.Refresh(p.seps) }
+
 // childFor returns the child page covering target in an internal page.
 func (p *page) childFor(target []byte) pageID {
 	wHi, wLo, fast := kv.DecomposeKey(target)
+	if fast && p.sepCache.Fast() {
+		return p.children[p.sepCache.UpperBound(wHi, wLo)]
+	}
 	lo, hi := 0, len(p.seps)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -133,8 +162,10 @@ func (p *page) childIndex(id pageID) int {
 
 // insertLeaf inserts or replaces an entry, returning the serialized size
 // delta. When val is non-nil it overrides vlen, keeping the stored bytes
-// and the accounted size consistent.
-func (p *page) insertLeaf(key, val []byte, vlen int, seq uint64, del bool) int {
+// and the accounted size consistent. Retained key/value copies come from
+// the tree's arena and array growth recycles through the entry pool, so
+// the steady-state path costs no heap allocation.
+func (p *page) insertLeaf(m *mem, key, val []byte, vlen int, seq uint64, del bool) int {
 	if val != nil {
 		vlen = len(val)
 	}
@@ -142,7 +173,7 @@ func (p *page) insertLeaf(key, val []byte, vlen int, seq uint64, del bool) int {
 	if i < len(p.entries) && bytes.Equal(p.entries[i].key, key) {
 		e := &p.entries[i]
 		old := e.bytes()
-		e.val = cloneBytes(val)
+		e.val = m.arena.Clone(val)
 		e.vlen = int32(vlen)
 		e.seq = seq
 		e.del = del
@@ -150,15 +181,8 @@ func (p *page) insertLeaf(key, val []byte, vlen int, seq uint64, del bool) int {
 		p.serialized += delta
 		return delta
 	}
-	p.entries = append(p.entries, leafEntry{})
-	copy(p.entries[i+1:], p.entries[i:])
-	p.entries[i] = leafEntry{
-		key:  cloneBytes(key),
-		val:  cloneBytes(val),
-		seq:  seq,
-		vlen: int32(vlen),
-		del:  del,
-	}
+	p.entries = m.entries.GrowInsert(p.entries, i,
+		makeEntry(m.arena.Clone(key), m.arena.Clone(val), seq, vlen, del))
 	delta := entryOverhead + len(key) + vlen
 	p.serialized += delta
 	return delta
@@ -172,23 +196,24 @@ func (p *page) removeLeafAt(i int) {
 	p.serialized -= sz
 }
 
-// splitLeaf moves the upper half of the entries to a new page and returns
-// it with the separator key (first key of the new page).
-func (p *page) splitLeaf(newID pageID) (*page, []byte) {
+// splitLeaf moves the upper half of the entries into right (a fresh
+// slab-allocated page) and returns it with the separator key (first key
+// of the new page). The moved half draws pooled storage whose capacity
+// class (next power of two) leaves room to refill toward the page's own
+// split without regrowing.
+func (p *page) splitLeaf(m *mem, right *page, newID pageID) (*page, []byte) {
 	mid := len(p.entries) / 2
-	right := &page{
-		id:      newID,
-		parent:  p.parent,
-		leaf:    true,
-		entries: append([]leafEntry(nil), p.entries[mid:]...),
-	}
-	var moved int
+	right.id = newID
+	right.parent = p.parent
+	right.leaf = true
+	right.entries = m.entries.CloneTail(p.entries, mid)
+	var movedBytes int
 	for i := mid; i < len(p.entries); i++ {
-		moved += p.entries[i].bytes()
+		movedBytes += p.entries[i].bytes()
 	}
-	right.serialized = pageHeaderBytes + moved
+	right.serialized = pageHeaderBytes + movedBytes
 	p.entries = p.entries[:mid]
-	p.serialized -= moved
+	p.serialized -= movedBytes
 	// Maintain the leaf chain.
 	right.next = p.next
 	p.next = right.id
@@ -201,33 +226,39 @@ func (p *page) splitLeaf(newID pageID) (*page, []byte) {
 const childRefBytes = 12
 
 // insertChild adds a separator and child after position idx in an
-// internal page.
-func (p *page) insertChild(idx int, sep []byte, child pageID) {
+// internal page. The separator copy comes from the tree's arena.
+func (p *page) insertChild(m *mem, idx int, sep []byte, child pageID) {
 	p.seps = append(p.seps, nil)
 	copy(p.seps[idx+1:], p.seps[idx:])
-	p.seps[idx] = cloneBytes(sep)
+	p.seps[idx] = m.arena.Clone(sep)
 	p.children = append(p.children, nilPage)
 	copy(p.children[idx+2:], p.children[idx+1:])
 	p.children[idx+1] = child
 	p.serialized += 2 + len(sep) + childRefBytes
+	p.insertSepCache(idx, p.seps[idx])
 }
 
-// splitInternal moves the upper half of an internal page to a new page,
-// returning the new page and the separator promoted to the parent.
-func (p *page) splitInternal(newID pageID) (*page, []byte) {
+// insertSepCache splices one separator's decomposed words into the word
+// cache.
+func (p *page) insertSepCache(idx int, sep []byte) { p.sepCache.Insert(idx, sep) }
+
+// splitInternal moves the upper half of an internal page into right (a
+// fresh slab-allocated page), returning it and the separator promoted to
+// the parent.
+func (p *page) splitInternal(right *page, newID pageID) (*page, []byte) {
 	mid := len(p.seps) / 2
 	promoted := p.seps[mid]
-	right := &page{
-		id:       newID,
-		parent:   p.parent,
-		leaf:     false,
-		seps:     append([][]byte(nil), p.seps[mid+1:]...),
-		children: append([]pageID(nil), p.children[mid+1:]...),
-	}
+	right.id = newID
+	right.parent = p.parent
+	right.leaf = false
+	right.seps = append([][]byte(nil), p.seps[mid+1:]...)
+	right.children = append([]pageID(nil), p.children[mid+1:]...)
 	right.recomputeSerialized()
+	right.refreshSepCache()
 	p.seps = p.seps[:mid]
 	p.children = p.children[:mid+1]
 	p.recomputeSerialized()
+	p.refreshSepCache()
 	return right, promoted
 }
 

@@ -2,124 +2,20 @@ package btree
 
 import (
 	"bytes"
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
-	"sort"
-	"strings"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/wal"
 )
 
-// Checkpoint metadata: a double-buffered pair of tiny files records the
-// root page's on-disk extent and the sequence high-water mark of the last
-// completed checkpoint. Recovery parses the tree from the root and
-// replays the surviving journal segments on top.
-
-const (
-	metaA     = "wtmeta-A"
-	metaB     = "wtmeta-B"
-	metaMagic = 0x57544D54 // "WTMT"
-	metaBytes = 4 + 8 + 8 + 8 + 4 + 8 + 4
-)
-
-type metaState struct {
-	gen       uint64 // checkpoint generation
-	seq       uint64 // KV sequence high-water mark at checkpoint
-	journalID uint64
-	root      fileExtent
-}
-
-func (m *metaState) encode() []byte {
-	b := make([]byte, metaBytes)
-	binary.LittleEndian.PutUint32(b[0:], metaMagic)
-	binary.LittleEndian.PutUint64(b[4:], m.gen)
-	binary.LittleEndian.PutUint64(b[12:], m.seq)
-	binary.LittleEndian.PutUint64(b[20:], uint64(m.root.Start))
-	binary.LittleEndian.PutUint32(b[28:], uint32(m.root.Pages))
-	binary.LittleEndian.PutUint64(b[32:], m.journalID)
-	binary.LittleEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
-	return b
-}
-
-func decodeMeta(b []byte) (*metaState, error) {
-	if len(b) < metaBytes {
-		return nil, fmt.Errorf("btree: metadata too short")
-	}
-	if binary.LittleEndian.Uint32(b[0:]) != metaMagic {
-		return nil, fmt.Errorf("btree: bad metadata magic")
-	}
-	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:]) {
-		return nil, fmt.Errorf("btree: metadata CRC mismatch")
-	}
-	return &metaState{
-		gen:       binary.LittleEndian.Uint64(b[4:]),
-		seq:       binary.LittleEndian.Uint64(b[12:]),
-		journalID: binary.LittleEndian.Uint64(b[32:]),
-		root: fileExtent{
-			Start: int64(binary.LittleEndian.Uint64(b[20:])),
-			Pages: int64(binary.LittleEndian.Uint32(b[28:])),
-		},
-	}, nil
-}
-
-// writeMeta persists the checkpoint metadata into the older slot.
-func (t *Tree) writeMeta(now sim.Duration) (sim.Duration, error) {
-	root := t.pages[t.root]
-	if root.disk.Pages == 0 {
-		// A root that was never written (e.g. an empty tree checkpoint);
-		// nothing durable to point at yet.
-		return now, nil
-	}
-	t.metaGen++
-	st := metaState{gen: t.metaGen, seq: t.seq, journalID: t.journalID, root: root.disk}
-	name := metaA
-	if t.metaGen%2 == 0 {
-		name = metaB
-	}
-	f, err := t.fs.Open(name)
-	if err != nil {
-		if f, err = t.fs.Create(name); err != nil {
-			return now, err
-		}
-		if err := f.Grow(1); err != nil {
-			return now, err
-		}
-	}
-	var data []byte
-	if t.cfg.Content {
-		data = make([]byte, t.fs.PageSize())
-		copy(data, st.encode())
-	}
-	return f.WriteAt(now, 0, 1, data)
-}
-
-// readMeta loads the newest valid checkpoint metadata, or nil.
-func readMeta(fs *extfs.FS, now sim.Duration) (*metaState, sim.Duration, error) {
-	var best *metaState
-	for _, name := range []string{metaA, metaB} {
-		f, err := fs.Open(name)
-		if err != nil {
-			continue
-		}
-		buf := make([]byte, f.SizePages()*int64(fs.PageSize()))
-		now, err = f.ReadAt(now, 0, int(f.SizePages()), buf)
-		if err != nil {
-			return nil, now, err
-		}
-		st, err := decodeMeta(buf)
-		if err != nil {
-			continue
-		}
-		if best == nil || st.gen > best.gen {
-			best = st
-		}
-	}
-	return best, now, nil
-}
+// The recovery skeleton — metadata selection, the top-down tree walk,
+// free-list reconstruction, leaf-chain rebuild, sequence-ordered journal
+// replay and stale-segment retirement — lives in internal/cowtree. This
+// file provides the engine-specific hooks: page materialization (the
+// codec) and the journal-record apply path.
 
 // Recover reopens a B+Tree from its on-device state: the newest
 // checkpoint metadata locates the root, the tree is parsed top-down, and
@@ -134,7 +30,7 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	if !cfg.Content {
 		return nil, now, fmt.Errorf("btree: Recover requires content mode")
 	}
-	st, now, err := readMeta(fs, now)
+	st, now, err := cowtree.ReadMeta(fs, "wtmeta", metaMagic, "btree", now)
 	if err != nil {
 		return nil, now, err
 	}
@@ -146,108 +42,49 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 		return nil, now, fmt.Errorf("btree: collection file missing: %w", err)
 	}
 	t := &Tree{
-		cfg:       cfg,
-		fs:        fs,
-		file:      f,
-		bm:        extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
-		pages:     make([]*page, 1, 64), // index 0 is nilPage
-		ckptW:     sim.NewWorker("btree-checkpoint"),
-		seq:       st.seq,
-		journalID: st.journalID,
-		metaGen:   st.gen,
+		cfg:   cfg,
+		fs:    fs,
+		file:  f,
+		bm:    extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
+		pages: make([]*page, 1, 64), // index 0 is nilPage
+		seq:   st.Seq,
 	}
-	// Rebuild the tree from the root. Extents seen during the walk are
-	// live; everything else inside the file is free space.
-	used := []fileExtent{}
-	rootID, done, err := t.loadSubtree(now, st.root, nilPage, &used)
+	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
+	t.core.SetJournalState(st.JournalID, st.Gen)
+	// Rebuild the tree from the root (extents seen during the walk are
+	// live; everything else inside the file is free space), then replay
+	// the surviving journal segments, newest records winning.
+	now, err = t.core.RecoverTree(now, st.Root, t, func(id cowtree.NodeID) {
+		t.root = id
+		if root := t.pages[id]; root.leaf {
+			t.admit(root)
+		}
+	})
 	if err != nil {
 		return nil, now, err
 	}
-	now = done
-	t.root = rootID
-	t.rebuildFreeList(used)
-	t.rebuildLeafChain()
-	if root := t.pages[t.root]; root.leaf {
-		t.admit(root)
-	}
-	// Replay journals, newest records win; guard on per-key sequence so
-	// flushed updates are not regressed.
-	var records []wal.Record
-	var segments []string
-	for _, name := range fs.List() {
-		if !strings.HasPrefix(name, "journal-") {
-			continue
-		}
-		segments = append(segments, name)
-		done, err := wal.Replay(fs, name, now, func(r wal.Record) {
-			records = append(records, r)
-		})
-		if err != nil {
-			return nil, now, err
-		}
-		now = done
-	}
-	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
-	for i := range records {
-		r := &records[i]
-		if err := t.applyRecovered(r); err != nil {
-			return nil, now, err
-		}
-		if r.Seq > t.seq {
-			t.seq = r.Seq
-		}
-	}
 	// Fresh journal; make the replayed state durable, then retire stale
 	// segments.
-	if !cfg.DisableJournal {
-		w, err := wal.Create(fs, t.journalName(), cfg.Content)
-		if err != nil {
-			return nil, now, err
-		}
-		t.journal = w
+	if err := t.core.StartJournal(); err != nil {
+		return nil, now, err
 	}
 	if end, err := t.FlushAll(now); err != nil {
 		return nil, now, err
 	} else if end > now {
 		now = end
 	}
-	for _, name := range segments {
-		if t.journal != nil && name == t.journal.Name() {
-			continue
-		}
-		if t.poolTracks(name) {
-			continue
-		}
-		if err := fs.Remove(name); err != nil {
-			return nil, now, err
-		}
+	if err := t.core.RetireStaleSegments(); err != nil {
+		return nil, now, err
 	}
 	return t, now, nil
 }
 
-func (t *Tree) poolTracks(name string) bool {
-	for _, w := range t.journalPool {
-		if w.Name() == name {
-			return true
-		}
-	}
-	return false
-}
-
-// loadSubtree reads and parses the page at ext, recursing into children,
-// and returns the assigned in-memory page id.
-func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent pageID, used *[]fileExtent) (pageID, sim.Duration, error) {
-	if ext.Pages <= 0 {
-		return nilPage, now, fmt.Errorf("btree: empty extent in tree walk")
-	}
-	buf := make([]byte, int(ext.Pages)*t.fs.PageSize())
-	now, err := t.file.ReadAt(now, ext.Start, int(ext.Pages), buf)
-	if err != nil {
-		return nilPage, now, err
-	}
-	p, ok := parsePage(buf)
+// MaterializeNode implements cowtree.RecoveryEngine: parse one on-disk
+// image, register the page and return its child extents for the walk.
+func (t *Tree) MaterializeNode(data []byte, ext cowtree.Extent, parent cowtree.NodeID) (cowtree.NodeID, []cowtree.Extent, error) {
+	p, ok := parsePage(data)
 	if !ok {
-		return nilPage, now, fmt.Errorf("btree: corrupt page at extent %d+%d", ext.Start, ext.Pages)
+		return nilPage, nil, fmt.Errorf("btree: corrupt page at extent %d+%d", ext.Start, ext.Pages)
 	}
 	t.nextID++
 	p.id = t.nextID
@@ -262,76 +99,41 @@ func (t *Tree) loadSubtree(now sim.Duration, ext fileExtent, parent pageID, used
 		p.serialized = pageHeaderBytes + sz
 	} else {
 		p.recomputeSerialized()
+		p.refreshSepCache()
 	}
 	t.registerPage(p)
-	*used = append(*used, ext)
-	if !p.leaf {
-		for i, ce := range p.childExtents {
-			childID, done, err := t.loadSubtree(now, ce, p.id, used)
-			if err != nil {
-				return nilPage, now, err
-			}
-			now = done
-			p.children[i] = childID
-		}
-		p.childExtents = nil
-	}
-	return p.id, now, nil
+	childExts := p.childExtents
+	p.childExtents = nil
+	return p.id, childExts, nil
 }
 
-// rebuildFreeList reconstructs the block manager's free list as the
-// complement of the extents the tree references.
-func (t *Tree) rebuildFreeList(used []fileExtent) {
-	sort.Slice(used, func(i, j int) bool { return used[i].Start < used[j].Start })
-	var cursor int64
-	for _, e := range used {
-		if e.Start > cursor {
-			t.bm.Release(fileExtent{Start: cursor, Pages: e.Start - cursor})
-		}
-		if end := e.Start + e.Pages; end > cursor {
-			cursor = end
-		}
-	}
-	if total := t.file.SizePages(); total > cursor {
-		t.bm.Release(fileExtent{Start: cursor, Pages: total - cursor})
-	}
+// LinkChild implements cowtree.RecoveryEngine.
+func (t *Tree) LinkChild(parent cowtree.NodeID, i int, child cowtree.NodeID) {
+	t.pages[parent].children[i] = child
 }
 
-// rebuildLeafChain links leaves left-to-right by walking the tree in
-// order.
-func (t *Tree) rebuildLeafChain() {
-	var prev *page
-	var walk func(id pageID)
-	walk = func(id pageID) {
-		p := t.pages[id]
-		if p.leaf {
-			if prev != nil {
-				prev.next = p.id
-			}
-			prev = p
-			return
-		}
-		for _, c := range p.children {
-			walk(c)
-		}
-	}
-	walk(t.root)
-}
+// SetNext implements cowtree.RecoveryEngine (the left-to-right leaf
+// chain scans follow).
+func (t *Tree) SetNext(id, next cowtree.NodeID) { t.pages[id].next = next }
 
-// applyRecovered replays one journal record through the insert path
-// (without journaling, CPU costs or eviction), guarded by sequence so
-// stale records never overwrite newer on-disk state.
-func (t *Tree) applyRecovered(r *wal.Record) error {
+// ApplyRecovered implements cowtree.RecoveryEngine: replay one journal
+// record through the insert path (without journaling, CPU costs or
+// eviction), guarded by sequence so stale records never overwrite newer
+// on-disk state.
+func (t *Tree) ApplyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, error) {
+	if r.Seq > t.seq {
+		t.seq = r.Seq
+	}
 	leaf := t.descend(r.Key)
 	i := leaf.search(r.Key)
 	if i < len(leaf.entries) && bytes.Equal(leaf.entries[i].key, r.Key) && leaf.entries[i].seq >= r.Seq {
-		return nil // on-disk state is as new or newer
+		return now, nil // on-disk state is as new or newer
 	}
 	vlen := r.ValueLen
 	if r.Value != nil {
 		vlen = len(r.Value)
 	}
-	delta := leaf.insertLeaf(r.Key, r.Value, vlen, r.Seq, r.Deleted)
+	delta := leaf.insertLeaf(&t.mem, r.Key, r.Value, vlen, r.Seq, r.Deleted)
 	if leaf.resident {
 		t.residentBytes += int64(delta)
 	}
@@ -339,5 +141,5 @@ func (t *Tree) applyRecovered(r *wal.Record) error {
 	if leaf.serialized > t.cfg.LeafPageBytes {
 		t.splitLeaf(leaf)
 	}
-	return nil
+	return now, nil
 }

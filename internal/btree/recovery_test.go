@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"ptsbench/internal/cowtree"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/sim"
@@ -273,7 +274,7 @@ func TestBTreeRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
 	// submitted only after the root has grown, so the commit provably
 	// runs against a root the snapshot has never seen (submitting first
 	// would let the foreground Pump drain the job before the growth).
-	job, err := tr.newCheckpointJob()
+	job, err := tr.core.NewCheckpointJob()
 	if err != nil || job == nil {
 		t.Fatalf("no checkpoint job: %v", err)
 	}
@@ -290,7 +291,7 @@ func TestBTreeRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
 		id++
 	}
 	total := id
-	tr.ckptW.Submit(job)
+	tr.core.Worker().Submit(job)
 	now = tr.Quiesce(now) // the racy checkpoint commits here
 	_ = now
 	re, rnow, err := Recover(fs, tr.cfg, 0)
@@ -306,20 +307,20 @@ func TestBTreeRecoverAfterMidCheckpointRootGrowth(t *testing.T) {
 }
 
 func TestMetaEncodeDecode(t *testing.T) {
-	st := metaState{gen: 7, seq: 1234, journalID: 3, root: fileExtent{Start: 99, Pages: 4}}
-	got, err := decodeMeta(st.encode())
+	st := cowtree.Meta{Gen: 7, Seq: 1234, JournalID: 3, Root: fileExtent{Start: 99, Pages: 4}}
+	got, err := cowtree.DecodeMeta(cowtree.EncodeMeta(&st, metaMagic), metaMagic, "btree")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if *got != st {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, st)
 	}
-	enc := st.encode()
+	enc := cowtree.EncodeMeta(&st, metaMagic)
 	enc[5] ^= 0xFF
-	if _, err := decodeMeta(enc); err == nil {
+	if _, err := cowtree.DecodeMeta(enc, metaMagic, "btree"); err == nil {
 		t.Fatal("corrupted metadata should fail")
 	}
-	if _, err := decodeMeta([]byte{1}); err == nil {
+	if _, err := cowtree.DecodeMeta([]byte{1}, metaMagic, "btree"); err == nil {
 		t.Fatal("short metadata should fail")
 	}
 }

@@ -1,0 +1,131 @@
+package cowtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/sim"
+)
+
+// Checkpoint metadata: a double-buffered pair of tiny files records the
+// root node's on-disk extent and the sequence high-water mark of the
+// last completed checkpoint. Recovery parses the tree from the root and
+// replays the surviving journal segments on top. The layout (and each
+// engine's magic and file names) is exactly what the engines wrote
+// before the extraction, so existing on-device state stays readable.
+
+// metaBytes is the encoded metadata size:
+// magic(4) + gen(8) + seq(8) + rootStart(8) + rootPages(4) +
+// journalID(8) + crc(4).
+const metaBytes = 4 + 8 + 8 + 8 + 4 + 8 + 4
+
+// Meta is one decoded checkpoint metadata record.
+type Meta struct {
+	Gen       uint64 // checkpoint generation
+	Seq       uint64 // KV sequence high-water mark at checkpoint
+	JournalID uint64
+	Root      Extent
+}
+
+// EncodeMeta serializes a metadata record under the given magic.
+func EncodeMeta(m *Meta, magic uint32) []byte {
+	b := make([]byte, metaBytes)
+	binary.LittleEndian.PutUint32(b[0:], magic)
+	binary.LittleEndian.PutUint64(b[4:], m.Gen)
+	binary.LittleEndian.PutUint64(b[12:], m.Seq)
+	binary.LittleEndian.PutUint64(b[20:], uint64(m.Root.Start))
+	binary.LittleEndian.PutUint32(b[28:], uint32(m.Root.Pages))
+	binary.LittleEndian.PutUint64(b[32:], m.JournalID)
+	binary.LittleEndian.PutUint32(b[40:], crc32.ChecksumIEEE(b[:40]))
+	return b
+}
+
+// DecodeMeta parses a metadata record, verifying magic and CRC. name
+// tags errors with the owning engine.
+func DecodeMeta(b []byte, magic uint32, name string) (*Meta, error) {
+	if len(b) < metaBytes {
+		return nil, fmt.Errorf("%s: metadata too short", name)
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != magic {
+		return nil, fmt.Errorf("%s: bad metadata magic", name)
+	}
+	if crc32.ChecksumIEEE(b[:40]) != binary.LittleEndian.Uint32(b[40:]) {
+		return nil, fmt.Errorf("%s: metadata CRC mismatch", name)
+	}
+	return &Meta{
+		Gen:       binary.LittleEndian.Uint64(b[4:]),
+		Seq:       binary.LittleEndian.Uint64(b[12:]),
+		JournalID: binary.LittleEndian.Uint64(b[32:]),
+		Root: Extent{
+			Start: int64(binary.LittleEndian.Uint64(b[20:])),
+			Pages: int64(binary.LittleEndian.Uint32(b[28:])),
+		},
+	}, nil
+}
+
+// metaName returns the metadata slot file name for a generation.
+func metaName(prefix string, gen uint64) string {
+	if gen%2 == 0 {
+		return prefix + "-B"
+	}
+	return prefix + "-A"
+}
+
+// WriteMeta persists the checkpoint metadata into the older slot. A root
+// that was never written (e.g. an empty-tree checkpoint) leaves nothing
+// durable to point at yet, so the write declines silently.
+func (c *Core) WriteMeta(now sim.Duration) (sim.Duration, error) {
+	root := c.eng.Root()
+	disk := c.eng.DiskExtent(root)
+	if disk.Pages == 0 {
+		return now, nil
+	}
+	c.metaGen++
+	m := Meta{Gen: c.metaGen, Seq: c.eng.Seq(), JournalID: c.journalID, Root: disk}
+	name := metaName(c.cfg.MetaPrefix, c.metaGen)
+	f, err := c.fs.Open(name)
+	if err != nil {
+		if f, err = c.fs.Create(name); err != nil {
+			return now, err
+		}
+		if err := f.Grow(1); err != nil {
+			return now, err
+		}
+	}
+	var data []byte
+	if c.cfg.Content {
+		if c.metaBuf == nil {
+			c.metaBuf = make([]byte, c.fs.PageSize())
+		}
+		data = c.metaBuf
+		copy(data, EncodeMeta(&m, c.cfg.MetaMagic))
+	}
+	return f.WriteAt(now, 0, 1, data)
+}
+
+// ReadMeta loads the newest valid checkpoint metadata from the
+// double-buffered slot pair, or nil when neither slot holds one.
+func ReadMeta(fs *extfs.FS, prefix string, magic uint32, name string, now sim.Duration) (*Meta, sim.Duration, error) {
+	var best *Meta
+	for _, slot := range []string{prefix + "-A", prefix + "-B"} {
+		f, err := fs.Open(slot)
+		if err != nil {
+			continue
+		}
+		buf := make([]byte, f.SizePages()*int64(fs.PageSize()))
+		now, err = f.ReadAt(now, 0, int(f.SizePages()), buf)
+		if err != nil {
+			return nil, now, err
+		}
+		m, err := DecodeMeta(buf, magic, name)
+		if err != nil {
+			continue
+		}
+		if best == nil || m.Gen > best.Gen {
+			best = m
+		}
+	}
+	return best, now, nil
+}

@@ -1,0 +1,174 @@
+package cowtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ptsbench/internal/sim"
+	"ptsbench/internal/wal"
+)
+
+// RecoveryEngine extends Engine with the hooks recovery needs: the
+// engine materializes nodes from their serialized images (its codec)
+// and applies replayed journal records (its insert path); the core
+// drives the tree walk, free-list reconstruction, leaf-chain rebuild
+// and sequence-ordered replay.
+type RecoveryEngine interface {
+	Engine
+	// MaterializeNode parses one on-disk image into a freshly
+	// registered node and returns its id plus, for interior nodes, the
+	// on-disk extents of its children in child order (nil for leaves).
+	// The engine records ext as the node's current location.
+	MaterializeNode(data []byte, ext Extent, parent NodeID) (NodeID, []Extent, error)
+	// LinkChild records that the interior node's i-th child is the node
+	// with the given id.
+	LinkChild(parent NodeID, i int, child NodeID)
+	// SetNext chains leaves left-to-right for range scans.
+	SetNext(id, next NodeID)
+	// ApplyRecovered replays one journal record through the engine's
+	// insert path (without journaling, CPU costs or eviction),
+	// sequence-guarded so stale records never overwrite newer on-disk
+	// state. The engine also advances its sequence high-water mark.
+	ApplyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, error)
+}
+
+// RecoverTree rebuilds the engine's in-memory tree from the checkpoint
+// root extent and replays surviving journal segments on top: the tree
+// is parsed top-down (extents seen during the walk are live; everything
+// else inside the collection file is free space), the block manager's
+// free list is reconstructed as the complement, leaves are re-chained
+// left-to-right, and journal records are replayed in sequence order.
+// The setRoot callback hands the engine its recovered root id before
+// the chain rebuild and replay run (both consult eng.Root()).
+func (c *Core) RecoverTree(now sim.Duration, rootExt Extent, eng RecoveryEngine, setRoot func(NodeID)) (sim.Duration, error) {
+	used := []Extent{}
+	rootID, now, err := c.loadSubtree(now, rootExt, NilNode, eng, &used)
+	if err != nil {
+		return now, err
+	}
+	setRoot(rootID)
+	c.rebuildFreeList(used)
+	c.rebuildLeafChain(eng)
+	now, err = c.replayJournals(now, eng)
+	if err != nil {
+		return now, err
+	}
+	return now, nil
+}
+
+// loadSubtree reads and parses the node at ext, recursing into children,
+// and returns the engine-assigned node id.
+func (c *Core) loadSubtree(now sim.Duration, ext Extent, parent NodeID, eng RecoveryEngine, used *[]Extent) (NodeID, sim.Duration, error) {
+	if ext.Pages <= 0 {
+		return NilNode, now, fmt.Errorf("%s: empty extent in tree walk", c.cfg.Name)
+	}
+	buf := make([]byte, int(ext.Pages)*c.fs.PageSize())
+	now, err := c.file.ReadAt(now, ext.Start, int(ext.Pages), buf)
+	if err != nil {
+		return NilNode, now, err
+	}
+	id, childExts, err := eng.MaterializeNode(buf, ext, parent)
+	if err != nil {
+		return NilNode, now, err
+	}
+	*used = append(*used, ext)
+	for i, ce := range childExts {
+		childID, done, err := c.loadSubtree(now, ce, id, eng, used)
+		if err != nil {
+			return NilNode, now, err
+		}
+		now = done
+		eng.LinkChild(id, i, childID)
+	}
+	return id, now, nil
+}
+
+// rebuildFreeList reconstructs the block manager's free list as the
+// complement of the extents the tree references.
+func (c *Core) rebuildFreeList(used []Extent) {
+	sort.Slice(used, func(i, j int) bool { return used[i].Start < used[j].Start })
+	var cursor int64
+	for _, e := range used {
+		if e.Start > cursor {
+			c.bm.Release(Extent{Start: cursor, Pages: e.Start - cursor})
+		}
+		if end := e.Start + e.Pages; end > cursor {
+			cursor = end
+		}
+	}
+	if total := c.file.SizePages(); total > cursor {
+		c.bm.Release(Extent{Start: cursor, Pages: total - cursor})
+	}
+}
+
+// rebuildLeafChain links leaves left-to-right by walking the tree in
+// order.
+func (c *Core) rebuildLeafChain(eng RecoveryEngine) {
+	prev := NilNode
+	var walk func(id NodeID)
+	walk = func(id NodeID) {
+		if eng.Leaf(id) {
+			if prev != NilNode {
+				eng.SetNext(prev, id)
+			}
+			prev = id
+			return
+		}
+		for _, child := range eng.Children(id) {
+			walk(child)
+		}
+	}
+	walk(eng.Root())
+}
+
+// replayJournals collects every surviving journal segment, replays the
+// records in global sequence order through the engine's recovery apply
+// path, and remembers the segment names so RetireStaleSegments can
+// remove them once the replayed state is durable again.
+func (c *Core) replayJournals(now sim.Duration, eng RecoveryEngine) (sim.Duration, error) {
+	var records []wal.Record
+	c.segments = c.segments[:0]
+	for _, name := range c.fs.List() {
+		if !strings.HasPrefix(name, c.cfg.JournalPrefix) {
+			continue
+		}
+		c.segments = append(c.segments, name)
+		done, err := wal.Replay(c.fs, name, now, func(r wal.Record) {
+			records = append(records, r)
+		})
+		if err != nil {
+			return now, err
+		}
+		now = done
+	}
+	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
+	for i := range records {
+		var err error
+		now, err = eng.ApplyRecovered(now, &records[i])
+		if err != nil {
+			return now, err
+		}
+	}
+	return now, nil
+}
+
+// RetireStaleSegments removes the replayed journal segments, keeping the
+// active writer's segment and any recycled segment waiting in the pool.
+// Call it after the replayed state has been made durable (StartJournal +
+// a full checkpoint).
+func (c *Core) RetireStaleSegments() error {
+	for _, name := range c.segments {
+		if c.journal != nil && name == c.journal.Name() {
+			continue
+		}
+		if c.poolTracks(name) {
+			continue
+		}
+		if err := c.fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	c.segments = nil
+	return nil
+}

@@ -1,0 +1,507 @@
+package cowtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/extalloc"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/wal"
+)
+
+// This file implements stubTree, a deliberately tiny copy-on-write tree
+// engine over the Core — fixed fanout, uint64 keys, no cache, no
+// buffers — exercised by the engine-agnostic regression tests in
+// checkpoint_test.go. It is also the reference answer to "what must an
+// engine implement": the Engine/RecoveryEngine methods below plus a
+// node codec and an insert path are the entire integration surface.
+
+const (
+	stubLeafMax   = 8          // entries per leaf before a split
+	stubFanoutMax = 4          // children per interior node before a split
+	stubMagic     = 0x53545542 // "STUB"
+	stubMetaMagic = 0x53544d54 // "STMT"
+)
+
+type stubNode struct {
+	id     NodeID
+	parent NodeID
+	leaf   bool
+
+	// Leaf payload, sorted by key.
+	keys []uint64
+	vals [][]byte
+	seqs []uint64
+
+	// Interior payload: children[i] covers keys < seps[i].
+	seps     []uint64
+	children []NodeID
+
+	childExtents []Extent // recovery only
+
+	dirty bool
+	disk  Extent
+	next  NodeID
+}
+
+type stubTree struct {
+	core   Core
+	fs     *extfs.FS
+	file   *extfs.File
+	bm     *extalloc.Manager
+	nodes  []*stubNode
+	root   NodeID
+	nextID NodeID
+	seq    uint64
+}
+
+// stubEnv mounts a content-enabled simulated device.
+func stubEnv() (*extfs.FS, error) {
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  32 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 32,
+		Profile: flash.Profile{
+			Name:       "stub",
+			ReadFixed:  5 * time.Microsecond,
+			WriteFixed: 5 * time.Microsecond,
+			ReadBW:     2 << 30,
+			WriteBW:    1 << 30,
+			HardwareOP: 0.25,
+			EraseTime:  200 * time.Microsecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	dev := blockdev.New(ssd)
+	dev.EnableContentStore()
+	return extfs.Mount(dev, extfs.Options{})
+}
+
+func stubConfig(interval time.Duration, chunkPages int) Config {
+	return Config{
+		Name:                   "stub",
+		MetaPrefix:             "stmeta",
+		MetaMagic:              stubMetaMagic,
+		JournalPrefix:          "sjournal-",
+		ChunkPages:             chunkPages,
+		CheckpointInterval:     interval,
+		CheckpointPendingBytes: 1 << 30, // interval-driven only
+		Content:                true,
+	}
+}
+
+func openStub(fs *extfs.FS, cfg Config) (*stubTree, error) {
+	f, err := fs.Create("collection.stub")
+	if err != nil {
+		return nil, err
+	}
+	t := &stubTree{
+		fs:    fs,
+		file:  f,
+		bm:    extalloc.New(f, 64),
+		nodes: make([]*stubNode, 1, 16), // index 0 is NilNode
+	}
+	t.core.Init(t, fs, f, t.bm, cfg)
+	root := t.newNode(true)
+	root.parent = NilNode
+	t.root = root.id
+	if err := t.core.StartJournal(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *stubTree) newNode(leaf bool) *stubNode {
+	t.nextID++
+	n := &stubNode{id: t.nextID, leaf: leaf}
+	if int(n.id) != len(t.nodes) {
+		panic("stub: ids must be sequential")
+	}
+	t.nodes = append(t.nodes, n)
+	t.markDirty(n)
+	return n
+}
+
+func (t *stubTree) markDirty(n *stubNode) {
+	if n.dirty {
+		return
+	}
+	n.dirty = true
+	t.core.TrackDirty(n.id)
+}
+
+// ---- Engine implementation ----
+
+func (t *stubTree) Root() NodeID            { return t.root }
+func (t *stubTree) Parent(id NodeID) NodeID { return t.nodes[id].parent }
+func (t *stubTree) Leaf(id NodeID) bool     { return t.nodes[id].leaf }
+func (t *stubTree) Children(id NodeID) []NodeID {
+	return t.nodes[id].children
+}
+func (t *stubTree) Dirty(id NodeID) bool { return t.nodes[id].dirty }
+func (t *stubTree) NeedsWrite(id NodeID) bool {
+	n := t.nodes[id]
+	return n.dirty || n.disk.Pages == 0
+}
+func (t *stubTree) AppendNeedsWrite(id NodeID, dst []NodeID) []NodeID {
+	for _, c := range t.nodes[id].children {
+		if n := t.nodes[c]; n.dirty || n.disk.Pages == 0 {
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+func (t *stubTree) Live(id NodeID) bool         { return t.nodes[id] != nil }
+func (t *stubTree) DiskExtent(id NodeID) Extent { return t.nodes[id].disk }
+func (t *stubTree) SerializedBytes(id NodeID) int {
+	return len(serializeStub(t.nodes[id], nil))
+}
+func (t *stubTree) MarkDirty(id NodeID) { t.markDirty(t.nodes[id]) }
+func (t *stubTree) Seq() uint64         { return t.seq }
+
+func (t *stubTree) WriteNode(now sim.Duration, id NodeID) (sim.Duration, error) {
+	n := t.nodes[id]
+	data := serializeStub(n, func(c NodeID) Extent { return t.nodes[c].disk })
+	ps := t.fs.PageSize()
+	pages := int64((len(data) + ps - 1) / ps)
+	if n.disk.Pages > 0 {
+		t.bm.ReleaseDeferred(n.disk)
+	}
+	ext, err := t.bm.Alloc(pages)
+	if err != nil {
+		return now, err
+	}
+	padded := make([]byte, pages*int64(ps))
+	copy(padded, data)
+	done, err := t.file.WriteAt(now, ext.Start, int(pages), padded)
+	if err != nil {
+		return now, err
+	}
+	n.disk = ext
+	if n.dirty {
+		n.dirty = false
+		t.core.NoteClean()
+	}
+	if n.parent != NilNode {
+		t.markDirty(t.nodes[n.parent])
+	}
+	return done, nil
+}
+
+// ---- RecoveryEngine implementation ----
+
+func (t *stubTree) MaterializeNode(data []byte, ext Extent, parent NodeID) (NodeID, []Extent, error) {
+	n, ok := parseStub(data)
+	if !ok {
+		return NilNode, nil, fmt.Errorf("stub: corrupt node at %d+%d", ext.Start, ext.Pages)
+	}
+	t.nextID++
+	n.id = t.nextID
+	n.parent = parent
+	n.disk = ext
+	if int(n.id) != len(t.nodes) {
+		panic("stub: ids must be sequential")
+	}
+	t.nodes = append(t.nodes, n)
+	exts := n.childExtents
+	n.childExtents = nil
+	return n.id, exts, nil
+}
+
+func (t *stubTree) LinkChild(parent NodeID, i int, child NodeID) {
+	t.nodes[parent].children[i] = child
+}
+
+func (t *stubTree) SetNext(id, next NodeID) { t.nodes[id].next = next }
+
+func (t *stubTree) ApplyRecovered(now sim.Duration, r *wal.Record) (sim.Duration, error) {
+	if r.Seq > t.seq {
+		t.seq = r.Seq
+	}
+	key := binary.BigEndian.Uint64(r.Key)
+	leaf := t.descend(key)
+	i := leafSearch(leaf, key)
+	if i < len(leaf.keys) && leaf.keys[i] == key && leaf.seqs[i] >= r.Seq {
+		return now, nil // on-disk state is as new or newer
+	}
+	t.insertLeaf(leaf, key, append([]byte(nil), r.Value...), r.Seq)
+	return now, nil
+}
+
+// ---- tree operations ----
+
+func (t *stubTree) descend(key uint64) *stubNode {
+	n := t.nodes[t.root]
+	for !n.leaf {
+		i := 0
+		for i < len(n.seps) && key >= n.seps[i] {
+			i++
+		}
+		n = t.nodes[n.children[i]]
+	}
+	return n
+}
+
+func leafSearch(n *stubNode, key uint64) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (t *stubTree) insertLeaf(leaf *stubNode, key uint64, val []byte, seq uint64) {
+	i := leafSearch(leaf, key)
+	if i < len(leaf.keys) && leaf.keys[i] == key {
+		leaf.vals[i] = val
+		leaf.seqs[i] = seq
+	} else {
+		leaf.keys = append(leaf.keys, 0)
+		copy(leaf.keys[i+1:], leaf.keys[i:])
+		leaf.keys[i] = key
+		leaf.vals = append(leaf.vals, nil)
+		copy(leaf.vals[i+1:], leaf.vals[i:])
+		leaf.vals[i] = val
+		leaf.seqs = append(leaf.seqs, 0)
+		copy(leaf.seqs[i+1:], leaf.seqs[i:])
+		leaf.seqs[i] = seq
+	}
+	t.markDirty(leaf)
+	if len(leaf.keys) > stubLeafMax {
+		t.splitLeaf(leaf)
+	}
+}
+
+func (t *stubTree) put(now sim.Duration, key uint64, val []byte) (sim.Duration, error) {
+	if err := t.core.Err(); err != nil {
+		return now, err
+	}
+	t.core.Pump(now)
+	now += time.Microsecond
+	t.seq++
+	t.insertLeaf(t.descend(key), key, val, t.seq)
+	if w := t.core.Journal(); w != nil {
+		var kb [8]byte
+		binary.BigEndian.PutUint64(kb[:], key)
+		rec := wal.Record{Seq: t.seq, Key: kb[:], Value: val, ValueLen: len(val)}
+		var err error
+		now, err = w.Append(now, &rec, true)
+		if err != nil {
+			return now, err
+		}
+	}
+	t.core.MaybeCheckpoint(now)
+	return now, nil
+}
+
+func (t *stubTree) get(key uint64) ([]byte, bool) {
+	leaf := t.descend(key)
+	i := leafSearch(leaf, key)
+	if i < len(leaf.keys) && leaf.keys[i] == key {
+		return leaf.vals[i], true
+	}
+	return nil, false
+}
+
+func (t *stubTree) splitLeaf(leaf *stubNode) {
+	mid := len(leaf.keys) / 2
+	right := t.newNode(true)
+	right.parent = leaf.parent
+	right.keys = append(right.keys, leaf.keys[mid:]...)
+	right.vals = append(right.vals, leaf.vals[mid:]...)
+	right.seqs = append(right.seqs, leaf.seqs[mid:]...)
+	leaf.keys = leaf.keys[:mid]
+	leaf.vals = leaf.vals[:mid]
+	leaf.seqs = leaf.seqs[:mid]
+	right.next = leaf.next
+	leaf.next = right.id
+	t.markDirty(leaf)
+	t.insertIntoParent(leaf, right.keys[0], right)
+}
+
+func (t *stubTree) insertIntoParent(left *stubNode, sep uint64, right *stubNode) {
+	if left.id == t.root {
+		newRoot := t.newNode(false)
+		newRoot.seps = []uint64{sep}
+		newRoot.children = []NodeID{left.id, right.id}
+		left.parent = newRoot.id
+		right.parent = newRoot.id
+		t.root = newRoot.id
+		return
+	}
+	parent := t.nodes[left.parent]
+	idx := 0
+	for idx < len(parent.children) && parent.children[idx] != left.id {
+		idx++
+	}
+	parent.seps = append(parent.seps, 0)
+	copy(parent.seps[idx+1:], parent.seps[idx:])
+	parent.seps[idx] = sep
+	parent.children = append(parent.children, NilNode)
+	copy(parent.children[idx+2:], parent.children[idx+1:])
+	parent.children[idx+1] = right.id
+	right.parent = parent.id
+	t.markDirty(parent)
+	if len(parent.children) > stubFanoutMax {
+		t.splitInterior(parent)
+	}
+}
+
+func (t *stubTree) splitInterior(n *stubNode) {
+	mid := len(n.seps) / 2
+	promoted := n.seps[mid]
+	right := t.newNode(false)
+	right.parent = n.parent
+	right.seps = append(right.seps, n.seps[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.seps = n.seps[:mid]
+	n.children = n.children[:mid+1]
+	for _, c := range right.children {
+		t.nodes[c].parent = right.id
+	}
+	t.markDirty(n)
+	t.insertIntoParent(n, promoted, right)
+}
+
+func (t *stubTree) flushAll(now sim.Duration) (sim.Duration, error) {
+	return t.core.Checkpoint(now)
+}
+
+// recoverStub reopens a stub tree from its on-device state, mirroring
+// the engines' Recover entry points step by step.
+func recoverStub(fs *extfs.FS, cfg Config, now sim.Duration) (*stubTree, sim.Duration, error) {
+	st, now, err := ReadMeta(fs, cfg.MetaPrefix, cfg.MetaMagic, cfg.Name, now)
+	if err != nil {
+		return nil, now, err
+	}
+	if st == nil {
+		return nil, now, fmt.Errorf("stub: no valid checkpoint metadata")
+	}
+	f, err := fs.Open("collection.stub")
+	if err != nil {
+		return nil, now, err
+	}
+	t := &stubTree{
+		fs:    fs,
+		file:  f,
+		bm:    extalloc.New(f, 64),
+		nodes: make([]*stubNode, 1, 16),
+		seq:   st.Seq,
+	}
+	t.core.Init(t, fs, f, t.bm, cfg)
+	t.core.SetJournalState(st.JournalID, st.Gen)
+	now, err = t.core.RecoverTree(now, st.Root, t, func(id NodeID) { t.root = id })
+	if err != nil {
+		return nil, now, err
+	}
+	if err := t.core.StartJournal(); err != nil {
+		return nil, now, err
+	}
+	if end, err := t.flushAll(now); err != nil {
+		return nil, now, err
+	} else if end > now {
+		now = end
+	}
+	if err := t.core.RetireStaleSegments(); err != nil {
+		return nil, now, err
+	}
+	return t, now, nil
+}
+
+// ---- codec ----
+
+// serializeStub encodes a node: magic(4) leaf(1) count(4), then per
+// entry key(8) seq(8) vlen(4) val (leaf), or seps (8 each) followed by
+// count+1 child extents (start 8, pages 4) resolved via the callback.
+func serializeStub(n *stubNode, resolve func(NodeID) Extent) []byte {
+	out := make([]byte, 9)
+	binary.LittleEndian.PutUint32(out[0:], stubMagic)
+	if n.leaf {
+		out[4] = 1
+		binary.LittleEndian.PutUint32(out[5:], uint32(len(n.keys)))
+		for i := range n.keys {
+			var hdr [20]byte
+			binary.LittleEndian.PutUint64(hdr[0:], n.keys[i])
+			binary.LittleEndian.PutUint64(hdr[8:], n.seqs[i])
+			binary.LittleEndian.PutUint32(hdr[16:], uint32(len(n.vals[i])))
+			out = append(out, hdr[:]...)
+			out = append(out, n.vals[i]...)
+		}
+		return out
+	}
+	binary.LittleEndian.PutUint32(out[5:], uint32(len(n.seps)))
+	for _, sep := range n.seps {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], sep)
+		out = append(out, b[:]...)
+	}
+	for _, c := range n.children {
+		var ext Extent
+		if resolve != nil {
+			ext = resolve(c)
+		}
+		var b [12]byte
+		binary.LittleEndian.PutUint64(b[0:], uint64(ext.Start))
+		binary.LittleEndian.PutUint32(b[8:], uint32(ext.Pages))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func parseStub(data []byte) (*stubNode, bool) {
+	if len(data) < 9 || binary.LittleEndian.Uint32(data[0:]) != stubMagic {
+		return nil, false
+	}
+	n := &stubNode{leaf: data[4] == 1}
+	count := int(binary.LittleEndian.Uint32(data[5:]))
+	off := 9
+	if n.leaf {
+		for i := 0; i < count; i++ {
+			if off+20 > len(data) {
+				return nil, false
+			}
+			key := binary.LittleEndian.Uint64(data[off:])
+			seq := binary.LittleEndian.Uint64(data[off+8:])
+			vlen := int(binary.LittleEndian.Uint32(data[off+16:]))
+			off += 20
+			if off+vlen > len(data) {
+				return nil, false
+			}
+			n.keys = append(n.keys, key)
+			n.seqs = append(n.seqs, seq)
+			n.vals = append(n.vals, append([]byte(nil), data[off:off+vlen]...))
+			off += vlen
+		}
+		return n, true
+	}
+	for i := 0; i < count; i++ {
+		if off+8 > len(data) {
+			return nil, false
+		}
+		n.seps = append(n.seps, binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+	}
+	for i := 0; i <= count; i++ {
+		if off+12 > len(data) {
+			return nil, false
+		}
+		n.childExtents = append(n.childExtents, Extent{
+			Start: int64(binary.LittleEndian.Uint64(data[off:])),
+			Pages: int64(binary.LittleEndian.Uint32(data[off+8:])),
+		})
+		n.children = append(n.children, NilNode)
+		off += 12
+	}
+	return n, true
+}

@@ -194,3 +194,72 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 		StallTime:        s.StallTime - o.StallTime,
 	}
 }
+
+// SepCache caches the big-endian word decomposition of a sorted set of
+// separator keys while every separator is a fixed-size key, so a
+// descent's binary search probes raw uint64 pairs instead of re-decoding
+// separator bytes on every comparison. The zero value is an inactive
+// cache (callers fall back to byte comparison); Refresh activates it.
+// The B-tree-family engines share it for their interior nodes — the
+// separators only change on splits, so the cache refresh is off the hot
+// path.
+type SepCache struct {
+	hi, lo []uint64
+	fast   bool
+}
+
+// Fast reports whether the cache is active (every separator decomposed).
+func (c *SepCache) Fast() bool { return c.fast }
+
+// Refresh rebuilds the cache from the full separator set.
+func (c *SepCache) Refresh(seps [][]byte) {
+	c.hi = c.hi[:0]
+	c.lo = c.lo[:0]
+	for _, sep := range seps {
+		hi, lo, ok := DecomposeKey(sep)
+		if !ok {
+			c.fast = false
+			return
+		}
+		c.hi = append(c.hi, hi)
+		c.lo = append(c.lo, lo)
+	}
+	c.fast = true
+}
+
+// Insert splices one separator's words in at idx (a full Refresh per
+// child insert would re-decode the whole fanout on every leaf split).
+// A non-fixed-size separator deactivates the cache.
+func (c *SepCache) Insert(idx int, sep []byte) {
+	if !c.fast {
+		return
+	}
+	hi, lo, ok := DecomposeKey(sep)
+	if !ok {
+		c.fast = false
+		c.hi, c.lo = c.hi[:0], c.lo[:0]
+		return
+	}
+	c.hi = append(c.hi, 0)
+	copy(c.hi[idx+1:], c.hi[idx:])
+	c.hi[idx] = hi
+	c.lo = append(c.lo, 0)
+	copy(c.lo[idx+1:], c.lo[idx:])
+	c.lo[idx] = lo
+}
+
+// UpperBound returns the number of cached separators <= the target key
+// given by its decomposed words — which is exactly the child index a
+// B-tree descent takes (childFor sends key == sep to the right child).
+func (c *SepCache) UpperBound(wHi, wLo uint64) int {
+	lo, hi := 0, len(c.hi)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h := c.hi[mid]; h < wHi || (h == wHi && c.lo[mid] <= wLo) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -111,3 +111,44 @@ func TestEngineStatsSub(t *testing.T) {
 		t.Fatalf("Sub wrong: %+v", d)
 	}
 }
+
+func TestSepCache(t *testing.T) {
+	var c SepCache
+	if c.Fast() {
+		t.Fatal("zero cache must be inactive")
+	}
+	seps := [][]byte{EncodeKey(10), EncodeKey(20), EncodeKey(30)}
+	c.Refresh(seps)
+	if !c.Fast() {
+		t.Fatal("cache inactive after Refresh over fixed-size keys")
+	}
+	for _, tc := range []struct {
+		id   uint64
+		want int
+	}{{5, 0}, {10, 1}, {15, 1}, {20, 2}, {29, 2}, {30, 3}, {99, 3}} {
+		hi, lo, ok := DecomposeKey(EncodeKey(tc.id))
+		if !ok {
+			t.Fatal("decompose failed")
+		}
+		if got := c.UpperBound(hi, lo); got != tc.want {
+			t.Fatalf("UpperBound(%d) = %d, want %d", tc.id, got, tc.want)
+		}
+	}
+	// Insert keeps the cache consistent with a full refresh.
+	c.Insert(1, EncodeKey(15))
+	var ref SepCache
+	ref.Refresh([][]byte{EncodeKey(10), EncodeKey(15), EncodeKey(20), EncodeKey(30)})
+	hi, lo, _ := DecomposeKey(EncodeKey(16))
+	if c.UpperBound(hi, lo) != ref.UpperBound(hi, lo) || c.UpperBound(hi, lo) != 2 {
+		t.Fatal("Insert diverged from Refresh")
+	}
+	// A non-fixed-size separator deactivates the cache.
+	c.Insert(0, []byte("short"))
+	if c.Fast() {
+		t.Fatal("cache must deactivate on a non-fixed-size separator")
+	}
+	c.Refresh([][]byte{[]byte("x")})
+	if c.Fast() {
+		t.Fatal("Refresh over variable keys must stay inactive")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"ptsbench/internal/betree"
 	"ptsbench/internal/blockdev"
+	"ptsbench/internal/btree"
 	"ptsbench/internal/core"
 	_ "ptsbench/internal/engine/all" // register every engine driver for core.Run
 	"ptsbench/internal/extfs"
@@ -243,6 +244,97 @@ func RunSuite(o Options) (*Result, error) {
 				panic(err)
 			}
 		}))
+		// Reads against the tree the put loop populated: buffer probes
+		// down the spine plus the leaf search, cache hits and misses
+		// included.
+		res.Metrics = append(res.Metrics, measure("betree-get", 200000/div, func(int) {
+			kv.AppendKey(key, rng.Uint64n(50000))
+			var err error
+			if now, _, _, err = tr.Get(now, key); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	// ---- steady-state op loop (B+Tree put through the whole stack) ----
+	{
+		ssd, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  512 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 256,
+			Profile:       flash.ProfileSSD1().Scaled(512),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs, err := extfs.Mount(blockdev.New(ssd), extfs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := btree.Open(fs, btree.NewConfig(128<<20))
+		if err != nil {
+			return nil, err
+		}
+		rng := sim.NewRNG(2)
+		key := make([]byte, kv.KeySize)
+		var now sim.Duration
+		res.Metrics = append(res.Metrics, measure("btree-put", 200000/div, func(int) {
+			kv.AppendKey(key, rng.Uint64n(50000))
+			var err error
+			if now, err = tr.Put(now, key, nil, 512); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	// ---- checkpoint cycle (dirty a subtree, checkpoint, measure) ----
+	// Exercises the cowtree core end to end per op: dirty-set snapshot
+	// with ancestor closure, bottom-up sort, copy-on-write page writes,
+	// metadata commit, deferred-extent release, journal recycle.
+	{
+		ssd, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  512 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 256,
+			Profile:       flash.ProfileSSD1().Scaled(512),
+		})
+		if err != nil {
+			return nil, err
+		}
+		fs, err := extfs.Mount(blockdev.New(ssd), extfs.Options{})
+		if err != nil {
+			return nil, err
+		}
+		tr, err := btree.Open(fs, btree.NewConfig(128<<20))
+		if err != nil {
+			return nil, err
+		}
+		key := make([]byte, kv.KeySize)
+		var now sim.Duration
+		for i := uint64(0); i < 50000; i++ {
+			kv.AppendKey(key, i)
+			if now, err = tr.Put(now, key, nil, 512); err != nil {
+				return nil, err
+			}
+		}
+		if now, err = tr.FlushAll(now); err != nil {
+			return nil, err
+		}
+		rng := sim.NewRNG(3)
+		res.Metrics = append(res.Metrics, measure("checkpoint-cycle", 2000/div, func(int) {
+			base := rng.Uint64n(50000 - 64)
+			for j := uint64(0); j < 64; j++ {
+				kv.AppendKey(key, base+j)
+				var err error
+				if now, err = tr.Put(now, key, nil, 512); err != nil {
+					panic(err)
+				}
+			}
+			var err error
+			if now, err = tr.FlushAll(now); err != nil {
+				panic(err)
+			}
+		}))
 	}
 
 	// ---- figure-level: Fig 2 cells at the benchmark scale ----
@@ -272,6 +364,33 @@ func RunSuite(o Options) (*Result, error) {
 	return res, nil
 }
 
+// GateAllocs enforces a hard allocs/op ceiling on the named metrics:
+// unlike the suite-wide Compare (whose ns/op threshold must absorb
+// machine variance), allocations per op are deterministic, so the gate
+// threshold can sit just above measurement granularity and fail the
+// build on any real regression. A gated metric missing from either
+// side is itself a failure — the gate must never silently thin out.
+func GateAllocs(base, cur *Result, names []string, threshold float64) []Regression {
+	var out []Regression
+	for _, name := range names {
+		bm, cm := base.Metric(name), cur.Metric(name)
+		if cm == nil {
+			out = append(out, Regression{Name: name, Field: "allocs/op (gate)", NoBaseline: true, MissingFrom: "run"})
+			continue
+		}
+		if bm == nil {
+			out = append(out, Regression{Name: name, Field: "allocs/op (gate)", NoBaseline: true, MissingFrom: "baseline"})
+			continue
+		}
+		// +1 keeps the ratio meaningful for zero-alloc metrics (0 -> 1
+		// alloc/op fails only through the absolute slack).
+		if ratio := (cm.AllocsPerOp + 1) / (bm.AllocsPerOp + 1); ratio > threshold {
+			out = append(out, Regression{Name: bm.Name, Field: "allocs/op (gate)", Base: bm.AllocsPerOp, Now: cm.AllocsPerOp, Ratio: ratio})
+		}
+	}
+	return out
+}
+
 // WriteFile serializes the result as indented JSON.
 func (r *Result) WriteFile(path string) error {
 	data, err := json.MarshalIndent(r, "", "  ")
@@ -295,16 +414,34 @@ func ReadFile(path string) (*Result, error) {
 }
 
 // Regression is one metric that exceeded its threshold against the
-// baseline.
+// baseline, or a metric missing from a side that must carry it
+// (NoBaseline + MissingFrom) — new benchmarks must land with a
+// refreshed baseline, or they would silently dodge the CI diff
+// forever, and a gated metric that disappears from the suite must fail
+// until the gate list is updated.
 type Regression struct {
-	Name  string
-	Field string
-	Base  float64
-	Now   float64
-	Ratio float64
+	Name       string
+	Field      string
+	Base       float64
+	Now        float64
+	Ratio      float64
+	NoBaseline bool
+	// MissingFrom names the side a NoBaseline finding is missing from:
+	// "baseline" (a new metric) or "run" (a gated metric the suite no
+	// longer produces).
+	MissingFrom string
 }
 
 func (r Regression) String() string {
+	if r.NoBaseline {
+		if r.MissingFrom == "run" {
+			return fmt.Sprintf("%s is alloc-gated but missing from the current run — remove it from the gate list or restore the benchmark", r.Name)
+		}
+		if r.Field != "" {
+			return fmt.Sprintf("%s is alloc-gated but has no baseline entry — refresh the baseline file", r.Name)
+		}
+		return fmt.Sprintf("%s is new, no baseline — refresh the baseline file to cover it", r.Name)
+	}
 	return fmt.Sprintf("%s %s regressed %.2fx (baseline %.1f, now %.1f)",
 		r.Name, r.Field, r.Ratio, r.Base, r.Now)
 }
@@ -312,10 +449,17 @@ func (r Regression) String() string {
 // Compare flags metrics of cur that regressed beyond the thresholds
 // relative to base. nsThreshold is deliberately generous (wall time
 // varies across machines); allocThreshold can be tight because
-// allocations per op are machine-independent. Metrics missing from
-// either side are skipped.
+// allocations per op are machine-independent. Metrics present only in
+// the baseline are skipped (a removed benchmark is visible in review);
+// metrics present only in the current run are reported as "new, no
+// baseline" failures.
 func Compare(base, cur *Result, nsThreshold, allocThreshold float64) []Regression {
 	var out []Regression
+	for i := range cur.Metrics {
+		if base.Metric(cur.Metrics[i].Name) == nil {
+			out = append(out, Regression{Name: cur.Metrics[i].Name, NoBaseline: true, MissingFrom: "baseline"})
+		}
+	}
 	for _, bm := range base.Metrics {
 		cm := cur.Metric(bm.Name)
 		if cm == nil {
@@ -323,14 +467,14 @@ func Compare(base, cur *Result, nsThreshold, allocThreshold float64) []Regressio
 		}
 		if bm.NsPerOp > 0 && nsThreshold > 0 {
 			if ratio := cm.NsPerOp / bm.NsPerOp; ratio > nsThreshold {
-				out = append(out, Regression{bm.Name, "ns/op", bm.NsPerOp, cm.NsPerOp, ratio})
+				out = append(out, Regression{Name: bm.Name, Field: "ns/op", Base: bm.NsPerOp, Now: cm.NsPerOp, Ratio: ratio})
 			}
 		}
 		if allocThreshold > 0 {
 			// +1 guards the zero-alloc metrics (0 -> 1 alloc should fail
 			// a 2x threshold only via the absolute +1 slack).
 			if ratio := (cm.AllocsPerOp + 1) / (bm.AllocsPerOp + 1); ratio > allocThreshold {
-				out = append(out, Regression{bm.Name, "allocs/op", bm.AllocsPerOp, cm.AllocsPerOp, ratio})
+				out = append(out, Regression{Name: bm.Name, Field: "allocs/op", Base: bm.AllocsPerOp, Now: cm.AllocsPerOp, Ratio: ratio})
 			}
 		}
 	}

@@ -52,3 +52,44 @@ func TestSuiteRunsAndRoundTrips(t *testing.T) {
 		t.Fatal("doctored baseline produced no regression")
 	}
 }
+
+func TestCompareFlagsMetricsMissingFromBaseline(t *testing.T) {
+	base := &Result{Metrics: []Metric{{Name: "a", NsPerOp: 100, AllocsPerOp: 1}}}
+	cur := &Result{Metrics: []Metric{
+		{Name: "a", NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "b", NsPerOp: 50, AllocsPerOp: 0},
+	}}
+	regs := Compare(base, cur, 10, 2)
+	if len(regs) != 1 || !regs[0].NoBaseline || regs[0].Name != "b" {
+		t.Fatalf("want one no-baseline failure for b, got %v", regs)
+	}
+	// A metric only in the baseline (removed benchmark) is not flagged —
+	// the removal is visible in the baseline diff itself.
+	if regs := Compare(cur, base, 10, 2); len(regs) != 0 {
+		t.Fatalf("baseline-only metric should not flag: %v", regs)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	base := &Result{Metrics: []Metric{
+		{Name: "zero", AllocsPerOp: 0},
+		{Name: "small", AllocsPerOp: 0.3},
+	}}
+	cur := &Result{Metrics: []Metric{
+		{Name: "zero", AllocsPerOp: 0.05},
+		{Name: "small", AllocsPerOp: 0.31},
+	}}
+	if regs := GateAllocs(base, cur, []string{"zero", "small"}, 1.1); len(regs) != 0 {
+		t.Fatalf("within-threshold gate tripped: %v", regs)
+	}
+	cur.Metrics[0].AllocsPerOp = 0.5 // 0 -> 0.5 allocs/op: (1.5/1.0) > 1.1
+	regs := GateAllocs(base, cur, []string{"zero", "small"}, 1.1)
+	if len(regs) != 1 || regs[0].Name != "zero" {
+		t.Fatalf("want a gate failure for zero, got %v", regs)
+	}
+	// A gated metric missing from either side is itself a failure.
+	regs = GateAllocs(base, cur, []string{"ghost"}, 1.1)
+	if len(regs) != 1 || !regs[0].NoBaseline {
+		t.Fatalf("missing gated metric must fail: %v", regs)
+	}
+}

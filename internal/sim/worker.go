@@ -24,9 +24,15 @@ func (f JobFunc) Step(now Duration) (Duration, bool) { return f(now) }
 // the foreground clock; jobs execute in submission order, one at a time,
 // mirroring a single background thread (e.g. one compaction thread).
 type Worker struct {
-	name  string
-	now   Duration
+	name string
+	now  Duration
+	// queue[head:] are the waiting jobs. Dequeuing advances head and the
+	// slice is reset (keeping its capacity) whenever it drains, so a
+	// steady submit/drain cycle allocates nothing — the previous
+	// queue = queue[1:] dequeue permanently lost capacity and forced a
+	// fresh allocation on every post-drain Submit.
 	queue []Job
+	head  int
 	// onIdle, if non-nil, is consulted when the queue drains; it may
 	// return a new job (pull-style scheduling). See SetIdlePuller.
 	onIdle func() Job
@@ -46,10 +52,21 @@ func (w *Worker) Now() Duration { return w.now }
 
 // QueueLen reports the number of jobs waiting, including the one in
 // progress.
-func (w *Worker) QueueLen() int { return len(w.queue) }
+func (w *Worker) QueueLen() int { return len(w.queue) - w.head }
 
 // Submit appends a job to the worker's queue.
 func (w *Worker) Submit(j Job) { w.queue = append(w.queue, j) }
+
+// pop removes the queue's front job, recycling the backing array when
+// the queue drains.
+func (w *Worker) pop() {
+	w.queue[w.head] = nil // drop the reference so the job can be collected
+	w.head++
+	if w.head == len(w.queue) {
+		w.queue = w.queue[:0]
+		w.head = 0
+	}
+}
 
 // SetIdlePuller registers a callback invoked whenever the worker's queue
 // is empty during Pump; it may return a new job to run, or nil if there is
@@ -60,13 +77,13 @@ func (w *Worker) SetIdlePuller(f func() Job) { w.onIdle = f }
 // Pump runs queued jobs until the worker's local clock reaches target or
 // no work remains. It returns the worker's local time after pumping.
 func (w *Worker) Pump(target Duration) Duration {
-	if w.now < target && len(w.queue) == 0 && w.onIdle != nil {
+	if w.now < target && w.QueueLen() == 0 && w.onIdle != nil {
 		if j := w.onIdle(); j != nil {
 			w.queue = append(w.queue, j)
 		}
 	}
-	for w.now < target && len(w.queue) > 0 {
-		job := w.queue[0]
+	for w.now < target && w.QueueLen() > 0 {
+		job := w.queue[w.head]
 		end, done := job.Step(w.now)
 		if end < w.now {
 			end = w.now
@@ -76,8 +93,8 @@ func (w *Worker) Pump(target Duration) Duration {
 		}
 		w.now = end
 		if done {
-			w.queue = w.queue[1:]
-			if len(w.queue) == 0 && w.onIdle != nil {
+			w.pop()
+			if w.QueueLen() == 0 && w.onIdle != nil {
 				if j := w.onIdle(); j != nil {
 					w.queue = append(w.queue, j)
 				}
@@ -85,7 +102,7 @@ func (w *Worker) Pump(target Duration) Duration {
 		}
 	}
 	// A worker with no work is considered caught up.
-	if len(w.queue) == 0 && w.now < target {
+	if w.QueueLen() == 0 && w.now < target {
 		w.now = target
 	}
 	return w.now
@@ -97,15 +114,15 @@ func (w *Worker) Pump(target Duration) Duration {
 // any progress was made. Engines use it to wait out write stalls: they
 // step the background workers until the stall condition clears.
 func (w *Worker) StepOnce() (Duration, bool) {
-	if len(w.queue) == 0 && w.onIdle != nil {
+	if w.QueueLen() == 0 && w.onIdle != nil {
 		if j := w.onIdle(); j != nil {
 			w.queue = append(w.queue, j)
 		}
 	}
-	if len(w.queue) == 0 {
+	if w.QueueLen() == 0 {
 		return w.now, false
 	}
-	job := w.queue[0]
+	job := w.queue[w.head]
 	end, done := job.Step(w.now)
 	if end < w.now {
 		end = w.now
@@ -115,7 +132,7 @@ func (w *Worker) StepOnce() (Duration, bool) {
 	}
 	w.now = end
 	if done {
-		w.queue = w.queue[1:]
+		w.pop()
 	}
 	return w.now, true
 }
@@ -126,15 +143,15 @@ func (w *Worker) StepOnce() (Duration, bool) {
 // shutdown to quiesce engines.
 func (w *Worker) RunUntilDrained() Duration {
 	for {
-		if len(w.queue) == 0 && w.onIdle != nil {
+		if w.QueueLen() == 0 && w.onIdle != nil {
 			if j := w.onIdle(); j != nil {
 				w.queue = append(w.queue, j)
 			}
 		}
-		if len(w.queue) == 0 {
+		if w.QueueLen() == 0 {
 			return w.now
 		}
-		job := w.queue[0]
+		job := w.queue[w.head]
 		end, done := job.Step(w.now)
 		if end < w.now {
 			end = w.now
@@ -144,7 +161,7 @@ func (w *Worker) RunUntilDrained() Duration {
 		}
 		w.now = end
 		if done {
-			w.queue = w.queue[1:]
+			w.pop()
 		}
 	}
 }
