@@ -52,6 +52,17 @@ func (c Counters) Sub(o Counters) Counters {
 	}
 }
 
+// Add returns c + o, for aggregating the per-shard devices of a
+// sharded store into one host-visible view.
+func (c Counters) Add(o Counters) Counters {
+	return Counters{
+		BytesWritten: c.BytesWritten + o.BytesWritten,
+		BytesRead:    c.BytesRead + o.BytesRead,
+		WriteOps:     c.WriteOps + o.WriteOps,
+		ReadOps:      c.ReadOps + o.ReadOps,
+	}
+}
+
 // Device wraps a flash.Device with host-side instrumentation.
 type Device struct {
 	ssd      *flash.Device
@@ -200,6 +211,46 @@ func (d *Device) checkRange(off int64, n int) {
 func (d *Device) WriteCDF(points int) []float64 {
 	counts := make([]uint32, len(d.writeHist))
 	copy(counts, d.writeHist)
+	return writeCDFOf(counts, points)
+}
+
+// CombinedWriteCDF merges the write histograms of several devices (the
+// per-shard devices of a sharded store) into one WriteCDF: each shard's
+// LBAs keep their own counts, so the result is the distribution over
+// the union of the LBA spaces — what a single device serving the same
+// traffic would show. For a single device it is identical to WriteCDF.
+func CombinedWriteCDF(devs []*Device, points int) []float64 {
+	var total int
+	for _, d := range devs {
+		total += len(d.writeHist)
+	}
+	counts := make([]uint32, 0, total)
+	for _, d := range devs {
+		counts = append(counts, d.writeHist...)
+	}
+	return writeCDFOf(counts, points)
+}
+
+// CombinedFractionLBAsWritten is FractionLBAsWritten over the union of
+// several devices' LBA spaces.
+func CombinedFractionLBAsWritten(devs []*Device) float64 {
+	var written, total int64
+	for _, d := range devs {
+		total += int64(len(d.writeHist))
+		for _, c := range d.writeHist {
+			if c > 0 {
+				written++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(written) / float64(total)
+}
+
+// writeCDFOf consumes (sorts in place) a per-LBA write-count histogram.
+func writeCDFOf(counts []uint32, points int) []float64 {
 	// Ascending radix-free sort then reverse: slices.Sort on a plain
 	// uint32 slice avoids sort.Slice's per-compare closure over the
 	// device-sized histogram.

@@ -483,7 +483,7 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 
 	if w := t.core.Journal(); w != nil {
 		rec := wal.Record{Seq: t.seq, Key: key, Value: value, Deleted: del, ValueLen: valueLen}
-		now, err = w.Append(now, &rec, t.cfg.JournalSync)
+		now, err = w.Append(now, &rec, t.cfg.JournalSync && !t.core.GroupActive())
 		if err != nil {
 			t.core.Fail(err)
 			return now, err
@@ -501,6 +501,20 @@ func (t *Tree) write(now sim.Duration, key, value []byte, valueLen int, del bool
 	}
 	t.core.MaybeCheckpoint(now)
 	return now, nil
+}
+
+// BeginGroupCommit implements engine.GroupCommitter: journal syncs are
+// deferred until EndGroupCommit so a multi-client write batch commits
+// with a single sync.
+func (t *Tree) BeginGroupCommit() { t.core.BeginGroup() }
+
+// EndGroupCommit closes the group and syncs the journal tail once.
+func (t *Tree) EndGroupCommit(now sim.Duration) (sim.Duration, error) {
+	now, err := t.core.EndGroup(now, t.cfg.JournalSync)
+	if err != nil {
+		t.core.Fail(err)
+	}
+	return now, err
 }
 
 // Get implements kv.Engine.

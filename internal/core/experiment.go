@@ -11,6 +11,7 @@ import (
 	"ptsbench/internal/flash"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/sim"
+	"ptsbench/internal/store"
 	"ptsbench/internal/workload"
 )
 
@@ -148,6 +149,28 @@ type Spec struct {
 	// engines' stall and throttling semantics).
 	QueueDepth int
 
+	// Shards splits the serving layer into N hash-partitioned shards,
+	// each owning its own engine instance on its own slice of the device
+	// (capacity, dataset and engine sizing all divide by N). Shard
+	// workers run concurrently in real time but the result is
+	// deterministic, and a 1-shard run is bit-identical to the historical
+	// single-engine path. Defaults to 1.
+	Shards int
+
+	// Clients is the number of closed-loop clients driving the store,
+	// each with its own deterministic key stream (see
+	// workload.ClientSeed). Operations submitted by different clients at
+	// overlapping virtual times queue FIFO on their key's shard, so
+	// throughput scales with shards while per-op latency grows with
+	// queueing. Defaults to Shards (one client per shard minimum).
+	Clients int
+
+	// Skew routes this fraction of operations to a hot 1/16th of the
+	// keyspace on top of the base distribution — cross-shard load
+	// imbalance for sharded runs. 0 (the default) draws no extra
+	// randomness, keeping historical key streams bit-identical.
+	Skew float64
+
 	// Duration is the measured phase length in virtual time; SampleEvery
 	// is the instrumentation period.
 	Duration    sim.Duration
@@ -235,6 +258,27 @@ func (s Spec) Validate() (Spec, error) {
 	if s.QueueDepth < 1 {
 		s.QueueDepth = 1
 	}
+	if s.Shards < 0 {
+		return s, fmt.Errorf("core: shards must be >= 1 (got %d); omit the field for the single-shard default", s.Shards)
+	}
+	if s.Shards == 0 {
+		s.Shards = 1
+	}
+	if s.Shards > 1024 {
+		return s, fmt.Errorf("core: %d shards is beyond any simulated device's lane budget (max 1024)", s.Shards)
+	}
+	if s.Clients < 0 {
+		return s, fmt.Errorf("core: clients must be >= 1 (got %d); omit the field for one client per shard", s.Clients)
+	}
+	if s.Clients == 0 {
+		s.Clients = s.Shards
+	}
+	if s.Clients < s.Shards {
+		return s, fmt.Errorf("core: %d clients cannot keep %d shards busy; use at least one client per shard (clients >= shards)", s.Clients, s.Shards)
+	}
+	if s.Skew < 0 || s.Skew > 1 {
+		return s, fmt.Errorf("core: skew %v outside [0,1] (the fraction of operations sent to the hot keyspace)", s.Skew)
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -277,9 +321,13 @@ func (r *Result) MeanScaledKOps() float64 {
 }
 
 // Run executes one experiment. The engine is resolved through the
-// driver registry: Run has no per-engine code, so a new tree structure
-// only needs its own package plus a registration import somewhere in
-// the caller's build (internal/engine/all collects the built-ins).
+// driver registry and served through the sharded store pipeline
+// (internal/store): Run builds one engine stack per shard, loads the
+// dataset, then drives the measured phase as Spec.Clients closed-loop
+// clients submitting into the store. With the default 1 shard / 1
+// client the submission schedule collapses to the historical
+// synchronous op loop and the result is bit-identical to it (the golden
+// fixtures pin this).
 func Run(spec Spec) (*Result, error) {
 	spec, err := spec.Validate()
 	if err != nil {
@@ -291,192 +339,226 @@ func Run(spec Spec) (*Result, error) {
 	}
 	rng := sim.NewRNG(spec.Seed)
 
-	// Device, scaled. The erase stripe scales with capacity so the
-	// block COUNT — which sets the garbage-collection dynamics — is
-	// scale-invariant.
+	// Device geometry, scaled. The erase stripe scales with capacity so
+	// the block COUNT — which sets the garbage-collection dynamics — is
+	// scale-invariant; shards then split capacity, dataset and engine
+	// sizing evenly, so each shard is a proportionally smaller replica
+	// of the single-shard stack.
 	scaledCapacity := spec.Device.CapacityBytes / spec.Scale
 	scaledPPB := spec.Device.PagesPerBlock / int(spec.Scale)
 	if scaledPPB < 64 {
 		scaledPPB = 64
 	}
-	ssd, err := flash.NewDevice(flash.Config{
-		LogicalBytes:  scaledCapacity,
-		PageSize:      spec.Device.PageSize,
-		PagesPerBlock: scaledPPB,
-		Profile:       spec.Device.Profile.Scaled(spec.Scale),
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: building device: %w", err)
-	}
-	bdev := blockdev.New(ssd)
-
-	// Partition (software over-provisioning) and initial state. The
-	// device starts trimmed; preconditioning ages the partition range.
-	partPages := int64(float64(bdev.Pages()) * spec.PartitionFraction)
-	var target blockdev.Dev = bdev
-	if partPages < bdev.Pages() {
-		p, err := bdev.Partition(0, partPages)
-		if err != nil {
-			return nil, err
-		}
-		target = p
-	}
-	if spec.Initial == Preconditioned {
-		ssd.PreconditionRange(rng.Split(), 0, partPages, 2)
-	}
-
-	fs, err := extfs.Mount(target, extfs.Options{})
-	if err != nil {
-		return nil, err
-	}
-
-	// Engine, resolved through the registry and scaled by its driver.
-	// CPU costs scale with the device so that per-op time dilates
-	// uniformly (see DESIGN.md "Scaling model").
 	datasetBytes := int64(float64(spec.Device.CapacityBytes)*spec.DatasetFraction) / spec.Scale
 	numKeys := uint64(datasetBytes / int64(spec.ValueBytes))
 	if numKeys == 0 {
 		return nil, errors.New("core: dataset too small for value size")
 	}
-	cfg := drv.Configure(engine.Sizing{
-		DatasetBytes: datasetBytes,
-		Scale:        spec.Scale,
-		QueueDepth:   spec.QueueDepth,
+
+	// Per-shard stacks. Shard 0 consumes the experiment's primary RNG
+	// stream in the historical order (precondition split, then the
+	// engine env); later shards draw derived independent streams, so the
+	// shard count never perturbs shard 0's randomness — or any
+	// single-shard result.
+	st, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
+		shardRNG := rng
+		if i > 0 {
+			shardRNG = sim.NewRNG(shardSeed(spec.Seed, i))
+		}
+		ssd, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  scaledCapacity / int64(spec.Shards),
+			PageSize:      spec.Device.PageSize,
+			PagesPerBlock: scaledPPB,
+			Profile:       spec.Device.Profile.Scaled(spec.Scale),
+		})
+		if err != nil {
+			return store.Stack{}, fmt.Errorf("building device: %w", err)
+		}
+		bdev := blockdev.New(ssd)
+
+		// Partition (software over-provisioning) and initial state. The
+		// device starts trimmed; preconditioning ages the partition.
+		partPages := int64(float64(bdev.Pages()) * spec.PartitionFraction)
+		var target blockdev.Dev = bdev
+		if partPages < bdev.Pages() {
+			p, err := bdev.Partition(0, partPages)
+			if err != nil {
+				return store.Stack{}, err
+			}
+			target = p
+		}
+		if spec.Initial == Preconditioned {
+			ssd.PreconditionRange(shardRNG.Split(), 0, partPages, 2)
+		}
+
+		fs, err := extfs.Mount(target, extfs.Options{})
+		if err != nil {
+			return store.Stack{}, err
+		}
+		cfg := drv.Configure(engine.Sizing{
+			DatasetBytes: datasetBytes / int64(spec.Shards),
+			Scale:        spec.Scale,
+			QueueDepth:   spec.QueueDepth,
+		})
+		if err := cfg.ApplyTunables(spec.Tunables); err != nil {
+			return store.Stack{}, err
+		}
+		eng, err := cfg.Open(engine.Env{FS: fs, RNG: shardRNG})
+		if err != nil {
+			return store.Stack{}, err
+		}
+		return store.Stack{Engine: eng, Dev: bdev}, nil
 	})
-	if err := cfg.ApplyTunables(spec.Tunables); err != nil {
+	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	eng, err := cfg.Open(engine.Env{FS: fs, RNG: rng})
-	if err != nil {
-		return nil, err
-	}
+	defer st.Close()
 
 	res := &Result{Spec: spec, DatasetBytes: datasetBytes, NumKeys: numKeys}
 
-	// Load phase: ingest all keys in sequential order (§3.2), then
-	// quiesce. The key buffer is reused across iterations (engines copy
-	// what they keep), so the loop allocates nothing per key.
-	var now sim.Duration
-	loadKey := make([]byte, kv.KeySize)
-	for id := uint64(0); id < numKeys; id++ {
-		kv.AppendKey(loadKey, id)
-		now, err = eng.Put(now, loadKey, nil, spec.ValueBytes)
-		if err != nil {
-			if errors.Is(err, extfs.ErrNoSpace) {
-				res.OutOfSpace = true
-				res.LoadDuration = now
-				return res, nil
-			}
-			return nil, fmt.Errorf("core: load: %w", err)
-		}
+	// Load phase: ingest all keys in sequential order (§3.2) — each on
+	// its owning shard, shards in parallel — then quiesce.
+	now, err := st.Load(spec.ValueBytes, numKeys)
+	if err == nil {
+		now, err = st.FlushAll(0)
 	}
-	now, err = eng.FlushAll(now)
 	if err != nil {
 		if errors.Is(err, extfs.ErrNoSpace) {
 			res.OutOfSpace = true
 			res.LoadDuration = now
 			return res, nil
 		}
-		return nil, err
+		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	res.LoadDuration = now
-	res.LoadHostBytes = bdev.Counters().BytesWritten
-	loadStats := ssd.Stats()
-	res.LoadFlashPages = loadStats.FlashPagesWritten
-	res.LoadWAD = loadStats.WAD()
+	devs := st.Devs()
+	var loadDev blockdev.Counters
+	var loadSSD flash.Stats
+	for _, d := range devs {
+		loadDev = loadDev.Add(d.Counters())
+		loadSSD = loadSSD.Add(d.SSD().Stats())
+	}
+	res.LoadHostBytes = loadDev.BytesWritten
+	res.LoadFlashPages = loadSSD.FlashPagesWritten
+	res.LoadWAD = loadSSD.WAD()
 
 	// Measurement phase: plots exclude loading, so instrumentation is
 	// reset here (iostat counters, SMART deltas, LBA histogram).
-	bdev.ResetInstrumentation()
-	collector := NewCollector(bdev, eng, now, spec.SampleEvery)
-	gen, err := workload.NewGenerator(workload.Spec{
+	for _, d := range devs {
+		d.ResetInstrumentation()
+	}
+	collector := NewCollector(devs, st, now, spec.SampleEvery)
+	baseSeed := rng.Uint64()
+	gens, err := workload.NewClientGenerators(workload.Spec{
 		NumKeys:      numKeys,
 		ValueBytes:   spec.ValueBytes,
 		ReadFraction: spec.ReadFraction,
 		Dist:         spec.Dist,
 		ZipfTheta:    spec.ZipfTheta,
-	}, rng.Split())
+		Skew:         spec.Skew,
+	}, baseSeed, spec.Clients)
 	if err != nil {
 		return nil, err
 	}
 
 	deadline := now + spec.Duration
-	keyBuf := make([]byte, kv.KeySize)
 	lat := NewLatencyHistogram()
-
-	// Batched read submission: with QueueDepth > 1 consecutive reads
-	// accumulate into a batch whose operations all start at the same
-	// virtual time (QueueDepth outstanding host requests); the clock
-	// advances to the slowest completion, so reads overlap on the
-	// device's internal lanes. Writes flush the batch first and run
-	// serially, keeping the engines' stall/backpressure semantics
-	// intact. Latencies are per-operation (submission to completion).
-	batch := make([]uint64, 0, spec.QueueDepth)
-	flushReads := func() error {
-		batchEnd := now
-		for _, id := range batch {
-			kv.AppendKey(keyBuf, id)
-			done, _, _, err := eng.Get(now, keyBuf)
-			if err != nil {
-				return err
-			}
-			lat.Record((done - now) / sim.Duration(spec.Scale))
-			if done > batchEnd {
-				batchEnd = done
-			}
+	clients := make([]*runClient, spec.Clients)
+	for i := range clients {
+		keys := make([][]byte, spec.QueueDepth)
+		for j := range keys {
+			keys[j] = make([]byte, kv.KeySize)
 		}
-		batch = batch[:0]
-		now = batchEnd
-		return nil
+		clients[i] = &runClient{
+			gen:   gens[i],
+			now:   now,
+			keys:  keys,
+			batch: make([]uint64, 0, spec.QueueDepth),
+		}
 	}
 
-	for now < deadline {
-		op := gen.Next()
-		if op.Kind == workload.OpRead && spec.QueueDepth > 1 {
-			batch = append(batch, op.KeyID)
-			if len(batch) < spec.QueueDepth {
+	// Closed-loop epochs: every live client prepares its next submission
+	// (a read wave of up to QueueDepth operations, or one serial op),
+	// the store pumps all shards in parallel, and completions come back
+	// in global submission order. Reads accumulate into waves whose
+	// operations all start at the same virtual time; a write flushes the
+	// client's pending wave first and runs serially, keeping the
+	// engines' stall and backpressure semantics intact. Latencies are
+	// per-operation (submission to completion), re-normalized to paper
+	// scale.
+	var runErr error
+	active := len(clients)
+	for active > 0 && runErr == nil {
+		submitted := false
+		for id, c := range clients {
+			if c.done {
 				continue
 			}
-			if err = flushReads(); err != nil {
-				break
-			}
-			if collector.Due(now) {
-				collector.Record(now)
-			}
-			continue
-		}
-		if len(batch) > 0 {
-			if err = flushReads(); err != nil {
-				break
+			if c.step(st, &spec, id, deadline) {
+				submitted = true
+			} else {
+				active--
 			}
 		}
-		kv.AppendKey(keyBuf, op.KeyID)
-		opStart := now
-		if op.Kind == workload.OpRead {
-			now, _, _, err = eng.Get(now, keyBuf)
-		} else {
-			now, err = eng.Put(now, keyBuf, nil, spec.ValueBytes)
-		}
-		if err != nil {
+		if !submitted {
 			break
 		}
-		// Re-normalize to paper scale: simulated service times are
-		// dilated by Scale.
-		lat.Record((now - opStart) / sim.Duration(spec.Scale))
-		if collector.Due(now) {
-			collector.Record(now)
+		comps := st.Pump()
+		for i := range comps {
+			comp := &comps[i]
+			c := clients[comp.Client]
+			if comp.Err != nil {
+				if runErr == nil {
+					runErr = comp.Err
+				}
+				// A failed wave leaves the client clock at the submit
+				// time (the wave never "lands"); a failed serial op
+				// consumed virtual time up to the failure.
+				if comp.Wave {
+					c.waveErr = true
+				} else {
+					c.now = comp.Done
+				}
+				continue
+			}
+			lat.Record((comp.Done - comp.Submit) / sim.Duration(spec.Scale))
+			if comp.Wave {
+				if comp.Done > c.waveEnd {
+					c.waveEnd = comp.Done
+				}
+			} else {
+				c.now = comp.Done
+			}
+		}
+		for _, c := range clients {
+			if !c.submitted {
+				continue
+			}
+			c.submitted = false
+			if c.wave {
+				if !c.waveErr {
+					c.now = c.waveEnd
+				}
+				c.wave, c.waveErr = false, false
+			}
+			if runErr == nil && c.dueCheck && collector.Due(c.now) {
+				collector.Record(c.now)
+			}
 		}
 	}
-	if err == nil && len(batch) > 0 {
-		err = flushReads()
-	}
-	if err != nil {
-		if !errors.Is(err, extfs.ErrNoSpace) {
-			return nil, fmt.Errorf("core: workload: %w", err)
+	if runErr != nil {
+		if !errors.Is(runErr, extfs.ErrNoSpace) {
+			return nil, fmt.Errorf("core: workload: %w", runErr)
 		}
 		res.OutOfSpace = true
 	}
-	collector.Record(now)
+	var end sim.Duration
+	for _, c := range clients {
+		if c.now > end {
+			end = c.now
+		}
+	}
+	collector.Record(end)
 	res.Latency = lat.Percentiles()
 
 	res.Series = collector.Series()
@@ -484,7 +566,114 @@ func Run(spec Spec) (*Result, error) {
 	res.ScaledKOps = res.Steady.ThroughputKOps * float64(spec.Scale)
 	res.SpaceAmp = SpaceAmplification(res.Steady.DiskUsedBytes, datasetBytes)
 	res.DiskUtilPct = 100 * float64(res.Steady.DiskUsedBytes) / float64(scaledCapacity)
-	res.LBACDF = bdev.WriteCDF(100)
-	res.FracLBAs = bdev.FractionLBAsWritten()
+	res.LBACDF = blockdev.CombinedWriteCDF(devs, 100)
+	res.FracLBAs = blockdev.CombinedFractionLBAsWritten(devs)
 	return res, nil
+}
+
+// shardSeed derives shard i's independent RNG seed from the experiment
+// seed (shard 0 uses the primary stream directly and never calls this).
+func shardSeed(seed uint64, shard int) uint64 {
+	z := uint64(shard) + 0x6A09E667F3BCC909
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return seed ^ z ^ (z >> 31)
+}
+
+// runClient is one closed-loop client of the measured phase. Its state
+// machine replicates the historical op loop exactly: reads accumulate
+// into a wave until QueueDepth; a write (or the deadline) flushes the
+// pending wave first, the write itself riding the next epoch.
+type runClient struct {
+	gen   *workload.Generator
+	now   sim.Duration
+	keys  [][]byte // per-wave-slot key buffers, reused every epoch
+	batch []uint64 // pending read wave (key ids)
+
+	held    workload.Op // write held while its preceding wave flushes
+	hasHeld bool
+
+	// Per-epoch submission state.
+	submitted bool
+	wave      bool
+	waveEnd   sim.Duration
+	waveErr   bool
+	dueCheck  bool
+
+	done bool
+}
+
+// step prepares the client's next submission. It returns false once the
+// client has passed the deadline with nothing left to flush.
+func (c *runClient) step(st *store.Store, spec *Spec, id int, deadline sim.Duration) bool {
+	if c.hasHeld {
+		c.hasHeld = false
+		c.submitSingle(st, spec, id, c.held)
+		return true
+	}
+	for {
+		if c.now >= deadline {
+			if len(c.batch) > 0 {
+				// Final partial wave: no sample check (the run's closing
+				// Record covers it), matching the historical loop.
+				c.submitWave(st, id, false)
+				return true
+			}
+			c.done = true
+			return false
+		}
+		op := c.gen.Next()
+		if op.Kind == workload.OpRead && spec.QueueDepth > 1 {
+			c.batch = append(c.batch, op.KeyID)
+			if len(c.batch) < spec.QueueDepth {
+				continue
+			}
+			c.submitWave(st, id, true)
+			return true
+		}
+		if len(c.batch) > 0 {
+			c.submitWave(st, id, false)
+			c.held = op
+			c.hasHeld = true
+			return true
+		}
+		c.submitSingle(st, spec, id, op)
+		return true
+	}
+}
+
+func (c *runClient) submitWave(st *store.Store, id int, due bool) {
+	for i, keyID := range c.batch {
+		kv.AppendKey(c.keys[i], keyID)
+		st.Submit(store.Op{
+			Kind:   store.Get,
+			Client: id,
+			Submit: c.now,
+			KeyID:  keyID,
+			Key:    c.keys[i],
+			Wave:   true,
+		})
+	}
+	c.batch = c.batch[:0]
+	c.submitted, c.wave, c.waveEnd, c.waveErr = true, true, c.now, false
+	c.dueCheck = due
+}
+
+func (c *runClient) submitSingle(st *store.Store, spec *Spec, id int, op workload.Op) {
+	kv.AppendKey(c.keys[0], op.KeyID)
+	sop := store.Op{
+		Client: id,
+		Submit: c.now,
+		KeyID:  op.KeyID,
+		Key:    c.keys[0],
+	}
+	if op.Kind == workload.OpRead {
+		sop.Kind = store.Get
+	} else {
+		sop.Kind = store.Put
+		sop.ValueLen = spec.ValueBytes
+	}
+	st.Submit(sop)
+	c.submitted, c.wave = true, false
+	c.dueCheck = true
 }

@@ -178,10 +178,18 @@ func (ser Series) TailStats(fraction float64) SteadyStats {
 	return st
 }
 
-// Collector samples a running experiment.
+// StatsSource is the slice of an engine (or a sharded store — anything
+// aggregating engines) the collector samples.
+type StatsSource interface {
+	Stats() kv.EngineStats
+	DiskUsageBytes() int64
+}
+
+// Collector samples a running experiment over one or more devices (the
+// per-shard devices of a sharded store sum into one host-visible view).
 type Collector struct {
-	dev      *blockdev.Device
-	engine   kv.Engine
+	devs     []*blockdev.Device
+	src      StatsSource
 	baseDev  blockdev.Counters
 	baseSSD  flash.Stats
 	baseEng  kv.EngineStats
@@ -193,19 +201,30 @@ type Collector struct {
 
 // NewCollector snapshots baselines at the measurement start so that the
 // load phase is excluded (the paper's plots omit loading).
-func NewCollector(dev *blockdev.Device, engine kv.Engine, start, interval sim.Duration) *Collector {
+func NewCollector(devs []*blockdev.Device, src StatsSource, start, interval sim.Duration) *Collector {
 	c := &Collector{
-		dev:      dev,
-		engine:   engine,
-		baseDev:  dev.Counters(),
-		baseSSD:  dev.SSD().Stats(),
-		baseEng:  engine.Stats(),
+		devs:     devs,
+		src:      src,
+		baseEng:  src.Stats(),
 		interval: interval,
 		start:    start,
 		next:     start,
 	}
+	c.baseDev, c.baseSSD, _ = c.sumDevs()
 	c.Record(start) // t=0 sample
 	return c
+}
+
+func (c *Collector) sumDevs() (blockdev.Counters, flash.Stats, int64) {
+	var devC blockdev.Counters
+	var ssdC flash.Stats
+	var cacheFill int64
+	for _, d := range c.devs {
+		devC = devC.Add(d.Counters())
+		ssdC = ssdC.Add(d.SSD().Stats())
+		cacheFill += d.SSD().CacheFillPages()
+	}
+	return devC, ssdC, cacheFill
 }
 
 // Due reports whether a sample is due at time now.
@@ -213,9 +232,10 @@ func (c *Collector) Due(now sim.Duration) bool { return now >= c.next }
 
 // Record captures a sample at time now and schedules the next one.
 func (c *Collector) Record(now sim.Duration) {
-	devC := c.dev.Counters().Sub(c.baseDev)
-	ssdC := c.dev.SSD().Stats().Sub(c.baseSSD)
-	engC := c.engine.Stats().Sub(c.baseEng)
+	devSum, ssdSum, cacheFill := c.sumDevs()
+	devC := devSum.Sub(c.baseDev)
+	ssdC := ssdSum.Sub(c.baseSSD)
+	engC := c.src.Stats().Sub(c.baseEng)
 	c.series.Samples = append(c.series.Samples, Sample{
 		T:             now - c.start,
 		Ops:           engC.Puts + engC.Gets,
@@ -226,8 +246,8 @@ func (c *Collector) Record(now sim.Duration) {
 		FlashPages:    ssdC.FlashPagesWritten,
 		HostPages:     ssdC.HostPagesWritten,
 		StallTime:     engC.StallTime,
-		DiskUsedBytes: c.engine.DiskUsageBytes(),
-		CacheFillPgs:  c.dev.SSD().CacheFillPages(),
+		DiskUsedBytes: c.src.DiskUsageBytes(),
+		CacheFillPgs:  cacheFill,
 	})
 	for c.next <= now {
 		c.next += c.interval

@@ -42,6 +42,9 @@ type specJSON struct {
 	Initial           string            `json:"initial,omitempty"`
 	PartitionFraction float64           `json:"partition_fraction,omitempty"`
 	QueueDepth        int               `json:"queue_depth,omitempty"`
+	Shards            int               `json:"shards,omitempty"`
+	Clients           int               `json:"clients,omitempty"`
+	Skew              float64           `json:"skew,omitempty"`
 	Duration          string            `json:"duration,omitempty"`
 	SampleEvery       string            `json:"sample_every,omitempty"`
 	Seed              uint64            `json:"seed,omitempty"`
@@ -152,6 +155,9 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		ZipfTheta:         s.ZipfTheta,
 		PartitionFraction: s.PartitionFraction,
 		QueueDepth:        s.QueueDepth,
+		Shards:            s.Shards,
+		Clients:           s.Clients,
+		Skew:              s.Skew,
 		Seed:              s.Seed,
 		Tunables:          s.Tunables,
 	}
@@ -190,6 +196,9 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		ZipfTheta:         sj.ZipfTheta,
 		PartitionFraction: sj.PartitionFraction,
 		QueueDepth:        sj.QueueDepth,
+		Shards:            sj.Shards,
+		Clients:           sj.Clients,
+		Skew:              sj.Skew,
 		Seed:              sj.Seed,
 		Tunables:          sj.Tunables,
 	}
@@ -261,12 +270,17 @@ type Experiment struct {
 	// durations, seed). Its Engine/ReadFraction/QueueDepth/Scale are
 	// the fallback when the corresponding sweep list is empty.
 	Base Spec
-	// Engines, ReadFractions, QueueDepths and Scales are the sweep
-	// axes; Specs expands their cross product.
+	// Engines, ReadFractions, QueueDepths, Scales, ShardCounts and
+	// ClientCounts are the sweep axes; Specs expands their cross
+	// product. Cells whose client count cannot keep their shard count
+	// busy (clients < shards) are skipped rather than rejected, so a
+	// rectangular shards × clients grid stays usable.
 	Engines       []EngineKind
 	ReadFractions []float64
 	QueueDepths   []int
 	Scales        []int64
+	ShardCounts   []int
+	ClientCounts  []int
 	// Tunables are per-engine knob overrides: cells of engine E run
 	// with Tunables[E].
 	Tunables map[EngineKind]map[string]string
@@ -288,6 +302,11 @@ type experimentJSON struct {
 	ReadFraction      float64                      `json:"read_fraction,omitempty"`
 	QueueDepths       []int                        `json:"queue_depths,omitempty"`
 	QueueDepth        int                          `json:"queue_depth,omitempty"`
+	ShardCounts       []int                        `json:"shard_counts,omitempty"`
+	Shards            int                          `json:"shards,omitempty"`
+	ClientCounts      []int                        `json:"client_counts,omitempty"`
+	Clients           int                          `json:"clients,omitempty"`
+	Skew              float64                      `json:"skew,omitempty"`
 	Dist              string                       `json:"dist,omitempty"`
 	ZipfTheta         float64                      `json:"zipf_theta,omitempty"`
 	Initial           string                       `json:"initial,omitempty"`
@@ -318,6 +337,9 @@ func ParseExperiment(data []byte) (*Experiment, error) {
 			ZipfTheta:         ej.ZipfTheta,
 			PartitionFraction: ej.PartitionFraction,
 			QueueDepth:        ej.QueueDepth,
+			Shards:            ej.Shards,
+			Clients:           ej.Clients,
+			Skew:              ej.Skew,
 			Seed:              ej.Seed,
 		},
 	}
@@ -369,6 +391,8 @@ func ParseExperiment(data []byte) (*Experiment, error) {
 	e.ReadFractions = ej.ReadFractions
 	e.QueueDepths = ej.QueueDepths
 	e.Scales = ej.Scales
+	e.ShardCounts = ej.ShardCounts
+	e.ClientCounts = ej.ClientCounts
 	return e, nil
 }
 
@@ -395,6 +419,14 @@ func (e *Experiment) Specs(quick bool) ([]Spec, error) {
 	if len(scales) == 0 {
 		scales = []int64{e.Base.Scale}
 	}
+	shardCounts := e.ShardCounts
+	if len(shardCounts) == 0 {
+		shardCounts = []int{e.Base.Shards}
+	}
+	clientCounts := e.ClientCounts
+	if len(clientCounts) == 0 {
+		clientCounts = []int{e.Base.Clients}
+	}
 	name := e.Name
 	if name == "" {
 		name = "exp"
@@ -404,32 +436,52 @@ func (e *Experiment) Specs(quick bool) ([]Spec, error) {
 		for _, rf := range readFracs {
 			for _, qd := range queueDepths {
 				for _, scale := range scales {
-					spec := e.Base
-					spec.Engine = eng
-					spec.ReadFraction = rf
-					spec.QueueDepth = qd
-					spec.Scale = scale
-					if t := e.Tunables[eng]; len(t) > 0 {
-						// Clone so cells never share a mutable map.
-						spec.Tunables = make(map[string]string, len(t))
-						for k, v := range t {
-							spec.Tunables[k] = v
+					for _, shards := range shardCounts {
+						for _, clients := range clientCounts {
+							// An explicit client count below the shard
+							// count can't keep every shard busy; drop
+							// the cell so rectangular grids expand
+							// cleanly (clients == 0 means one client
+							// per shard and is always feasible).
+							if clients != 0 && clients < shards {
+								continue
+							}
+							spec := e.Base
+							spec.Engine = eng
+							spec.ReadFraction = rf
+							spec.QueueDepth = qd
+							spec.Scale = scale
+							spec.Shards = shards
+							spec.Clients = clients
+							if t := e.Tunables[eng]; len(t) > 0 {
+								// Clone so cells never share a mutable map.
+								spec.Tunables = make(map[string]string, len(t))
+								for k, v := range t {
+									spec.Tunables[k] = v
+								}
+							}
+							spec, err := spec.Validate()
+							if err != nil {
+								return nil, err
+							}
+							spec.Name = fmt.Sprintf("%s %s rf=%g qd=%d x%d",
+								name, eng, spec.ReadFraction, spec.QueueDepth, spec.Scale)
+							if spec.Shards != 1 || spec.Clients != 1 {
+								// Only non-default serving layouts carry
+								// the suffix, so historical cell names
+								// are untouched.
+								spec.Name += fmt.Sprintf(" s=%d c=%d", spec.Shards, spec.Clients)
+							}
+							if quick {
+								if spec.Duration > 60*time.Minute {
+									spec.Duration = 60 * time.Minute
+								} else {
+									spec.Duration /= 2
+								}
+							}
+							specs = append(specs, spec)
 						}
 					}
-					spec, err := spec.Validate()
-					if err != nil {
-						return nil, err
-					}
-					spec.Name = fmt.Sprintf("%s %s rf=%g qd=%d x%d",
-						name, eng, spec.ReadFraction, spec.QueueDepth, spec.Scale)
-					if quick {
-						if spec.Duration > 60*time.Minute {
-							spec.Duration = 60 * time.Minute
-						} else {
-							spec.Duration /= 2
-						}
-					}
-					specs = append(specs, spec)
 				}
 			}
 		}

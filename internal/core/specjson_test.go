@@ -27,12 +27,17 @@ func randomSpec(r *rand.Rand) Spec {
 		Initial:           []InitialState{Trimmed, Preconditioned}[pick(2)],
 		PartitionFraction: []float64{0, 0.75, 1}[pick(3)],
 		QueueDepth:        []int{0, 1, 16}[pick(3)],
+		Shards:            []int{0, 1, 4}[pick(3)],
+		Skew:              []float64{0, 0.3}[pick(2)],
 		Duration:          []time.Duration{0, 20 * time.Minute, 210 * time.Minute}[pick(3)],
 		SampleEvery:       []time.Duration{0, 10 * time.Second, 30 * time.Second}[pick(3)],
 		Seed:              uint64(pick(100)),
 	}
 	if s.Dist == workload.Zipfian {
 		s.ZipfTheta = []float64{0, 0.8, 0.99}[pick(3)]
+	}
+	if s.Shards > 0 && pick(2) == 0 {
+		s.Clients = s.Shards * []int{1, 3}[pick(2)]
 	}
 	switch pick(4) {
 	case 0:

@@ -145,6 +145,7 @@ type Core struct {
 	journal     *wal.Writer
 	journalID   uint64
 	journalPool []*wal.Writer // recycled segments awaiting reuse
+	group       bool          // group commit open: per-record syncs deferred
 
 	ckptW    *sim.Worker
 	lastCkpt sim.Duration
@@ -263,6 +264,28 @@ func (c *Core) StartJournal() error {
 	}
 	c.journal = w
 	return nil
+}
+
+// BeginGroup opens a group commit: while it is active, engines skip
+// their per-record journal syncs (they consult GroupActive at the
+// append site) so a batch of writes from independent clients commits
+// with one sync. The serving layer brackets multi-write intake batches
+// with BeginGroup/EndGroup.
+func (c *Core) BeginGroup() { c.group = true }
+
+// GroupActive reports whether a group commit is open.
+func (c *Core) GroupActive() bool { return c.group }
+
+// EndGroup closes the group and, when sync is set, durably syncs the
+// journal tail once, returning the sync completion time. Records whose
+// segment was rotated away by an intervening checkpoint need no sync —
+// the checkpoint superseded them.
+func (c *Core) EndGroup(now sim.Duration, sync bool) (sim.Duration, error) {
+	c.group = false
+	if !sync || c.journal == nil {
+		return now, nil
+	}
+	return c.journal.Sync(now)
 }
 
 // wrapJournal opens the next journal segment, reusing a recycled one

@@ -41,6 +41,22 @@ type Engine interface {
 	Close(now sim.Duration) (sim.Duration, error)
 }
 
+// GroupCommitter is the optional surface of engines whose journal can
+// defer per-write durability to a single batch-end sync (group commit).
+// The store's shard workers bracket intake batches carrying more than
+// one write with Begin/End, so concurrent clients share one journal
+// sync the way production write-ahead logs batch fsyncs. Engines whose
+// write path already batches durability internally (the LSM WAL flushes
+// by accumulated bytes) simply don't implement it.
+type GroupCommitter interface {
+	// BeginGroupCommit suppresses per-write journal syncs until
+	// EndGroupCommit.
+	BeginGroupCommit()
+	// EndGroupCommit closes the group and syncs the journal tail once,
+	// returning the sync completion time.
+	EndGroupCommit(now sim.Duration) (sim.Duration, error)
+}
+
 // Env is the environment an engine opens on.
 type Env struct {
 	// FS is the filesystem the engine stores its files in.

@@ -109,13 +109,17 @@ func Registry() map[string]func(Options) (*Report, error) {
 		// trade-off between throughput and write amplification as the
 		// buffer fraction (ε) and the read fraction vary.
 		"betradeoff": FigBetradeoff,
+		// shardsweep extends the paper: throughput and tail latency of
+		// the sharded serving layer as shards and closed-loop clients
+		// vary.
+		"shardsweep": FigShardSweep,
 	}
 }
 
 // IDs lists the figure identifiers in paper order, followed by the
 // extension figures.
 func IDs() []string {
-	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qdsweep", "betradeoff"}
+	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qdsweep", "betradeoff", "shardsweep"}
 }
 
 // windowSamples is how many 10s samples form the paper's 10-minute
@@ -961,6 +965,91 @@ func FigBetradeoff(o Options) (*Report, error) {
 		wad.Rows = append(wad.Rows, dr)
 	}
 	rep.Tables = []Table{tput, waa, wad}
+	return rep, nil
+}
+
+// shardSweepShards and shardSweepClients span the serving-layer grid:
+// shard counts across the columns, closed-loop client counts across the
+// series.
+var (
+	shardSweepShards  = []int{1, 2, 4, 8}
+	shardSweepClients = []int{8, 16}
+)
+
+// FigShardSweep goes beyond the paper: it sweeps the sharded serving
+// layer (internal/store) over shard and client counts on the default
+// balanced workload. Each shard owns an independent engine on its own
+// slice of the device, so aggregate throughput grows with shards as
+// long as the clients supply enough concurrent load, while per-op
+// latency reflects FIFO queueing on each shard — the classic
+// partitioned-store trade-off, measured under the same deterministic
+// simulation as the paper's figures.
+func FigShardSweep(o Options) (*Report, error) {
+	rep := &Report{
+		ID: "shardsweep",
+		Caption: "Throughput and tail latency of the sharded serving layer: " +
+			"shards scale aggregate service capacity; clients set the " +
+			"offered closed-loop concurrency",
+	}
+	engines := o.engines([]core.EngineKind{core.LSM})
+	var specs []core.Spec
+	for _, eng := range engines {
+		for _, clients := range shardSweepClients {
+			for _, shards := range shardSweepShards {
+				spec := baseSpec(o, eng, core.Trimmed)
+				spec.Name = fmt.Sprintf("%v-s%d-c%d", eng, shards, clients)
+				spec.Scale = o.scale(2048)
+				spec.ReadFraction = 0.5
+				spec.Shards = shards
+				spec.Clients = clients
+				spec.Duration = o.duration(60 * time.Minute)
+				specs = append(specs, spec)
+			}
+		}
+	}
+	results, err := core.RunGrid(specs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("shardsweep: %w", err)
+	}
+	tput := Table{
+		Title:  "Mean throughput (KOps/s, paper scale)",
+		Header: []string{"engine / clients"},
+	}
+	for _, shards := range shardSweepShards {
+		tput.Header = append(tput.Header, fmt.Sprintf("%d shards", shards))
+	}
+	lat := Table{
+		Title:  "p99 operation latency (paper scale)",
+		Header: append([]string(nil), tput.Header...),
+	}
+	cell := 0
+	for _, eng := range engines {
+		for _, clients := range shardSweepClients {
+			label := fmt.Sprintf("%s, %d clients", engineName(eng), clients)
+			s := Series{Name: label, XLabel: "shards", YLabel: "KOps/s"}
+			tr := []string{label}
+			lr := []string{label}
+			for _, shards := range shardSweepShards {
+				res := results[cell]
+				cell++
+				if res.OutOfSpace {
+					rep.Notes = append(rep.Notes, fmt.Sprintf("%s at %d shards ran out of space", label, shards))
+					tr = append(tr, "OOS")
+					lr = append(lr, "OOS")
+					continue
+				}
+				kops := res.MeanScaledKOps()
+				s.X = append(s.X, float64(shards))
+				s.Y = append(s.Y, kops)
+				tr = append(tr, fmt.Sprintf("%.2f", kops))
+				lr = append(lr, res.Latency.P99.String())
+			}
+			rep.Series = append(rep.Series, s)
+			tput.Rows = append(tput.Rows, tr)
+			lat.Rows = append(lat.Rows, lr)
+		}
+	}
+	rep.Tables = []Table{tput, lat}
 	return rep, nil
 }
 

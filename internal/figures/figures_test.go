@@ -410,3 +410,33 @@ func TestFigQDSweepMonotone(t *testing.T) {
 		t.Fatalf("tables %d, want 2", len(rep.Tables))
 	}
 }
+
+func TestFigShardSweepScales(t *testing.T) {
+	o := fastOptions()
+	o.Scale = 4096
+	rep, err := FigShardSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "shardsweep" {
+		t.Fatalf("ID = %s", rep.ID)
+	}
+	if len(rep.Series) != len(shardSweepClients) {
+		t.Fatalf("series count %d, want %d (one per client count)", len(rep.Series), len(shardSweepClients))
+	}
+	for _, s := range rep.Series {
+		if len(s.Y) != len(shardSweepShards) {
+			t.Fatalf("%s: %d points, want %d", s.Name, len(s.Y), len(shardSweepShards))
+		}
+		// The scaling claim the figure exists to demonstrate: with
+		// enough clients, many shards out-serve one shard.
+		last := len(s.Y) - 1
+		if s.Y[last] <= s.Y[0] {
+			t.Fatalf("%s: %v shards (%.2f kops) did not out-serve %v shard (%.2f kops)",
+				s.Name, s.X[last], s.Y[last], s.X[0], s.Y[0])
+		}
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables %d, want 2 (throughput + p99)", len(rep.Tables))
+	}
+}

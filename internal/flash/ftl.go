@@ -105,6 +105,18 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Add returns s + o, for aggregating per-shard devices.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		HostPagesWritten:  s.HostPagesWritten + o.HostPagesWritten,
+		HostPagesRead:     s.HostPagesRead + o.HostPagesRead,
+		FlashPagesWritten: s.FlashPagesWritten + o.FlashPagesWritten,
+		Relocations:       s.Relocations + o.Relocations,
+		Erases:            s.Erases + o.Erases,
+		TrimmedPages:      s.TrimmedPages + o.TrimmedPages,
+	}
+}
+
 func newFTL(cfg Config) *ftl {
 	nb := cfg.physicalBlocks()
 	ppb := cfg.PagesPerBlock

@@ -195,6 +195,17 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 	}
 }
 
+// Add returns s + o, for aggregating the shards of a partitioned store.
+func (s EngineStats) Add(o EngineStats) EngineStats {
+	return EngineStats{
+		Puts:             s.Puts + o.Puts,
+		Gets:             s.Gets + o.Gets,
+		UserBytesWritten: s.UserBytesWritten + o.UserBytesWritten,
+		UserBytesRead:    s.UserBytesRead + o.UserBytesRead,
+		StallTime:        s.StallTime + o.StallTime,
+	}
+}
+
 // SepCache caches the big-endian word decomposition of a sorted set of
 // separator keys while every separator is a fixed-size key, so a
 // descent's binary search probes raw uint64 pairs instead of re-decoding

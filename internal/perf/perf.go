@@ -26,6 +26,7 @@ import (
 	"ptsbench/internal/memtable"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/sstable"
+	"ptsbench/internal/store"
 )
 
 // Metric is one measured suite entry.
@@ -283,6 +284,66 @@ func RunSuite(o Options) (*Result, error) {
 			var err error
 			if now, err = tr.Put(now, key, nil, 512); err != nil {
 				panic(err)
+			}
+		}))
+	}
+
+	// ---- serving layer (sharded store, multi-client put epochs) ----
+	// One op = one submission epoch: 8 clients each submit a put, one
+	// Pump services all 4 shards on their workers. Measures the whole
+	// pipeline — routing, intake sorting, worker handoff, completion
+	// merge — on top of the engines' own put cost.
+	{
+		st, err := store.New(4, func(i int) (store.Stack, error) {
+			ssd, err := flash.NewDevice(flash.Config{
+				LogicalBytes:  128 << 20,
+				PageSize:      4096,
+				PagesPerBlock: 256,
+				Profile:       flash.ProfileSSD1().Scaled(512),
+			})
+			if err != nil {
+				return store.Stack{}, err
+			}
+			dev := blockdev.New(ssd)
+			fs, err := extfs.Mount(dev, extfs.Options{})
+			if err != nil {
+				return store.Stack{}, err
+			}
+			db, err := lsm.Open(fs, lsm.NewConfig(32<<20), sim.NewRNG(uint64(10+i)))
+			if err != nil {
+				return store.Stack{}, err
+			}
+			return store.Stack{Engine: db, Dev: dev}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		const clients = 8
+		rng := sim.NewRNG(2)
+		keys := make([][]byte, clients)
+		clocks := make([]sim.Duration, clients)
+		for c := range keys {
+			keys[c] = make([]byte, kv.KeySize)
+		}
+		res.Metrics = append(res.Metrics, measure("store-put-sharded", 25000/div, func(int) {
+			for c := 0; c < clients; c++ {
+				id := rng.Uint64n(50000)
+				kv.AppendKey(keys[c], id)
+				st.Submit(store.Op{
+					Kind:     store.Put,
+					Client:   c,
+					Submit:   clocks[c],
+					KeyID:    id,
+					Key:      keys[c],
+					ValueLen: 512,
+				})
+			}
+			for _, comp := range st.Pump() {
+				if comp.Err != nil {
+					panic(comp.Err)
+				}
+				clocks[comp.Client] = comp.Done
 			}
 		}))
 	}

@@ -1,0 +1,574 @@
+// Package store is the serving layer between an experiment's
+// closed-loop clients and the storage engines: an asynchronous
+// submit/complete pipeline over N hash-partitioned shards, each shard
+// owning one engine instance on its own simulated device stack.
+//
+// The dispatch discipline mirrors sim.MultiResource — a shared
+// submission queue feeding independent FIFO service lanes — lifted from
+// flash dies to whole engine instances: clients Submit operations with
+// virtual submission times, Pump routes each to its owning shard, and
+// every shard services its intake in (submit time, submission order)
+// order on its own clock. Shards never share mutable simulation state
+// (each has its own flash device, block device, filesystem and engine),
+// so shard workers run on real goroutines while results stay
+// deterministic: the only cross-goroutine communication is the
+// barrier at the end of Pump, and completions are merged back into
+// global submission order.
+//
+// Determinism contract: a 1-shard store is bit-identical to driving the
+// engine directly (there is no worker goroutine and no reordering), and
+// any (shards × clients) shape replays exactly given the same
+// submission sequence. Consecutive same-client Get submissions with
+// equal submit times form a read wave: all start together on the owning
+// shard and the shard clock advances to the slowest completion,
+// reproducing the harness's QueueDepth batching. Intake batches
+// carrying more than one write are bracketed with the engine's optional
+// group commit (engine.GroupCommitter), so concurrent clients share one
+// journal sync.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/engine"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+)
+
+// OpKind enumerates the operations the serving layer accepts.
+type OpKind uint8
+
+// Operation kinds.
+const (
+	Get OpKind = iota
+	Put
+	Delete
+)
+
+// Op is one submitted operation. KeyID routes the op to its shard
+// (ShardOf); Key is the encoded key handed to the engine and must stay
+// valid until the Pump that services it returns. Wave marks a member of
+// a concurrent read wave (see the package comment).
+type Op struct {
+	Kind     OpKind
+	Client   int
+	Submit   sim.Duration
+	KeyID    uint64
+	Key      []byte
+	Value    []byte
+	ValueLen int
+	Wave     bool
+}
+
+// Completion reports one serviced operation. Seq is the global
+// submission order; Done is the virtual completion time (for group-
+// committed writes, the group's journal sync time). After an error on a
+// shard, later operations of the same Pump on that shard complete with
+// the same error without reaching the engine.
+type Completion struct {
+	Seq    uint64
+	Client int
+	Kind   OpKind
+	Wave   bool
+	Submit sim.Duration
+	Done   sim.Duration
+	Value  []byte
+	Found  bool
+	Err    error
+}
+
+// Deleter is the optional engine surface behind Op Delete.
+type Deleter interface {
+	Delete(now sim.Duration, key []byte) (sim.Duration, error)
+}
+
+// Scanner is the optional engine surface behind Store.Scan.
+type Scanner interface {
+	Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []kv.Entry, error)
+}
+
+// Stack is one shard's engine on its own simulated device. Start seeds
+// the shard clock (recovery end time for recovered engines).
+type Stack struct {
+	Engine engine.Engine
+	Dev    *blockdev.Device
+	Start  sim.Duration
+}
+
+// request is an Op tagged with its global submission number.
+type request struct {
+	seq uint64
+	op  Op
+}
+
+type shard struct {
+	idx    int
+	eng    engine.Engine
+	dev    *blockdev.Device
+	clock  sim.Duration
+	failed error // sticky: set on the first engine error
+
+	intake   []request // reused across Pumps
+	unsorted bool      // intake submit times observed out of order
+	comps    []Completion
+
+	// Worker plumbing (multi-shard stores only). The worker goroutine
+	// executes closures sent on ch; the store's WaitGroup is the
+	// barrier, so the main goroutine never touches shard state while a
+	// closure runs.
+	ch chan func()
+
+	err error // scratch for lifecycle operations (Load, FlushAll, Scan)
+}
+
+// run executes closures off ch. The channel is passed by value so
+// Close never writes a field the worker goroutine reads.
+func (sh *shard) run(ch chan func()) {
+	for f := range ch {
+		f()
+	}
+}
+
+// Store is the sharded serving layer.
+type Store struct {
+	shards  []*shard
+	seq     uint64
+	pending int
+	comps   []Completion // reused result buffer for Pump
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// New builds a store over shards hash-partitioned engine stacks. open
+// is called with shard indices 0..shards-1 in order; shard 0's stack is
+// built first, so callers can give it the experiment's primary RNG
+// stream and keep single-shard runs bit-identical to historical ones.
+// Multi-shard stores start one worker goroutine per shard; Close stops
+// them.
+func New(shards int, open func(i int) (Stack, error)) (*Store, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("store: shards must be >= 1 (got %d)", shards)
+	}
+	s := &Store{shards: make([]*shard, 0, shards)}
+	for i := 0; i < shards; i++ {
+		st, err := open(i)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("store: opening shard %d: %w", i, err)
+		}
+		sh := &shard{idx: i, eng: st.Engine, dev: st.Dev, clock: st.Start}
+		if shards > 1 {
+			sh.ch = make(chan func(), 1)
+			go sh.run(sh.ch)
+		}
+		s.shards = append(s.shards, sh)
+	}
+	return s, nil
+}
+
+// Close stops the shard workers. Engines are left open — the simulation
+// holds no external resources — so a closed store's shards can still be
+// inspected or recovered by tests. Close is idempotent.
+func (s *Store) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sh := range s.shards {
+		if sh.ch != nil {
+			close(sh.ch)
+		}
+	}
+}
+
+// Shards returns the shard count.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// Devs lists the per-shard block devices in shard order, for
+// instrumentation (reset, counter aggregation, combined LBA CDFs).
+func (s *Store) Devs() []*blockdev.Device {
+	devs := make([]*blockdev.Device, len(s.shards))
+	for i, sh := range s.shards {
+		devs[i] = sh.dev
+	}
+	return devs
+}
+
+// ShardOf maps a key id to its owning shard through a SplitMix64
+// finalizer — uniform spreading regardless of key-id locality, and
+// stable across runs so the dataset's shard assignment is part of the
+// experiment's deterministic state.
+func ShardOf(id uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	z := (id ^ (id >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// Submit enqueues an operation for the next Pump and returns its global
+// submission number. Submit itself costs no virtual time — admission is
+// free, like a doorbell write; all queueing happens on the shard clock.
+func (s *Store) Submit(op Op) uint64 {
+	sh := s.shards[ShardOf(op.KeyID, len(s.shards))]
+	if n := len(sh.intake); n > 0 && op.Submit < sh.intake[n-1].op.Submit {
+		sh.unsorted = true
+	}
+	seq := s.seq
+	s.seq++
+	s.pending++
+	sh.intake = append(sh.intake, request{seq: seq, op: op})
+	return seq
+}
+
+// Pump services every submitted operation — shards in parallel, each on
+// its own worker — and returns the completions in global submission
+// order. The returned slice is reused by the next Pump.
+func (s *Store) Pump() []Completion {
+	s.comps = s.comps[:0]
+	if s.pending == 0 {
+		return s.comps
+	}
+	needSort := len(s.shards) > 1
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		needSort = sh.unsorted
+		sh.process()
+	} else {
+		n := 0
+		for _, sh := range s.shards {
+			if len(sh.intake) > 0 {
+				n++
+			}
+		}
+		s.wg.Add(n)
+		for _, sh := range s.shards {
+			if len(sh.intake) == 0 {
+				continue
+			}
+			sh := sh
+			sh.ch <- func() {
+				sh.process()
+				s.wg.Done()
+			}
+		}
+		s.wg.Wait()
+	}
+	for _, sh := range s.shards {
+		s.comps = append(s.comps, sh.comps...)
+		sh.comps = sh.comps[:0]
+		sh.intake = sh.intake[:0]
+		sh.unsorted = false
+	}
+	if needSort {
+		sort.Slice(s.comps, func(i, j int) bool { return s.comps[i].Seq < s.comps[j].Seq })
+	}
+	s.pending = 0
+	return s.comps
+}
+
+// each runs fn on every shard — in parallel on multi-shard stores —
+// and returns after all have finished.
+func (s *Store) each(fn func(*shard)) {
+	if len(s.shards) == 1 {
+		fn(s.shards[0])
+		return
+	}
+	s.wg.Add(len(s.shards))
+	for _, sh := range s.shards {
+		sh := sh
+		sh.ch <- func() {
+			fn(sh)
+			s.wg.Done()
+		}
+	}
+	s.wg.Wait()
+}
+
+// process services the shard's intake batch in (submit, seq) order.
+func (sh *shard) process() {
+	if sh.unsorted {
+		sortRequests(sh.intake)
+	}
+	var gc engine.GroupCommitter
+	if countWrites(sh.intake) > 1 {
+		if g, ok := sh.eng.(engine.GroupCommitter); ok {
+			gc = g
+			gc.BeginGroupCommit()
+		}
+	}
+	for i := 0; i < len(sh.intake); {
+		r := sh.intake[i]
+		if sh.failed != nil {
+			sh.push(r, r.op.Submit, nil, false, sh.failed)
+			i++
+			continue
+		}
+		if r.op.Wave && r.op.Kind == Get {
+			// Read wave: all members start together; the clock advances
+			// to the slowest completion, like QueueDepth outstanding
+			// host requests on one queue.
+			j := i + 1
+			for j < len(sh.intake) {
+				n := sh.intake[j].op
+				if !n.Wave || n.Kind != Get || n.Client != r.op.Client || n.Submit != r.op.Submit {
+					break
+				}
+				j++
+			}
+			start := maxDur(sh.clock, r.op.Submit)
+			end := start
+			for k := i; k < j; k++ {
+				rq := sh.intake[k]
+				if sh.failed != nil {
+					sh.push(rq, rq.op.Submit, nil, false, sh.failed)
+					continue
+				}
+				done, v, found, err := sh.eng.Get(start, rq.op.Key)
+				if err != nil {
+					sh.failed = err
+					sh.push(rq, done, nil, false, err)
+					continue
+				}
+				if done > end {
+					end = done
+				}
+				sh.push(rq, done, v, found, nil)
+			}
+			sh.clock = end
+			i = j
+			continue
+		}
+		start := maxDur(sh.clock, r.op.Submit)
+		var (
+			done  sim.Duration
+			v     []byte
+			found bool
+			err   error
+		)
+		switch r.op.Kind {
+		case Get:
+			done, v, found, err = sh.eng.Get(start, r.op.Key)
+		case Put:
+			done, err = sh.eng.Put(start, r.op.Key, r.op.Value, r.op.ValueLen)
+		case Delete:
+			if del, ok := sh.eng.(Deleter); ok {
+				done, err = del.Delete(start, r.op.Key)
+			} else {
+				done, err = start, fmt.Errorf("store: shard %d engine does not support Delete", sh.idx)
+			}
+		default:
+			done, err = start, fmt.Errorf("store: unknown op kind %d", r.op.Kind)
+		}
+		if err != nil {
+			sh.failed = err
+		}
+		sh.clock = done
+		sh.push(r, done, v, found, err)
+		i++
+	}
+	if gc != nil {
+		syncDone, err := gc.EndGroupCommit(sh.clock)
+		if err != nil {
+			if sh.failed == nil {
+				sh.failed = err
+			}
+			for k := range sh.comps {
+				c := &sh.comps[k]
+				if c.Kind != Get && c.Err == nil {
+					c.Err = err
+				}
+			}
+			return
+		}
+		// The group's writes become durable at the shared sync.
+		for k := range sh.comps {
+			c := &sh.comps[k]
+			if c.Kind != Get && c.Err == nil && c.Done < syncDone {
+				c.Done = syncDone
+			}
+		}
+		if syncDone > sh.clock {
+			sh.clock = syncDone
+		}
+	}
+}
+
+func (sh *shard) push(r request, done sim.Duration, v []byte, found bool, err error) {
+	sh.comps = append(sh.comps, Completion{
+		Seq:    r.seq,
+		Client: r.op.Client,
+		Kind:   r.op.Kind,
+		Wave:   r.op.Wave,
+		Submit: r.op.Submit,
+		Done:   done,
+		Value:  v,
+		Found:  found,
+		Err:    err,
+	})
+}
+
+func countWrites(rs []request) int {
+	n := 0
+	for i := range rs {
+		if rs[i].op.Kind != Get {
+			n++
+		}
+	}
+	return n
+}
+
+// sortRequests orders by (submit time, submission number): FIFO by
+// virtual arrival with deterministic ties. Intakes are small (at most
+// clients × queue depth), so an insertion sort avoids sort.Slice's
+// per-call closure allocation on the hot path.
+func sortRequests(rs []request) {
+	if len(rs) > 64 {
+		sort.Slice(rs, func(i, j int) bool { return requestLess(rs[i], rs[j]) })
+		return
+	}
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && requestLess(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func requestLess(a, b request) bool {
+	if a.op.Submit != b.op.Submit {
+		return a.op.Submit < b.op.Submit
+	}
+	return a.seq < b.seq
+}
+
+// Load ingests keys 0..numKeys-1 with nil values of valueBytes each —
+// the paper's sequential load — each key on its owning shard. Shards
+// load in parallel; within a shard ids stay ascending, so a 1-shard
+// load is the exact historical sequence. Returns the time the slowest
+// shard finished and the first error in shard order.
+func (s *Store) Load(valueBytes int, numKeys uint64) (sim.Duration, error) {
+	shards := len(s.shards)
+	s.each(func(sh *shard) {
+		key := make([]byte, kv.KeySize)
+		now := sh.clock
+		var err error
+		for id := uint64(0); id < numKeys; id++ {
+			if ShardOf(id, shards) != sh.idx {
+				continue
+			}
+			kv.AppendKey(key, id)
+			now, err = sh.eng.Put(now, key, nil, valueBytes)
+			if err != nil {
+				break
+			}
+		}
+		sh.clock = now
+		sh.err = err
+	})
+	return s.collectEach()
+}
+
+// FlushAll flushes every shard (no later than now on each shard's
+// clock) and returns the time the slowest shard finished.
+func (s *Store) FlushAll(now sim.Duration) (sim.Duration, error) {
+	s.each(func(sh *shard) {
+		sh.clock, sh.err = sh.eng.FlushAll(maxDur(sh.clock, now))
+	})
+	return s.collectEach()
+}
+
+// Quiesce drains background work on every shard and returns the time
+// the slowest shard went idle.
+func (s *Store) Quiesce(now sim.Duration) sim.Duration {
+	s.each(func(sh *shard) {
+		sh.clock = sh.eng.Quiesce(maxDur(sh.clock, now))
+		sh.err = nil
+	})
+	end, _ := s.collectEach()
+	return end
+}
+
+// collectEach gathers the max clock and first error after an each().
+func (s *Store) collectEach() (sim.Duration, error) {
+	var end sim.Duration
+	var err error
+	for _, sh := range s.shards {
+		if sh.clock > end {
+			end = sh.clock
+		}
+		if err == nil && sh.err != nil {
+			err = sh.err
+		}
+		sh.err = nil
+	}
+	return end, err
+}
+
+// Scan scatters a range read to every shard and k-way merges the
+// per-shard results (shard key spaces are disjoint, so the merge is a
+// plain ordered interleave) up to limit entries. It returns the time
+// the slowest shard finished its scan.
+func (s *Store) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, []kv.Entry, error) {
+	parts := make([][]kv.Entry, len(s.shards))
+	s.each(func(sh *shard) {
+		sc, ok := sh.eng.(Scanner)
+		if !ok {
+			sh.err = fmt.Errorf("store: shard %d engine does not support Scan", sh.idx)
+			return
+		}
+		sh.clock, parts[sh.idx], sh.err = sc.Scan(maxDur(sh.clock, now), start, limit)
+	})
+	end, err := s.collectEach()
+	if err != nil {
+		return end, nil, err
+	}
+	heads := make([]int, len(parts))
+	var out []kv.Entry
+	for len(out) < limit {
+		best := -1
+		for i, p := range parts {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || kv.CompareKeys(p[heads[i]].Key, parts[best][heads[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, parts[best][heads[best]])
+		heads[best]++
+	}
+	return end, out, nil
+}
+
+// Stats aggregates engine statistics over shards.
+func (s *Store) Stats() kv.EngineStats {
+	var t kv.EngineStats
+	for _, sh := range s.shards {
+		t = t.Add(sh.eng.Stats())
+	}
+	return t
+}
+
+// DiskUsageBytes aggregates disk footprint over shards.
+func (s *Store) DiskUsageBytes() int64 {
+	var t int64
+	for _, sh := range s.shards {
+		t += sh.eng.DiskUsageBytes()
+	}
+	return t
+}
+
+func maxDur(a, b sim.Duration) sim.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -60,6 +60,13 @@ type Spec struct {
 	ReadFraction float64 // 0 = write-only, 0.5 = the paper's 50:50 mix
 	Dist         Dist
 	ZipfTheta    float64 // skew for Zipfian (YCSB default 0.99)
+	// Skew redirects this fraction of operations to a hot subset (the
+	// lowest NumKeys/16 key ids) on top of the base distribution,
+	// modeling the working-set concentration of multi-tenant serving
+	// traffic without changing the distribution machinery. At 0 the
+	// generator draws no extra randomness, so historical single-client
+	// key streams are bit-identical.
+	Skew float64
 }
 
 // Validate rejects nonsense and fills defaults.
@@ -72,6 +79,9 @@ func (s Spec) Validate() (Spec, error) {
 	}
 	if s.ReadFraction < 0 || s.ReadFraction > 1 {
 		return s, fmt.Errorf("workload: ReadFraction %v outside [0,1]", s.ReadFraction)
+	}
+	if s.Skew < 0 || s.Skew > 1 {
+		return s, fmt.Errorf("workload: Skew %v outside [0,1]", s.Skew)
 	}
 	if s.Dist == Zipfian && s.ZipfTheta == 0 {
 		s.ZipfTheta = 0.99
@@ -96,10 +106,11 @@ type Op struct {
 
 // Generator produces the operation stream.
 type Generator struct {
-	spec Spec
-	rng  *sim.RNG
-	zipf *zipfGen
-	seq  uint64
+	spec    Spec
+	rng     *sim.RNG
+	zipf    *zipfGen
+	seq     uint64
+	hotKeys uint64
 }
 
 // NewGenerator builds a deterministic generator for the spec.
@@ -108,11 +119,67 @@ func NewGenerator(spec Spec, rng *sim.RNG) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Generator{spec: spec, rng: rng}
+	g := &Generator{spec: spec, rng: rng, hotKeys: hotKeysOf(spec)}
 	if spec.Dist == Zipfian {
 		g.zipf = newZipfGen(spec.NumKeys, spec.ZipfTheta)
 	}
 	return g, nil
+}
+
+func hotKeysOf(spec Spec) uint64 {
+	hot := spec.NumKeys / 16
+	if hot == 0 {
+		hot = 1
+	}
+	return hot
+}
+
+// mix64 is the SplitMix64 finalizer; mix64(0) == 0, which ClientSeed
+// and the store's shard routing rely on.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// ClientSeed derives client c's generator seed from the shared base
+// seed (itself drawn from the experiment seed). Client 0 gets the base
+// seed unchanged — mix64(0) is 0 — so single-client runs keep the exact
+// historical key stream no matter how many shards serve it; every other
+// client gets an independent stream.
+func ClientSeed(base uint64, client int) uint64 {
+	return base ^ mix64(uint64(client))
+}
+
+// NewClientGenerators builds one deterministic generator per closed-loop
+// client, all drawing from the same validated spec. The Zipfian rank
+// table (an O(NumKeys) zeta sum) is computed once and shared; sequential
+// clients start staggered at client×NumKeys/clients so they cover the
+// keyspace instead of marching in lockstep.
+func NewClientGenerators(spec Spec, baseSeed uint64, clients int) ([]*Generator, error) {
+	if clients < 1 {
+		return nil, fmt.Errorf("workload: clients must be >= 1 (got %d)", clients)
+	}
+	spec, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	var shared *zipfGen
+	if spec.Dist == Zipfian {
+		shared = newZipfGen(spec.NumKeys, spec.ZipfTheta)
+	}
+	gens := make([]*Generator, clients)
+	stride := spec.NumKeys / uint64(clients)
+	for c := range gens {
+		gens[c] = &Generator{
+			spec:    spec,
+			rng:     sim.NewRNG(ClientSeed(baseSeed, c)),
+			zipf:    shared,
+			seq:     uint64(c) * stride,
+			hotKeys: hotKeysOf(spec),
+		}
+	}
+	return gens, nil
 }
 
 // Spec returns the validated spec.
@@ -132,6 +199,9 @@ func (g *Generator) Next() Op {
 	case SequentialDist:
 		op.KeyID = g.seq % g.spec.NumKeys
 		g.seq++
+	}
+	if g.spec.Skew > 0 && g.rng.Float64() < g.spec.Skew {
+		op.KeyID %= g.hotKeys
 	}
 	return op
 }

@@ -156,3 +156,123 @@ func TestKeyEncoding(t *testing.T) {
 		t.Fatal("key should be 16 bytes")
 	}
 }
+
+// TestClientSeedZeroIsBase pins the serving layer's determinism
+// contract: client 0's derived seed is the base seed itself, so the
+// first client of any (shards × clients) shape replays the exact key
+// stream of a historical single-client run.
+func TestClientSeedZeroIsBase(t *testing.T) {
+	for _, base := range []uint64{0, 1, 42, 0xDEADBEEF} {
+		if got := ClientSeed(base, 0); got != base {
+			t.Fatalf("ClientSeed(%d, 0) = %d, want the base seed", base, got)
+		}
+	}
+	// And other clients get distinct streams.
+	seen := map[uint64]bool{}
+	for c := 0; c < 64; c++ {
+		s := ClientSeed(42, c)
+		if seen[s] {
+			t.Fatalf("client %d seed collides", c)
+		}
+		seen[s] = true
+	}
+}
+
+// TestClientGeneratorsFirstMatchesSingle: generator 0 of a multi-client
+// set produces the same ops as the historical single generator.
+func TestClientGeneratorsFirstMatchesSingle(t *testing.T) {
+	spec, err := Spec{NumKeys: 1000, ValueBytes: 64, ReadFraction: 0.5}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := NewGenerator(spec, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := NewClientGenerators(spec, 42, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := single.Next(), gens[0].Next()
+		if a != b {
+			t.Fatalf("op %d: single %+v, client 0 %+v", i, a, b)
+		}
+	}
+	// Sibling clients do not mirror client 0.
+	same := 0
+	g, err := NewGenerator(spec, sim.NewRNG(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if g.Next() == gens[3].Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("client 3 repeated %d/1000 ops of the base stream", same)
+	}
+}
+
+func TestClientGeneratorsValidation(t *testing.T) {
+	spec, err := Spec{NumKeys: 10, ValueBytes: 1}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewClientGenerators(spec, 1, 0); err == nil {
+		t.Fatal("expected error for 0 clients")
+	}
+}
+
+// TestSkewDrawsNothingAtZero: Skew 0 consumes no extra randomness, so
+// historical key streams stay bit-identical.
+func TestSkewDrawsNothingAtZero(t *testing.T) {
+	spec, err := Spec{NumKeys: 1 << 12, ValueBytes: 64, ReadFraction: 0.5}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewGenerator(spec, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroSkew := spec
+	zeroSkew.Skew = 0
+	viaZero, err := NewGenerator(zeroSkew, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if plain.Next() != viaZero.Next() {
+			t.Fatalf("op %d diverged with Skew=0", i)
+		}
+	}
+}
+
+// TestSkewConcentratesKeys: with Skew set, the hot 1/16th of the
+// keyspace absorbs at least the skew fraction of operations.
+func TestSkewConcentratesKeys(t *testing.T) {
+	spec, err := Spec{NumKeys: 1 << 12, ValueBytes: 64, Skew: 0.8}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(spec, sim.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := spec.NumKeys / 16
+	in := 0
+	const ops = 20000
+	for i := 0; i < ops; i++ {
+		if g.Next().KeyID < hot {
+			in++
+		}
+	}
+	// 0.8 skew plus the base distribution's own 1/16 mass.
+	if frac := float64(in) / ops; frac < 0.78 || frac > 0.95 {
+		t.Fatalf("hot-set fraction %v, want ~0.8 + 1/16", frac)
+	}
+	if _, err := (Spec{NumKeys: 10, ValueBytes: 1, Skew: 1.5}).Validate(); err == nil {
+		t.Fatal("expected error for Skew > 1")
+	}
+}

@@ -287,9 +287,10 @@ func TestRunFacade(t *testing.T) {
 }
 
 func TestFigureFacade(t *testing.T) {
-	// The paper's fig2..fig11 plus the qdsweep and betradeoff extensions.
-	if len(ptsbench.Figures()) != 12 {
-		t.Fatalf("expected 12 figures, got %d", len(ptsbench.Figures()))
+	// The paper's fig2..fig11 plus the qdsweep, betradeoff and
+	// shardsweep extensions.
+	if len(ptsbench.Figures()) != 13 {
+		t.Fatalf("expected 13 figures, got %d", len(ptsbench.Figures()))
 	}
 	rep, err := ptsbench.Figure("fig4", ptsbench.FigureOptions{Quick: true, Scale: 2048})
 	if err != nil {
