@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ptsbench/internal/crash"
+)
+
+// runCrash executes the randomized crash-recovery harness and prints a
+// one-line report. On failure the returned error already begins with
+// the exact `ptsbench crash` invocation that replays the trial.
+func runCrash(spec crash.Spec) error {
+	start := time.Now()
+	rep, err := crash.Run(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crash: %s x%d shard(s): %d trial(s) passed\n",
+		rep.Spec.Engine, rep.Spec.Shards, rep.Spec.Trials)
+	fmt.Printf("  last trial: seed %d, cut at shard %d write %d (op %d); %d keys checked (%d ambiguous), %d scan entries verified\n",
+		rep.Seed, rep.CutShard, rep.CutWrite, rep.CutOp, rep.Checked, rep.Ambiguous, rep.Scanned)
+	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -9,6 +9,7 @@
 //	ptsbench run -figure fig2 [-engine lsm,btree,betree] [-scale 128] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
+//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-cut-shard S -cut-write W]
 //	ptsbench all [-quick] [-csv DIR]
 //	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -23,6 +24,13 @@
 // qdsweep is shorthand for "run -figure qdsweep": the queue-depth sweep
 // on an SSD with internal channel/way parallelism, whose cells execute
 // concurrently across host cores.
+//
+// crash runs the randomized crash-recovery harness (internal/crash):
+// a seed-determined op log over fault-injecting devices, a power cut at
+// a sampled write boundary, recovery through the engine registry, and a
+// reference-model check of the recovered store. Every trial is fully
+// determined by its seed; on failure the error starts with the exact
+// `ptsbench crash -seed N` line that replays it.
 //
 // -engine restricts an engine-generic figure to a subset of the three
 // tree structures; e.g. `ptsbench run -figure fig2 -engine betree`
@@ -52,6 +60,7 @@ import (
 	"time"
 
 	"ptsbench"
+	"ptsbench/internal/crash"
 	"ptsbench/internal/perf"
 )
 
@@ -122,6 +131,34 @@ func main() {
 			nsThresh: *nsThresh, allocThresh: *allocThresh,
 			allocGate: *allocGate, gateThresh: *gateThresh,
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "crash":
+		fs := flag.NewFlagSet("crash", flag.ExitOnError)
+		eng := fs.String("engine", "", "engine to crash-test (lsm, btree, betree)")
+		shards := fs.Int("shards", 1, "store shard count")
+		ops := fs.Int("ops", 400, "recorded op-log length")
+		keys := fs.Int("keys", 0, "key-space bound (0 = ops/8, min 16)")
+		seed := fs.Uint64("seed", 1, "trial seed (trial t runs with seed+t)")
+		trials := fs.Int("trials", 1, "independent seeds to run")
+		cutShard := fs.Int("cut-shard", -1, "pin the cut shard (-1 = sample by write traffic)")
+		cutWrite := fs.Int64("cut-write", 0, "pin the 1-based cut write within the shard (0 = sample)")
+		_ = fs.Parse(os.Args[2:])
+		if *eng == "" {
+			fmt.Fprintln(os.Stderr, "crash: -engine is required")
+			os.Exit(2)
+		}
+		if err := runCrash(crash.Spec{
+			Engine:   *eng,
+			Shards:   *shards,
+			Ops:      *ops,
+			Keys:     *keys,
+			Seed:     *seed,
+			Trials:   *trials,
+			CutShard: *cutShard,
+			CutWrite: *cutWrite,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -356,6 +393,7 @@ func usage() {
   ptsbench run -figure figN [-engine lsm,btree,betree] [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
+  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-cut-shard S -cut-write W]
   ptsbench all [-quick] [-csv DIR]
   ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-alloc-gate M1,M2] [-cpuprofile FILE] [-memprofile FILE]`)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ptsbench"
+	"ptsbench/internal/crash"
 )
 
 // TestRunOneSmoke drives the CLI's core path end to end with a tiny
@@ -134,6 +135,19 @@ func TestExpUnnamedSpecUsesFileName(t *testing.T) {
 	}
 	if len(matches) == 0 {
 		t.Fatal("cell CSV names should carry the spec file's base name")
+	}
+}
+
+// TestCrashSmoke drives the crash subcommand's path end to end with a
+// small fixed-seed run per engine.
+func TestCrashSmoke(t *testing.T) {
+	for _, eng := range []string{"lsm", "btree", "betree"} {
+		if err := runCrash(crash.Spec{Engine: eng, Shards: 2, Ops: 200, Seed: 11, Trials: 2}); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+	}
+	if err := runCrash(crash.Spec{Engine: "fractal"}); err == nil {
+		t.Fatal("unknown engine should error")
 	}
 }
 

@@ -165,12 +165,26 @@ func TestRecoverRequiresContentMode(t *testing.T) {
 	}
 }
 
-func TestRecoverWithoutMetaFails(t *testing.T) {
+// TestRecoverWithoutMetaBootstraps: a crash before the first checkpoint
+// leaves both meta slots empty. Recovery must not wedge the tree — it
+// bootstraps an empty root, replays whatever journal survived, and
+// commits a first real checkpoint so the next crash is ordinary.
+func TestRecoverWithoutMetaBootstraps(t *testing.T) {
 	_, _, fs := testEnv(t, 16, true, nil)
 	cfg := NewConfig(8 << 20)
 	cfg.Content = true
-	if _, _, err := Recover(fs, cfg, 0); err == nil {
-		t.Fatal("recovery without checkpoint metadata should fail")
+	tr, now, err := Recover(fs, cfg, 0)
+	if err != nil {
+		t.Fatalf("bootstrap recovery: %v", err)
+	}
+	if _, _, found, err := tr.Get(now+1, kv.EncodeKey(1)); err != nil || found {
+		t.Fatalf("bootstrapped tree should be empty: found=%v err=%v", found, err)
+	}
+	if _, err := tr.Put(now+2, kv.EncodeKey(1), []byte("a"), 1); err != nil {
+		t.Fatalf("put on bootstrapped tree: %v", err)
+	}
+	if _, got, found, err := tr.Get(now+3, kv.EncodeKey(1)); err != nil || !found || string(got) != "a" {
+		t.Fatalf("key 1 after bootstrap put: %q %v %v", got, found, err)
 	}
 }
 

@@ -34,21 +34,39 @@ type Dev interface {
 	Discard(off int64, n int)
 }
 
+// Barrier is the optional Dev surface of devices that distinguish
+// acknowledged writes from durable ones (a fault-injecting wrapper, a
+// real write-back cache). SyncBarrier marks everything written so far
+// as surviving a power cut — the device-level effect of an fsync/FLUSH
+// command. Plain simulated devices are implicitly durable and don't
+// implement it; callers reach it through extfs.FS.Barrier, which
+// no-ops when the interface is absent.
+type Barrier interface {
+	SyncBarrier()
+}
+
 // Counters are iostat-style cumulative counters, in bytes and operations.
 type Counters struct {
 	BytesWritten int64
 	BytesRead    int64
 	WriteOps     int64
 	ReadOps      int64
+	// DiscardOps and PagesDiscarded account TRIM traffic (iostat's
+	// dsc/s and drqm), which is otherwise invisible in the read/write
+	// counters: a discard moves no data but changes device state.
+	DiscardOps     int64
+	PagesDiscarded int64
 }
 
 // Sub returns c - o, for per-interval deltas.
 func (c Counters) Sub(o Counters) Counters {
 	return Counters{
-		BytesWritten: c.BytesWritten - o.BytesWritten,
-		BytesRead:    c.BytesRead - o.BytesRead,
-		WriteOps:     c.WriteOps - o.WriteOps,
-		ReadOps:      c.ReadOps - o.ReadOps,
+		BytesWritten:   c.BytesWritten - o.BytesWritten,
+		BytesRead:      c.BytesRead - o.BytesRead,
+		WriteOps:       c.WriteOps - o.WriteOps,
+		ReadOps:        c.ReadOps - o.ReadOps,
+		DiscardOps:     c.DiscardOps - o.DiscardOps,
+		PagesDiscarded: c.PagesDiscarded - o.PagesDiscarded,
 	}
 }
 
@@ -56,10 +74,12 @@ func (c Counters) Sub(o Counters) Counters {
 // sharded store into one host-visible view.
 func (c Counters) Add(o Counters) Counters {
 	return Counters{
-		BytesWritten: c.BytesWritten + o.BytesWritten,
-		BytesRead:    c.BytesRead + o.BytesRead,
-		WriteOps:     c.WriteOps + o.WriteOps,
-		ReadOps:      c.ReadOps + o.ReadOps,
+		BytesWritten:   c.BytesWritten + o.BytesWritten,
+		BytesRead:      c.BytesRead + o.BytesRead,
+		WriteOps:       c.WriteOps + o.WriteOps,
+		ReadOps:        c.ReadOps + o.ReadOps,
+		DiscardOps:     c.DiscardOps + o.DiscardOps,
+		PagesDiscarded: c.PagesDiscarded + o.PagesDiscarded,
 	}
 }
 
@@ -172,6 +192,8 @@ func (d *Device) Discard(off int64, n int) {
 		return
 	}
 	d.checkRange(off, n)
+	d.counters.DiscardOps++
+	d.counters.PagesDiscarded += int64(n)
 	if d.content != nil {
 		for i := 0; i < n; i++ {
 			delete(d.content, off+int64(i))
@@ -186,6 +208,8 @@ func (d *Device) BlkDiscardAll() {
 	if d.content != nil {
 		d.content = make(map[int64][]byte)
 	}
+	d.counters.DiscardOps++
+	d.counters.PagesDiscarded += d.Pages()
 	d.ssd.TrimAll()
 }
 

@@ -680,6 +680,10 @@ func (t *Tree) Quiesce(now sim.Duration) sim.Duration {
 	return t.core.Quiesce(now)
 }
 
+// JournalSyncCount exposes the active journal segment's device-reaching
+// sync count (group-commit accounting; see cowtree.Core).
+func (t *Tree) JournalSyncCount() int64 { return t.core.JournalSyncCount() }
+
 // Close checkpoints and shuts the tree down.
 func (t *Tree) Close(now sim.Duration) (sim.Duration, error) {
 	if t.closed {

@@ -35,7 +35,10 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 		return nil, now, err
 	}
 	if st == nil {
-		return nil, now, fmt.Errorf("btree: no valid checkpoint metadata found")
+		// The tree died before its first checkpoint committed: the
+		// synced journal is the only durable state. Rebuild from an
+		// empty root and replay it (see cowtree.RecoverBootstrap).
+		return bootstrap(fs, cfg, now)
 	}
 	f, err := fs.Open("collection.wt")
 	if err != nil {
@@ -65,6 +68,45 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	}
 	// Fresh journal; make the replayed state durable, then retire stale
 	// segments.
+	if err := t.core.StartJournal(); err != nil {
+		return nil, now, err
+	}
+	if end, err := t.FlushAll(now); err != nil {
+		return nil, now, err
+	} else if end > now {
+		now = end
+	}
+	if err := t.core.RetireStaleSegments(); err != nil {
+		return nil, now, err
+	}
+	return t, now, nil
+}
+
+// bootstrap recovers with no committed checkpoint: an empty tree plus
+// journal replay, closed out by the first real checkpoint so the next
+// crash finds valid metadata.
+func bootstrap(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, error) {
+	f, err := fs.Open("collection.wt")
+	if err != nil {
+		if f, err = fs.Create("collection.wt"); err != nil {
+			return nil, now, err
+		}
+	}
+	t := &Tree{
+		cfg:   cfg,
+		fs:    fs,
+		file:  f,
+		bm:    extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
+		pages: make([]*page, 1, 64), // index 0 is nilPage
+	}
+	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
+	rootLeaf := t.newPage(true)
+	rootLeaf.parent = nilPage
+	t.root = rootLeaf.id
+	t.admit(rootLeaf)
+	if now, err = t.core.RecoverBootstrap(now, t); err != nil {
+		return nil, now, err
+	}
 	if err := t.core.StartJournal(); err != nil {
 		return nil, now, err
 	}

@@ -299,6 +299,12 @@ type Result struct {
 	DatasetBytes int64
 	NumKeys      uint64
 
+	// Measured-phase TRIM traffic at the block layer: discard commands
+	// issued and the logical pages they covered (engine file deletions
+	// under a discard-mounted filesystem reach the device as TRIMs).
+	DiscardOps     int64
+	PagesDiscarded int64
+
 	// Load-phase diagnostics (before instrumentation reset).
 	LoadHostBytes  int64
 	LoadFlashPages int64
@@ -568,6 +574,12 @@ func Run(spec Spec) (*Result, error) {
 	res.DiskUtilPct = 100 * float64(res.Steady.DiskUsedBytes) / float64(scaledCapacity)
 	res.LBACDF = blockdev.CombinedWriteCDF(devs, 100)
 	res.FracLBAs = blockdev.CombinedFractionLBAsWritten(devs)
+	var measDev blockdev.Counters
+	for _, d := range devs {
+		measDev = measDev.Add(d.Counters())
+	}
+	res.DiscardOps = measDev.DiscardOps
+	res.PagesDiscarded = measDev.PagesDiscarded
 	return res, nil
 }
 

@@ -200,6 +200,13 @@ func (j *Job) Step(now sim.Duration) (sim.Duration, bool) {
 	// checkpoint's extents, sync, and recycle the old journal segment
 	// (its updates are now covered by the checkpoint). Recycling keeps
 	// the journal on a fixed set of LBAs, like real log pre-allocation.
+	//
+	// The barrier orders the commit against power cuts: every node image
+	// must be durable BEFORE the metadata that names its extents can be,
+	// or a cut could leave a durable root pointing at torn children.
+	// The fs.Sync below is itself a barrier, ordering the metadata write
+	// before the journal recycle the same way.
+	c.fs.Barrier()
 	if now, err = c.WriteMeta(now); err != nil {
 		c.Fail(err)
 		return now, true

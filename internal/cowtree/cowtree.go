@@ -239,6 +239,17 @@ func (c *Core) Journal() *wal.Writer { return c.journal }
 // JournalID returns the id of the most recently named segment.
 func (c *Core) JournalID() uint64 { return c.journalID }
 
+// JournalSyncCount returns the number of device-reaching syncs issued on
+// the active journal segment (see wal.Writer.SyncCount). The count does
+// not carry across journal rotations; tests reading it bracket a window
+// short enough that no checkpoint rotates the segment.
+func (c *Core) JournalSyncCount() int64 {
+	if c.journal == nil {
+		return 0
+	}
+	return c.journal.SyncCount()
+}
+
 // SetJournalState seeds the journal id and metadata generation from
 // recovered checkpoint metadata.
 func (c *Core) SetJournalState(journalID, metaGen uint64) {

@@ -3,6 +3,7 @@ package cowtree
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ptsbench/internal/sim"
@@ -55,6 +56,20 @@ func (c *Core) RecoverTree(now sim.Duration, rootExt Extent, eng RecoveryEngine,
 		return now, err
 	}
 	return now, nil
+}
+
+// RecoverBootstrap rebuilds recovery state for a tree that crashed
+// before its first checkpoint ever committed: both metadata slots are
+// empty or torn, so nothing inside the collection file is live and the
+// synced journal is the only durable state. The engine installs a fresh
+// empty root first (as in Open); the core then marks the whole file
+// free and replays the surviving journal segments onto it. Alternating
+// slot writes mean a tree with a committed checkpoint can never lose
+// both slots to one torn write, so reaching this path implies there is
+// no older checkpoint to roll back to.
+func (c *Core) RecoverBootstrap(now sim.Duration, eng RecoveryEngine) (sim.Duration, error) {
+	c.rebuildFreeList(nil)
+	return c.replayJournals(now, eng)
 }
 
 // loadSubtree reads and parses the node at ext, recursing into children,
@@ -132,6 +147,15 @@ func (c *Core) replayJournals(now sim.Duration, eng RecoveryEngine) (sim.Duratio
 	for _, name := range c.fs.List() {
 		if !strings.HasPrefix(name, c.cfg.JournalPrefix) {
 			continue
+		}
+		// The checkpoint metadata we recovered from may predate segments
+		// that survived on disk (a cut can land after a journal rotation
+		// but before the checkpoint that would record it commits). Minting
+		// names from the metadata's journal id alone would collide with
+		// such a survivor and fail StartJournal with ErrExist — advance the
+		// counter past every name actually present.
+		if id, err := strconv.ParseUint(name[len(c.cfg.JournalPrefix):], 10, 64); err == nil && id > c.journalID {
+			c.journalID = id
 		}
 		c.segments = append(c.segments, name)
 		done, err := wal.Replay(c.fs, name, now, func(r wal.Record) {

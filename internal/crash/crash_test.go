@@ -1,0 +1,87 @@
+package crash
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCrashMatrix is the fixed-seed CI matrix: every engine × shard
+// shape survives a sampled power cut and recovers to a state the
+// reference model allows. Each case runs a handful of independent
+// seeds; any failure prints a one-line ptsbench repro.
+func TestCrashMatrix(t *testing.T) {
+	for _, eng := range []string{"lsm", "btree", "betree"} {
+		for _, shards := range []int{1, 4} {
+			eng, shards := eng, shards
+			t.Run(fmt.Sprintf("%s/shards=%d", eng, shards), func(t *testing.T) {
+				t.Parallel()
+				rep, err := Run(Spec{
+					Engine: eng,
+					Shards: shards,
+					Ops:    300,
+					Seed:   1,
+					Trials: 4,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Checked == 0 || rep.Scanned == 0 {
+					t.Fatalf("trivial trial: %+v", rep)
+				}
+			})
+		}
+	}
+}
+
+// TestCrashPinnedCut exercises the explicit cut pinning path: the cut
+// must land exactly where the spec says.
+func TestCrashPinnedCut(t *testing.T) {
+	rep, err := Run(Spec{
+		Engine:   "btree",
+		Shards:   2,
+		Ops:      200,
+		Seed:     7,
+		CutShard: 1,
+		CutWrite: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CutShard != 1 || rep.CutWrite != 5 {
+		t.Fatalf("pinned cut not honored: %+v", rep)
+	}
+}
+
+// TestSpecValidate covers default filling and fail-fast rejection.
+func TestSpecValidate(t *testing.T) {
+	s, err := Spec{Engine: "lsm", Seed: 3}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards != 1 || s.Ops != 400 || s.Keys != 50 || s.Trials != 1 || s.CutShard != -1 {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	bad := []Spec{
+		{},                          // no engine
+		{Engine: "nope"},            // unknown engine
+		{Engine: "lsm", Shards: 65}, // too many shards
+		{Engine: "lsm", Ops: -1},
+		{Engine: "lsm", Trials: -1},
+		{Engine: "lsm", Shards: 2, CutShard: 2, CutWrite: 1},
+		{Engine: "lsm", CutWrite: -5},
+	}
+	for i, b := range bad {
+		if _, err := b.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, b)
+		}
+	}
+}
+
+// TestReproLine pins the repro format the CLI prints on failure.
+func TestReproLine(t *testing.T) {
+	got := ReproLine(Spec{Engine: "lsm", Shards: 4, Ops: 300}, 99)
+	want := "ptsbench crash -engine lsm -shards 4 -ops 300 -seed 99"
+	if got != want {
+		t.Fatalf("repro line %q, want %q", got, want)
+	}
+}

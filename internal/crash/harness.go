@@ -1,0 +1,518 @@
+package crash
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/engine"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/faultdev"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/kvtest"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/store"
+)
+
+// Fault severity of the sampled cut: unbarriered writes drop or tear
+// with these probabilities at power-on. The harness never injects
+// bit-rot — corrupting *durable* state is beyond the crash-consistency
+// contract it verifies (scripted tests use Plan.RotPages directly).
+const (
+	dropProb = 0.25
+	tornProb = 0.5
+)
+
+// batchSize is the ops submitted per store Pump. Batches carrying
+// several writes exercise group commit, so torn group syncs are part of
+// the sampled fault space.
+const batchSize = 16
+
+// Report summarizes one passing trial (the last one, when Trials > 1).
+type Report struct {
+	Spec      Spec
+	Seed      uint64
+	CutShard  int
+	CutWrite  int64
+	CutOp     int // ops submitted before the machine died
+	Ambiguous int // keys with more than one allowed recovered state
+	Checked   int // keys verified by point reads
+	Scanned   int // entries verified by the full scan
+}
+
+// ReproLine renders the CLI invocation that replays a trial exactly.
+func ReproLine(spec Spec, seed uint64) string {
+	return fmt.Sprintf("ptsbench crash -engine %s -shards %d -ops %d -seed %d",
+		spec.Engine, spec.Shards, spec.Ops, seed)
+}
+
+// Run validates the spec and executes its trials. On failure the error
+// begins with the trial's reproduction line.
+func Run(spec Spec) (*Report, error) {
+	spec, err := spec.Validate()
+	if err != nil {
+		return nil, err
+	}
+	var rep *Report
+	for t := 0; t < spec.Trials; t++ {
+		seed := spec.Seed + uint64(t)
+		rep, err = runTrial(spec, seed)
+		if err != nil {
+			return rep, fmt.Errorf("reproduce: %s\n%w", ReproLine(spec, seed), err)
+		}
+	}
+	return rep, nil
+}
+
+// opRec is one recorded op of the deterministic log.
+type opRec struct {
+	kind store.OpKind
+	id   uint64
+	val  []byte
+}
+
+// genOps builds the seed-determined op log: mostly puts, some deletes
+// and reads, values self-describing (key id, op index, seed) so any
+// stale or cross-wired value is visible on inspection.
+func genOps(spec Spec, seed uint64) []opRec {
+	rng := sim.NewRNG(seed ^ 0x9E3779B97F4A7C15)
+	ops := make([]opRec, spec.Ops)
+	for i := range ops {
+		id := rng.Uint64n(uint64(spec.Keys))
+		switch r := rng.Uint64n(100); {
+		case r < 15:
+			ops[i] = opRec{kind: store.Get, id: id}
+		case r < 30:
+			ops[i] = opRec{kind: store.Delete, id: id}
+		default:
+			val := make([]byte, 24)
+			binary.LittleEndian.PutUint64(val[0:], id)
+			binary.LittleEndian.PutUint64(val[8:], uint64(i))
+			binary.LittleEndian.PutUint64(val[16:], seed)
+			ops[i] = opRec{kind: store.Put, id: id, val: val}
+		}
+	}
+	return ops
+}
+
+// shardEnv is one shard's simulated stack with its fault wrapper.
+type shardEnv struct {
+	dev *blockdev.Device
+	fd  *faultdev.Dev
+	fs  *extfs.FS
+	cfg engine.Config
+	eng engine.Engine
+}
+
+// buildShard assembles flash → blockdev → faultdev → extfs → engine.
+// The filesystem mounts on the FAULT wrapper, so every engine write,
+// read and sync barrier passes through the fault plan; the raw blockdev
+// keeps the iostat counters and carries no content store — the wrapper
+// is the content authority.
+func buildShard(spec Spec, i int, plan faultdev.Plan) (*shardEnv, error) {
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  32 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 64,
+		Profile:       flash.ProfileSSD1().Scaled(4096),
+	})
+	if err != nil {
+		return nil, err
+	}
+	dev := blockdev.New(ssd)
+	fd := faultdev.Wrap(dev, plan)
+	fs, err := extfs.Mount(fd, extfs.Options{})
+	if err != nil {
+		return nil, err
+	}
+	drv, err := engine.Lookup(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+	cfg := drv.Configure(engine.Sizing{DatasetBytes: 16 << 20})
+	if err := cfg.ApplyTunables(durabilityTunables(spec.Engine)); err != nil {
+		return nil, err
+	}
+	if err := cfg.ApplyTunables(spec.Tunables); err != nil {
+		return nil, err
+	}
+	eng, err := cfg.Open(engine.Env{FS: fs, RNG: sim.NewRNG(uint64(100 + i)), Content: true})
+	if err != nil {
+		return nil, err
+	}
+	return &shardEnv{dev: dev, fd: fd, fs: fs, cfg: cfg, eng: eng}, nil
+}
+
+func buildEnv(spec Spec, plans []faultdev.Plan) ([]*shardEnv, *store.Store, error) {
+	shards := make([]*shardEnv, spec.Shards)
+	st, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
+		sh, err := buildShard(spec, i, plans[i])
+		if err != nil {
+			return store.Stack{}, err
+		}
+		shards[i] = sh
+		return store.Stack{Engine: sh.eng, Dev: sh.dev, Fault: sh.fd}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, st, nil
+}
+
+// runTrial executes one (spec, seed) trial: a fault-free calibration
+// pass counts per-shard write traffic, the harness samples a cut point
+// from it, and the faulty pass replays the identical op log, dies at
+// the cut, recovers every shard and verifies the result.
+func runTrial(spec Spec, seed uint64) (*Report, error) {
+	ops := genOps(spec, seed)
+
+	// Pass 1 (calibration): same wrapper, no faults — identical timing
+	// and write sequence, so pass 2's Nth write is pass 1's Nth write.
+	writes, err := calibrate(spec, ops)
+	if err != nil {
+		return nil, fmt.Errorf("calibration (fault-free) pass failed: %w", err)
+	}
+	cutShard, cutWrite := sampleCut(spec, seed, writes)
+	if cutWrite == 0 {
+		return nil, fmt.Errorf("op log produced no device writes to cut at")
+	}
+
+	rep := &Report{Spec: spec, Seed: seed, CutShard: cutShard, CutWrite: cutWrite}
+	plans := make([]faultdev.Plan, spec.Shards)
+	plans[cutShard] = faultdev.Plan{
+		Seed:           seed*0x2545F4914F6CDD1D + 1,
+		CutAfterWrites: cutWrite,
+		CutKeepPages:   0, // random tear of the in-flight write
+		DropProb:       dropProb,
+		TornProb:       tornProb,
+	}
+	shards, st, err := buildEnv(spec, plans)
+	if err != nil {
+		return rep, err
+	}
+	defer st.Close()
+
+	// Pass 2: replay until the cut fires.
+	model := kvtest.NewModel()
+	cut := false
+	var lastDone sim.Duration
+	for start := 0; start < len(ops) && !cut; start += batchSize {
+		end := start + batchSize
+		if end > len(ops) {
+			end = len(ops)
+		}
+		comps := submitBatch(st, ops, start, end)
+		cut = shards[cutShard].fd.Cut()
+		for _, c := range comps {
+			if c.Done > lastDone {
+				lastDone = c.Done
+			}
+		}
+		if err := applyBatch(model, ops, comps, cut, cutShard, spec.Shards); err != nil {
+			return rep, err
+		}
+		rep.CutOp = end
+	}
+	if !cut {
+		return rep, fmt.Errorf("cut at shard %d write %d never fired (calibration divergence)", cutShard, cutWrite)
+	}
+
+	// Power failure takes the whole machine: cut every shard, then
+	// resolve what survived and recover each engine from it.
+	for _, sh := range shards {
+		sh.fd.PowerCut()
+	}
+	for _, sh := range shards {
+		sh.fd.PowerOn()
+	}
+	recovered := make([]engine.Engine, spec.Shards)
+	starts := make([]sim.Duration, spec.Shards)
+	for i, sh := range shards {
+		eng, rnow, err := sh.cfg.Recover(engine.Env{FS: sh.fs, RNG: sim.NewRNG(uint64(900 + i)), Content: true}, lastDone)
+		if err != nil {
+			return rep, fmt.Errorf("shard %d recovery failed after cut (shard %d, write %d): %w",
+				i, cutShard, cutWrite, err)
+		}
+		recovered[i] = eng
+		starts[i] = rnow
+	}
+	rst, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
+		return store.Stack{Engine: recovered[i], Dev: shards[i].dev, Fault: shards[i].fd, Start: starts[i]}, nil
+	})
+	if err != nil {
+		return rep, err
+	}
+	defer rst.Close()
+
+	if err := verify(rep, rst, model, spec, starts); err != nil {
+		return rep, fmt.Errorf("cut at shard %d write %d: %w", cutShard, cutWrite, err)
+	}
+	return rep, nil
+}
+
+// calibrate runs the op log fault-free and returns per-shard write
+// counts.
+func calibrate(spec Spec, ops []opRec) ([]int64, error) {
+	shards, st, err := buildEnv(spec, make([]faultdev.Plan, spec.Shards))
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	for start := 0; start < len(ops); start += batchSize {
+		end := start + batchSize
+		if end > len(ops) {
+			end = len(ops)
+		}
+		for _, c := range submitBatch(st, ops, start, end) {
+			if c.Err != nil {
+				return nil, fmt.Errorf("op %d: %w", c.Seq, c.Err)
+			}
+		}
+	}
+	writes := make([]int64, spec.Shards)
+	for i, sh := range shards {
+		writes[i] = sh.fd.Writes()
+	}
+	return writes, nil
+}
+
+// sampleCut picks the cut's (shard, write index): spec pins win;
+// otherwise one uniform draw over all observed writes, so shards are
+// weighted by their traffic.
+func sampleCut(spec Spec, seed uint64, writes []int64) (int, int64) {
+	if spec.CutShard >= 0 && spec.CutWrite > 0 {
+		w := spec.CutWrite
+		if max := writes[spec.CutShard]; w > max {
+			w = max
+		}
+		return spec.CutShard, w
+	}
+	var total int64
+	for _, w := range writes {
+		total += w
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	rng := sim.NewRNG(seed)
+	pick := 1 + int64(rng.Uint64n(uint64(total)))
+	for i, w := range writes {
+		if pick <= w {
+			if spec.CutShard >= 0 && i != spec.CutShard {
+				// Shard pinned but write sampled: re-scale into it.
+				w := 1 + int64(rng.Uint64n(uint64(maxI64(writes[spec.CutShard], 1))))
+				return spec.CutShard, w
+			}
+			return i, pick
+		}
+		pick -= w
+	}
+	return len(writes) - 1, writes[len(writes)-1]
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// submitBatch submits ops[start:end) with strictly increasing submit
+// times and pumps them to completion.
+func submitBatch(st *store.Store, ops []opRec, start, end int) []store.Completion {
+	for i := start; i < end; i++ {
+		op := store.Op{
+			Client: 0,
+			Submit: sim.Duration(i+1) * 1000, // 1µs apart
+			KeyID:  ops[i].id,
+			Key:    kv.EncodeKey(ops[i].id),
+		}
+		switch ops[i].kind {
+		case store.Put:
+			op.Kind = store.Put
+			op.Value = ops[i].val
+		case store.Delete:
+			op.Kind = store.Delete
+		default:
+			op.Kind = store.Get
+		}
+		st.Submit(op)
+	}
+	return st.Pump()
+}
+
+// applyBatch folds one batch's completions into the model. Completions
+// arrive in submission order, so the model sees each key's ops exactly
+// as its shard processed them. In the batch the cut landed on, the cut
+// shard's ops are ambiguous — acknowledged in memory, durable only up
+// to an unknown prefix — while other shards completed the batch intact
+// (their fault plans are empty, so pending writes survive power-on).
+func applyBatch(model *kvtest.Model, ops []opRec, comps []store.Completion, cut bool, cutShard, shards int) error {
+	for _, c := range comps {
+		idx := int(c.Seq)
+		op := ops[idx]
+		ambiguous := cut && store.ShardOf(op.id, shards) == cutShard
+		if c.Err != nil && !ambiguous {
+			return fmt.Errorf("op %d (%v key %d) failed pre-cut: %w", idx, op.kind, op.id, c.Err)
+		}
+		switch op.kind {
+		case store.Put:
+			if ambiguous {
+				model.AllowPut(op.id, op.val)
+			} else {
+				model.Put(op.id, op.val)
+			}
+		case store.Delete:
+			if ambiguous {
+				model.AllowDelete(op.id)
+			} else {
+				model.Delete(op.id)
+			}
+		default: // Get: verify against the model's exact state
+			if ambiguous {
+				continue
+			}
+			want, present := model.Value(op.id)
+			if c.Found != present {
+				return fmt.Errorf("op %d: get key %d found=%v, model present=%v (pre-cut divergence)",
+					idx, op.id, c.Found, present)
+			}
+			if present && !bytes.Equal(c.Value, want) {
+				return fmt.Errorf("op %d: get key %d returned wrong value (pre-cut divergence)", idx, op.id)
+			}
+		}
+	}
+	return nil
+}
+
+// verify checks the recovered store against the model: point reads for
+// every tracked key, one full merged scan (ordered, members allowed,
+// certain keys present), and a post-recovery write/flush/read cycle.
+func verify(rep *Report, rst *store.Store, model *kvtest.Model, spec Spec, starts []sim.Duration) error {
+	now := starts[0]
+	for _, s := range starts {
+		if s > now {
+			now = s
+		}
+	}
+	ids := model.IDs()
+	for _, id := range ids {
+		if model.Ambiguous(id) {
+			rep.Ambiguous++
+		}
+	}
+
+	// Point reads through the recovered serving layer. Completions come
+	// back in submission order, so position j of a batch is ids[start+j].
+	for start := 0; start < len(ids); start += batchSize {
+		end := start + batchSize
+		if end > len(ids) {
+			end = len(ids)
+		}
+		for j := start; j < end; j++ {
+			rst.Submit(store.Op{
+				Kind:   store.Get,
+				Submit: now + sim.Duration(j+1)*1000,
+				KeyID:  ids[j],
+				Key:    kv.EncodeKey(ids[j]),
+			})
+		}
+		comps := rst.Pump()
+		if len(comps) != end-start {
+			return fmt.Errorf("recovered store returned %d completions for %d gets", len(comps), end-start)
+		}
+		for j, c := range comps {
+			id := ids[start+j]
+			if c.Err != nil {
+				return fmt.Errorf("recovered get key %d: %w", id, c.Err)
+			}
+			if !model.Check(id, c.Value, c.Found) {
+				return fmt.Errorf("recovered key %d outside its allowed states (found=%v, ambiguous=%v)",
+					id, c.Found, model.Ambiguous(id))
+			}
+			rep.Checked++
+		}
+	}
+
+	// One full merged scan: strictly ordered, every entry an allowed
+	// member with an allowed value, every certainly-present key
+	// surfaced.
+	scanNow := now + sim.Duration(len(ids)+2)*1000
+	_, entries, err := rst.Scan(scanNow, kv.EncodeKey(0), spec.Keys+16)
+	if err != nil {
+		return fmt.Errorf("recovered scan: %w", err)
+	}
+	seen := make(map[uint64]bool, len(entries))
+	var prev []byte
+	for i, e := range entries {
+		if i > 0 && kv.CompareKeys(prev, e.Key) >= 0 {
+			return fmt.Errorf("recovered scan out of order at entry %d", i)
+		}
+		prev = append(prev[:0], e.Key...)
+		id, err := kv.DecodeKey(e.Key)
+		if err != nil {
+			return fmt.Errorf("recovered scan entry %d: %w", i, err)
+		}
+		if !model.MayContain(id) {
+			return fmt.Errorf("recovered scan surfaced key %d, which must be absent", id)
+		}
+		if !model.CheckValue(id, e.Value) {
+			return fmt.Errorf("recovered scan key %d has a value outside its allowed set", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if model.MustContain(id) && !seen[id] {
+			return fmt.Errorf("recovered scan missing key %d, which must be present", id)
+		}
+	}
+	rep.Scanned = len(entries)
+
+	// The recovered store accepts, persists and re-serves new writes.
+	postNow := scanNow + sim.Duration(spec.Keys)*1000
+	const postKeys = 8
+	postVal := func(j int) []byte {
+		v := make([]byte, 16)
+		binary.LittleEndian.PutUint64(v[0:], uint64(spec.Keys+j))
+		binary.LittleEndian.PutUint64(v[8:], rep.Seed)
+		return v
+	}
+	for j := 0; j < postKeys; j++ {
+		rst.Submit(store.Op{
+			Kind:   store.Put,
+			Submit: postNow + sim.Duration(j+1)*1000,
+			KeyID:  uint64(spec.Keys + j),
+			Key:    kv.EncodeKey(uint64(spec.Keys + j)),
+			Value:  postVal(j),
+		})
+	}
+	for _, c := range rst.Pump() {
+		if c.Err != nil {
+			return fmt.Errorf("post-recovery put: %w", c.Err)
+		}
+		if c.Done > postNow {
+			postNow = c.Done
+		}
+	}
+	flushed, err := rst.FlushAll(postNow)
+	if err != nil {
+		return fmt.Errorf("post-recovery flush: %w", err)
+	}
+	for j := 0; j < postKeys; j++ {
+		rst.Submit(store.Op{
+			Kind:   store.Get,
+			Submit: flushed + sim.Duration(j+1)*1000,
+			KeyID:  uint64(spec.Keys + j),
+			Key:    kv.EncodeKey(uint64(spec.Keys + j)),
+		})
+	}
+	comps := rst.Pump()
+	for j, c := range comps {
+		if c.Err != nil || !c.Found || !bytes.Equal(c.Value, postVal(j)) {
+			return fmt.Errorf("post-recovery write %d lost or wrong (found=%v, err=%v)", j, c.Found, c.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,4 @@
+package crash
+
+// Pull in every engine driver so the matrix can look them up.
+import _ "ptsbench/internal/engine/all"

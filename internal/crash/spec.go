@@ -1,0 +1,121 @@
+// Package crash is the randomized crash-recovery harness: it runs a
+// seed-determined op log against an engine over fault-injecting devices
+// (internal/faultdev), kills the machine at a sampled write boundary,
+// re-opens every shard through the engine registry's Recover path, and
+// checks the recovered store against the internal/kvtest reference
+// model — every acknowledged-and-synced write present, every in-flight
+// write either absent or fully intact, scans strictly ordered.
+//
+// A trial is fully determined by (Spec, seed): the op stream, the cut
+// point sampling and the fault resolution all draw from seeded RNGs, so
+// any failure shrinks to a one-line `ptsbench crash` reproduction.
+package crash
+
+import (
+	"fmt"
+
+	"ptsbench/internal/engine"
+)
+
+// Spec declares one crash-recovery experiment. The zero value is not
+// runnable; Validate fills defaults and fails fast on anything
+// malformed, mirroring the experiment spec discipline of internal/core.
+type Spec struct {
+	// Engine names a registered engine driver ("lsm", "btree",
+	// "betree").
+	Engine string `json:"engine"`
+	// Shards is the store's shard count (each shard runs its own engine
+	// on its own faulty device; the cut takes all of them down at
+	// once). Default 1.
+	Shards int `json:"shards,omitempty"`
+	// Ops is the length of the recorded op log. Default 400.
+	Ops int `json:"ops,omitempty"`
+	// Keys bounds the key space the op log draws from. Default
+	// max(16, Ops/8).
+	Keys int `json:"keys,omitempty"`
+	// Seed drives everything: op stream, cut sampling, fault
+	// resolution. Trial t runs with Seed+t.
+	Seed uint64 `json:"seed"`
+	// Trials is the number of independent seeds to run. Default 1.
+	Trials int `json:"trials,omitempty"`
+	// CutShard pins the shard the power cut targets (-1 samples one
+	// proportionally to write traffic). Default -1.
+	CutShard int `json:"cut_shard,omitempty"`
+	// CutWrite pins the 1-based host write the cut lands on within the
+	// target shard (0 samples one uniformly). Default 0.
+	CutWrite int64 `json:"cut_write,omitempty"`
+	// Tunables are extra engine knob overrides, applied on top of the
+	// harness's durability defaults (per-record journal sync).
+	Tunables map[string]string `json:"tunables,omitempty"`
+}
+
+// Validate fills defaults and fails fast on malformed fields. It
+// returns the normalized spec.
+func (s Spec) Validate() (Spec, error) {
+	if s.Engine == "" {
+		return s, fmt.Errorf("crash: engine is required")
+	}
+	if _, err := engine.Lookup(s.Engine); err != nil {
+		return s, fmt.Errorf("crash: %w", err)
+	}
+	if s.Shards == 0 {
+		s.Shards = 1
+	}
+	if s.Shards < 1 || s.Shards > 64 {
+		return s, fmt.Errorf("crash: shards must be in [1,64] (got %d)", s.Shards)
+	}
+	if s.Ops == 0 {
+		s.Ops = 400
+	}
+	if s.Ops < 1 {
+		return s, fmt.Errorf("crash: ops must be positive (got %d)", s.Ops)
+	}
+	if s.Keys == 0 {
+		s.Keys = s.Ops / 8
+		if s.Keys < 16 {
+			s.Keys = 16
+		}
+	}
+	if s.Keys < 1 {
+		return s, fmt.Errorf("crash: keys must be positive (got %d)", s.Keys)
+	}
+	if s.Trials == 0 {
+		s.Trials = 1
+	}
+	if s.Trials < 1 {
+		return s, fmt.Errorf("crash: trials must be positive (got %d)", s.Trials)
+	}
+	if s.CutShard == 0 && s.CutWrite == 0 {
+		// Distinguish "unset" from an explicit shard 0 pin: the zero
+		// value samples. Explicit pins use CutShard >= 0 together with
+		// CutWrite > 0; a bare CutShard 0 with no CutWrite is the
+		// common JSON-default case and means "sample".
+		s.CutShard = -1
+	}
+	if s.CutShard >= s.Shards {
+		return s, fmt.Errorf("crash: cut_shard %d out of range (shards %d)", s.CutShard, s.Shards)
+	}
+	if s.CutWrite < 0 {
+		return s, fmt.Errorf("crash: cut_write must be >= 0 (got %d)", s.CutWrite)
+	}
+	return s, nil
+}
+
+// durabilityTunables returns the per-engine knob overrides that make
+// every acknowledged write durable at its completion time — the
+// contract the harness verifies. Small structure sizes keep trees and
+// memtables rotating within short op logs.
+func durabilityTunables(eng string) map[string]string {
+	switch eng {
+	case "lsm":
+		return map[string]string{
+			"memtable_bytes":  "16384",
+			"wal_flush_bytes": "0", // sync the WAL on every put
+		}
+	default: // cowtree family: btree, betree and future tree engines
+		return map[string]string{
+			"journal_sync":    "true",
+			"leaf_page_bytes": "2048",
+		}
+	}
+}

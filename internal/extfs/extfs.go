@@ -52,11 +52,12 @@ const metaPages = 4
 
 // FS is a mounted filesystem.
 type FS struct {
-	dev   blockdev.Dev
-	ps    int // cached dev.PageSize()
-	opts  Options
-	files map[string]*File
-	alloc *allocator
+	dev     blockdev.Dev
+	barrier blockdev.Barrier // dev's optional durability barrier, nil otherwise
+	ps      int              // cached dev.PageSize()
+	opts    Options
+	files   map[string]*File
+	alloc   *allocator
 	// usedDataPages counts pages allocated to live files.
 	usedDataPages int64
 	nextMetaPage  int64 // round-robin cursor within the metadata region
@@ -75,6 +76,7 @@ func Mount(dev blockdev.Dev, opts Options) (*FS, error) {
 		files: make(map[string]*File),
 		alloc: newAllocator(metaPages, dev.Pages()-metaPages),
 	}
+	fs.barrier, _ = dev.(blockdev.Barrier)
 	return fs, nil
 }
 
@@ -150,11 +152,27 @@ func (fs *FS) Remove(name string) error {
 }
 
 // Sync models a metadata commit: one page journal write into the metadata
-// region. Engines call it on fsync-equivalent points.
+// region. Engines call it on fsync-equivalent points. Like a real fsync
+// it is also a durability barrier: everything written before it survives
+// a power cut (see Barrier).
 func (fs *FS) Sync(now sim.Duration) sim.Duration {
 	p := fs.nextMetaPage
 	fs.nextMetaPage = (fs.nextMetaPage + 1) % metaPages
-	return fs.dev.WriteAt(now, p, 1, nil)
+	done := fs.dev.WriteAt(now, p, 1, nil)
+	fs.Barrier()
+	return done
+}
+
+// Barrier marks every write issued so far as durable on devices that
+// distinguish acknowledged from durable writes (blockdev.Barrier); on
+// plain devices it is a no-op. It costs no virtual time and no I/O —
+// the write that makes a commit point durable is modeled by the caller
+// (a WAL sync, a metadata journal write); the barrier only tells the
+// device where the power-cut-survivable frontier is.
+func (fs *FS) Barrier() {
+	if fs.barrier != nil {
+		fs.barrier.SyncBarrier()
+	}
 }
 
 // File is an open file backed by a list of extents.

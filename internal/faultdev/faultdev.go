@@ -1,0 +1,352 @@
+// Package faultdev wraps a blockdev.Dev with deterministic, seed-driven
+// storage faults: torn multi-page writes (prefix, suffix or interior
+// pages lost), silently dropped writes, a power cut at an arbitrary
+// write boundary, and read bit-rot on selected LBAs.
+//
+// The wrapper owns the content store and threads the block layer's sync
+// barrier through it, so "what survived the cut" is well-defined: pages
+// covered by the last SyncBarrier before the cut are durable; everything
+// acknowledged after it is at the fault plan's mercy when power returns.
+// The inner device still sees every acknowledged write and read, so
+// virtual-time costs and iostat counters are unchanged — with a zero
+// Plan the wrapper is a transparent content-carrying overlay, which is
+// what lets the crash harness run its fault-free calibration pass and
+// its faulty pass over identical timing.
+//
+// All randomness is drawn from a single sim.RNG seeded by Plan.Seed and
+// consumed only at PowerOn, so a (seed, cut point) pair fully determines
+// the surviving disk image.
+package faultdev
+
+import (
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/sim"
+)
+
+// Plan is a deterministic fault plan. The zero value injects nothing.
+type Plan struct {
+	// Seed drives every random decision the plan makes.
+	Seed uint64
+	// CutAfterWrites, when positive, cuts power on the Nth host write
+	// (1-based): that write and everything after it never reaches the
+	// device, and all I/O is ignored until PowerOn. Zero never cuts.
+	CutAfterWrites int64
+	// CutKeepPages shapes the write the cut landed on: -1 drops it
+	// entirely, 0 tears it at a random boundary (prefix, suffix or
+	// interior pages lost), k>0 keeps exactly its first k pages.
+	CutKeepPages int
+	// DropProb is the probability that a write acknowledged after the
+	// last sync barrier is silently dropped at power-on. Independent
+	// per-op drops subsume reordering: an older surviving write paired
+	// with a newer dropped one is exactly a reordered cache flush.
+	DropProb float64
+	// TornProb is the probability that a surviving unbarriered
+	// multi-page write comes back torn (random prefix/suffix/interior
+	// pages lost) instead of intact.
+	TornProb float64
+	// RotPages lists LBAs whose reads return bit-rotted data. The
+	// corruption is a stable function of the page — repeated reads see
+	// identical corrupt bytes, the way a real flipped cell would.
+	RotPages []int64
+}
+
+// WriteRecord logs one acknowledged host write (scripted tests use the
+// log to locate a specific write, e.g. a metadata-slot update, and aim
+// the cut at it).
+type WriteRecord struct {
+	Off int64
+	N   int
+}
+
+// pendingOp is one acknowledged-but-unbarriered operation, in order.
+type pendingOp struct {
+	off      int64
+	n        int
+	pages    [][]byte // per-page copies; nil for accounting-only writes
+	discard  bool
+	inflight bool // the write the power cut landed on
+}
+
+// Outcome summarizes what PowerOn did to the pending window.
+type Outcome struct {
+	Applied int // ops folded in intact
+	Dropped int // ops lost entirely
+	Torn    int // ops applied with pages missing
+}
+
+// Dev is a fault-injecting blockdev.Dev wrapper. It implements
+// blockdev.Barrier and reports ContentEnabled, so engines run their
+// content-mode recovery paths against it directly.
+type Dev struct {
+	inner blockdev.Dev
+	plan  Plan
+	rng   *sim.RNG
+	ps    int
+
+	durable map[int64][]byte // survives a power cut
+	current map[int64][]byte // acknowledged state, served to reads
+	pending []pendingOp      // acknowledged since the last barrier
+	rot     map[int64]bool
+
+	writes   int64
+	barriers int64
+	cut      bool
+	log      []WriteRecord
+}
+
+// Wrap builds a fault-injecting overlay over inner. The inner device
+// should not carry its own content store — the wrapper is the content
+// authority (an inner store would bypass the fault semantics on reads).
+func Wrap(inner blockdev.Dev, plan Plan) *Dev {
+	d := &Dev{
+		inner:   inner,
+		plan:    plan,
+		rng:     sim.NewRNG(plan.Seed),
+		ps:      inner.PageSize(),
+		durable: make(map[int64][]byte),
+		current: make(map[int64][]byte),
+	}
+	if len(plan.RotPages) > 0 {
+		d.rot = make(map[int64]bool, len(plan.RotPages))
+		for _, p := range plan.RotPages {
+			d.rot[p] = true
+		}
+	}
+	return d
+}
+
+// PageSize implements blockdev.Dev.
+func (d *Dev) PageSize() int { return d.ps }
+
+// Pages implements blockdev.Dev.
+func (d *Dev) Pages() int64 { return d.inner.Pages() }
+
+// ContentEnabled reports that reads return real bytes (the wrapper owns
+// the content store regardless of the inner device's mode).
+func (d *Dev) ContentEnabled() bool { return true }
+
+// Cut reports whether the power cut has fired. The serving layer polls
+// it between pump rounds; ops issued after the cut are ignored, never
+// failed, so engine code needs no error plumbing.
+func (d *Dev) Cut() bool { return d.cut }
+
+// Writes returns the number of host writes acknowledged so far (the
+// unit CutAfterWrites counts in).
+func (d *Dev) Writes() int64 { return d.writes }
+
+// Barriers returns the number of sync barriers observed.
+func (d *Dev) Barriers() int64 { return d.barriers }
+
+// WriteLog returns the acknowledged write log, oldest first.
+func (d *Dev) WriteLog() []WriteRecord { return d.log }
+
+// WriteAt implements blockdev.Dev. The write is acknowledged into the
+// current image and forwarded to the inner device for timing and
+// accounting, but stays in the pending window — not durable — until the
+// next SyncBarrier.
+func (d *Dev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+	if n <= 0 || d.cut {
+		return now
+	}
+	d.writes++
+	d.log = append(d.log, WriteRecord{Off: off, N: n})
+	op := pendingOp{off: off, n: n}
+	if data != nil {
+		op.pages = make([][]byte, n)
+		for i := 0; i < n; i++ {
+			page := make([]byte, d.ps)
+			copy(page, data[i*d.ps:(i+1)*d.ps])
+			op.pages[i] = page
+			d.current[off+int64(i)] = page
+		}
+	}
+	if d.plan.CutAfterWrites > 0 && d.writes == d.plan.CutAfterWrites {
+		// Power dies mid-write: the op never reaches the device, and the
+		// acknowledgment never happens either — but the harness's model
+		// already treats every op after the previous pump as ambiguous,
+		// so marking it inflight (for CutKeepPages shaping at PowerOn)
+		// is all that's needed.
+		op.inflight = true
+		d.pending = append(d.pending, op)
+		d.cut = true
+		return now
+	}
+	d.pending = append(d.pending, op)
+	return d.inner.WriteAt(now, off, n, nil)
+}
+
+// ReadAt implements blockdev.Dev: it serves the acknowledged image
+// (zeros for never-written pages), applies bit-rot to planned LBAs, and
+// forwards to the inner device for timing and accounting.
+func (d *Dev) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+	if n <= 0 || d.cut {
+		return now
+	}
+	if buf != nil {
+		for i := 0; i < n; i++ {
+			lba := off + int64(i)
+			dst := buf[i*d.ps : (i+1)*d.ps]
+			if page := d.current[lba]; page != nil {
+				copy(dst, page)
+			} else {
+				clear(dst)
+			}
+			if d.rot[lba] {
+				rotPage(dst)
+			}
+		}
+	}
+	return d.inner.ReadAt(now, off, n, nil)
+}
+
+// rotPage applies the stable bit-rot pattern: a fixed XOR over a sparse
+// byte stride, enough to break any CRC while staying deterministic
+// across repeated reads.
+func rotPage(dst []byte) {
+	for j := 0; j < len(dst); j += 61 {
+		dst[j] ^= 0xA5
+	}
+}
+
+// Discard implements blockdev.Dev. Like a write, a TRIM is only durable
+// once a barrier covers it.
+func (d *Dev) Discard(off int64, n int) {
+	if n <= 0 || d.cut {
+		return
+	}
+	for i := 0; i < n; i++ {
+		delete(d.current, off+int64(i))
+	}
+	d.pending = append(d.pending, pendingOp{off: off, n: n, discard: true})
+	d.inner.Discard(off, n)
+}
+
+// SyncBarrier implements blockdev.Barrier: everything acknowledged so
+// far survives a power cut. Barriers cost no virtual time and no I/O —
+// they only advance the durability frontier.
+func (d *Dev) SyncBarrier() {
+	if d.cut {
+		return
+	}
+	d.barriers++
+	for _, op := range d.pending {
+		d.foldDurable(op, nil)
+	}
+	d.pending = d.pending[:0]
+}
+
+// PowerCut forces the cut immediately (the harness cuts the remaining
+// shards of a store when one shard's plan fires, so the whole machine
+// loses power at once).
+func (d *Dev) PowerCut() { d.cut = true }
+
+// PowerOn resolves the pending window against the fault plan and brings
+// the device back: each unbarriered op survives intact, comes back
+// torn, or vanishes, per the plan's seeded RNG; the acknowledged image
+// is reset to what proved durable; the cut is disarmed so recovery I/O
+// runs fault-free.
+func (d *Dev) PowerOn() Outcome {
+	var out Outcome
+	for _, op := range d.pending {
+		keep := d.resolveKeep(op)
+		switch {
+		case keep == nil:
+			out.Applied++
+			d.foldDurable(op, nil)
+		case len(keep) == 0:
+			out.Dropped++
+		default:
+			out.Torn++
+			d.foldDurable(op, keep)
+		}
+	}
+	d.pending = d.pending[:0]
+	d.current = make(map[int64][]byte, len(d.durable))
+	for lba, page := range d.durable {
+		// Sharing page slices is safe: writes always store fresh copies.
+		d.current[lba] = page
+	}
+	d.cut = false
+	d.plan.CutAfterWrites = 0 // a plan cuts at most once
+	return out
+}
+
+// resolveKeep decides an op's fate at power-on: nil means intact, an
+// empty mask means dropped, otherwise keep[i] reports whether page i
+// survived.
+func (d *Dev) resolveKeep(op pendingOp) []bool {
+	if op.inflight {
+		switch {
+		case d.plan.CutKeepPages < 0:
+			return []bool{}
+		case d.plan.CutKeepPages > 0:
+			k := d.plan.CutKeepPages
+			if k >= op.n {
+				return nil
+			}
+			keep := make([]bool, op.n)
+			for i := 0; i < k; i++ {
+				keep[i] = true
+			}
+			return keep
+		default:
+			return d.tearMask(op.n)
+		}
+	}
+	if d.plan.DropProb > 0 && d.rng.Float64() < d.plan.DropProb {
+		return []bool{}
+	}
+	if op.n > 1 && d.plan.TornProb > 0 && d.rng.Float64() < d.plan.TornProb {
+		return d.tearMask(op.n)
+	}
+	return nil
+}
+
+// tearMask builds a random torn-write survival mask: one of prefix
+// lost, suffix lost, or a single interior page lost. A 1-page write
+// tears to nothing (its only page is lost).
+func (d *Dev) tearMask(n int) []bool {
+	keep := make([]bool, n)
+	if n == 1 {
+		return keep
+	}
+	switch d.rng.Intn(3) {
+	case 0: // prefix lost: pages [0,k) gone
+		k := 1 + d.rng.Intn(n-1)
+		for i := k; i < n; i++ {
+			keep[i] = true
+		}
+	case 1: // suffix lost: pages [k,n) gone
+		k := 1 + d.rng.Intn(n-1)
+		for i := 0; i < k; i++ {
+			keep[i] = true
+		}
+	default: // one interior page gone
+		hole := d.rng.Intn(n)
+		for i := range keep {
+			keep[i] = i != hole
+		}
+	}
+	return keep
+}
+
+// foldDurable applies an op (optionally masked by keep) to the durable
+// image. Accounting-only writes (no pages) change no content.
+func (d *Dev) foldDurable(op pendingOp, keep []bool) {
+	if op.discard {
+		for i := 0; i < op.n; i++ {
+			if keep == nil || keep[i] {
+				delete(d.durable, op.off+int64(i))
+			}
+		}
+		return
+	}
+	if op.pages == nil {
+		return
+	}
+	for i := 0; i < op.n; i++ {
+		if keep == nil || keep[i] {
+			d.durable[op.off+int64(i)] = op.pages[i]
+		}
+	}
+}

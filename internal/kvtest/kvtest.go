@@ -14,7 +14,6 @@ package kvtest
 import (
 	"bytes"
 	"fmt"
-	"sort"
 	"testing"
 
 	"ptsbench/internal/blockdev"
@@ -145,25 +144,10 @@ func testDelete(t *testing.T, open Factory) {
 	}
 }
 
-// scanModel mutates a reference map alongside the engine and returns
-// the expected live (id, value) pairs sorted by id.
-type scanModel map[uint64][]byte
-
-func (m scanModel) sorted() []uint64 {
-	ids := make([]uint64, 0, len(m))
-	for id, v := range m {
-		if v != nil {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
-}
-
 func testScanOrdering(t *testing.T, open Factory) {
 	s := open(t, true)
 	e := s.Engine
-	ref := scanModel{}
+	ref := NewModel()
 	var now sim.Duration
 	var err error
 	put := func(id uint64, v []byte) {
@@ -171,14 +155,14 @@ func testScanOrdering(t *testing.T, open Factory) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref[id] = v
+		ref.Put(id, v)
 	}
 	del := func(id uint64) {
 		now, err = e.Delete(now, kv.EncodeKey(id))
 		if err != nil {
 			t.Fatal(err)
 		}
-		ref[id] = nil
+		ref.Delete(id)
 	}
 	// Interleave inserts (out of order), overwrites and deletes, with a
 	// flush in the middle so part of the data is on disk and part in the
@@ -207,8 +191,8 @@ func testScanOrdering(t *testing.T, open Factory) {
 			t.Fatal(err)
 		}
 		var want []uint64
-		for _, id := range ref.sorted() {
-			if id >= start && len(want) < limit {
+		for _, id := range ref.IDs() {
+			if ref.MustContain(id) && id >= start && len(want) < limit {
 				want = append(want, id)
 			}
 		}
@@ -226,11 +210,15 @@ func testScanOrdering(t *testing.T, open Factory) {
 			if i > 0 && kv.CompareKeys(got[i-1].Key, entry.Key) >= 0 {
 				t.Fatalf("scan out of order at %d", i)
 			}
-			if !bytes.Equal(entry.Value, ref[id]) {
-				t.Fatalf("scan key %d value %v, want %v", id, entry.Value, ref[id])
+			refVal, ok := ref.Value(id)
+			if !ok {
+				t.Fatalf("scan surfaced key %d with no exact model value", id)
 			}
-			if entry.ValueLen != len(ref[id]) {
-				t.Fatalf("scan key %d ValueLen %d, want %d", id, entry.ValueLen, len(ref[id]))
+			if !bytes.Equal(entry.Value, refVal) {
+				t.Fatalf("scan key %d value %v, want %v", id, entry.Value, refVal)
+			}
+			if entry.ValueLen != len(refVal) {
+				t.Fatalf("scan key %d ValueLen %d, want %d", id, entry.ValueLen, len(refVal))
 			}
 		}
 	}

@@ -543,17 +543,33 @@ func (j *compactionJob) commit(now sim.Duration) sim.Duration {
 		d.levelBytes[j.toLevel] += t.SizeBytes()
 	}
 	d.shapeChanged()
-	// Delete input files (extents freed; no TRIM under nodiscard).
-	for _, t := range j.inputs {
-		if err := d.fs.Remove(t.FileName()); err != nil {
-			d.fatal = err
+	// Delete input files (extents freed; no TRIM under nodiscard). The
+	// ordering against the manifest write differs by mode: in content mode
+	// the inputs must outlive it — recovery can fall back to the older
+	// manifest slot, which still names them, so removing them first would
+	// make a cut inside the commit window unrecoverable. Accounting mode
+	// cannot recover anyway and keeps the historical remove-first order so
+	// allocator state (and the golden fixtures pinned to it) stays
+	// bit-identical.
+	removeInputs := func() {
+		for _, t := range j.inputs {
+			if err := d.fs.Remove(t.FileName()); err != nil {
+				d.fatal = err
+			}
 		}
+	}
+	if !d.cfg.Content {
+		removeInputs()
 	}
 	now = d.fs.Sync(now)
 	var err error
 	if now, err = d.writeManifest(now); err != nil {
 		d.fatal = err
 		return now
+	}
+	if d.cfg.Content {
+		d.fs.Barrier()
+		removeInputs()
 	}
 	d.ioStats.Compactions++
 	return now

@@ -37,9 +37,16 @@ type DB struct {
 	// compaction commits, so backpressure checks are O(levels) per put.
 	levelBytes []int64
 
-	seq         uint64
-	nextFileID  uint64
-	walID       uint64
+	seq        uint64
+	nextFileID uint64
+	walID      uint64
+	// flushedSeq is the highest KV sequence number known to be covered by
+	// a table named in the manifest. Persisted there, it lets recovery
+	// skip WAL records at or below the mark — without it, a recycled
+	// segment whose header-zeroing write was lost in a crash would
+	// resurrect stale records into the memtable, which Get prefers over
+	// the (newer) table state.
+	flushedSeq  uint64
 	walPool     []*wal.Writer // recycled segments awaiting reuse
 	manifestSeq uint64
 
@@ -77,8 +84,9 @@ type DB struct {
 }
 
 type immutable struct {
-	mt   *memtable.Memtable
-	walW *wal.Writer // segment covering this memtable, recycled after flush
+	mt     *memtable.Memtable
+	walW   *wal.Writer // segment covering this memtable, recycled after flush
+	maxSeq uint64      // KV sequence high-water mark at rotation
 }
 
 // IOStats exposes internal activity counters for tests and reports.
@@ -334,7 +342,7 @@ func (d *DB) stalled() bool {
 // than deleted and recreated, mirroring real engines' log recycling and
 // keeping journal traffic confined to a stable set of LBAs.
 func (d *DB) rotateMemtable() error {
-	im := &immutable{mt: d.mem}
+	im := &immutable{mt: d.mem, maxSeq: d.seq}
 	if d.walW != nil {
 		im.walW = d.walW
 		if n := len(d.walPool); n > 0 {

@@ -63,10 +63,19 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 	d.levels[0] = append([]*sstable.Table{t}, d.levels[0]...)
 	d.levelBytes[0] += t.SizeBytes()
 	d.shapeL0++ // flushes touch only L0; the deep picker's memo survives
+	if j.im.maxSeq > d.flushedSeq {
+		d.flushedSeq = j.im.maxSeq
+	}
 	if now, err = d.writeManifest(now); err != nil {
 		d.fatal = err
 		return now, true
 	}
+	// The manifest naming the new table (and carrying the flushedSeq mark
+	// that retires this memtable's WAL records) must be durable before the
+	// segment is recycled — a cut between the two would otherwise lose the
+	// records to the zeroed log while the older manifest slot still omits
+	// the table.
+	d.fs.Barrier()
 	for i, im := range d.imm {
 		if im == j.im {
 			d.imm = append(d.imm[:i], d.imm[i+1:]...)

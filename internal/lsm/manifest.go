@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strconv"
 	"strings"
 
 	"ptsbench/internal/extfs"
@@ -31,6 +32,7 @@ const (
 type manifestState struct {
 	writeSeq   uint64 // manifest generation
 	seq        uint64 // KV sequence number high-water mark
+	flushedSeq uint64 // highest seq covered by a table named below
 	nextFileID uint64
 	walID      uint64
 	levels     [][]string // file names per level
@@ -54,6 +56,7 @@ func (m *manifestState) encode() []byte {
 	put32(manifestMagic)
 	put64(m.writeSeq)
 	put64(m.seq)
+	put64(m.flushedSeq)
 	put64(m.nextFileID)
 	put64(m.walID)
 	put32(uint32(len(m.levels)))
@@ -69,7 +72,7 @@ func (m *manifestState) encode() []byte {
 }
 
 func decodeManifest(b []byte) (*manifestState, error) {
-	if len(b) < 4+8*4+4+4 {
+	if len(b) < 4+8*5+4+4 {
 		return nil, fmt.Errorf("lsm: manifest too short")
 	}
 	// Find the payload length by re-walking; CRC is the last 4 bytes of
@@ -100,6 +103,9 @@ func decodeManifest(b []byte) (*manifestState, error) {
 		return nil, err
 	}
 	if m.seq, err = get64(); err != nil {
+		return nil, err
+	}
+	if m.flushedSeq, err = get64(); err != nil {
 		return nil, err
 	}
 	if m.nextFileID, err = get64(); err != nil {
@@ -144,7 +150,7 @@ func decodeManifest(b []byte) (*manifestState, error) {
 // would produce for the current tree, without building it — the
 // accounting-mode write path needs only the page count.
 func (d *DB) manifestEncodedLen() int {
-	n := 4 + 8 + 8 + 8 + 8 + 4 + 4 // magic, write/seq/file/wal ids, level count, crc
+	n := 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4 // magic, write/seq/flushed/file/wal ids, level count, crc
 	for _, lvl := range d.levels {
 		n += 4
 		for _, t := range lvl {
@@ -174,6 +180,7 @@ func (d *DB) writeManifest(now sim.Duration) (sim.Duration, error) {
 		st := manifestState{
 			writeSeq:   d.manifestSeq,
 			seq:        d.seq,
+			flushedSeq: d.flushedSeq,
 			nextFileID: d.nextFileID,
 			walID:      d.walID,
 		}
@@ -245,7 +252,12 @@ func Recover(fs *extfs.FS, cfg Config, rng *sim.RNG, now sim.Duration) (*DB, sim
 		return nil, now, err
 	}
 	if st == nil {
-		return nil, now, fmt.Errorf("lsm: no valid manifest found")
+		// The database died before its first flush committed a manifest:
+		// the synced WAL is the only durable state. Recover from a zero
+		// manifest — every surviving SST is an orphan (removed below),
+		// the WAL rescan rebuilds the memtable and id counters, and the
+		// closing recovery flush writes the first real manifest.
+		st = &manifestState{}
 	}
 	d := &DB{
 		cfg:         cfg,
@@ -258,6 +270,7 @@ func Recover(fs *extfs.FS, cfg Config, rng *sim.RNG, now sim.Duration) (*DB, sim
 		compactW:    sim.NewWorker("lsm-compact-l0"),
 		compactWD:   sim.NewWorker("lsm-compact-deep"),
 		seq:         st.seq,
+		flushedSeq:  st.flushedSeq,
 		nextFileID:  st.nextFileID,
 		walID:       st.walID,
 		manifestSeq: st.writeSeq,
@@ -285,23 +298,58 @@ func Recover(fs *extfs.FS, cfg Config, rng *sim.RNG, now sim.Duration) (*DB, sim
 	d.shapeChanged()
 	// Replay surviving WAL segments. Records across segments are ordered
 	// by sequence number (segments are recycled out of name order), so
-	// collect first, then apply in order. Records whose data already
-	// reached a table re-apply idempotently: the memtable copy shadows an
-	// identical table version.
+	// collect first, then apply in order. Records at or below the
+	// manifest's flushedSeq mark are skipped: they already live in a table
+	// named above, and — crucially — a recycled segment whose zeroing
+	// write was lost in the crash replays its previous generation, whose
+	// stale records must not shadow the newer table state.
+	//
+	// Surviving file names can also outrun the recovered manifest: a cut
+	// may land after a WAL segment or SST file was created but before the
+	// manifest recording it became durable. Advance the id counters past
+	// every survivor so freshly minted names cannot collide (ErrExist),
+	// and remove orphan SSTs no manifest level names — any live data they
+	// held is covered by the WAL replay.
+	tracked := make(map[string]bool)
+	for _, lvl := range st.levels {
+		for _, name := range lvl {
+			tracked[name] = true
+		}
+	}
 	var records []wal.Record
-	var oldSegments []string
+	var oldSegments, orphanSSTs []string
 	for _, name := range fs.List() {
-		if !strings.HasPrefix(name, "wal-") {
+		switch {
+		case strings.HasPrefix(name, "sst-"):
+			if id, perr := strconv.ParseUint(name[len("sst-"):], 10, 64); perr == nil && id > d.nextFileID {
+				d.nextFileID = id
+			}
+			if !tracked[name] {
+				orphanSSTs = append(orphanSSTs, name)
+			}
 			continue
+		case !strings.HasPrefix(name, "wal-"):
+			continue
+		}
+		if id, perr := strconv.ParseUint(name[len("wal-"):], 10, 64); perr == nil && id > d.walID {
+			d.walID = id
 		}
 		oldSegments = append(oldSegments, name)
 		done, err := wal.Replay(fs, name, now, func(r wal.Record) {
+			if r.Seq <= st.flushedSeq {
+				return
+			}
 			records = append(records, r)
 		})
 		if err != nil {
 			return nil, now, err
 		}
 		now = done
+	}
+	for _, name := range orphanSSTs {
+		if err := fs.Remove(name); err != nil {
+			return nil, now, err
+		}
 	}
 	sort.Slice(records, func(i, j int) bool { return records[i].Seq < records[j].Seq })
 	for i := range records {

@@ -186,12 +186,27 @@ func TestRecoverRequiresContentMode(t *testing.T) {
 	}
 }
 
-func TestRecoverWithoutManifestFails(t *testing.T) {
+// TestRecoverWithoutManifestBootstraps: a crash before the first flush
+// leaves no manifest. Recovery must not wedge the database — it starts
+// from a zero manifest, sweeps any surviving SSTs as orphans, replays
+// the WAL, and the closing recovery flush writes the first real
+// manifest.
+func TestRecoverWithoutManifestBootstraps(t *testing.T) {
 	_, _, fs := testEnv(t, 16, true, nil)
 	cfg := NewConfig(8 << 20)
 	cfg.Content = true
-	if _, _, err := Recover(fs, cfg, sim.NewRNG(1), 0); err == nil {
-		t.Fatal("recovery on an empty filesystem should fail")
+	db, now, err := Recover(fs, cfg, sim.NewRNG(1), 0)
+	if err != nil {
+		t.Fatalf("bootstrap recovery: %v", err)
+	}
+	if _, _, found, err := db.Get(now+1, kv.EncodeKey(1)); err != nil || found {
+		t.Fatalf("bootstrapped db should be empty: found=%v err=%v", found, err)
+	}
+	if _, err := db.Put(now+2, kv.EncodeKey(1), []byte("a"), 1); err != nil {
+		t.Fatalf("put on bootstrapped db: %v", err)
+	}
+	if _, got, found, err := db.Get(now+3, kv.EncodeKey(1)); err != nil || !found || string(got) != "a" {
+		t.Fatalf("key 1 after bootstrap put: %q %v %v", got, found, err)
 	}
 }
 

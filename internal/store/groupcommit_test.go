@@ -1,0 +1,81 @@
+package store_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ptsbench/internal/engine"
+	"ptsbench/internal/kv"
+	"ptsbench/internal/sim"
+	"ptsbench/internal/store"
+)
+
+// journalSyncCounter is the optional engine surface the cowtree family
+// exposes for observing journal sync batching.
+type journalSyncCounter interface {
+	JournalSyncCount() int64
+}
+
+// TestGroupCommitSingleSync asserts the group-commit contract end to
+// end: a multi-write intake batch on one shard costs exactly ONE
+// journal sync (the shared EndGroupCommit sync), not one per write.
+func TestGroupCommitSingleSync(t *testing.T) {
+	for _, engName := range []string{"btree", "betree"} {
+		t.Run(engName, func(t *testing.T) {
+			drv, err := engine.Lookup(engName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stack, _ := openShardStack(t, drv, false,
+				map[string]string{"journal_sync": "true"}, 42)
+			jc, ok := stack.Engine.(journalSyncCounter)
+			if !ok {
+				t.Fatalf("%s engine does not expose JournalSyncCount", engName)
+			}
+			st, err := store.New(1, func(i int) (store.Stack, error) { return stack, nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+
+			// A batch of 8 puts lands as one intake on the single shard.
+			before := jc.JournalSyncCount()
+			for i := 0; i < 8; i++ {
+				st.Submit(store.Op{
+					Kind:   store.Put,
+					Submit: sim.Duration(i+1) * 1000,
+					KeyID:  uint64(i),
+					Key:    kv.EncodeKey(uint64(i)),
+					Value:  []byte(fmt.Sprintf("val-%d", i)),
+				})
+			}
+			for _, c := range st.Pump() {
+				if c.Err != nil {
+					t.Fatal(c.Err)
+				}
+			}
+			if got := jc.JournalSyncCount() - before; got != 1 {
+				t.Fatalf("multi-write intake cost %d journal syncs, want exactly 1", got)
+			}
+
+			// A single-write intake syncs on the put itself (no group
+			// bracket), still exactly once.
+			before = jc.JournalSyncCount()
+			st.Submit(store.Op{
+				Kind:   store.Put,
+				Submit: 100000,
+				KeyID:  99,
+				Key:    kv.EncodeKey(99),
+				Value:  []byte("solo"),
+			})
+			for _, c := range st.Pump() {
+				if c.Err != nil {
+					t.Fatal(c.Err)
+				}
+			}
+			if got := jc.JournalSyncCount() - before; got != 1 {
+				t.Fatalf("single-write intake cost %d journal syncs, want exactly 1", got)
+			}
+		})
+	}
+}

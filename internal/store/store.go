@@ -34,6 +34,7 @@ import (
 
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/engine"
+	"ptsbench/internal/faultdev"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/sim"
 )
@@ -91,10 +92,13 @@ type Scanner interface {
 }
 
 // Stack is one shard's engine on its own simulated device. Start seeds
-// the shard clock (recovery end time for recovered engines).
+// the shard clock (recovery end time for recovered engines). Fault,
+// when set, is the shard's fault-injecting device wrapper (the crash
+// harness polls it for power cuts between pump rounds).
 type Stack struct {
 	Engine engine.Engine
 	Dev    *blockdev.Device
+	Fault  *faultdev.Dev
 	Start  sim.Duration
 }
 
@@ -108,6 +112,7 @@ type shard struct {
 	idx    int
 	eng    engine.Engine
 	dev    *blockdev.Device
+	fault  *faultdev.Dev
 	clock  sim.Duration
 	failed error // sticky: set on the first engine error
 
@@ -159,7 +164,7 @@ func New(shards int, open func(i int) (Stack, error)) (*Store, error) {
 			s.Close()
 			return nil, fmt.Errorf("store: opening shard %d: %w", i, err)
 		}
-		sh := &shard{idx: i, eng: st.Engine, dev: st.Dev, clock: st.Start}
+		sh := &shard{idx: i, eng: st.Engine, dev: st.Dev, fault: st.Fault, clock: st.Start}
 		if shards > 1 {
 			sh.ch = make(chan func(), 1)
 			go sh.run(sh.ch)
@@ -195,6 +200,18 @@ func (s *Store) Devs() []*blockdev.Device {
 		devs[i] = sh.dev
 	}
 	return devs
+}
+
+// Faults lists the per-shard fault devices in shard order (entries are
+// nil for shards opened without fault injection). The crash harness
+// polls them between pump rounds and force-cuts the remaining shards
+// when one fires, so the whole machine loses power at once.
+func (s *Store) Faults() []*faultdev.Dev {
+	fds := make([]*faultdev.Dev, len(s.shards))
+	for i, sh := range s.shards {
+		fds[i] = sh.fault
+	}
+	return fds
 }
 
 // ShardOf maps a key id to its owning shard through a SplitMix64

@@ -100,6 +100,7 @@ type Writer struct {
 	size       int64  // logical bytes appended
 	syncedSize int64  // bytes covered by the last sync
 	syncedPage int64  // pages fully durable (file length written so far)
+	syncCount  int64  // syncs that actually wrote (group-commit accounting)
 }
 
 // Create starts a new segment file with the given name. content selects
@@ -121,6 +122,11 @@ func (w *Writer) SizeBytes() int64 { return w.size }
 
 // UnsyncedBytes returns the bytes appended since the last sync.
 func (w *Writer) UnsyncedBytes() int64 { return w.size - w.syncedSize }
+
+// SyncCount returns the number of syncs that reached the device (syncs
+// with nothing new to write don't count). Group commit holds the
+// invariant that a multi-write intake costs exactly one of these.
+func (w *Writer) SyncCount() int64 { return w.syncCount }
 
 // Append adds a record and, when sync is set, flushes it durably,
 // returning the virtual completion time. Without sync the record is
@@ -165,6 +171,10 @@ func (w *Writer) Sync(now sim.Duration) (sim.Duration, error) {
 	}
 	w.syncedSize = w.size
 	w.syncedPage = lastPage + 1
+	w.syncCount++
+	// A WAL sync is an fsync: the records written above — and every
+	// earlier write — survive a power cut from here on.
+	w.fs.Barrier()
 	return done, nil
 }
 
