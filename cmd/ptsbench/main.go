@@ -9,7 +9,8 @@
 //	ptsbench run -figure fig2 [-engine lsm,btree,betree] [-scale 128] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
-//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-cut-shard S -cut-write W]
+//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
+//	ptsbench devdiff [-engine lsm,btree,betree] [-ops 600] [-seed 1] [-dir DIR]
 //	ptsbench all [-quick] [-csv DIR]
 //	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -30,7 +31,15 @@
 // a sampled write boundary, recovery through the engine registry, and a
 // reference-model check of the recovered store. Every trial is fully
 // determined by its seed; on failure the error starts with the exact
-// `ptsbench crash -seed N` line that replays it.
+// `ptsbench crash -seed N` line that replays it. -device file runs the
+// same harness over real backing files (internal/filedev) and
+// additionally verifies the file matches the resolved durable image
+// after every power-on; -dir keeps the per-trial images for inspection.
+//
+// devdiff runs the differential checker (internal/devdiff): the same
+// seeded op log over the simulated device and over a real backing file
+// must produce identical results, I/O counters, write histograms,
+// byte-identical device images and identical recovered scans.
 //
 // -engine restricts an engine-generic figure to a subset of the three
 // tree structures; e.g. `ptsbench run -figure fig2 -engine betree`
@@ -145,6 +154,8 @@ func main() {
 		trials := fs.Int("trials", 1, "independent seeds to run")
 		cutShard := fs.Int("cut-shard", -1, "pin the cut shard (-1 = sample by write traffic)")
 		cutWrite := fs.Int64("cut-write", 0, "pin the 1-based cut write within the shard (0 = sample)")
+		device := fs.String("device", "sim", "backing device: sim (flash simulator) or file (real files via internal/filedev)")
+		dir := fs.String("dir", "", "file device only: keep per-trial shard images under this directory (default: temp, removed)")
 		_ = fs.Parse(os.Args[2:])
 		if *eng == "" {
 			fmt.Fprintln(os.Stderr, "crash: -engine is required")
@@ -159,7 +170,29 @@ func main() {
 			Trials:   *trials,
 			CutShard: *cutShard,
 			CutWrite: *cutWrite,
+			Device:   *device,
+			Dir:      *dir,
 		}); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case "devdiff":
+		fs := flag.NewFlagSet("devdiff", flag.ExitOnError)
+		eng := fs.String("engine", "", "engine to check (default: all registered)")
+		ops := fs.Int("ops", 0, "op-log length (0 = default 600)")
+		keys := fs.Int("keys", 0, "key-space bound (0 = ops/8, min 16)")
+		seed := fs.Uint64("seed", 1, "op-log seed")
+		dir := fs.String("dir", "", "keep the file backend's image in this directory (default: temp, removed)")
+		_ = fs.Parse(os.Args[2:])
+		var engines []string
+		if *eng != "" {
+			engines = strings.Split(*eng, ",")
+		} else {
+			for _, info := range ptsbench.Engines() {
+				engines = append(engines, info.Name)
+			}
+		}
+		if err := runDevdiff(engines, *ops, *keys, *seed, *dir); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -393,7 +426,8 @@ func usage() {
   ptsbench run -figure figN [-engine lsm,btree,betree] [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
-  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-cut-shard S -cut-write W]
+  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
+  ptsbench devdiff [-engine NAME,NAME] [-ops N] [-keys N] [-seed N] [-dir DIR]
   ptsbench all [-quick] [-csv DIR]
   ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-alloc-gate M1,M2] [-cpuprofile FILE] [-memprofile FILE]`)
 }

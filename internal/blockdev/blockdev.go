@@ -45,6 +45,22 @@ type Barrier interface {
 	SyncBarrier()
 }
 
+// Host is the instrumented-device surface the store and the metrics
+// collector consume: a Dev that also exposes iostat counters and the
+// per-LBA write histogram. Both the simulated Device and the
+// file-backed internal/filedev.Dev implement it, which is what lets
+// one experiment runner serve either authority.
+type Host interface {
+	Dev
+	// Counters returns a copy of the cumulative host I/O counters.
+	Counters() Counters
+	// WriteHist exposes the per-LBA write-count histogram (not a
+	// copy; callers must not mutate it).
+	WriteHist() []uint32
+	// ResetInstrumentation zeroes the counters and the histogram.
+	ResetInstrumentation()
+}
+
 // Counters are iostat-style cumulative counters, in bytes and operations.
 type Counters struct {
 	BytesWritten int64
@@ -131,6 +147,9 @@ func (d *Device) Pages() int64 { return d.ssd.LogicalPages() }
 // Counters returns a copy of the cumulative host I/O counters.
 func (d *Device) Counters() Counters { return d.counters }
 
+// WriteHist implements Host.
+func (d *Device) WriteHist() []uint32 { return d.writeHist }
+
 // WriteAt implements Dev.
 func (d *Device) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
 	if n <= 0 {
@@ -150,9 +169,14 @@ func (d *Device) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Du
 	}
 	if d.content != nil && data != nil {
 		for i := 0; i < n; i++ {
-			page := make([]byte, ps)
+			// Overwrites reuse the retained buffer: a fresh allocation
+			// per page would make steady-state writes O(page) garbage.
+			page := d.content[off+int64(i)]
+			if page == nil {
+				page = make([]byte, ps)
+				d.content[off+int64(i)] = page
+			}
 			copy(page, data[i*ps:(i+1)*ps])
-			d.content[off+int64(i)] = page
 		}
 	}
 	return d.ssd.SubmitWrite(now, off, n)
@@ -243,25 +267,25 @@ func (d *Device) WriteCDF(points int) []float64 {
 // LBAs keep their own counts, so the result is the distribution over
 // the union of the LBA spaces — what a single device serving the same
 // traffic would show. For a single device it is identical to WriteCDF.
-func CombinedWriteCDF(devs []*Device, points int) []float64 {
+func CombinedWriteCDF(devs []Host, points int) []float64 {
 	var total int
 	for _, d := range devs {
-		total += len(d.writeHist)
+		total += len(d.WriteHist())
 	}
 	counts := make([]uint32, 0, total)
 	for _, d := range devs {
-		counts = append(counts, d.writeHist...)
+		counts = append(counts, d.WriteHist()...)
 	}
 	return writeCDFOf(counts, points)
 }
 
 // CombinedFractionLBAsWritten is FractionLBAsWritten over the union of
 // several devices' LBA spaces.
-func CombinedFractionLBAsWritten(devs []*Device) float64 {
+func CombinedFractionLBAsWritten(devs []Host) float64 {
 	var written, total int64
 	for _, d := range devs {
-		total += int64(len(d.writeHist))
-		for _, c := range d.writeHist {
+		total += int64(len(d.WriteHist()))
+		for _, c := range d.WriteHist() {
 			if c > 0 {
 				written++
 			}
@@ -370,6 +394,7 @@ func (p *Partition) check(off int64, n int) {
 }
 
 var (
-	_ Dev = (*Device)(nil)
-	_ Dev = (*Partition)(nil)
+	_ Dev  = (*Device)(nil)
+	_ Dev  = (*Partition)(nil)
+	_ Host = (*Device)(nil)
 )

@@ -74,6 +74,28 @@ func TestContentStoreRoundTrip(t *testing.T) {
 	}
 }
 
+func TestContentStoreOverwriteReusesBuffer(t *testing.T) {
+	d := newTestDev(t)
+	d.EnableContentStore()
+	data := make([]byte, 4096)
+	d.WriteAt(0, 3, 1, data) // first write allocates the retained page
+	for i := range data {
+		data[i] = 0x5A
+	}
+	// Steady-state overwrites must reuse it: zero allocations per op.
+	allocs := testing.AllocsPerRun(100, func() {
+		d.WriteAt(0, 3, 1, data)
+	})
+	if allocs != 0 {
+		t.Fatalf("content-store overwrite allocates %v/op, want 0", allocs)
+	}
+	buf := make([]byte, 4096)
+	d.ReadAt(0, 3, 1, buf)
+	if !bytes.Equal(buf, data) {
+		t.Fatal("overwrite content lost")
+	}
+}
+
 func TestContentStoreDisabledIgnoresData(t *testing.T) {
 	d := newTestDev(t)
 	data := make([]byte, 4096)

@@ -3,11 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/engine"
 	"ptsbench/internal/extfs"
+	"ptsbench/internal/filedev"
 	"ptsbench/internal/flash"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/sim"
@@ -185,6 +188,22 @@ type Spec struct {
 	// closure-based Tweak hooks they replace, tunables serialize, so a
 	// Spec with engine overrides is still a plain JSON document.
 	Tunables map[string]string
+
+	// Backend selects the storage authority under the filesystem:
+	// "sim" (the default; the simulated flash device) or "file" (one
+	// real file per shard through internal/filedev, with measured I/O
+	// latencies folded into virtual time).
+	Backend string
+
+	// Dir is where the file backend keeps its per-shard images. Empty
+	// runs in a temporary directory removed when Run returns. File
+	// backend only.
+	Dir string
+
+	// Fsync is the file backend's durability discipline: "none",
+	// "barrier" (the default; fsync on every filesystem sync barrier)
+	// or "always" (fsync per write). File backend only.
+	Fsync string
 }
 
 // Validate fills defaults and fails fast on anything the downstream
@@ -282,6 +301,33 @@ func (s Spec) Validate() (Spec, error) {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	switch s.Backend {
+	case "":
+		s.Backend = "sim"
+	case "sim", "file":
+	default:
+		return s, fmt.Errorf("core: unknown backend %q (have sim, file)", s.Backend)
+	}
+	if s.Backend == "sim" {
+		if s.Dir != "" {
+			return s, errors.New(`core: dir requires backend "file"`)
+		}
+		if s.Fsync != "" {
+			return s, errors.New(`core: fsync requires backend "file"`)
+		}
+	} else {
+		if _, err := filedev.ParseDiscipline(s.Fsync); err != nil {
+			return s, fmt.Errorf("core: %w", err)
+		}
+		// Flash-level knobs have no file-backend counterpart; reject
+		// rather than silently measure something else.
+		if s.Initial == Preconditioned {
+			return s, errors.New("core: preconditioning requires the simulated backend")
+		}
+		if s.PartitionFraction != 1 {
+			return s, errors.New("core: partition_fraction requires the simulated backend")
+		}
+	}
 	return s, nil
 }
 
@@ -361,6 +407,31 @@ func Run(spec Spec) (*Result, error) {
 		return nil, errors.New("core: dataset too small for value size")
 	}
 
+	// The file backend keeps one image file per shard; without an
+	// explicit dir they live in (and vanish with) a temp directory.
+	fileBackend := spec.Backend == "file"
+	var runDir string
+	if fileBackend {
+		if spec.Dir == "" {
+			runDir, err = os.MkdirTemp("", "ptsbench-filedev-")
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			defer os.RemoveAll(runDir)
+		} else {
+			runDir = spec.Dir
+			if err := os.MkdirAll(runDir, 0o755); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+	var fdevs []*filedev.Dev
+	defer func() {
+		for _, fd := range fdevs {
+			fd.Close()
+		}
+	}()
+
 	// Per-shard stacks. Shard 0 consumes the experiment's primary RNG
 	// stream in the historical order (precondition split, then the
 	// engine env); later shards draw derived independent streams, so the
@@ -371,30 +442,52 @@ func Run(spec Spec) (*Result, error) {
 		if i > 0 {
 			shardRNG = sim.NewRNG(shardSeed(spec.Seed, i))
 		}
-		ssd, err := flash.NewDevice(flash.Config{
-			LogicalBytes:  scaledCapacity / int64(spec.Shards),
-			PageSize:      spec.Device.PageSize,
-			PagesPerBlock: scaledPPB,
-			Profile:       spec.Device.Profile.Scaled(spec.Scale),
-		})
-		if err != nil {
-			return store.Stack{}, fmt.Errorf("building device: %w", err)
-		}
-		bdev := blockdev.New(ssd)
-
-		// Partition (software over-provisioning) and initial state. The
-		// device starts trimmed; preconditioning ages the partition.
-		partPages := int64(float64(bdev.Pages()) * spec.PartitionFraction)
-		var target blockdev.Dev = bdev
-		if partPages < bdev.Pages() {
-			p, err := bdev.Partition(0, partPages)
+		var host blockdev.Host
+		var target blockdev.Dev
+		if fileBackend {
+			discipline, err := filedev.ParseDiscipline(spec.Fsync)
 			if err != nil {
 				return store.Stack{}, err
 			}
-			target = p
-		}
-		if spec.Initial == Preconditioned {
-			ssd.PreconditionRange(shardRNG.Split(), 0, partPages, 2)
+			fdev, err := filedev.Open(filedev.Config{
+				Path:     filepath.Join(runDir, fmt.Sprintf("shard-%03d.img", i)),
+				Pages:    (scaledCapacity / int64(spec.Shards)) / int64(spec.Device.PageSize),
+				PageSize: spec.Device.PageSize,
+				Fsync:    discipline,
+				Measure:  true,
+			})
+			if err != nil {
+				return store.Stack{}, fmt.Errorf("building file device: %w", err)
+			}
+			fdevs = append(fdevs, fdev)
+			host, target = fdev, fdev
+		} else {
+			ssd, err := flash.NewDevice(flash.Config{
+				LogicalBytes:  scaledCapacity / int64(spec.Shards),
+				PageSize:      spec.Device.PageSize,
+				PagesPerBlock: scaledPPB,
+				Profile:       spec.Device.Profile.Scaled(spec.Scale),
+			})
+			if err != nil {
+				return store.Stack{}, fmt.Errorf("building device: %w", err)
+			}
+			bdev := blockdev.New(ssd)
+
+			// Partition (software over-provisioning) and initial state.
+			// The device starts trimmed; preconditioning ages the
+			// partition.
+			partPages := int64(float64(bdev.Pages()) * spec.PartitionFraction)
+			host, target = bdev, bdev
+			if partPages < bdev.Pages() {
+				p, err := bdev.Partition(0, partPages)
+				if err != nil {
+					return store.Stack{}, err
+				}
+				target = p
+			}
+			if spec.Initial == Preconditioned {
+				ssd.PreconditionRange(shardRNG.Split(), 0, partPages, 2)
+			}
 		}
 
 		fs, err := extfs.Mount(target, extfs.Options{})
@@ -413,7 +506,7 @@ func Run(spec Spec) (*Result, error) {
 		if err != nil {
 			return store.Stack{}, err
 		}
-		return store.Stack{Engine: eng, Dev: bdev}, nil
+		return store.Stack{Engine: eng, Dev: host}, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -442,7 +535,11 @@ func Run(spec Spec) (*Result, error) {
 	var loadSSD flash.Stats
 	for _, d := range devs {
 		loadDev = loadDev.Add(d.Counters())
-		loadSSD = loadSSD.Add(d.SSD().Stats())
+		// Flash internals exist only on the simulated device; the file
+		// backend reports zero flash pages and the neutral WAD of 1.
+		if sd, ok := d.(interface{ SSD() *flash.Device }); ok {
+			loadSSD = loadSSD.Add(sd.SSD().Stats())
+		}
 	}
 	res.LoadHostBytes = loadDev.BytesWritten
 	res.LoadFlashPages = loadSSD.FlashPagesWritten

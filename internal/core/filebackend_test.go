@@ -1,0 +1,133 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestValidateBackend(t *testing.T) {
+	s, err := (Spec{}).Validate()
+	if err != nil || s.Backend != "sim" {
+		t.Fatalf("default backend = %q, err %v; want sim", s.Backend, err)
+	}
+	for _, bad := range []Spec{
+		{Backend: "ramdisk"},
+		{Dir: "/tmp/x"},                            // dir without file backend
+		{Fsync: "barrier"},                         // fsync without file backend
+		{Backend: "file", Fsync: "flush"},          // unknown discipline
+		{Backend: "file", Initial: Preconditioned}, // no flash to precondition
+		{Backend: "file", PartitionFraction: 0.5},  // no LBA space to reserve
+	} {
+		if _, err := bad.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", bad)
+		}
+	}
+	s, err = (Spec{Backend: "file", Fsync: "always"}).Validate()
+	if err != nil || s.Backend != "file" || s.Fsync != "always" {
+		t.Fatalf("file backend spec rejected: %+v, %v", s, err)
+	}
+}
+
+func TestBackendJSONRoundTrip(t *testing.T) {
+	in := Spec{
+		Engine:  BTree,
+		Backend: "file",
+		Dir:     "/tmp/ptsbench-images",
+		Fsync:   "none",
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Spec
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "file" || out.Dir != in.Dir || out.Fsync != "none" {
+		t.Fatalf("round trip lost backend fields: %+v", out)
+	}
+	// The default backend stays off the wire so historical spec files
+	// and fixtures are byte-identical.
+	data, err = json.Marshal(Spec{Engine: LSM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"backend", "dir", "fsync"} {
+		if jsonHasKey(t, data, key) {
+			t.Fatalf("default spec serialized %q: %s", key, data)
+		}
+	}
+}
+
+func jsonHasKey(t *testing.T, data []byte, key string) bool {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	_, ok := m[key]
+	return ok
+}
+
+// TestRunFileBackend drives a short experiment end to end over real
+// backing files: the engine, filesystem and serving layers are the
+// same code as the simulated path; only the device authority changes.
+func TestRunFileBackend(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Spec{
+		Engine:   LSM,
+		Scale:    4096,
+		Duration: 2 * time.Minute,
+		Seed:     7,
+		Backend:  "file",
+		Dir:      dir,
+		Fsync:    "barrier",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutOfSpace {
+		t.Fatal("unexpected OOS")
+	}
+	if res.Steady.ThroughputKOps <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if res.FracLBAs <= 0 || res.FracLBAs > 1 {
+		t.Fatalf("FracLBAs %v out of range", res.FracLBAs)
+	}
+	// No flash layer: the device-internal metrics stay neutral.
+	if res.LoadFlashPages != 0 || res.LoadWAD != 1 {
+		t.Fatalf("file backend reported flash internals: pages %d WAD %v",
+			res.LoadFlashPages, res.LoadWAD)
+	}
+	// The shard image is a real file in the caller's directory.
+	st, err := os.Stat(filepath.Join(dir, "shard-000.img"))
+	if err != nil {
+		t.Fatalf("shard image missing: %v", err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("shard image empty")
+	}
+}
+
+// TestRunFileBackendSharded exercises the per-shard image layout and
+// the temp-dir default (no Dir: images must not leak).
+func TestRunFileBackendSharded(t *testing.T) {
+	res, err := Run(Spec{
+		Engine:   LSM,
+		Scale:    4096,
+		Duration: 2 * time.Minute,
+		Seed:     3,
+		Shards:   2,
+		Backend:  "file",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steady.ThroughputKOps <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}

@@ -188,7 +188,7 @@ type StatsSource interface {
 // Collector samples a running experiment over one or more devices (the
 // per-shard devices of a sharded store sum into one host-visible view).
 type Collector struct {
-	devs     []*blockdev.Device
+	devs     []blockdev.Host
 	src      StatsSource
 	baseDev  blockdev.Counters
 	baseSSD  flash.Stats
@@ -201,7 +201,7 @@ type Collector struct {
 
 // NewCollector snapshots baselines at the measurement start so that the
 // load phase is excluded (the paper's plots omit loading).
-func NewCollector(devs []*blockdev.Device, src StatsSource, start, interval sim.Duration) *Collector {
+func NewCollector(devs []blockdev.Host, src StatsSource, start, interval sim.Duration) *Collector {
 	c := &Collector{
 		devs:     devs,
 		src:      src,
@@ -221,8 +221,13 @@ func (c *Collector) sumDevs() (blockdev.Counters, flash.Stats, int64) {
 	var cacheFill int64
 	for _, d := range c.devs {
 		devC = devC.Add(d.Counters())
-		ssdC = ssdC.Add(d.SSD().Stats())
-		cacheFill += d.SSD().CacheFillPages()
+		// Flash-internals stats exist only on the simulated device; a
+		// file-backed device contributes zeros (real hardware hides its
+		// FTL the same way).
+		if sd, ok := d.(interface{ SSD() *flash.Device }); ok {
+			ssdC = ssdC.Add(sd.SSD().Stats())
+			cacheFill += sd.SSD().CacheFillPages()
+		}
 	}
 	return devC, ssdC, cacheFill
 }

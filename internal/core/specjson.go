@@ -49,6 +49,9 @@ type specJSON struct {
 	SampleEvery       string            `json:"sample_every,omitempty"`
 	Seed              uint64            `json:"seed,omitempty"`
 	Tunables          map[string]string `json:"tunables,omitempty"`
+	Backend           string            `json:"backend,omitempty"`
+	Dir               string            `json:"dir,omitempty"`
+	Fsync             string            `json:"fsync,omitempty"`
 }
 
 // deviceJSON is the wire format of DeviceSpec. Stock profiles are
@@ -160,6 +163,11 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 		Skew:              s.Skew,
 		Seed:              s.Seed,
 		Tunables:          s.Tunables,
+		Dir:               s.Dir,
+		Fsync:             s.Fsync,
+	}
+	if s.Backend != "" && s.Backend != "sim" {
+		sj.Backend = s.Backend
 	}
 	if s.Dist != workload.Uniform {
 		sj.Dist = s.Dist.String()
@@ -201,6 +209,9 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		Skew:              sj.Skew,
 		Seed:              sj.Seed,
 		Tunables:          sj.Tunables,
+		Backend:           sj.Backend,
+		Dir:               sj.Dir,
+		Fsync:             sj.Fsync,
 	}
 	var err error
 	if out.Device, err = unmarshalDevice(sj.Device); err != nil {
@@ -315,6 +326,9 @@ type experimentJSON struct {
 	SampleEvery       string                       `json:"sample_every,omitempty"`
 	Seed              uint64                       `json:"seed,omitempty"`
 	Tunables          map[string]map[string]string `json:"tunables,omitempty"`
+	Backend           string                       `json:"backend,omitempty"`
+	Dir               string                       `json:"dir,omitempty"`
+	Fsync             string                       `json:"fsync,omitempty"`
 }
 
 // ParseExperiment parses a declarative experiment file. Unknown fields,
@@ -341,6 +355,9 @@ func ParseExperiment(data []byte) (*Experiment, error) {
 			Clients:           ej.Clients,
 			Skew:              ej.Skew,
 			Seed:              ej.Seed,
+			Backend:           ej.Backend,
+			Dir:               ej.Dir,
+			Fsync:             ej.Fsync,
 		},
 	}
 	var err error

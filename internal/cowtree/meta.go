@@ -106,14 +106,24 @@ func (c *Core) WriteMeta(now sim.Duration) (sim.Duration, error) {
 }
 
 // ReadMeta loads the newest valid checkpoint metadata from the
-// double-buffered slot pair, or nil when neither slot holds one.
+// double-buffered slot pair, or nil when neither slot holds one. A nil
+// result without an error means bootstrap is legitimate: slots missing,
+// or existing but all-zero — which is what a first checkpoint's torn
+// slot write leaves behind. When both slots exist, neither decodes and
+// at least one holds non-zero bytes, the metadata is corrupt (bit rot
+// or a scribble — no power cut this stack models can produce it, since
+// the alternating slot writes never tear both generations at once), and
+// ReadMeta fails loudly instead of silently bootstrapping an empty tree
+// over real data.
 func ReadMeta(fs *extfs.FS, prefix string, magic uint32, name string, now sim.Duration) (*Meta, sim.Duration, error) {
 	var best *Meta
+	slots, garbled := 0, 0
 	for _, slot := range []string{prefix + "-A", prefix + "-B"} {
 		f, err := fs.Open(slot)
 		if err != nil {
 			continue
 		}
+		slots++
 		buf := make([]byte, f.SizePages()*int64(fs.PageSize()))
 		now, err = f.ReadAt(now, 0, int(f.SizePages()), buf)
 		if err != nil {
@@ -121,11 +131,26 @@ func ReadMeta(fs *extfs.FS, prefix string, magic uint32, name string, now sim.Du
 		}
 		m, err := DecodeMeta(buf, magic, name)
 		if err != nil {
+			if !allZero(buf) {
+				garbled++
+			}
 			continue
 		}
 		if best == nil || m.Gen > best.Gen {
 			best = m
 		}
 	}
+	if best == nil && slots == 2 && garbled > 0 {
+		return nil, now, fmt.Errorf("%s: checkpoint metadata corrupt in both slots", name)
+	}
 	return best, now, nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }

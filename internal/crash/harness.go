@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/engine"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/faultdev"
+	"ptsbench/internal/filedev"
 	"ptsbench/internal/flash"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/kvtest"
@@ -44,8 +47,12 @@ type Report struct {
 
 // ReproLine renders the CLI invocation that replays a trial exactly.
 func ReproLine(spec Spec, seed uint64) string {
-	return fmt.Sprintf("ptsbench crash -engine %s -shards %d -ops %d -seed %d",
+	line := fmt.Sprintf("ptsbench crash -engine %s -shards %d -ops %d -seed %d",
 		spec.Engine, spec.Shards, spec.Ops, seed)
+	if spec.Device == "file" {
+		line += " -device file"
+	}
+	return line
 }
 
 // Run validates the spec and executes its trials. On failure the error
@@ -97,32 +104,56 @@ func genOps(spec Spec, seed uint64) []opRec {
 	return ops
 }
 
-// shardEnv is one shard's simulated stack with its fault wrapper.
+// shardEnv is one shard's device stack with its fault wrapper. fdev is
+// non-nil only on the file device, where the inner authority is a real
+// backing file instead of the flash simulator.
 type shardEnv struct {
-	dev *blockdev.Device
-	fd  *faultdev.Dev
-	fs  *extfs.FS
-	cfg engine.Config
-	eng engine.Engine
+	dev  blockdev.Host
+	fdev *filedev.Dev
+	fd   *faultdev.Dev
+	fs   *extfs.FS
+	cfg  engine.Config
+	eng  engine.Engine
 }
 
-// buildShard assembles flash → blockdev → faultdev → extfs → engine.
-// The filesystem mounts on the FAULT wrapper, so every engine write,
-// read and sync barrier passes through the fault plan; the raw blockdev
-// keeps the iostat counters and carries no content store — the wrapper
-// is the content authority.
-func buildShard(spec Spec, i int, plan faultdev.Plan) (*shardEnv, error) {
-	ssd, err := flash.NewDevice(flash.Config{
-		LogicalBytes:  32 << 20,
-		PageSize:      4096,
-		PagesPerBlock: 64,
-		Profile:       flash.ProfileSSD1().Scaled(4096),
-	})
-	if err != nil {
-		return nil, err
+// buildShard assembles device → faultdev → extfs → engine. The inner
+// device is the flash simulator (dir == "") or a real backing file in
+// dir (spec.Device "file"; fixed I/O costs keep both passes of a trial
+// write-for-write identical). The filesystem mounts on the FAULT
+// wrapper, so every engine write, read and sync barrier passes through
+// the fault plan; the inner device keeps the iostat counters and is not
+// the content authority for reads — the wrapper is. On the file device
+// the wrapper still forwards real bytes and barriers down, so the file
+// carries real content and real fsyncs, and power-on rewinds it to the
+// resolved durable image via the Restorer hook.
+func buildShard(spec Spec, i int, plan faultdev.Plan, dir string) (*shardEnv, error) {
+	var (
+		host blockdev.Host
+		fdev *filedev.Dev
+	)
+	if dir == "" {
+		ssd, err := flash.NewDevice(flash.Config{
+			LogicalBytes:  32 << 20,
+			PageSize:      4096,
+			PagesPerBlock: 64,
+			Profile:       flash.ProfileSSD1().Scaled(4096),
+		})
+		if err != nil {
+			return nil, err
+		}
+		host = blockdev.New(ssd)
+	} else {
+		var err error
+		fdev, err = filedev.Open(filedev.Config{
+			Path:  filepath.Join(dir, fmt.Sprintf("shard-%03d.img", i)),
+			Pages: (32 << 20) / 4096,
+		})
+		if err != nil {
+			return nil, err
+		}
+		host = fdev
 	}
-	dev := blockdev.New(ssd)
-	fd := faultdev.Wrap(dev, plan)
+	fd := faultdev.Wrap(host, plan)
 	fs, err := extfs.Mount(fd, extfs.Options{})
 	if err != nil {
 		return nil, err
@@ -132,7 +163,7 @@ func buildShard(spec Spec, i int, plan faultdev.Plan) (*shardEnv, error) {
 		return nil, err
 	}
 	cfg := drv.Configure(engine.Sizing{DatasetBytes: 16 << 20})
-	if err := cfg.ApplyTunables(durabilityTunables(spec.Engine)); err != nil {
+	if err := cfg.ApplyTunables(DurabilityTunables(spec.Engine)); err != nil {
 		return nil, err
 	}
 	if err := cfg.ApplyTunables(spec.Tunables); err != nil {
@@ -142,13 +173,13 @@ func buildShard(spec Spec, i int, plan faultdev.Plan) (*shardEnv, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &shardEnv{dev: dev, fd: fd, fs: fs, cfg: cfg, eng: eng}, nil
+	return &shardEnv{dev: host, fdev: fdev, fd: fd, fs: fs, cfg: cfg, eng: eng}, nil
 }
 
-func buildEnv(spec Spec, plans []faultdev.Plan) ([]*shardEnv, *store.Store, error) {
+func buildEnv(spec Spec, plans []faultdev.Plan, dir string) ([]*shardEnv, *store.Store, error) {
 	shards := make([]*shardEnv, spec.Shards)
 	st, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
-		sh, err := buildShard(spec, i, plans[i])
+		sh, err := buildShard(spec, i, plans[i], dir)
 		if err != nil {
 			return store.Stack{}, err
 		}
@@ -156,9 +187,20 @@ func buildEnv(spec Spec, plans []faultdev.Plan) ([]*shardEnv, *store.Store, erro
 		return store.Stack{Engine: sh.eng, Dev: sh.dev, Fault: sh.fd}, nil
 	})
 	if err != nil {
+		closeShards(shards)
 		return nil, nil, err
 	}
 	return shards, st, nil
+}
+
+// closeShards closes any file-backed devices (the simulator needs no
+// teardown). Safe on partially-built slices.
+func closeShards(shards []*shardEnv) {
+	for _, sh := range shards {
+		if sh != nil && sh.fdev != nil {
+			sh.fdev.Close()
+		}
+	}
 }
 
 // runTrial executes one (spec, seed) trial: a fault-free calibration
@@ -168,9 +210,28 @@ func buildEnv(spec Spec, plans []faultdev.Plan) ([]*shardEnv, *store.Store, erro
 func runTrial(spec Spec, seed uint64) (*Report, error) {
 	ops := genOps(spec, seed)
 
+	// On the file device each pass gets its own image directory: Open
+	// truncates, so the layout survives for post-mortem inspection when
+	// the caller pinned Dir, and a temp default leaks nothing.
+	dir, calibDir, faultDir := "", "", ""
+	if spec.Device == "file" {
+		if spec.Dir == "" {
+			tmp, err := os.MkdirTemp("", "ptsbench-crash-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		} else {
+			dir = filepath.Join(spec.Dir, fmt.Sprintf("trial-%d", seed))
+		}
+		calibDir = filepath.Join(dir, "calib")
+		faultDir = filepath.Join(dir, "fault")
+	}
+
 	// Pass 1 (calibration): same wrapper, no faults — identical timing
 	// and write sequence, so pass 2's Nth write is pass 1's Nth write.
-	writes, err := calibrate(spec, ops)
+	writes, err := calibrate(spec, ops, calibDir)
 	if err != nil {
 		return nil, fmt.Errorf("calibration (fault-free) pass failed: %w", err)
 	}
@@ -188,10 +249,11 @@ func runTrial(spec Spec, seed uint64) (*Report, error) {
 		DropProb:       dropProb,
 		TornProb:       tornProb,
 	}
-	shards, st, err := buildEnv(spec, plans)
+	shards, st, err := buildEnv(spec, plans, faultDir)
 	if err != nil {
 		return rep, err
 	}
+	defer closeShards(shards)
 	defer st.Close()
 
 	// Pass 2: replay until the cut fires.
@@ -227,6 +289,20 @@ func runTrial(spec Spec, seed uint64) (*Report, error) {
 	for _, sh := range shards {
 		sh.fd.PowerOn()
 	}
+	// File device only: the backing file must now BE the resolved
+	// durable image — dropped and torn pages rewound, everything else
+	// byte-identical. This is what makes the file trials stronger than
+	// the simulated ones: the bytes recovery reads really are the bytes
+	// a crashed kernel would have left.
+	for i, sh := range shards {
+		if sh.fdev == nil {
+			continue
+		}
+		if err := verifyFileImage(sh); err != nil {
+			return rep, fmt.Errorf("shard %d after power-on (cut at shard %d write %d): %w",
+				i, cutShard, cutWrite, err)
+		}
+	}
 	recovered := make([]engine.Engine, spec.Shards)
 	starts := make([]sim.Duration, spec.Shards)
 	for i, sh := range shards {
@@ -254,11 +330,12 @@ func runTrial(spec Spec, seed uint64) (*Report, error) {
 
 // calibrate runs the op log fault-free and returns per-shard write
 // counts.
-func calibrate(spec Spec, ops []opRec) ([]int64, error) {
-	shards, st, err := buildEnv(spec, make([]faultdev.Plan, spec.Shards))
+func calibrate(spec Spec, ops []opRec, dir string) ([]int64, error) {
+	shards, st, err := buildEnv(spec, make([]faultdev.Plan, spec.Shards), dir)
 	if err != nil {
 		return nil, err
 	}
+	defer closeShards(shards)
 	defer st.Close()
 	for start := 0; start < len(ops); start += batchSize {
 		end := start + batchSize
@@ -276,6 +353,28 @@ func calibrate(spec Spec, ops []opRec) ([]int64, error) {
 		writes[i] = sh.fd.Writes()
 	}
 	return writes, nil
+}
+
+// verifyFileImage compares a shard's backing file, page by page,
+// against the fault wrapper's resolved durable image (zeros where
+// nothing durable was ever written). Reads go straight to the filedev —
+// below the fault wrapper, whose own content store must not be allowed
+// to mask a divergence in the file.
+func verifyFileImage(sh *shardEnv) error {
+	ps := sh.fdev.PageSize()
+	zero := make([]byte, ps)
+	buf := make([]byte, ps)
+	for lba := int64(0); lba < sh.fdev.Pages(); lba++ {
+		sh.fdev.ReadAt(0, lba, 1, buf)
+		want := sh.fd.DurablePage(lba)
+		if want == nil {
+			want = zero
+		}
+		if !bytes.Equal(buf, want) {
+			return fmt.Errorf("backing file diverges from the durable image at LBA %d", lba)
+		}
+	}
+	return nil
 }
 
 // sampleCut picks the cut's (shard, write index): spec pins win;

@@ -47,6 +47,17 @@ type Spec struct {
 	// Tunables are extra engine knob overrides, applied on top of the
 	// harness's durability defaults (per-record journal sync).
 	Tunables map[string]string `json:"tunables,omitempty"`
+	// Device selects the backing block device: "sim" (default) runs the
+	// flash simulator, "file" runs real backing files through
+	// internal/filedev (deterministic fixed I/O costs) under the same
+	// fault wrapper — the harness then additionally checks after every
+	// power-on that the backing file matches the wrapper's resolved
+	// durable image byte for byte.
+	Device string `json:"device,omitempty"`
+	// Dir, file device only, is the directory that keeps each trial's
+	// shard images (under trial-SEED/{calib,fault}/) for post-mortem
+	// inspection. Default: a temp directory removed when the trial ends.
+	Dir string `json:"dir,omitempty"`
 }
 
 // Validate fills defaults and fails fast on malformed fields. It
@@ -98,14 +109,24 @@ func (s Spec) Validate() (Spec, error) {
 	if s.CutWrite < 0 {
 		return s, fmt.Errorf("crash: cut_write must be >= 0 (got %d)", s.CutWrite)
 	}
+	switch s.Device {
+	case "":
+		s.Device = "sim"
+	case "sim", "file":
+	default:
+		return s, fmt.Errorf("crash: unknown device %q (want sim or file)", s.Device)
+	}
+	if s.Dir != "" && s.Device != "file" {
+		return s, fmt.Errorf("crash: dir requires the file device")
+	}
 	return s, nil
 }
 
-// durabilityTunables returns the per-engine knob overrides that make
+// DurabilityTunables returns the per-engine knob overrides that make
 // every acknowledged write durable at its completion time — the
 // contract the harness verifies. Small structure sizes keep trees and
 // memtables rotating within short op logs.
-func durabilityTunables(eng string) map[string]string {
+func DurabilityTunables(eng string) map[string]string {
 	switch eng {
 	case "lsm":
 		return map[string]string{

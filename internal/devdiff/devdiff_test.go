@@ -1,0 +1,51 @@
+package devdiff
+
+import (
+	"testing"
+
+	"ptsbench/internal/engine"
+	_ "ptsbench/internal/engine/all"
+)
+
+// TestDifferentialAllEngines is the capstone of the file backend: for
+// every registered engine, the same seeded op log over the simulated
+// device and over a real backing file must produce identical per-op
+// results, identical engine stats, identical host I/O counters and
+// write histograms, a byte-identical device image, and identical
+// recovered scans after the file side's real close-and-reopen.
+func TestDifferentialAllEngines(t *testing.T) {
+	for _, name := range engine.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Spec{Engine: name, Ops: 600, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Counters.WriteOps == 0 || rep.PagesWritten == 0 || rep.ScanEntries == 0 {
+				t.Fatalf("trivial run: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestSpecValidate covers defaults and fail-fast rejection.
+func TestSpecValidate(t *testing.T) {
+	s, err := (Spec{Engine: "lsm"}).validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ops != 600 || s.Keys != 75 {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	for _, bad := range []Spec{
+		{},                        // no engine
+		{Engine: "nope"},          // unknown engine
+		{Engine: "lsm", Ops: -1},  // bad ops
+		{Engine: "lsm", Keys: -1}, // bad keys
+	} {
+		if _, err := bad.validate(); err == nil {
+			t.Errorf("bad spec validated: %+v", bad)
+		}
+	}
+}

@@ -19,9 +19,21 @@
 package faultdev
 
 import (
+	"slices"
+
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/sim"
 )
+
+// Restorer is the optional inner-device surface used at PowerOn: a raw
+// content write that bypasses counters, timing and the write histogram.
+// A real file-backed device (internal/filedev) implements it so the
+// backing file can be rewound to exactly the resolved durable image —
+// the on-disk analogue of the page cache vanishing with the power.
+// Purely simulated devices carry no content and don't need it.
+type Restorer interface {
+	Restore(off int64, n int, data []byte)
+}
 
 // Plan is a deterministic fault plan. The zero value injects nothing.
 type Plan struct {
@@ -140,6 +152,13 @@ func (d *Dev) Barriers() int64 { return d.barriers }
 // WriteLog returns the acknowledged write log, oldest first.
 func (d *Dev) WriteLog() []WriteRecord { return d.log }
 
+// DurablePage returns the durable image of one page — nil if nothing
+// durable was ever written there, meaning it reads as zeros. The crash
+// harness uses it to prove a Restorer-backed inner device's file
+// matches the resolved durable image after power-on. The returned slice
+// is the live page; callers must not mutate it.
+func (d *Dev) DurablePage(lba int64) []byte { return d.durable[lba] }
+
 // WriteAt implements blockdev.Dev. The write is acknowledged into the
 // current image and forwarded to the inner device for timing and
 // accounting, but stays in the pending window — not durable — until the
@@ -172,7 +191,10 @@ func (d *Dev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Durat
 		return now
 	}
 	d.pending = append(d.pending, op)
-	return d.inner.WriteAt(now, off, n, nil)
+	// Forward the real bytes: a content-less simulated inner ignores
+	// them, a file-backed inner persists them — which is what makes the
+	// Restore rewind at PowerOn meaningful.
+	return d.inner.WriteAt(now, off, n, data)
 }
 
 // ReadAt implements blockdev.Dev: it serves the acknowledged image
@@ -223,7 +245,10 @@ func (d *Dev) Discard(off int64, n int) {
 
 // SyncBarrier implements blockdev.Barrier: everything acknowledged so
 // far survives a power cut. Barriers cost no virtual time and no I/O —
-// they only advance the durability frontier.
+// they only advance the durability frontier — but they do forward to
+// the inner device's barrier when it has one, so a file-backed inner
+// issues its real fsync exactly where the simulated stack draws the
+// durability line.
 func (d *Dev) SyncBarrier() {
 	if d.cut {
 		return
@@ -233,6 +258,9 @@ func (d *Dev) SyncBarrier() {
 		d.foldDurable(op, nil)
 	}
 	d.pending = d.pending[:0]
+	if b, ok := d.inner.(blockdev.Barrier); ok {
+		b.SyncBarrier()
+	}
 }
 
 // PowerCut forces the cut immediately (the harness cuts the remaining
@@ -247,7 +275,11 @@ func (d *Dev) PowerCut() { d.cut = true }
 // runs fault-free.
 func (d *Dev) PowerOn() Outcome {
 	var out Outcome
+	affected := make(map[int64]struct{})
 	for _, op := range d.pending {
+		for i := 0; i < op.n; i++ {
+			affected[op.off+int64(i)] = struct{}{}
+		}
 		keep := d.resolveKeep(op)
 		switch {
 		case keep == nil:
@@ -266,9 +298,30 @@ func (d *Dev) PowerOn() Outcome {
 		// Sharing page slices is safe: writes always store fresh copies.
 		d.current[lba] = page
 	}
+	d.restoreInner(affected)
 	d.cut = false
 	d.plan.CutAfterWrites = 0 // a plan cuts at most once
 	return out
+}
+
+// restoreInner rewinds a Restorer-capable inner device so every page
+// touched by the pending window matches the resolved durable image —
+// dropped and torn pages revert to their last barriered content (zeros
+// if never durably written). Pages outside the window already match:
+// their writes were forwarded verbatim and folded intact.
+func (d *Dev) restoreInner(affected map[int64]struct{}) {
+	r, ok := d.inner.(Restorer)
+	if !ok || len(affected) == 0 {
+		return
+	}
+	lbas := make([]int64, 0, len(affected))
+	for lba := range affected {
+		lbas = append(lbas, lba)
+	}
+	slices.Sort(lbas)
+	for _, lba := range lbas {
+		r.Restore(lba, 1, d.durable[lba]) // nil page zeroes the range
+	}
 }
 
 // resolveKeep decides an op's fate at power-on: nil means intact, an

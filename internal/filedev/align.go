@@ -1,0 +1,15 @@
+package filedev
+
+import "unsafe"
+
+// alignedBuf returns a size-byte buffer whose base address is aligned
+// to align — O_DIRECT requires sector-aligned user memory, and the Go
+// allocator only guarantees much smaller alignments for large slices.
+func alignedBuf(size, align int) []byte {
+	raw := make([]byte, size+align)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(unsafe.SliceData(raw))) % uintptr(align)); rem != 0 {
+		off = align - rem
+	}
+	return raw[off : off+size]
+}

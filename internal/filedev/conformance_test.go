@@ -1,0 +1,31 @@
+package filedev_test
+
+import (
+	"testing"
+
+	"ptsbench/internal/crash"
+	"ptsbench/internal/engine"
+	_ "ptsbench/internal/engine/all"
+	"ptsbench/internal/kvtest"
+)
+
+// TestEngineConformanceOverFiles runs the full shared conformance
+// suite — put/get/delete semantics, scan-vs-model, recovery after a
+// checkpoint with a real close-and-reopen of the backing file — for
+// every registered engine over the file-backed device. The simulated
+// and real backends must honour the identical engine contract; this is
+// the file half of that claim (internal/devdiff proves the two halves
+// agree bit for bit).
+func TestEngineConformanceOverFiles(t *testing.T) {
+	for _, name := range engine.Names() {
+		drv, err := engine.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			kvtest.Run(t, func(t *testing.T, content bool) *kvtest.Stack {
+				return kvtest.NewFileStack(t, drv, crash.DurabilityTunables(name), content)
+			})
+		})
+	}
+}

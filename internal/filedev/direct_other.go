@@ -1,0 +1,20 @@
+//go:build !linux
+
+package filedev
+
+import (
+	"errors"
+	"os"
+)
+
+// openFile opens path for read/write. O_DIRECT is linux-only; other
+// platforms always use buffered I/O.
+func openFile(path string, direct bool) (*os.File, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return f, false, err
+}
+
+// punchHole is unsupported off linux; the caller zero-fills.
+func punchHole(f *os.File, off, length int64) error {
+	return errors.ErrUnsupported
+}

@@ -1,0 +1,63 @@
+package kvtest
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ptsbench/internal/engine"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/filedev"
+	"ptsbench/internal/sim"
+)
+
+// NewFileStack opens a fresh engine of the given driver over a real
+// file-backed device (internal/filedev) in a per-test temp directory,
+// with deterministic fixed I/O costs. Its Reopen path is a REAL
+// close-and-reopen of the backing file — durability must have come
+// from the engine's fsync discipline, not from process memory — before
+// the driver's recovery runs over the same mounted filesystem.
+//
+// The helper takes engine.Driver rather than a concrete engine so this
+// package never imports engine implementations (their test packages
+// import the suite); the per-engine loop lives in
+// internal/filedev's conformance test.
+func NewFileStack(t *testing.T, drv engine.Driver, tunables map[string]string, content bool) *Stack {
+	t.Helper()
+	dev, err := filedev.Open(filedev.Config{
+		Path:  filepath.Join(t.TempDir(), "dev.img"),
+		Pages: (32 << 20) / 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() })
+	fs, err := extfs.Mount(dev, extfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := drv.Configure(engine.Sizing{DatasetBytes: 16 << 20})
+	if err := cfg.ApplyTunables(tunables); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cfg.Open(engine.Env{FS: fs, RNG: sim.NewRNG(1), Content: content})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Stack{Engine: eng.(Engine), Dev: dev}
+	if content {
+		st.Reopen = func(now sim.Duration) (Engine, sim.Duration, error) {
+			if err := dev.Close(); err != nil {
+				return nil, 0, err
+			}
+			if err := dev.Reopen(); err != nil {
+				return nil, 0, err
+			}
+			re, rnow, err := cfg.Recover(engine.Env{FS: fs, RNG: sim.NewRNG(2), Content: true}, now)
+			if err != nil {
+				return nil, 0, err
+			}
+			return re.(Engine), rnow, nil
+		}
+	}
+	return st
+}

@@ -31,10 +31,12 @@ type Engine interface {
 	Quiesce(now sim.Duration) sim.Duration
 }
 
-// Stack is one freshly opened engine on its own simulated device.
+// Stack is one freshly opened engine on its own device — simulated
+// (blockdev.Device) or a real backing file (filedev.Dev); the suite
+// only needs the shared Host instrumentation surface.
 type Stack struct {
 	Engine Engine
-	Dev    *blockdev.Device
+	Dev    blockdev.Host
 	// Reopen recovers the engine from its on-device state (checkpoint /
 	// manifest plus journal replay). Only called on content-mode stacks,
 	// after the original engine has quiesced.

@@ -97,7 +97,7 @@ type Scanner interface {
 // harness polls it for power cuts between pump rounds).
 type Stack struct {
 	Engine engine.Engine
-	Dev    *blockdev.Device
+	Dev    blockdev.Host
 	Fault  *faultdev.Dev
 	Start  sim.Duration
 }
@@ -111,7 +111,7 @@ type request struct {
 type shard struct {
 	idx    int
 	eng    engine.Engine
-	dev    *blockdev.Device
+	dev    blockdev.Host
 	fault  *faultdev.Dev
 	clock  sim.Duration
 	failed error // sticky: set on the first engine error
@@ -194,8 +194,8 @@ func (s *Store) Shards() int { return len(s.shards) }
 
 // Devs lists the per-shard block devices in shard order, for
 // instrumentation (reset, counter aggregation, combined LBA CDFs).
-func (s *Store) Devs() []*blockdev.Device {
-	devs := make([]*blockdev.Device, len(s.shards))
+func (s *Store) Devs() []blockdev.Host {
+	devs := make([]blockdev.Host, len(s.shards))
 	for i, sh := range s.shards {
 		devs[i] = sh.dev
 	}
