@@ -16,10 +16,17 @@ func runCrash(spec crash.Spec) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("crash: %s x%d shard(s): %d trial(s) passed\n",
-		rep.Spec.Engine, rep.Spec.Shards, rep.Spec.Trials)
-	fmt.Printf("  last trial: seed %d, cut at shard %d write %d (op %d); %d keys checked (%d ambiguous), %d scan entries verified\n",
-		rep.Seed, rep.CutShard, rep.CutWrite, rep.CutOp, rep.Checked, rep.Ambiguous, rep.Scanned)
+	if rep.Spec.Replicas > 1 {
+		fmt.Printf("crash: %s x%d shard(s) x%d %s replica(s): %d trial(s) passed\n",
+			rep.Spec.Engine, rep.Spec.Shards, rep.Spec.Replicas, rep.Spec.ReplMode, rep.Spec.Trials)
+		fmt.Printf("  last trial: seed %d, killed shard %d replica %d at write %d (op %d); %d keys checked (%d ambiguous), %d scan entries verified\n",
+			rep.Seed, rep.CutShard, rep.CutReplica, rep.CutWrite, rep.CutOp, rep.Checked, rep.Ambiguous, rep.Scanned)
+	} else {
+		fmt.Printf("crash: %s x%d shard(s): %d trial(s) passed\n",
+			rep.Spec.Engine, rep.Spec.Shards, rep.Spec.Trials)
+		fmt.Printf("  last trial: seed %d, cut at shard %d write %d (op %d); %d keys checked (%d ambiguous), %d scan entries verified\n",
+			rep.Seed, rep.CutShard, rep.CutWrite, rep.CutOp, rep.Checked, rep.Ambiguous, rep.Scanned)
+	}
 	fmt.Printf("(completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	return nil
 }

@@ -9,7 +9,7 @@
 //	ptsbench run -figure fig2 [-engine lsm,btree,betree] [-scale 128] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
-//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
+//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-replicas R] [-repl-mode chain|quorum] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
 //	ptsbench devdiff [-engine lsm,btree,betree] [-ops 600] [-seed 1] [-dir DIR]
 //	ptsbench all [-quick] [-csv DIR]
 //	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-cpuprofile FILE] [-memprofile FILE]
@@ -35,6 +35,12 @@
 // same harness over real backing files (internal/filedev) and
 // additionally verifies the file matches the resolved durable image
 // after every power-on; -dir keeps the per-trial images for inspection.
+// -replicas R (with -repl-mode chain or quorum) turns every shard into
+// a replica group of R full engine stacks and changes the failure: one
+// replica's device is killed mid-batch while the machine keeps serving,
+// and the trial verifies zero acknowledged-write loss through the
+// failover, recovery of the killed replica from its own durable image,
+// and entry-identical reconvergence of the whole group.
 //
 // devdiff runs the differential checker (internal/devdiff): the same
 // seeded op log over the simulated device and over a real backing file
@@ -154,6 +160,8 @@ func main() {
 		trials := fs.Int("trials", 1, "independent seeds to run")
 		cutShard := fs.Int("cut-shard", -1, "pin the cut shard (-1 = sample by write traffic)")
 		cutWrite := fs.Int64("cut-write", 0, "pin the 1-based cut write within the shard (0 = sample)")
+		replicas := fs.Int("replicas", 1, "replicas per shard (>1 kills one replica's device instead of the machine)")
+		replMode := fs.String("repl-mode", "", "replication mode for -replicas >1: chain (default) or quorum (needs >=3)")
 		device := fs.String("device", "sim", "backing device: sim (flash simulator) or file (real files via internal/filedev)")
 		dir := fs.String("dir", "", "file device only: keep per-trial shard images under this directory (default: temp, removed)")
 		_ = fs.Parse(os.Args[2:])
@@ -170,6 +178,8 @@ func main() {
 			Trials:   *trials,
 			CutShard: *cutShard,
 			CutWrite: *cutWrite,
+			Replicas: *replicas,
+			ReplMode: *replMode,
 			Device:   *device,
 			Dir:      *dir,
 		}); err != nil {
@@ -426,7 +436,7 @@ func usage() {
   ptsbench run -figure figN [-engine lsm,btree,betree] [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
-  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
+  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-replicas R] [-repl-mode chain|quorum] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
   ptsbench devdiff [-engine NAME,NAME] [-ops N] [-keys N] [-seed N] [-dir DIR]
   ptsbench all [-quick] [-csv DIR]
   ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-alloc-gate M1,M2] [-cpuprofile FILE] [-memprofile FILE]`)

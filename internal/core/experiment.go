@@ -13,6 +13,7 @@ import (
 	"ptsbench/internal/filedev"
 	"ptsbench/internal/flash"
 	"ptsbench/internal/kv"
+	"ptsbench/internal/replica"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/store"
 	"ptsbench/internal/workload"
@@ -174,6 +175,21 @@ type Spec struct {
 	// randomness, keeping historical key streams bit-identical.
 	Skew float64
 
+	// Replicas turns every shard into a replica group of N complete
+	// engine stacks (internal/replica), each on its own private device
+	// the same size as the shard's slice — so replication honestly
+	// multiplies device traffic and space while throughput stays
+	// logical. Defaults to 1 (no group is constructed; the run is
+	// bit-identical to the unreplicated store).
+	Replicas int
+
+	// ReplMode is the replication discipline for Replicas > 1: "chain"
+	// (writes flow head→tail, ack at the tail, reads at the tail) or
+	// "quorum" (writes everywhere, ack at ⌈R/2⌉+1, reads with
+	// read-repair). Defaults to "chain" for replicated specs; ignored
+	// (and left empty) at Replicas == 1.
+	ReplMode string
+
 	// Duration is the measured phase length in virtual time; SampleEvery
 	// is the instrumentation period.
 	Duration    sim.Duration
@@ -297,6 +313,26 @@ func (s Spec) Validate() (Spec, error) {
 	}
 	if s.Skew < 0 || s.Skew > 1 {
 		return s, fmt.Errorf("core: skew %v outside [0,1] (the fraction of operations sent to the hot keyspace)", s.Skew)
+	}
+	if s.Replicas < 0 {
+		return s, fmt.Errorf("core: replicas must be >= 1 (got %d); omit the field for the unreplicated default", s.Replicas)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	// Every replica is a complete engine stack on its own device, so the
+	// lane budget bounds shards × replicas, not shards alone.
+	if s.Shards*s.Replicas > 1024 {
+		return s, fmt.Errorf("core: %d shards x %d replicas is %d engine stacks, beyond any simulated device's lane budget (max 1024)", s.Shards, s.Replicas, s.Shards*s.Replicas)
+	}
+	switch s.ReplMode {
+	case "":
+		if s.Replicas > 1 {
+			s.ReplMode = "chain"
+		}
+	case "chain", "quorum":
+	default:
+		return s, fmt.Errorf("core: unknown repl_mode %q (have chain, quorum)", s.ReplMode)
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
@@ -432,32 +468,30 @@ func Run(spec Spec) (*Result, error) {
 		}
 	}()
 
-	// Per-shard stacks. Shard 0 consumes the experiment's primary RNG
-	// stream in the historical order (precondition split, then the
-	// engine env); later shards draw derived independent streams, so the
-	// shard count never perturbs shard 0's randomness — or any
-	// single-shard result.
-	st, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
-		shardRNG := rng
-		if i > 0 {
-			shardRNG = sim.NewRNG(shardSeed(spec.Seed, i))
-		}
+	// openStack builds one complete engine stack — device, filesystem,
+	// sized engine — for replica r of shard i. Every replica is a full
+	// copy of the shard: same device slice, same dataset sizing.
+	openStack := func(i, r int, stackRNG *sim.RNG) (engine.Engine, blockdev.Host, error) {
 		var host blockdev.Host
 		var target blockdev.Dev
 		if fileBackend {
 			discipline, err := filedev.ParseDiscipline(spec.Fsync)
 			if err != nil {
-				return store.Stack{}, err
+				return nil, nil, err
+			}
+			image := fmt.Sprintf("shard-%03d.img", i)
+			if spec.Replicas > 1 {
+				image = fmt.Sprintf("shard-%03d-r%d.img", i, r)
 			}
 			fdev, err := filedev.Open(filedev.Config{
-				Path:     filepath.Join(runDir, fmt.Sprintf("shard-%03d.img", i)),
+				Path:     filepath.Join(runDir, image),
 				Pages:    (scaledCapacity / int64(spec.Shards)) / int64(spec.Device.PageSize),
 				PageSize: spec.Device.PageSize,
 				Fsync:    discipline,
 				Measure:  true,
 			})
 			if err != nil {
-				return store.Stack{}, fmt.Errorf("building file device: %w", err)
+				return nil, nil, fmt.Errorf("building file device: %w", err)
 			}
 			fdevs = append(fdevs, fdev)
 			host, target = fdev, fdev
@@ -469,7 +503,7 @@ func Run(spec Spec) (*Result, error) {
 				Profile:       spec.Device.Profile.Scaled(spec.Scale),
 			})
 			if err != nil {
-				return store.Stack{}, fmt.Errorf("building device: %w", err)
+				return nil, nil, fmt.Errorf("building device: %w", err)
 			}
 			bdev := blockdev.New(ssd)
 
@@ -481,18 +515,18 @@ func Run(spec Spec) (*Result, error) {
 			if partPages < bdev.Pages() {
 				p, err := bdev.Partition(0, partPages)
 				if err != nil {
-					return store.Stack{}, err
+					return nil, nil, err
 				}
 				target = p
 			}
 			if spec.Initial == Preconditioned {
-				ssd.PreconditionRange(shardRNG.Split(), 0, partPages, 2)
+				ssd.PreconditionRange(stackRNG.Split(), 0, partPages, 2)
 			}
 		}
 
 		fs, err := extfs.Mount(target, extfs.Options{})
 		if err != nil {
-			return store.Stack{}, err
+			return nil, nil, err
 		}
 		cfg := drv.Configure(engine.Sizing{
 			DatasetBytes: datasetBytes / int64(spec.Shards),
@@ -500,13 +534,59 @@ func Run(spec Spec) (*Result, error) {
 			QueueDepth:   spec.QueueDepth,
 		})
 		if err := cfg.ApplyTunables(spec.Tunables); err != nil {
-			return store.Stack{}, err
+			return nil, nil, err
 		}
-		eng, err := cfg.Open(engine.Env{FS: fs, RNG: shardRNG})
+		eng, err := cfg.Open(engine.Env{FS: fs, RNG: stackRNG})
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, host, nil
+	}
+
+	// Per-shard stacks. Shard 0 consumes the experiment's primary RNG
+	// stream in the historical order (precondition split, then the
+	// engine env); later shards draw derived independent streams, so the
+	// shard count never perturbs shard 0's randomness — or any
+	// single-shard result. Replicated specs build R stacks per shard
+	// behind a replica.Group: replica 0 keeps the shard's historical
+	// stream, later replicas draw their own, so Replicas == 1 never
+	// constructs a group and stays bit-identical to the unreplicated
+	// store.
+	st, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
+		shardRNG := rng
+		if i > 0 {
+			shardRNG = sim.NewRNG(shardSeed(spec.Seed, i))
+		}
+		if spec.Replicas <= 1 {
+			eng, host, err := openStack(i, 0, shardRNG)
+			if err != nil {
+				return store.Stack{}, err
+			}
+			return store.Stack{Engine: eng, Dev: host}, nil
+		}
+		mode, err := replica.ParseMode(spec.ReplMode)
 		if err != nil {
 			return store.Stack{}, err
 		}
-		return store.Stack{Engine: eng, Dev: host}, nil
+		members := make([]replica.Member, spec.Replicas)
+		devs := make([]blockdev.Host, spec.Replicas)
+		for r := 0; r < spec.Replicas; r++ {
+			stackRNG := shardRNG
+			if r > 0 {
+				stackRNG = sim.NewRNG(replicaSeed(spec.Seed, i, r))
+			}
+			eng, host, err := openStack(i, r, stackRNG)
+			if err != nil {
+				return store.Stack{}, err
+			}
+			members[r] = replica.Member{Engine: eng}
+			devs[r] = host
+		}
+		g, err := replica.New(mode, members)
+		if err != nil {
+			return store.Stack{}, err
+		}
+		return store.Stack{Engine: g, Dev: devs[0], Devs: devs}, nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -684,6 +764,17 @@ func Run(spec Spec) (*Result, error) {
 // seed (shard 0 uses the primary stream directly and never calls this).
 func shardSeed(seed uint64, shard int) uint64 {
 	z := uint64(shard) + 0x6A09E667F3BCC909
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return seed ^ z ^ (z >> 31)
+}
+
+// replicaSeed derives replica r of shard i's independent RNG seed
+// (replica 0 keeps the shard's stream and never calls this). A
+// different additive constant than shardSeed keeps the two stream
+// families disjoint.
+func replicaSeed(seed uint64, shard, rep int) uint64 {
+	z := uint64(shard)<<20 + uint64(rep) + 0xBB67AE8584CAA73B
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 	return seed ^ z ^ (z >> 31)

@@ -45,6 +45,8 @@ type specJSON struct {
 	Shards            int               `json:"shards,omitempty"`
 	Clients           int               `json:"clients,omitempty"`
 	Skew              float64           `json:"skew,omitempty"`
+	Replicas          int               `json:"replicas,omitempty"`
+	ReplMode          string            `json:"repl_mode,omitempty"`
 	Duration          string            `json:"duration,omitempty"`
 	SampleEvery       string            `json:"sample_every,omitempty"`
 	Seed              uint64            `json:"seed,omitempty"`
@@ -169,6 +171,14 @@ func (s Spec) MarshalJSON() ([]byte, error) {
 	if s.Backend != "" && s.Backend != "sim" {
 		sj.Backend = s.Backend
 	}
+	// Replication fields serialize only when they mean something, so
+	// every pre-replication spec document stays byte-identical.
+	if s.Replicas > 1 {
+		sj.Replicas = s.Replicas
+	}
+	if s.ReplMode != "" && s.Replicas > 1 {
+		sj.ReplMode = s.ReplMode
+	}
 	if s.Dist != workload.Uniform {
 		sj.Dist = s.Dist.String()
 	}
@@ -207,6 +217,8 @@ func (s *Spec) UnmarshalJSON(data []byte) error {
 		Shards:            sj.Shards,
 		Clients:           sj.Clients,
 		Skew:              sj.Skew,
+		Replicas:          sj.Replicas,
+		ReplMode:          sj.ReplMode,
 		Seed:              sj.Seed,
 		Tunables:          sj.Tunables,
 		Backend:           sj.Backend,
@@ -281,17 +293,21 @@ type Experiment struct {
 	// durations, seed). Its Engine/ReadFraction/QueueDepth/Scale are
 	// the fallback when the corresponding sweep list is empty.
 	Base Spec
-	// Engines, ReadFractions, QueueDepths, Scales, ShardCounts and
-	// ClientCounts are the sweep axes; Specs expands their cross
-	// product. Cells whose client count cannot keep their shard count
-	// busy (clients < shards) are skipped rather than rejected, so a
-	// rectangular shards × clients grid stays usable.
+	// Engines, ReadFractions, QueueDepths, Scales, ShardCounts,
+	// ClientCounts, ReplicaCounts and ReplModes are the sweep axes;
+	// Specs expands their cross product. Cells whose client count
+	// cannot keep their shard count busy (clients < shards) are skipped
+	// rather than rejected, so a rectangular shards × clients grid
+	// stays usable; likewise unreplicated cells run once, not once per
+	// replication mode.
 	Engines       []EngineKind
 	ReadFractions []float64
 	QueueDepths   []int
 	Scales        []int64
 	ShardCounts   []int
 	ClientCounts  []int
+	ReplicaCounts []int
+	ReplModes     []string
 	// Tunables are per-engine knob overrides: cells of engine E run
 	// with Tunables[E].
 	Tunables map[EngineKind]map[string]string
@@ -317,6 +333,10 @@ type experimentJSON struct {
 	Shards            int                          `json:"shards,omitempty"`
 	ClientCounts      []int                        `json:"client_counts,omitempty"`
 	Clients           int                          `json:"clients,omitempty"`
+	ReplicaCounts     []int                        `json:"replica_counts,omitempty"`
+	Replicas          int                          `json:"replicas,omitempty"`
+	ReplModes         []string                     `json:"repl_modes,omitempty"`
+	ReplMode          string                       `json:"repl_mode,omitempty"`
 	Skew              float64                      `json:"skew,omitempty"`
 	Dist              string                       `json:"dist,omitempty"`
 	ZipfTheta         float64                      `json:"zipf_theta,omitempty"`
@@ -353,6 +373,8 @@ func ParseExperiment(data []byte) (*Experiment, error) {
 			QueueDepth:        ej.QueueDepth,
 			Shards:            ej.Shards,
 			Clients:           ej.Clients,
+			Replicas:          ej.Replicas,
+			ReplMode:          ej.ReplMode,
 			Skew:              ej.Skew,
 			Seed:              ej.Seed,
 			Backend:           ej.Backend,
@@ -410,6 +432,8 @@ func ParseExperiment(data []byte) (*Experiment, error) {
 	e.Scales = ej.Scales
 	e.ShardCounts = ej.ShardCounts
 	e.ClientCounts = ej.ClientCounts
+	e.ReplicaCounts = ej.ReplicaCounts
+	e.ReplModes = ej.ReplModes
 	return e, nil
 }
 
@@ -444,6 +468,14 @@ func (e *Experiment) Specs(quick bool) ([]Spec, error) {
 	if len(clientCounts) == 0 {
 		clientCounts = []int{e.Base.Clients}
 	}
+	replicaCounts := e.ReplicaCounts
+	if len(replicaCounts) == 0 {
+		replicaCounts = []int{e.Base.Replicas}
+	}
+	replModes := e.ReplModes
+	if len(replModes) == 0 {
+		replModes = []string{e.Base.ReplMode}
+	}
 	name := e.Name
 	if name == "" {
 		name = "exp"
@@ -463,40 +495,59 @@ func (e *Experiment) Specs(quick bool) ([]Spec, error) {
 							if clients != 0 && clients < shards {
 								continue
 							}
-							spec := e.Base
-							spec.Engine = eng
-							spec.ReadFraction = rf
-							spec.QueueDepth = qd
-							spec.Scale = scale
-							spec.Shards = shards
-							spec.Clients = clients
-							if t := e.Tunables[eng]; len(t) > 0 {
-								// Clone so cells never share a mutable map.
-								spec.Tunables = make(map[string]string, len(t))
-								for k, v := range t {
-									spec.Tunables[k] = v
+							for mi, replMode := range replModes {
+								for _, replicas := range replicaCounts {
+									// An unreplicated cell has no mode:
+									// run it once, under the first mode
+									// only, so a replicas × modes grid
+									// doesn't duplicate its R=1 column.
+									if replicas <= 1 && mi > 0 {
+										continue
+									}
+									spec := e.Base
+									spec.Engine = eng
+									spec.ReadFraction = rf
+									spec.QueueDepth = qd
+									spec.Scale = scale
+									spec.Shards = shards
+									spec.Clients = clients
+									spec.Replicas = replicas
+									spec.ReplMode = replMode
+									if replicas <= 1 {
+										spec.ReplMode = ""
+									}
+									if t := e.Tunables[eng]; len(t) > 0 {
+										// Clone so cells never share a mutable map.
+										spec.Tunables = make(map[string]string, len(t))
+										for k, v := range t {
+											spec.Tunables[k] = v
+										}
+									}
+									spec, err := spec.Validate()
+									if err != nil {
+										return nil, err
+									}
+									spec.Name = fmt.Sprintf("%s %s rf=%g qd=%d x%d",
+										name, eng, spec.ReadFraction, spec.QueueDepth, spec.Scale)
+									if spec.Shards != 1 || spec.Clients != 1 {
+										// Only non-default serving layouts carry
+										// the suffix, so historical cell names
+										// are untouched.
+										spec.Name += fmt.Sprintf(" s=%d c=%d", spec.Shards, spec.Clients)
+									}
+									if spec.Replicas > 1 {
+										spec.Name += fmt.Sprintf(" r=%d %s", spec.Replicas, spec.ReplMode)
+									}
+									if quick {
+										if spec.Duration > 60*time.Minute {
+											spec.Duration = 60 * time.Minute
+										} else {
+											spec.Duration /= 2
+										}
+									}
+									specs = append(specs, spec)
 								}
 							}
-							spec, err := spec.Validate()
-							if err != nil {
-								return nil, err
-							}
-							spec.Name = fmt.Sprintf("%s %s rf=%g qd=%d x%d",
-								name, eng, spec.ReadFraction, spec.QueueDepth, spec.Scale)
-							if spec.Shards != 1 || spec.Clients != 1 {
-								// Only non-default serving layouts carry
-								// the suffix, so historical cell names
-								// are untouched.
-								spec.Name += fmt.Sprintf(" s=%d c=%d", spec.Shards, spec.Clients)
-							}
-							if quick {
-								if spec.Duration > 60*time.Minute {
-									spec.Duration = 60 * time.Minute
-								} else {
-									spec.Duration /= 2
-								}
-							}
-							specs = append(specs, spec)
 						}
 					}
 				}

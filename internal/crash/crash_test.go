@@ -77,11 +77,37 @@ func TestSpecValidate(t *testing.T) {
 	}
 }
 
-// TestReproLine pins the repro format the CLI prints on failure.
+// TestReproLine pins the repro format the CLI prints on failure: every
+// knob shaping the trial appears, so the line replays without the spec
+// it came from.
 func TestReproLine(t *testing.T) {
-	got := ReproLine(Spec{Engine: "lsm", Shards: 4, Ops: 300}, 99)
-	want := "ptsbench crash -engine lsm -shards 4 -ops 300 -seed 99"
+	s, err := Spec{Engine: "lsm", Shards: 4, Ops: 300}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ReproLine(s, 99)
+	want := "ptsbench crash -engine lsm -shards 4 -ops 300 -keys 37 -seed 99"
 	if got != want {
 		t.Fatalf("repro line %q, want %q", got, want)
+	}
+
+	s, err = Spec{
+		Engine:   "btree",
+		Shards:   2,
+		Ops:      200,
+		Keys:     64,
+		Replicas: 3,
+		ReplMode: "quorum",
+		CutShard: 1,
+		CutWrite: 5,
+	}.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = ReproLine(s, 7)
+	want = "ptsbench crash -engine btree -shards 2 -ops 200 -keys 64 -seed 7" +
+		" -replicas 3 -repl-mode quorum -cut-shard 1 -cut-write 5"
+	if got != want {
+		t.Fatalf("replicated repro line %q, want %q", got, want)
 	}
 }

@@ -35,22 +35,35 @@ const batchSize = 16
 
 // Report summarizes one passing trial (the last one, when Trials > 1).
 type Report struct {
-	Spec      Spec
-	Seed      uint64
-	CutShard  int
-	CutWrite  int64
-	CutOp     int // ops submitted before the machine died
-	Ambiguous int // keys with more than one allowed recovered state
-	Checked   int // keys verified by point reads
-	Scanned   int // entries verified by the full scan
+	Spec       Spec
+	Seed       uint64
+	CutShard   int
+	CutReplica int // replica the cut killed (replicated trials only)
+	CutWrite   int64
+	CutOp      int // ops submitted before the machine (or replica) died
+	Ambiguous  int // keys with more than one allowed recovered state
+	Checked    int // keys verified by point reads
+	Scanned    int // entries verified by the full scan
 }
 
-// ReproLine renders the CLI invocation that replays a trial exactly.
+// ReproLine renders the CLI invocation that replays a trial exactly:
+// every knob that shapes the op log, the cut sampling or the device
+// stack appears, so the line works without consulting the spec it came
+// from.
 func ReproLine(spec Spec, seed uint64) string {
-	line := fmt.Sprintf("ptsbench crash -engine %s -shards %d -ops %d -seed %d",
-		spec.Engine, spec.Shards, spec.Ops, seed)
+	line := fmt.Sprintf("ptsbench crash -engine %s -shards %d -ops %d -keys %d -seed %d",
+		spec.Engine, spec.Shards, spec.Ops, spec.Keys, seed)
+	if spec.Replicas > 1 {
+		line += fmt.Sprintf(" -replicas %d -repl-mode %s", spec.Replicas, spec.ReplMode)
+	}
+	if spec.CutShard >= 0 && spec.CutWrite > 0 {
+		line += fmt.Sprintf(" -cut-shard %d -cut-write %d", spec.CutShard, spec.CutWrite)
+	}
 	if spec.Device == "file" {
 		line += " -device file"
+	}
+	if spec.Dir != "" {
+		line += fmt.Sprintf(" -dir %s", spec.Dir)
 	}
 	return line
 }
@@ -65,7 +78,11 @@ func Run(spec Spec) (*Report, error) {
 	var rep *Report
 	for t := 0; t < spec.Trials; t++ {
 		seed := spec.Seed + uint64(t)
-		rep, err = runTrial(spec, seed)
+		if spec.Replicas > 1 {
+			rep, err = runReplicaTrial(spec, seed)
+		} else {
+			rep, err = runTrial(spec, seed)
+		}
 		if err != nil {
 			return rep, fmt.Errorf("reproduce: %s\n%w", ReproLine(spec, seed), err)
 		}
@@ -116,17 +133,25 @@ type shardEnv struct {
 	eng  engine.Engine
 }
 
-// buildShard assembles device → faultdev → extfs → engine. The inner
-// device is the flash simulator (dir == "") or a real backing file in
-// dir (spec.Device "file"; fixed I/O costs keep both passes of a trial
-// write-for-write identical). The filesystem mounts on the FAULT
-// wrapper, so every engine write, read and sync barrier passes through
-// the fault plan; the inner device keeps the iostat counters and is not
-// the content authority for reads — the wrapper is. On the file device
-// the wrapper still forwards real bytes and barriers down, so the file
-// carries real content and real fsyncs, and power-on rewinds it to the
-// resolved durable image via the Restorer hook.
-func buildShard(spec Spec, i int, plan faultdev.Plan, dir string) (*shardEnv, error) {
+// buildShard assembles device → faultdev → extfs → engine for replica r
+// of shard i (r is always 0 unreplicated, and image names and RNG
+// streams then match the historical single-copy layout exactly). The
+// inner device is the flash simulator (dir == "") or a real backing
+// file in dir (spec.Device "file"; fixed I/O costs keep both passes of
+// a trial write-for-write identical). The filesystem mounts on the
+// FAULT wrapper, so every engine write, read and sync barrier passes
+// through the fault plan; the inner device keeps the iostat counters
+// and is not the content authority for reads — the wrapper is. On the
+// file device the wrapper still forwards real bytes and barriers down,
+// so the file carries real content and real fsyncs, and power-on
+// rewinds it to the resolved durable image via the Restorer hook.
+func buildShard(spec Spec, i, r int, plan faultdev.Plan, dir string) (*shardEnv, error) {
+	image := fmt.Sprintf("shard-%03d.img", i)
+	rngSeed := uint64(100 + i)
+	if spec.Replicas > 1 {
+		image = fmt.Sprintf("shard-%03d-r%d.img", i, r)
+		rngSeed = uint64(100 + i*8 + r)
+	}
 	var (
 		host blockdev.Host
 		fdev *filedev.Dev
@@ -145,7 +170,7 @@ func buildShard(spec Spec, i int, plan faultdev.Plan, dir string) (*shardEnv, er
 	} else {
 		var err error
 		fdev, err = filedev.Open(filedev.Config{
-			Path:  filepath.Join(dir, fmt.Sprintf("shard-%03d.img", i)),
+			Path:  filepath.Join(dir, image),
 			Pages: (32 << 20) / 4096,
 		})
 		if err != nil {
@@ -169,7 +194,7 @@ func buildShard(spec Spec, i int, plan faultdev.Plan, dir string) (*shardEnv, er
 	if err := cfg.ApplyTunables(spec.Tunables); err != nil {
 		return nil, err
 	}
-	eng, err := cfg.Open(engine.Env{FS: fs, RNG: sim.NewRNG(uint64(100 + i)), Content: true})
+	eng, err := cfg.Open(engine.Env{FS: fs, RNG: sim.NewRNG(rngSeed), Content: true})
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +204,7 @@ func buildShard(spec Spec, i int, plan faultdev.Plan, dir string) (*shardEnv, er
 func buildEnv(spec Spec, plans []faultdev.Plan, dir string) ([]*shardEnv, *store.Store, error) {
 	shards := make([]*shardEnv, spec.Shards)
 	st, err := store.New(spec.Shards, func(i int) (store.Stack, error) {
-		sh, err := buildShard(spec, i, plans[i], dir)
+		sh, err := buildShard(spec, i, 0, plans[i], dir)
 		if err != nil {
 			return store.Stack{}, err
 		}

@@ -44,6 +44,22 @@ type Spec struct {
 	// CutWrite pins the 1-based host write the cut lands on within the
 	// target shard (0 samples one uniformly). Default 0.
 	CutWrite int64 `json:"cut_write,omitempty"`
+	// Replicas turns every shard into a replica group of R complete
+	// engine stacks (internal/replica), each behind its own fault
+	// wrapper. The cut then kills ONE replica's device — the machine
+	// stays up and every operation keeps acknowledging — and the trial
+	// verifies zero acknowledged-write loss at the group, recovery of
+	// the killed replica from its own durable image, and byte-comparable
+	// reconvergence of every replica after Reconcile. Default 1 (the
+	// whole-machine power-cut trial). The cut replica is always sampled
+	// by write traffic within the cut shard; CutShard/CutWrite pins keep
+	// their meaning.
+	Replicas int `json:"replicas,omitempty"`
+	// ReplMode is the replication mode for Replicas > 1: "chain" or
+	// "quorum" (default chain). Quorum needs Replicas >= 3 here: killing
+	// a replica of a 2-group drops it below its write majority, so no
+	// degraded traffic could run.
+	ReplMode string `json:"repl_mode,omitempty"`
 	// Tunables are extra engine knob overrides, applied on top of the
 	// harness's durability defaults (per-record journal sync).
 	Tunables map[string]string `json:"tunables,omitempty"`
@@ -108,6 +124,24 @@ func (s Spec) Validate() (Spec, error) {
 	}
 	if s.CutWrite < 0 {
 		return s, fmt.Errorf("crash: cut_write must be >= 0 (got %d)", s.CutWrite)
+	}
+	if s.Replicas == 0 {
+		s.Replicas = 1
+	}
+	if s.Replicas < 1 || s.Replicas > 5 {
+		return s, fmt.Errorf("crash: replicas must be in [1,5] (got %d)", s.Replicas)
+	}
+	switch s.ReplMode {
+	case "":
+		if s.Replicas > 1 {
+			s.ReplMode = "chain"
+		}
+	case "chain", "quorum":
+	default:
+		return s, fmt.Errorf("crash: unknown repl_mode %q (have chain, quorum)", s.ReplMode)
+	}
+	if s.Replicas > 1 && s.ReplMode == "quorum" && s.Replicas < 3 {
+		return s, fmt.Errorf("crash: quorum with %d replicas cannot stay writable after a replica kill; use replicas >= 3 or chain", s.Replicas)
 	}
 	switch s.Device {
 	case "":

@@ -113,13 +113,17 @@ func Registry() map[string]func(Options) (*Report, error) {
 		// the sharded serving layer as shards and closed-loop clients
 		// vary.
 		"shardsweep": FigShardSweep,
+		// replsweep extends the paper: the cost of replication —
+		// throughput, tail latency and physical write traffic as the
+		// replication factor and discipline (chain vs quorum) vary.
+		"replsweep": FigReplSweep,
 	}
 }
 
 // IDs lists the figure identifiers in paper order, followed by the
 // extension figures.
 func IDs() []string {
-	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qdsweep", "betradeoff", "shardsweep"}
+	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qdsweep", "betradeoff", "shardsweep", "replsweep"}
 }
 
 // windowSamples is how many 10s samples form the paper's 10-minute
@@ -1050,6 +1054,116 @@ func FigShardSweep(o Options) (*Report, error) {
 		}
 	}
 	rep.Tables = []Table{tput, lat}
+	return rep, nil
+}
+
+// replSweepReplicas and replSweepModes span the replication grid: the
+// factors worth paying for (beyond 3 the ack chain just gets longer)
+// and both disciplines. The unreplicated point anchors both series.
+var (
+	replSweepReplicas = []int{1, 2, 3}
+	replSweepModes    = []string{"chain", "quorum"}
+)
+
+// FigReplSweep (extension) measures what replication costs: every
+// shard becomes a replica group of R complete engine stacks
+// (internal/replica), writes replicate before acknowledging — down the
+// chain in chain mode, to a majority in quorum mode — so logical
+// throughput can only fall with R while physical write traffic and
+// footprint multiply by it. The sweep pins those three curves for both
+// disciplines under the same deterministic simulation as the paper's
+// figures.
+func FigReplSweep(o Options) (*Report, error) {
+	rep := &Report{
+		ID: "replsweep",
+		Caption: "The cost of replication: acks wait for the chain or the " +
+			"quorum, so throughput and tail latency pay for the " +
+			"R-fold physical redundancy",
+	}
+	engines := o.engines([]core.EngineKind{core.LSM})
+	// One R=1 anchor cell per engine, then one cell per (mode, R>1):
+	// both disciplines are identical at R=1, so it runs once.
+	cellSpec := func(eng core.EngineKind, mode string, replicas int) core.Spec {
+		spec := baseSpec(o, eng, core.Trimmed)
+		if replicas == 1 {
+			spec.Name = fmt.Sprintf("%v-r1", eng)
+		} else {
+			spec.Name = fmt.Sprintf("%v-%s-r%d", eng, mode, replicas)
+		}
+		spec.Scale = o.scale(2048)
+		spec.ReadFraction = 0.5
+		spec.Shards = 2
+		spec.Clients = 8
+		spec.Replicas = replicas
+		spec.ReplMode = mode
+		spec.Duration = o.duration(60 * time.Minute)
+		return spec
+	}
+	var specs []core.Spec
+	for _, eng := range engines {
+		specs = append(specs, cellSpec(eng, "", 1))
+		for _, mode := range replSweepModes {
+			for _, replicas := range replSweepReplicas[1:] {
+				specs = append(specs, cellSpec(eng, mode, replicas))
+			}
+		}
+	}
+	results, err := core.RunGrid(specs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("replsweep: %w", err)
+	}
+	tput := Table{
+		Title:  "Mean throughput (KOps/s, paper scale)",
+		Header: []string{"engine / mode"},
+	}
+	for _, replicas := range replSweepReplicas {
+		tput.Header = append(tput.Header, fmt.Sprintf("R=%d", replicas))
+	}
+	lat := Table{
+		Title:  "p99 operation latency (paper scale)",
+		Header: append([]string(nil), tput.Header...),
+	}
+	foot := Table{
+		Title:  "Max footprint (MiB, all replicas)",
+		Header: append([]string(nil), tput.Header...),
+	}
+	cell := 0
+	for _, eng := range engines {
+		anchor := results[cell]
+		cell++
+		for _, mode := range replSweepModes {
+			label := fmt.Sprintf("%s, %s", engineName(eng), mode)
+			s := Series{Name: label, XLabel: "replicas", YLabel: "KOps/s"}
+			tr := []string{label}
+			lr := []string{label}
+			fr := []string{label}
+			for _, replicas := range replSweepReplicas {
+				res := anchor
+				if replicas > 1 {
+					res = results[cell]
+					cell++
+				}
+				if res.OutOfSpace {
+					rep.Notes = append(rep.Notes, fmt.Sprintf("%s at R=%d ran out of space", label, replicas))
+					tr = append(tr, "OOS")
+					lr = append(lr, "OOS")
+					fr = append(fr, "OOS")
+					continue
+				}
+				kops := res.MeanScaledKOps()
+				s.X = append(s.X, float64(replicas))
+				s.Y = append(s.Y, kops)
+				tr = append(tr, fmt.Sprintf("%.2f", kops))
+				lr = append(lr, res.Latency.P99.String())
+				fr = append(fr, fmt.Sprintf("%.1f", float64(res.Steady.DiskUsedBytes)/(1<<20)))
+			}
+			rep.Series = append(rep.Series, s)
+			tput.Rows = append(tput.Rows, tr)
+			lat.Rows = append(lat.Rows, lr)
+			foot.Rows = append(foot.Rows, fr)
+		}
+	}
+	rep.Tables = []Table{tput, lat, foot}
 	return rep, nil
 }
 

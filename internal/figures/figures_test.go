@@ -440,3 +440,38 @@ func TestFigShardSweepScales(t *testing.T) {
 		t.Fatalf("tables %d, want 2 (throughput + p99)", len(rep.Tables))
 	}
 }
+
+func TestFigReplSweepCosts(t *testing.T) {
+	o := fastOptions()
+	o.Scale = 4096
+	rep, err := FigReplSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "replsweep" {
+		t.Fatalf("ID = %s", rep.ID)
+	}
+	if len(rep.Series) != len(replSweepModes) {
+		t.Fatalf("series count %d, want %d (one per mode)", len(rep.Series), len(replSweepModes))
+	}
+	for _, s := range rep.Series {
+		if len(s.Y) != len(replSweepReplicas) {
+			t.Fatalf("%s: %d points, want %d", s.Name, len(s.Y), len(replSweepReplicas))
+		}
+		// Both modes anchor on the same unreplicated cell.
+		if s.X[0] != 1 || s.Y[0] != rep.Series[0].Y[0] {
+			t.Fatalf("%s: R=1 anchor differs across modes: %v", s.Name, s.Y[0])
+		}
+		// The cost claim the figure exists to demonstrate: acks wait
+		// for replication, so R>1 never beats the unreplicated rate.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[0]*1.05 {
+				t.Fatalf("%s: R=%v (%.2f kops) beats unreplicated (%.2f kops)",
+					s.Name, s.X[i], s.Y[i], s.Y[0])
+			}
+		}
+	}
+	if len(rep.Tables) != 3 {
+		t.Fatalf("tables %d, want 3 (throughput + p99 + footprint)", len(rep.Tables))
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"ptsbench/internal/kv"
 	"ptsbench/internal/lsm"
 	"ptsbench/internal/memtable"
+	"ptsbench/internal/replica"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/sstable"
 	"ptsbench/internal/store"
@@ -327,6 +328,76 @@ func RunSuite(o Options) (*Result, error) {
 			keys[c] = make([]byte, kv.KeySize)
 		}
 		res.Metrics = append(res.Metrics, measure("store-put-sharded", 25000/div, func(int) {
+			for c := 0; c < clients; c++ {
+				id := rng.Uint64n(50000)
+				kv.AppendKey(keys[c], id)
+				st.Submit(store.Op{
+					Kind:     store.Put,
+					Client:   c,
+					Submit:   clocks[c],
+					KeyID:    id,
+					Key:      keys[c],
+					ValueLen: 512,
+				})
+			}
+			for _, comp := range st.Pump() {
+				if comp.Err != nil {
+					panic(comp.Err)
+				}
+				clocks[comp.Client] = comp.Done
+			}
+		}))
+	}
+
+	// ---- serving layer (replicated store, multi-client put epochs) ----
+	// Same epoch shape as store-put-sharded, but every shard is a
+	// 3-replica chain group: each put runs three full engine stacks and
+	// the group bookkeeping (per-replica clocks, ack forwarding) before
+	// acknowledging. Pins the replication layer's overhead per epoch.
+	{
+		st, err := store.New(2, func(i int) (store.Stack, error) {
+			members := make([]replica.Member, 3)
+			devs := make([]blockdev.Host, 3)
+			for r := range members {
+				ssd, err := flash.NewDevice(flash.Config{
+					LogicalBytes:  128 << 20,
+					PageSize:      4096,
+					PagesPerBlock: 256,
+					Profile:       flash.ProfileSSD1().Scaled(512),
+				})
+				if err != nil {
+					return store.Stack{}, err
+				}
+				dev := blockdev.New(ssd)
+				fs, err := extfs.Mount(dev, extfs.Options{})
+				if err != nil {
+					return store.Stack{}, err
+				}
+				db, err := lsm.Open(fs, lsm.NewConfig(32<<20), sim.NewRNG(uint64(30+i*8+r)))
+				if err != nil {
+					return store.Stack{}, err
+				}
+				members[r] = replica.Member{Engine: db}
+				devs[r] = dev
+			}
+			g, err := replica.New(replica.Chain, members)
+			if err != nil {
+				return store.Stack{}, err
+			}
+			return store.Stack{Engine: g, Dev: devs[0], Devs: devs}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		const clients = 8
+		rng := sim.NewRNG(3)
+		keys := make([][]byte, clients)
+		clocks := make([]sim.Duration, clients)
+		for c := range keys {
+			keys[c] = make([]byte, kv.KeySize)
+		}
+		res.Metrics = append(res.Metrics, measure("store-put-replicated", 10000/div, func(int) {
 			for c := 0; c < clients; c++ {
 				id := rng.Uint64n(50000)
 				kv.AppendKey(keys[c], id)

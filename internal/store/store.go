@@ -95,11 +95,22 @@ type Scanner interface {
 // the shard clock (recovery end time for recovered engines). Fault,
 // when set, is the shard's fault-injecting device wrapper (the crash
 // harness polls it for power cuts between pump rounds).
+//
+// A replicated shard (a replica.Group behind Engine) owns one device
+// per replica: Devs/Faults then carry ALL of them in replica order
+// (Dev/Fault stay the first replica's for compatibility), so device
+// instrumentation and cut polling see every underlying device.
 type Stack struct {
 	Engine engine.Engine
 	Dev    blockdev.Host
 	Fault  *faultdev.Dev
 	Start  sim.Duration
+	// Devs, when set, lists every device backing the shard (replica
+	// groups). When nil the shard has the single device Dev.
+	Devs []blockdev.Host
+	// Faults, when set, lists every fault wrapper backing the shard in
+	// the same order as Devs (entries may be nil).
+	Faults []*faultdev.Dev
 }
 
 // request is an Op tagged with its global submission number.
@@ -113,6 +124,8 @@ type shard struct {
 	eng    engine.Engine
 	dev    blockdev.Host
 	fault  *faultdev.Dev
+	devs   []blockdev.Host // all backing devices (replicated shards)
+	faults []*faultdev.Dev // all fault wrappers, aligned with devs
 	clock  sim.Duration
 	failed error // sticky: set on the first engine error
 
@@ -164,7 +177,16 @@ func New(shards int, open func(i int) (Stack, error)) (*Store, error) {
 			s.Close()
 			return nil, fmt.Errorf("store: opening shard %d: %w", i, err)
 		}
-		sh := &shard{idx: i, eng: st.Engine, dev: st.Dev, fault: st.Fault, clock: st.Start}
+		sh := &shard{
+			idx: i, eng: st.Engine, dev: st.Dev, fault: st.Fault,
+			devs: st.Devs, faults: st.Faults, clock: st.Start,
+		}
+		if sh.devs == nil {
+			sh.devs = []blockdev.Host{st.Dev}
+		}
+		if sh.faults == nil {
+			sh.faults = []*faultdev.Dev{st.Fault}
+		}
 		if shards > 1 {
 			sh.ch = make(chan func(), 1)
 			go sh.run(sh.ch)
@@ -192,24 +214,27 @@ func (s *Store) Close() {
 // Shards returns the shard count.
 func (s *Store) Shards() int { return len(s.shards) }
 
-// Devs lists the per-shard block devices in shard order, for
-// instrumentation (reset, counter aggregation, combined LBA CDFs).
+// Devs lists every block device backing the store, in shard order
+// (replicated shards contribute one device per replica, in replica
+// order), for instrumentation: reset, counter aggregation, combined
+// LBA CDFs. Replication's R× physical write traffic is visible here
+// while the store's logical throughput is not multiplied.
 func (s *Store) Devs() []blockdev.Host {
-	devs := make([]blockdev.Host, len(s.shards))
-	for i, sh := range s.shards {
-		devs[i] = sh.dev
+	devs := make([]blockdev.Host, 0, len(s.shards))
+	for _, sh := range s.shards {
+		devs = append(devs, sh.devs...)
 	}
 	return devs
 }
 
-// Faults lists the per-shard fault devices in shard order (entries are
-// nil for shards opened without fault injection). The crash harness
-// polls them between pump rounds and force-cuts the remaining shards
-// when one fires, so the whole machine loses power at once.
+// Faults lists the fault devices backing the store, aligned with
+// Devs() (entries are nil for stacks opened without fault injection).
+// The crash harness polls them between pump rounds and force-cuts the
+// remaining devices when a whole-machine cut fires.
 func (s *Store) Faults() []*faultdev.Dev {
-	fds := make([]*faultdev.Dev, len(s.shards))
-	for i, sh := range s.shards {
-		fds[i] = sh.fault
+	fds := make([]*faultdev.Dev, 0, len(s.shards))
+	for _, sh := range s.shards {
+		fds = append(fds, sh.faults...)
 	}
 	return fds
 }
@@ -288,6 +313,16 @@ func (s *Store) Pump() []Completion {
 	s.pending = 0
 	return s.comps
 }
+
+// ClearFailure clears shard i's sticky engine failure after the caller
+// has repaired the shard's engine between pump rounds — the replica
+// failover seam: when one replica of a shard's replica group dies
+// mid-batch, the batch's errors stick to the shard, the crash harness
+// fails the dead replica out of the group (replica.Group.Kill) and
+// clears the shard so the surviving replicas keep serving. Must only be
+// called between Pump/FlushAll/Scan rounds, never concurrently with
+// them.
+func (s *Store) ClearFailure(i int) { s.shards[i].failed = nil }
 
 // each runs fn on every shard — in parallel on multi-shard stores —
 // and returns after all have finished.

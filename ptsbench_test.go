@@ -287,10 +287,10 @@ func TestRunFacade(t *testing.T) {
 }
 
 func TestFigureFacade(t *testing.T) {
-	// The paper's fig2..fig11 plus the qdsweep, betradeoff and
-	// shardsweep extensions.
-	if len(ptsbench.Figures()) != 13 {
-		t.Fatalf("expected 13 figures, got %d", len(ptsbench.Figures()))
+	// The paper's fig2..fig11 plus the qdsweep, betradeoff,
+	// shardsweep and replsweep extensions.
+	if len(ptsbench.Figures()) != 14 {
+		t.Fatalf("expected 14 figures, got %d", len(ptsbench.Figures()))
 	}
 	rep, err := ptsbench.Figure("fig4", ptsbench.FigureOptions{Quick: true, Scale: 2048})
 	if err != nil {
