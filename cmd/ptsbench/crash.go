@@ -16,7 +16,18 @@ func runCrash(spec crash.Spec) error {
 	if err != nil {
 		return err
 	}
-	if rep.Spec.Replicas > 1 {
+	if len(rep.Spec.ErrorKinds) > 0 {
+		fmt.Printf("crash: %s x%d shard(s) x%d %s replica(s), errors %v @ %g: %d trial(s) passed\n",
+			rep.Spec.Engine, rep.Spec.Shards, rep.Spec.Replicas, rep.Spec.ReplMode,
+			rep.Spec.ErrorKinds, rep.Spec.ErrorProb, rep.Spec.Trials)
+		outcome := "recovered"
+		if rep.RecoveredLoud {
+			outcome = "refused loudly, rebuilt from peers"
+		}
+		fmt.Printf("  last trial: seed %d, armed shard %d replica %d at write %d; %d error(s) injected, victim %s; %d keys checked (%d ambiguous), %d scan entries verified\n",
+			rep.Seed, rep.CutShard, rep.CutReplica, rep.CutWrite, rep.Injected, outcome,
+			rep.Checked, rep.Ambiguous, rep.Scanned)
+	} else if rep.Spec.Replicas > 1 {
 		fmt.Printf("crash: %s x%d shard(s) x%d %s replica(s): %d trial(s) passed\n",
 			rep.Spec.Engine, rep.Spec.Shards, rep.Spec.Replicas, rep.Spec.ReplMode, rep.Spec.Trials)
 		fmt.Printf("  last trial: seed %d, killed shard %d replica %d at write %d (op %d); %d keys checked (%d ambiguous), %d scan entries verified\n",

@@ -9,7 +9,7 @@
 //	ptsbench run -figure fig2 [-engine lsm,btree,betree] [-scale 128] [-quick] [-seed 1] [-csv DIR]
 //	ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
 //	ptsbench qdsweep [-scale 512] [-quick] [-seed 1] [-csv DIR]
-//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-replicas R] [-repl-mode chain|quorum] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
+//	ptsbench crash -engine lsm [-shards 4] [-ops 400] [-seed 1] [-trials 8] [-replicas R] [-repl-mode chain|quorum] [-errors KINDS -error-prob P] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
 //	ptsbench devdiff [-engine lsm,btree,betree] [-ops 600] [-seed 1] [-dir DIR]
 //	ptsbench all [-quick] [-csv DIR]
 //	ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-cpuprofile FILE] [-memprofile FILE]
@@ -40,7 +40,15 @@
 // replica's device is killed mid-batch while the machine keeps serving,
 // and the trial verifies zero acknowledged-write loss through the
 // failover, recovery of the killed replica from its own durable image,
-// and entry-identical reconvergence of the whole group.
+// and entry-identical reconvergence of the whole group. -errors (with
+// -replicas >=2) switches the failure from a power cut to the
+// host-stack error model: the listed kinds (eio, short, misdirect,
+// fsynclie) arm on one replica mid-run and fire per-op with
+// -error-prob; the serving layer must absorb them by retry and
+// automatic failover, the damaged replica is power-cycled and
+// recovered (a loud recovery refusal triggers a rebuild from the
+// surviving authority), and the trial again proves zero
+// acknowledged-write loss.
 //
 // devdiff runs the differential checker (internal/devdiff): the same
 // seeded op log over the simulated device and over a real backing file
@@ -162,6 +170,8 @@ func main() {
 		cutWrite := fs.Int64("cut-write", 0, "pin the 1-based cut write within the shard (0 = sample)")
 		replicas := fs.Int("replicas", 1, "replicas per shard (>1 kills one replica's device instead of the machine)")
 		replMode := fs.String("repl-mode", "", "replication mode for -replicas >1: chain (default) or quorum (needs >=3)")
+		errKinds := fs.String("errors", "", "comma-separated error kinds to arm on one replica (eio, short, misdirect, fsynclie); needs -replicas >=2")
+		errProb := fs.Float64("error-prob", 0, "per-op probability of each armed error kind (0 = default 0.05)")
 		device := fs.String("device", "sim", "backing device: sim (flash simulator) or file (real files via internal/filedev)")
 		dir := fs.String("dir", "", "file device only: keep per-trial shard images under this directory (default: temp, removed)")
 		_ = fs.Parse(os.Args[2:])
@@ -169,19 +179,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "crash: -engine is required")
 			os.Exit(2)
 		}
+		var kinds []string
+		if *errKinds != "" {
+			kinds = strings.Split(*errKinds, ",")
+		}
 		if err := runCrash(crash.Spec{
-			Engine:   *eng,
-			Shards:   *shards,
-			Ops:      *ops,
-			Keys:     *keys,
-			Seed:     *seed,
-			Trials:   *trials,
-			CutShard: *cutShard,
-			CutWrite: *cutWrite,
-			Replicas: *replicas,
-			ReplMode: *replMode,
-			Device:   *device,
-			Dir:      *dir,
+			Engine:     *eng,
+			Shards:     *shards,
+			Ops:        *ops,
+			Keys:       *keys,
+			Seed:       *seed,
+			Trials:     *trials,
+			CutShard:   *cutShard,
+			CutWrite:   *cutWrite,
+			Replicas:   *replicas,
+			ReplMode:   *replMode,
+			ErrorKinds: kinds,
+			ErrorProb:  *errProb,
+			Device:     *device,
+			Dir:        *dir,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
@@ -436,7 +452,7 @@ func usage() {
   ptsbench run -figure figN [-engine lsm,btree,betree] [-scale N] [-quick] [-seed N] [-csv DIR]
   ptsbench exp -spec FILE [-quick] [-csv DIR] [-json FILE] [-workers N]
   ptsbench qdsweep [-scale N] [-quick] [-seed N] [-csv DIR]
-  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-replicas R] [-repl-mode chain|quorum] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
+  ptsbench crash -engine NAME [-shards N] [-ops N] [-keys N] [-seed N] [-trials N] [-replicas R] [-repl-mode chain|quorum] [-errors KINDS -error-prob P] [-cut-shard S -cut-write W] [-device sim|file] [-dir DIR]
   ptsbench devdiff [-engine NAME,NAME] [-ops N] [-keys N] [-seed N] [-dir DIR]
   ptsbench all [-quick] [-csv DIR]
   ptsbench bench [-quick] [-out FILE] [-against BASELINE] [-threshold N] [-alloc-gate M1,M2] [-cpuprofile FILE] [-memprofile FILE]`)

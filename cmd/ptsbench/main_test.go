@@ -151,6 +151,24 @@ func TestCrashSmoke(t *testing.T) {
 	}
 }
 
+// TestCrashErrorsSmoke drives the -errors trial path end to end: one
+// error-plan run per engine, plus the malformed-kind error path.
+func TestCrashErrorsSmoke(t *testing.T) {
+	for _, eng := range []string{"lsm", "btree", "betree"} {
+		if err := runCrash(crash.Spec{
+			Engine: eng, Ops: 200, Seed: 11, Replicas: 2,
+			ErrorKinds: []string{"eio", "fsynclie"}, ErrorProb: 0.05,
+		}); err != nil {
+			t.Fatalf("%s: %v", eng, err)
+		}
+	}
+	if err := runCrash(crash.Spec{
+		Engine: "lsm", Replicas: 2, ErrorKinds: []string{"gremlins"},
+	}); err == nil {
+		t.Fatal("unknown error kind should error")
+	}
+}
+
 // TestEnginesListing pins the `ptsbench engines` output shape: every
 // registered engine appears with at least one documented tunable.
 func TestEnginesListing(t *testing.T) {

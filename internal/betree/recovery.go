@@ -53,12 +53,15 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 		file:      f,
 		bm:        extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
 		nodes:     make([]*node, 1, 64), // index 0 is nilNode
-		seq:       st.Seq,
 	}
 	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
 	t.core.SetJournalState(st.JournalID, st.Gen)
 	// Rebuild the tree (interior buffers included) from the root, then
-	// replay the surviving journal segments, newest records winning.
+	// replay the surviving journal segments, newest records winning. The
+	// sequence counter is recomputed from disk state (MaterializeNode
+	// tracks the max sequence over leaf entries AND buffered messages,
+	// ApplyRecovered advances it per replayed record) rather than trusted
+	// from the metadata, so it can be checked against the floor below.
 	now, err = t.core.RecoverTree(now, st.Root, t, func(id cowtree.NodeID) {
 		t.root = id
 		if root := t.nodes[id]; root.leaf {
@@ -67,6 +70,17 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	})
 	if err != nil {
 		return nil, now, err
+	}
+	// The metadata's floor promises every update with seq <= st.Seq is in
+	// the checkpointed tree image — as a leaf entry or a message still
+	// buffered in an interior node (tombstones included in both forms).
+	// Recovering less means node writes the device acknowledged before
+	// the checkpoint barrier never persisted: the device lied about
+	// fsync. Refuse loudly rather than silently serving the stale tree.
+	if t.seq < st.Seq {
+		return nil, now, fmt.Errorf(
+			"betree: recovered sequence %d below checkpoint floor %d: device dropped acknowledged writes (fsync lie)",
+			t.seq, st.Seq)
 	}
 	if err := t.core.StartJournal(); err != nil {
 		return nil, now, err
@@ -140,9 +154,17 @@ func (t *Tree) MaterializeNode(data []byte, ext cowtree.Extent, parent cowtree.N
 		var sz int
 		for i := range n.entries {
 			sz += n.entries[i].bytes()
+			if s := n.entries[i].seq; s > t.seq {
+				t.seq = s // recompute the counter from disk state
+			}
 		}
 		n.serialized = pageHeaderBytes + sz
 	} else {
+		for i := range n.buf {
+			if s := n.buf[i].seq; s > t.seq {
+				t.seq = s // buffered messages count toward the max too
+			}
+		}
 		n.recomputeSerialized()
 		n.refreshSepCache()
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"slices"
 
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/flash"
 	"ptsbench/internal/sim"
 )
@@ -32,6 +33,19 @@ type Dev interface {
 	// Discard TRIMs n pages at offset off (used by discard-mounted
 	// filesystems and blkdiscard).
 	Discard(off int64, n int)
+	// WriteErr is the error-returning form of WriteAt: devices that can
+	// fail (a fault-injecting wrapper, a real backing file) report the
+	// failure as a typed deverr.Error instead of panicking. Plain
+	// simulated devices never fail and always return a nil error.
+	WriteErr(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error)
+	// ReadErr is the error-returning form of ReadAt.
+	ReadErr(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error)
+	// SyncErr is the error-returning durability barrier: everything
+	// written before it survives a power cut once it returns nil. On
+	// devices without a volatile cache it is a no-op returning nil; on
+	// Barrier-capable devices it is SyncBarrier with an error channel
+	// (a real fsync can fail; a fault plan can make it lie).
+	SyncErr() error
 }
 
 // Barrier is the optional Dev surface of devices that distinguish
@@ -210,6 +224,20 @@ func (d *Device) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Dura
 	return d.ssd.SubmitRead(now, off, n)
 }
 
+// WriteErr implements Dev. The simulated device cannot fail.
+func (d *Device) WriteErr(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
+	return d.WriteAt(now, off, n, data), nil
+}
+
+// ReadErr implements Dev. The simulated device cannot fail.
+func (d *Device) ReadErr(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error) {
+	return d.ReadAt(now, off, n, buf), nil
+}
+
+// SyncErr implements Dev: the simulated device has no volatile cache,
+// so every acknowledged write is already durable.
+func (d *Device) SyncErr() error { return nil }
+
 // Discard implements Dev.
 func (d *Device) Discard(off int64, n int) {
 	if n <= 0 {
@@ -382,6 +410,34 @@ func (p *Partition) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.D
 func (p *Partition) Discard(off int64, n int) {
 	p.check(off, n)
 	p.dev.Discard(p.first+off, n)
+}
+
+// WriteErr implements Dev: a range violation is reported as a typed
+// bounds error instead of a panic; the parent device cannot fail.
+func (p *Partition) WriteErr(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
+	if err := p.checkErr(deverr.OpWrite, off, n); err != nil {
+		return now, err
+	}
+	return p.dev.WriteErr(now, p.first+off, n, data)
+}
+
+// ReadErr implements Dev (see WriteErr).
+func (p *Partition) ReadErr(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error) {
+	if err := p.checkErr(deverr.OpRead, off, n); err != nil {
+		return now, err
+	}
+	return p.dev.ReadErr(now, p.first+off, n, buf)
+}
+
+// SyncErr implements Dev, delegating to the parent device.
+func (p *Partition) SyncErr() error { return p.dev.SyncErr() }
+
+func (p *Partition) checkErr(op deverr.Op, off int64, n int) error {
+	if off < 0 || off+int64(n) > p.pages {
+		return &deverr.Error{Op: op, LBA: off, Kind: deverr.KindBounds,
+			Cause: fmt.Errorf("blockdev: partition I/O [%d,+%d) beyond end %d", off, n, p.pages)}
+	}
+	return nil
 }
 
 // ContentEnabled reports whether the parent device retains content.

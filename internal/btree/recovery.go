@@ -50,13 +50,16 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 		file:  f,
 		bm:    extalloc.New(f, int64(cfg.LeafPageBytes/fs.PageSize())*16),
 		pages: make([]*page, 1, 64), // index 0 is nilPage
-		seq:   st.Seq,
 	}
 	t.core.Init(t, fs, f, t.bm, coreConfig(cfg))
 	t.core.SetJournalState(st.JournalID, st.Gen)
 	// Rebuild the tree from the root (extents seen during the walk are
 	// live; everything else inside the file is free space), then replay
-	// the surviving journal segments, newest records winning.
+	// the surviving journal segments, newest records winning. The
+	// sequence counter is recomputed from what is actually on disk
+	// (MaterializeNode tracks the max leaf-entry sequence, ApplyRecovered
+	// advances it per replayed record) rather than trusted from the
+	// metadata, so it can be checked against the checkpoint floor below.
 	now, err = t.core.RecoverTree(now, st.Root, t, func(id cowtree.NodeID) {
 		t.root = id
 		if root := t.pages[id]; root.leaf {
@@ -65,6 +68,17 @@ func Recover(fs *extfs.FS, cfg Config, now sim.Duration) (*Tree, sim.Duration, e
 	})
 	if err != nil {
 		return nil, now, err
+	}
+	// The metadata's floor promises every update with seq <= st.Seq is in
+	// the checkpointed tree image (tombstoned entries included — deletes
+	// keep their entry until overwritten). Recovering less means node
+	// writes the device acknowledged before the checkpoint barrier never
+	// persisted: the device lied about fsync. Refuse loudly rather than
+	// silently serving the stale tree.
+	if t.seq < st.Seq {
+		return nil, now, fmt.Errorf(
+			"btree: recovered sequence %d below checkpoint floor %d: device dropped acknowledged writes (fsync lie)",
+			t.seq, st.Seq)
 	}
 	// Fresh journal; make the replayed state durable, then retire stale
 	// segments.
@@ -137,6 +151,9 @@ func (t *Tree) MaterializeNode(data []byte, ext cowtree.Extent, parent cowtree.N
 		var sz int
 		for i := range p.entries {
 			sz += p.entries[i].bytes()
+			if s := p.entries[i].seq; s > t.seq {
+				t.seq = s // recompute the counter from disk state
+			}
 		}
 		p.serialized = pageHeaderBytes + sz
 	} else {

@@ -19,6 +19,13 @@ type Job struct {
 	idx         int
 	oldJournal  *wal.Writer
 	pendingMark int // deferred-release prefix safe to free at commit
+	// snapSeq is the engine's sequence high-water mark when the dirty set
+	// was snapshotted. Every update with seq <= snapSeq dirtied a node
+	// before the snapshot, so the snapshot closure contains it and the
+	// committed tree image covers it — making snapSeq a recovery floor:
+	// a recovered tree whose max sequence falls below the metadata's
+	// floor proves node writes the device acknowledged never persisted.
+	snapSeq uint64
 }
 
 // NewCheckpointJob snapshots the dirty set — expanded to the ancestor
@@ -39,6 +46,7 @@ func (c *Core) NewCheckpointJob() (*Job, error) {
 	}
 	job := c.getJob()
 	job.pendingMark = c.bm.PendingMark()
+	job.snapSeq = c.eng.Seq()
 	c.epoch++
 	eng, stamp := c.eng, c.epoch
 	for _, id := range c.dirtyIDs {
@@ -87,6 +95,7 @@ func (c *Core) putJob(j *Job) {
 	j.keys = j.keys[:0]
 	j.idx = 0
 	j.oldJournal = nil
+	j.snapSeq = 0
 	c.jobPool = append(c.jobPool, j)
 }
 
@@ -206,13 +215,19 @@ func (j *Job) Step(now sim.Duration) (sim.Duration, bool) {
 	// or a cut could leave a durable root pointing at torn children.
 	// The fs.Sync below is itself a barrier, ordering the metadata write
 	// before the journal recycle the same way.
-	c.fs.Barrier()
-	if now, err = c.WriteMeta(now); err != nil {
+	if err = c.fs.Barrier(); err != nil {
+		c.Fail(err)
+		return now, true
+	}
+	if now, err = c.writeMetaFloor(now, j.snapSeq); err != nil {
 		c.Fail(err)
 		return now, true
 	}
 	c.bm.CommitPendingPrefix(j.pendingMark)
-	now = c.fs.Sync(now)
+	if now, err = c.fs.Sync(now); err != nil {
+		c.Fail(err)
+		return now, true
+	}
 	if j.oldJournal != nil {
 		now, err = j.oldJournal.Recycle(now)
 		if err != nil {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/extalloc"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/sim"
@@ -198,10 +199,14 @@ func (c *Core) IO() IOStats { return c.io }
 // Err returns the sticky fatal error, if any.
 func (c *Core) Err() error { return c.fatal }
 
-// Fail records a fatal error (the first one wins).
+// Fail records a fatal error (the first one wins). The error is
+// latched: even when the root cause was a transient device error, the
+// core is permanently wedged, so deverr.IsTransient must report false
+// for everything returned from here on — otherwise the serving layer
+// would retry a dead engine instead of failing the replica over.
 func (c *Core) Fail(err error) {
 	if c.fatal == nil {
-		c.fatal = err
+		c.fatal = deverr.Latch(err)
 	}
 }
 

@@ -73,17 +73,30 @@ func metaName(prefix string, gen uint64) string {
 	return prefix + "-A"
 }
 
-// WriteMeta persists the checkpoint metadata into the older slot. A root
+// WriteMeta persists the checkpoint metadata into the older slot,
+// recording the engine's current sequence as the recovery floor. A root
 // that was never written (e.g. an empty-tree checkpoint) leaves nothing
 // durable to point at yet, so the write declines silently.
 func (c *Core) WriteMeta(now sim.Duration) (sim.Duration, error) {
+	return c.writeMetaFloor(now, c.eng.Seq())
+}
+
+// writeMetaFloor is WriteMeta with an explicit sequence floor. Checkpoint
+// jobs pass the snapshot-time sequence rather than the commit-time one:
+// updates that arrived while the job ran live in the NEW journal segment
+// (rotated at snapshot), which is not covered by this checkpoint, so a
+// commit-time floor would falsely implicate legitimately-lost unsynced
+// journal records. The snapshot floor is exactly what the tree image
+// guarantees, so recovery can assert it loudly (see each engine's
+// Recover) and any shortfall convicts the device of lying about fsync.
+func (c *Core) writeMetaFloor(now sim.Duration, floor uint64) (sim.Duration, error) {
 	root := c.eng.Root()
 	disk := c.eng.DiskExtent(root)
 	if disk.Pages == 0 {
 		return now, nil
 	}
 	c.metaGen++
-	m := Meta{Gen: c.metaGen, Seq: c.eng.Seq(), JournalID: c.journalID, Root: disk}
+	m := Meta{Gen: c.metaGen, Seq: floor, JournalID: c.journalID, Root: disk}
 	name := metaName(c.cfg.MetaPrefix, c.metaGen)
 	f, err := c.fs.Open(name)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"ptsbench/internal/blockdev"
 	"ptsbench/internal/engine"
@@ -44,6 +45,9 @@ type Report struct {
 	Ambiguous  int // keys with more than one allowed recovered state
 	Checked    int // keys verified by point reads
 	Scanned    int // entries verified by the full scan
+	// Error-plan trials only:
+	Injected      int64 // device error-model events the victim fired
+	RecoveredLoud bool  // victim recovery refused loudly; replica rebuilt
 }
 
 // ReproLine renders the CLI invocation that replays a trial exactly:
@@ -55,6 +59,9 @@ func ReproLine(spec Spec, seed uint64) string {
 		spec.Engine, spec.Shards, spec.Ops, spec.Keys, seed)
 	if spec.Replicas > 1 {
 		line += fmt.Sprintf(" -replicas %d -repl-mode %s", spec.Replicas, spec.ReplMode)
+	}
+	if len(spec.ErrorKinds) > 0 {
+		line += fmt.Sprintf(" -errors %s -error-prob %g", strings.Join(spec.ErrorKinds, ","), spec.ErrorProb)
 	}
 	if spec.CutShard >= 0 && spec.CutWrite > 0 {
 		line += fmt.Sprintf(" -cut-shard %d -cut-write %d", spec.CutShard, spec.CutWrite)
@@ -78,9 +85,12 @@ func Run(spec Spec) (*Report, error) {
 	var rep *Report
 	for t := 0; t < spec.Trials; t++ {
 		seed := spec.Seed + uint64(t)
-		if spec.Replicas > 1 {
+		switch {
+		case len(spec.ErrorKinds) > 0:
+			rep, err = runErrorTrial(spec, seed)
+		case spec.Replicas > 1:
 			rep, err = runReplicaTrial(spec, seed)
-		} else {
+		default:
 			rep, err = runTrial(spec, seed)
 		}
 		if err != nil {
@@ -311,8 +321,10 @@ func runTrial(spec Spec, seed uint64) (*Report, error) {
 	for _, sh := range shards {
 		sh.fd.PowerCut()
 	}
-	for _, sh := range shards {
-		sh.fd.PowerOn()
+	for i, sh := range shards {
+		if _, err := sh.fd.PowerOn(); err != nil {
+			return rep, fmt.Errorf("shard %d power-on: %w", i, err)
+		}
 	}
 	// File device only: the backing file must now BE the resolved
 	// durable image — dropped and torn pages rewound, everything else

@@ -52,8 +52,10 @@ type replicaEnv struct {
 }
 
 // buildReplicatedEnv assembles spec.Shards replica groups of
-// spec.Replicas full stacks each, behind one store.
-func buildReplicatedEnv(spec Spec, plans [][]faultdev.Plan, dir string) ([]*replicaEnv, *store.Store, error) {
+// spec.Replicas full stacks each, behind one store. autoFailover hands
+// replica-kill authority to the serving layer (error-plan trials);
+// cut trials keep it false so their manual Kill stays exclusive.
+func buildReplicatedEnv(spec Spec, plans [][]faultdev.Plan, dir string, autoFailover bool) ([]*replicaEnv, *store.Store, error) {
 	mode, err := replica.ParseMode(spec.ReplMode)
 	if err != nil {
 		return nil, nil, err
@@ -80,7 +82,7 @@ func buildReplicatedEnv(spec Spec, plans [][]faultdev.Plan, dir string) ([]*repl
 			return store.Stack{}, err
 		}
 		re.group = g
-		return store.Stack{Engine: g, Dev: devs[0], Fault: faults[0], Devs: devs, Faults: faults}, nil
+		return store.Stack{Engine: g, Dev: devs[0], Fault: faults[0], Devs: devs, Faults: faults, AutoFailover: autoFailover}, nil
 	})
 	if err != nil {
 		closeReplicated(groups)
@@ -106,7 +108,7 @@ func calibrateReplicated(spec Spec, ops []opRec, dir string) ([][]int64, error) 
 	for i := range plans {
 		plans[i] = make([]faultdev.Plan, spec.Replicas)
 	}
-	groups, st, err := buildReplicatedEnv(spec, plans, dir)
+	groups, st, err := buildReplicatedEnv(spec, plans, dir, false)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +244,7 @@ func runReplicaTrial(spec Spec, seed uint64) (*Report, error) {
 		DropProb:       dropProb,
 		TornProb:       tornProb,
 	}
-	groups, st, err := buildReplicatedEnv(spec, plans, faultDir)
+	groups, st, err := buildReplicatedEnv(spec, plans, faultDir, false)
 	if err != nil {
 		return rep, err
 	}
@@ -276,7 +278,9 @@ func runReplicaTrial(spec Spec, seed uint64) (*Report, error) {
 			if err := groups[cutShard].group.Kill(cutRep); err != nil {
 				return rep, err
 			}
-			st.ClearFailure(cutShard)
+			if err := st.ClearFailure(cutShard); err != nil {
+				return rep, err
+			}
 			rep.CutOp = end
 			killed = true
 		}
@@ -300,7 +304,9 @@ func runReplicaTrial(spec Spec, seed uint64) (*Report, error) {
 	// proven byte-identical to that image, and recovery runs through the
 	// registry exactly like a machine restart.
 	env := groups[cutShard].envs[cutRep]
-	env.fd.PowerOn()
+	if _, err := env.fd.PowerOn(); err != nil {
+		return rep, fmt.Errorf("shard %d replica %d power-on: %w", cutShard, cutRep, err)
+	}
 	if env.fdev != nil {
 		if err := verifyFileImage(env); err != nil {
 			return rep, fmt.Errorf("shard %d replica %d after power-on (cut at write %d): %w",

@@ -60,6 +60,21 @@ type Spec struct {
 	// a replica of a 2-group drops it below its write majority, so no
 	// degraded traffic could run.
 	ReplMode string `json:"repl_mode,omitempty"`
+	// ErrorKinds switches the trial from a power cut to the host-stack
+	// error model: the listed kinds ("eio", "short", "misdirect",
+	// "fsynclie") arm on ONE replica of one shard at the sampled write
+	// and fire per-op with ErrorProb for the rest of the log. The trial
+	// then proves graceful degradation — retries absorb transient
+	// errors, persistent errors fail the replica out automatically, the
+	// damaged replica is power-cycled and recovered (loud refusal is
+	// the detection contract working and triggers a rebuild from the
+	// surviving authority) — and zero acknowledged-write loss at the
+	// group. Requires Replicas >= 2. CutShard/CutWrite pins keep their
+	// meaning, aiming the ARM point instead of a cut.
+	ErrorKinds []string `json:"error_kinds,omitempty"`
+	// ErrorProb is the per-op probability of each armed error kind.
+	// Default 0.05. Only meaningful with ErrorKinds.
+	ErrorProb float64 `json:"error_prob,omitempty"`
 	// Tunables are extra engine knob overrides, applied on top of the
 	// harness's durability defaults (per-record journal sync).
 	Tunables map[string]string `json:"tunables,omitempty"`
@@ -142,6 +157,32 @@ func (s Spec) Validate() (Spec, error) {
 	}
 	if s.Replicas > 1 && s.ReplMode == "quorum" && s.Replicas < 3 {
 		return s, fmt.Errorf("crash: quorum with %d replicas cannot stay writable after a replica kill; use replicas >= 3 or chain", s.Replicas)
+	}
+	if s.ErrorProb != 0 && len(s.ErrorKinds) == 0 {
+		return s, fmt.Errorf("crash: error_prob requires error_kinds")
+	}
+	if len(s.ErrorKinds) > 0 {
+		seen := make(map[string]bool, len(s.ErrorKinds))
+		for _, k := range s.ErrorKinds {
+			switch k {
+			case "eio", "short", "misdirect", "fsynclie":
+			default:
+				return s, fmt.Errorf("crash: unknown error kind %q (have eio, short, misdirect, fsynclie)", k)
+			}
+			if seen[k] {
+				return s, fmt.Errorf("crash: duplicate error kind %q", k)
+			}
+			seen[k] = true
+		}
+		if s.ErrorProb == 0 {
+			s.ErrorProb = 0.05
+		}
+		if s.ErrorProb < 0 || s.ErrorProb > 1 {
+			return s, fmt.Errorf("crash: error_prob must be in (0,1] (got %g)", s.ErrorProb)
+		}
+		if s.Replicas < 2 {
+			return s, fmt.Errorf("crash: error trials need replicas >= 2 (a single copy has nothing to fail the damaged replica over to)")
+		}
 	}
 	switch s.Device {
 	case "":

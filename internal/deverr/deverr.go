@@ -1,0 +1,127 @@
+// Package deverr defines the typed I/O error the storage stack
+// propagates from the block layer up through the filesystem, the WAL
+// and the engines to the serving layer. Before it existed every device
+// failure was a panic; now a failed page read surfaces as a value the
+// store can classify: transient errors (a command-level EIO that a
+// retry may clear) are retried with backoff, persistent ones (a latent
+// sector error, a failing backing file) fail the replica out of its
+// group.
+//
+// The error taxonomy follows the host-stack failure modes of the
+// flash-integration survey (Tehrany et al.): read/write EIO, latent
+// sector errors, short writes, misdirected writes and fsync lies. Only
+// the first two ever surface as errors — the last three are silent
+// corruptions the device acknowledges, which recovery and read-repair
+// must catch from the damage itself.
+package deverr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op names the I/O operation that failed.
+type Op string
+
+// Operations.
+const (
+	OpRead    Op = "read"
+	OpWrite   Op = "write"
+	OpSync    Op = "sync"
+	OpRestore Op = "restore"
+)
+
+// Kind classifies the failure.
+type Kind string
+
+// Kinds.
+const (
+	// KindEIO is a command-level I/O error: the device refused the op.
+	// Injected transient EIOs clear on retry; a real backing-file
+	// syscall failure is persistent.
+	KindEIO Kind = "eio"
+	// KindLatent is a latent sector error: reads of the LBA fail until
+	// a successful rewrite reallocates it. Always persistent.
+	KindLatent Kind = "latent"
+	// KindBounds is an out-of-range request — a recoverable caller bug
+	// (bad offset from corrupt metadata), not a device fault.
+	KindBounds Kind = "bounds"
+)
+
+// Error is a typed device I/O failure. LBA is the device page the
+// failure is attributed to (the first affected page for multi-page
+// ops; -1 when no single page applies, e.g. a sync). Transient
+// failures may clear on retry; persistent ones will not.
+type Error struct {
+	Op        Op
+	LBA       int64
+	Kind      Kind
+	Transient bool
+	Cause     error // underlying error, if any (a real syscall failure)
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	t := "persistent"
+	if e.Transient {
+		t = "transient"
+	}
+	msg := fmt.Sprintf("deverr: %s %s %s at lba %d", t, e.Kind, e.Op, e.LBA)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Cause }
+
+// As extracts the typed device error from an error chain.
+func As(err error) (*Error, bool) {
+	var de *Error
+	if errors.As(err, &de) {
+		return de, true
+	}
+	return nil, false
+}
+
+// Latched marks an error a subsystem has latched as its permanent
+// failure state: every later call returns it verbatim, so retrying the
+// caller's operation cannot help even when the ROOT cause was a
+// transient device error (an engine whose background checkpoint died
+// on one EIO stays dead). IsTransient treats a latched chain as
+// persistent; the root cause stays reachable through Unwrap.
+type Latched struct {
+	Cause error
+}
+
+// Error implements error.
+func (l *Latched) Error() string { return "latched: " + l.Cause.Error() }
+
+// Unwrap exposes the latched cause to errors.Is/As.
+func (l *Latched) Unwrap() error { return l.Cause }
+
+// Latch wraps an error about to be recorded as a sticky subsystem
+// failure. nil stays nil; an already-latched error is not re-wrapped.
+func Latch(err error) error {
+	if err == nil {
+		return nil
+	}
+	var l *Latched
+	if errors.As(err, &l) {
+		return err
+	}
+	return &Latched{Cause: err}
+}
+
+// IsTransient reports whether err carries a transient device error —
+// the store's retry predicate. Persistent errors, latched errors and
+// non-device errors are not retryable.
+func IsTransient(err error) bool {
+	var l *Latched
+	if errors.As(err, &l) {
+		return false
+	}
+	de, ok := As(err)
+	return ok && de.Transient
+}

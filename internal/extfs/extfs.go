@@ -52,12 +52,11 @@ const metaPages = 4
 
 // FS is a mounted filesystem.
 type FS struct {
-	dev     blockdev.Dev
-	barrier blockdev.Barrier // dev's optional durability barrier, nil otherwise
-	ps      int              // cached dev.PageSize()
-	opts    Options
-	files   map[string]*File
-	alloc   *allocator
+	dev   blockdev.Dev
+	ps    int // cached dev.PageSize()
+	opts  Options
+	files map[string]*File
+	alloc *allocator
 	// usedDataPages counts pages allocated to live files.
 	usedDataPages int64
 	nextMetaPage  int64 // round-robin cursor within the metadata region
@@ -76,7 +75,6 @@ func Mount(dev blockdev.Dev, opts Options) (*FS, error) {
 		files: make(map[string]*File),
 		alloc: newAllocator(metaPages, dev.Pages()-metaPages),
 	}
-	fs.barrier, _ = dev.(blockdev.Barrier)
 	return fs, nil
 }
 
@@ -154,25 +152,31 @@ func (fs *FS) Remove(name string) error {
 // Sync models a metadata commit: one page journal write into the metadata
 // region. Engines call it on fsync-equivalent points. Like a real fsync
 // it is also a durability barrier: everything written before it survives
-// a power cut (see Barrier).
-func (fs *FS) Sync(now sim.Duration) sim.Duration {
+// a power cut (see Barrier). Device failures — a refused journal write,
+// a failing fsync — propagate as typed errors; like a real fsync error,
+// nothing can be assumed durable when one is returned.
+func (fs *FS) Sync(now sim.Duration) (sim.Duration, error) {
 	p := fs.nextMetaPage
 	fs.nextMetaPage = (fs.nextMetaPage + 1) % metaPages
-	done := fs.dev.WriteAt(now, p, 1, nil)
-	fs.Barrier()
-	return done
+	done, err := fs.dev.WriteErr(now, p, 1, nil)
+	if err != nil {
+		return now, err
+	}
+	if err := fs.Barrier(); err != nil {
+		return done, err
+	}
+	return done, nil
 }
 
 // Barrier marks every write issued so far as durable on devices that
-// distinguish acknowledged from durable writes (blockdev.Barrier); on
-// plain devices it is a no-op. It costs no virtual time and no I/O —
-// the write that makes a commit point durable is modeled by the caller
-// (a WAL sync, a metadata journal write); the barrier only tells the
-// device where the power-cut-survivable frontier is.
-func (fs *FS) Barrier() {
-	if fs.barrier != nil {
-		fs.barrier.SyncBarrier()
-	}
+// distinguish acknowledged from durable writes; on plain devices it is
+// a no-op. It costs no virtual time and no I/O — the write that makes
+// a commit point durable is modeled by the caller (a WAL sync, a
+// metadata journal write); the barrier only tells the device where the
+// power-cut-survivable frontier is. A real backing file's failing
+// fsync surfaces here as a typed error.
+func (fs *FS) Barrier() error {
+	return fs.dev.SyncErr()
 }
 
 // File is an open file backed by a list of extents.
@@ -251,7 +255,7 @@ func (f *File) Append(now sim.Duration, n int, data []byte, bytes int64) (sim.Du
 		return now, err
 	}
 	f.size += bytes
-	return f.writePages(now, startPage, n, data), nil
+	return f.writePages(now, startPage, n, data)
 }
 
 // WriteAt overwrites n pages at page offset off (which must be within the
@@ -260,7 +264,7 @@ func (f *File) WriteAt(now sim.Duration, off int64, n int, data []byte) (sim.Dur
 	if off < 0 || off+int64(n) > f.pages {
 		return now, fmt.Errorf("extfs: write [%d,+%d) beyond EOF %d of %s", off, n, f.pages, f.name)
 	}
-	return f.writePages(now, off, n, data), nil
+	return f.writePages(now, off, n, data)
 }
 
 // ReadAt reads n pages at page offset off into buf (which may be nil).
@@ -276,7 +280,11 @@ func (f *File) ReadAt(now sim.Duration, off int64, n int, buf []byte) (sim.Durat
 			sub = buf[:count*ps]
 			buf = buf[count*ps:]
 		}
-		now = f.fs.dev.ReadAt(now, start, count, sub)
+		var err error
+		now, err = f.fs.dev.ReadErr(now, start, count, sub)
+		if err != nil {
+			return now, err
+		}
 		off += int64(count)
 		n -= count
 	}
@@ -284,8 +292,10 @@ func (f *File) ReadAt(now sim.Duration, off int64, n int, buf []byte) (sim.Durat
 }
 
 // writePages performs the device writes for a page run, splitting along
-// extent boundaries.
-func (f *File) writePages(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+// extent boundaries. A device failure mid-run leaves earlier pages
+// written — the caller decides whether the partial state is recoverable
+// (engines treat it like a torn write and rely on recovery).
+func (f *File) writePages(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
 	ps := f.fs.ps
 	for n > 0 {
 		start, count := f.mapRun(off, n)
@@ -294,11 +304,15 @@ func (f *File) writePages(now sim.Duration, off int64, n int, data []byte) sim.D
 			sub = data[:count*ps]
 			data = data[count*ps:]
 		}
-		now = f.fs.dev.WriteAt(now, start, count, sub)
+		var err error
+		now, err = f.fs.dev.WriteErr(now, start, count, sub)
+		if err != nil {
+			return now, err
+		}
 		off += int64(count)
 		n -= count
 	}
-	return now
+	return now, nil
 }
 
 // mapRun translates file page offset off into a device page address and

@@ -280,7 +280,10 @@ func TestGrowAfterFragmentation(t *testing.T) {
 func TestSyncWritesMetadata(t *testing.T) {
 	fs, dev := newTestFS(t, Options{})
 	before := dev.Counters().WriteOps
-	end := fs.Sync(0)
+	end, err := fs.Sync(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if end == 0 {
 		t.Fatal("Sync should take time")
 	}

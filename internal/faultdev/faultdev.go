@@ -1,7 +1,10 @@
 // Package faultdev wraps a blockdev.Dev with deterministic, seed-driven
 // storage faults: torn multi-page writes (prefix, suffix or interior
 // pages lost), silently dropped writes, a power cut at an arbitrary
-// write boundary, and read bit-rot on selected LBAs.
+// write boundary, read bit-rot on selected LBAs, and the host-stack
+// error model of the flash-integration survey (Tehrany et al.) —
+// per-op read/write EIO, sticky latent sector errors, short writes,
+// misdirected writes and lying fsyncs.
 //
 // The wrapper owns the content store and threads the block layer's sync
 // barrier through it, so "what survived the cut" is well-defined: pages
@@ -13,15 +16,19 @@
 // what lets the crash harness run its fault-free calibration pass and
 // its faulty pass over identical timing.
 //
-// All randomness is drawn from a single sim.RNG seeded by Plan.Seed and
-// consumed only at PowerOn, so a (seed, cut point) pair fully determines
-// the surviving disk image.
+// Randomness comes from two independent streams seeded by Plan.Seed:
+// the legacy stream is consumed only at PowerOn (so a seed and a cut
+// point fully determine the surviving disk image), and error verdicts
+// draw from a derived second stream guarded by their probabilities —
+// a plan with zero error probabilities consumes nothing from it and
+// replays bit-identically to pre-error-model plans.
 package faultdev
 
 import (
 	"slices"
 
 	"ptsbench/internal/blockdev"
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/sim"
 )
 
@@ -30,9 +37,11 @@ import (
 // A real file-backed device (internal/filedev) implements it so the
 // backing file can be rewound to exactly the resolved durable image —
 // the on-disk analogue of the page cache vanishing with the power.
-// Purely simulated devices carry no content and don't need it.
+// Purely simulated devices carry no content and don't need it. A
+// failure is reported (not panicked): PowerOn propagates it so the
+// harness can surface a broken backing file as a trial error.
 type Restorer interface {
-	Restore(off int64, n int, data []byte)
+	Restore(off int64, n int, data []byte) error
 }
 
 // Plan is a deterministic fault plan. The zero value injects nothing.
@@ -60,6 +69,64 @@ type Plan struct {
 	// corruption is a stable function of the page — repeated reads see
 	// identical corrupt bytes, the way a real flipped cell would.
 	RotPages []int64
+
+	// --- Host-stack error model (Tehrany et al.) ---
+	// Verdicts below draw from a second RNG derived from Seed, guarded
+	// by their probabilities, so a plan that sets none of them replays
+	// bit-identically to a pre-error-model plan. PowerOn disarms the
+	// whole error model so recovery I/O runs fault-free.
+
+	// ArmAfterWrites, when positive, holds the error model inactive
+	// until the Nth acknowledged host write (1-based): verdicts apply
+	// after it. Zero arms the model immediately.
+	ArmAfterWrites int64
+	// ReadEIOProb is the per-op probability that a read fails with a
+	// transient EIO (no data transferred, no time charged; a retry
+	// redraws the verdict).
+	ReadEIOProb float64
+	// WriteEIOProb is the per-op probability that a write fails with a
+	// transient EIO before reaching the media.
+	WriteEIOProb float64
+	// ShortProb is the per-op probability that a multi-page write is
+	// acknowledged as complete while only a prefix of its pages lands.
+	ShortProb float64
+	// MisdirectProb is the per-op probability that a write's payload
+	// lands one LBA away from its target (the target keeps stale data).
+	MisdirectProb float64
+	// FsyncLieProb is the per-barrier probability that SyncBarrier
+	// acknowledges without advancing the durability frontier: the
+	// pending window stays volatile and the inner device's real fsync
+	// is skipped.
+	FsyncLieProb float64
+	// LatentPages lists LBAs with latent sector errors: reads fail with
+	// a sticky, persistent error until a successful write reallocates
+	// the sector.
+	LatentPages []int64
+}
+
+// errSeedSalt derives the error-verdict RNG stream from Plan.Seed.
+const errSeedSalt = 0x9E3779B97F4A7C15
+
+// errorModel reports whether any error verdict can ever fire.
+func (p *Plan) errorModel() bool {
+	return p.ReadEIOProb > 0 || p.WriteEIOProb > 0 || p.ShortProb > 0 ||
+		p.MisdirectProb > 0 || p.FsyncLieProb > 0 || len(p.LatentPages) > 0
+}
+
+// Injected counts error-model events fired so far, for tests and the
+// crash harness's trial reports.
+type Injected struct {
+	ReadEIO     int64 // transient read EIOs returned
+	WriteEIO    int64 // transient write EIOs returned
+	LatentReads int64 // reads failed on a latent sector
+	Shorts      int64 // writes acked with only a prefix persisted
+	Misdirects  int64 // writes landed on a neighboring LBA
+	FsyncLies   int64 // barriers acked without durability
+}
+
+// Total sums all injected events.
+func (i Injected) Total() int64 {
+	return i.ReadEIO + i.WriteEIO + i.LatentReads + i.Shorts + i.Misdirects + i.FsyncLies
 }
 
 // WriteRecord logs one acknowledged host write (scripted tests use the
@@ -75,6 +142,7 @@ type pendingOp struct {
 	off      int64
 	n        int
 	pages    [][]byte // per-page copies; nil for accounting-only writes
+	keep     []bool   // short-write survival mask; nil when all pages landed
 	discard  bool
 	inflight bool // the write the power cut landed on
 }
@@ -92,18 +160,21 @@ type Outcome struct {
 type Dev struct {
 	inner blockdev.Dev
 	plan  Plan
-	rng   *sim.RNG
+	rng   *sim.RNG // legacy stream: consumed only at PowerOn
+	errs  *sim.RNG // error-verdict stream, derived from Seed
 	ps    int
 
 	durable map[int64][]byte // survives a power cut
 	current map[int64][]byte // acknowledged state, served to reads
 	pending []pendingOp      // acknowledged since the last barrier
 	rot     map[int64]bool
+	latent  map[int64]bool // sticky read-failing LBAs until rewritten
 
 	writes   int64
 	barriers int64
 	cut      bool
 	log      []WriteRecord
+	injected Injected
 }
 
 // Wrap builds a fault-injecting overlay over inner. The inner device
@@ -114,6 +185,7 @@ func Wrap(inner blockdev.Dev, plan Plan) *Dev {
 		inner:   inner,
 		plan:    plan,
 		rng:     sim.NewRNG(plan.Seed),
+		errs:    sim.NewRNG(plan.Seed ^ errSeedSalt),
 		ps:      inner.PageSize(),
 		durable: make(map[int64][]byte),
 		current: make(map[int64][]byte),
@@ -124,7 +196,20 @@ func Wrap(inner blockdev.Dev, plan Plan) *Dev {
 			d.rot[p] = true
 		}
 	}
+	if len(plan.LatentPages) > 0 {
+		d.latent = make(map[int64]bool, len(plan.LatentPages))
+		for _, p := range plan.LatentPages {
+			d.latent[p] = true
+		}
+	}
 	return d
+}
+
+// armed reports whether the error model is active: past the arm point
+// (or armed from the start) and some verdict configured.
+func (d *Dev) armed() bool {
+	return d.plan.errorModel() &&
+		(d.plan.ArmAfterWrites <= 0 || d.writes >= d.plan.ArmAfterWrites)
 }
 
 // PageSize implements blockdev.Dev.
@@ -152,6 +237,9 @@ func (d *Dev) Barriers() int64 { return d.barriers }
 // WriteLog returns the acknowledged write log, oldest first.
 func (d *Dev) WriteLog() []WriteRecord { return d.log }
 
+// Injected returns the error-model event counts fired so far.
+func (d *Dev) Injected() Injected { return d.injected }
+
 // DurablePage returns the durable image of one page — nil if nothing
 // durable was ever written there, meaning it reads as zeros. The crash
 // harness uses it to prove a Restorer-backed inner device's file
@@ -159,24 +247,70 @@ func (d *Dev) WriteLog() []WriteRecord { return d.log }
 // is the live page; callers must not mutate it.
 func (d *Dev) DurablePage(lba int64) []byte { return d.durable[lba] }
 
-// WriteAt implements blockdev.Dev. The write is acknowledged into the
-// current image and forwarded to the inner device for timing and
-// accounting, but stays in the pending window — not durable — until the
-// next SyncBarrier.
+// WriteAt implements blockdev.Dev as a thin panic wrapper over
+// WriteErr — plans without error verdicts never fail, so sim callers
+// and golden fixtures are untouched.
 func (d *Dev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+	done, err := d.WriteErr(now, off, n, data)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+// WriteErr implements blockdev.Dev. The write is acknowledged into the
+// current image and forwarded to the inner device for timing and
+// accounting, but stays in the pending window — not durable — until
+// the next SyncBarrier. When the error model is armed the op may
+// instead fail with a transient EIO (nothing lands, no time charged —
+// the retry's attempt pays), land one LBA off target (misdirect), or
+// acknowledge with only a prefix of its pages persisted (short write).
+// A successful write repairs any latent sector it covers.
+func (d *Dev) WriteErr(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
 	if n <= 0 || d.cut {
-		return now
+		return now, nil
+	}
+	target := off
+	var keep []bool
+	if d.armed() {
+		if d.plan.WriteEIOProb > 0 && d.errs.Float64() < d.plan.WriteEIOProb {
+			d.injected.WriteEIO++
+			return now, &deverr.Error{Op: deverr.OpWrite, LBA: off, Kind: deverr.KindEIO, Transient: true}
+		}
+		if d.plan.MisdirectProb > 0 && d.errs.Float64() < d.plan.MisdirectProb {
+			if t := d.misdirectTarget(off, n); t != off {
+				d.injected.Misdirects++
+				target = t
+			}
+		}
+		if n > 1 && d.plan.ShortProb > 0 && d.errs.Float64() < d.plan.ShortProb {
+			k := 1 + d.errs.Intn(n-1)
+			keep = make([]bool, n)
+			for i := 0; i < k; i++ {
+				keep[i] = true
+			}
+			d.injected.Shorts++
+		}
 	}
 	d.writes++
-	d.log = append(d.log, WriteRecord{Off: off, N: n})
-	op := pendingOp{off: off, n: n}
+	d.log = append(d.log, WriteRecord{Off: target, N: n})
+	op := pendingOp{off: target, n: n, keep: keep}
 	if data != nil {
 		op.pages = make([][]byte, n)
 		for i := 0; i < n; i++ {
 			page := make([]byte, d.ps)
 			copy(page, data[i*d.ps:(i+1)*d.ps])
 			op.pages[i] = page
-			d.current[off+int64(i)] = page
+			if keep == nil || keep[i] {
+				d.current[target+int64(i)] = page
+			}
+		}
+	}
+	if d.latent != nil {
+		for i := 0; i < n; i++ {
+			if keep == nil || keep[i] {
+				delete(d.latent, target+int64(i))
+			}
 		}
 	}
 	if d.plan.CutAfterWrites > 0 && d.writes == d.plan.CutAfterWrites {
@@ -188,21 +322,57 @@ func (d *Dev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Durat
 		op.inflight = true
 		d.pending = append(d.pending, op)
 		d.cut = true
-		return now
+		return now, nil
 	}
 	d.pending = append(d.pending, op)
 	// Forward the real bytes: a content-less simulated inner ignores
 	// them, a file-backed inner persists them — which is what makes the
 	// Restore rewind at PowerOn meaningful.
-	return d.inner.WriteAt(now, off, n, data)
+	return d.inner.WriteErr(now, target, n, data)
 }
 
-// ReadAt implements blockdev.Dev: it serves the acknowledged image
-// (zeros for never-written pages), applies bit-rot to planned LBAs, and
-// forwards to the inner device for timing and accounting.
+// misdirectTarget shifts an op one LBA, staying in bounds; returns off
+// unchanged when no neighboring placement fits.
+func (d *Dev) misdirectTarget(off int64, n int) int64 {
+	if off+int64(n)+1 <= d.Pages() {
+		return off + 1
+	}
+	if off > 0 {
+		return off - 1
+	}
+	return off
+}
+
+// ReadAt implements blockdev.Dev as a thin panic wrapper over ReadErr.
 func (d *Dev) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+	done, err := d.ReadErr(now, off, n, buf)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+// ReadErr implements blockdev.Dev: it serves the acknowledged image
+// (zeros for never-written pages), applies bit-rot to planned LBAs, and
+// forwards to the inner device for timing and accounting. Reads
+// touching a latent sector fail with a sticky persistent error until
+// the sector is rewritten; an armed ReadEIOProb fails the op with a
+// transient EIO a retry may clear.
+func (d *Dev) ReadErr(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error) {
 	if n <= 0 || d.cut {
-		return now
+		return now, nil
+	}
+	if d.latent != nil {
+		for i := 0; i < n; i++ {
+			if d.latent[off+int64(i)] {
+				d.injected.LatentReads++
+				return now, &deverr.Error{Op: deverr.OpRead, LBA: off + int64(i), Kind: deverr.KindLatent}
+			}
+		}
+	}
+	if d.armed() && d.plan.ReadEIOProb > 0 && d.errs.Float64() < d.plan.ReadEIOProb {
+		d.injected.ReadEIO++
+		return now, &deverr.Error{Op: deverr.OpRead, LBA: off, Kind: deverr.KindEIO, Transient: true}
 	}
 	if buf != nil {
 		for i := 0; i < n; i++ {
@@ -218,7 +388,7 @@ func (d *Dev) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duratio
 			}
 		}
 	}
-	return d.inner.ReadAt(now, off, n, nil)
+	return d.inner.ReadErr(now, off, n, nil)
 }
 
 // rotPage applies the stable bit-rot pattern: a fixed XOR over a sparse
@@ -243,24 +413,36 @@ func (d *Dev) Discard(off int64, n int) {
 	d.inner.Discard(off, n)
 }
 
-// SyncBarrier implements blockdev.Barrier: everything acknowledged so
-// far survives a power cut. Barriers cost no virtual time and no I/O —
-// they only advance the durability frontier — but they do forward to
-// the inner device's barrier when it has one, so a file-backed inner
-// issues its real fsync exactly where the simulated stack draws the
-// durability line.
+// SyncBarrier implements blockdev.Barrier as a thin panic wrapper over
+// SyncErr.
 func (d *Dev) SyncBarrier() {
+	if err := d.SyncErr(); err != nil {
+		panic(err)
+	}
+}
+
+// SyncErr implements blockdev.Dev: everything acknowledged so far
+// survives a power cut. Barriers cost no virtual time and no I/O —
+// they only advance the durability frontier — but they do forward to
+// the inner device's barrier, so a file-backed inner issues its real
+// fsync exactly where the simulated stack draws the durability line.
+// An armed FsyncLieProb verdict acknowledges the barrier without
+// folding anything durable and skips the inner fsync — the lying-disk
+// failure mode: the caller proceeds believing its commit point held.
+func (d *Dev) SyncErr() error {
 	if d.cut {
-		return
+		return nil
 	}
 	d.barriers++
+	if d.armed() && d.plan.FsyncLieProb > 0 && d.errs.Float64() < d.plan.FsyncLieProb {
+		d.injected.FsyncLies++
+		return nil
+	}
 	for _, op := range d.pending {
 		d.foldDurable(op, nil)
 	}
 	d.pending = d.pending[:0]
-	if b, ok := d.inner.(blockdev.Barrier); ok {
-		b.SyncBarrier()
-	}
+	return d.inner.SyncErr()
 }
 
 // PowerCut forces the cut immediately (the harness cuts the remaining
@@ -271,9 +453,11 @@ func (d *Dev) PowerCut() { d.cut = true }
 // PowerOn resolves the pending window against the fault plan and brings
 // the device back: each unbarriered op survives intact, comes back
 // torn, or vanishes, per the plan's seeded RNG; the acknowledged image
-// is reset to what proved durable; the cut is disarmed so recovery I/O
-// runs fault-free.
-func (d *Dev) PowerOn() Outcome {
+// is reset to what proved durable; the cut and the error model are
+// disarmed so recovery I/O runs fault-free. The returned error is a
+// Restorer failure rewinding a real backing file (never set for purely
+// simulated inners).
+func (d *Dev) PowerOn() (Outcome, error) {
 	var out Outcome
 	affected := make(map[int64]struct{})
 	for _, op := range d.pending {
@@ -298,10 +482,15 @@ func (d *Dev) PowerOn() Outcome {
 		// Sharing page slices is safe: writes always store fresh copies.
 		d.current[lba] = page
 	}
-	d.restoreInner(affected)
+	err := d.restoreInner(affected)
 	d.cut = false
 	d.plan.CutAfterWrites = 0 // a plan cuts at most once
-	return out
+	// Disarm the error model: recovery must observe the damage already
+	// done, not suffer fresh verdicts while reading it back.
+	d.plan.ReadEIOProb, d.plan.WriteEIOProb = 0, 0
+	d.plan.ShortProb, d.plan.MisdirectProb, d.plan.FsyncLieProb = 0, 0, 0
+	d.latent = nil
+	return out, err
 }
 
 // restoreInner rewinds a Restorer-capable inner device so every page
@@ -309,10 +498,10 @@ func (d *Dev) PowerOn() Outcome {
 // dropped and torn pages revert to their last barriered content (zeros
 // if never durably written). Pages outside the window already match:
 // their writes were forwarded verbatim and folded intact.
-func (d *Dev) restoreInner(affected map[int64]struct{}) {
+func (d *Dev) restoreInner(affected map[int64]struct{}) error {
 	r, ok := d.inner.(Restorer)
 	if !ok || len(affected) == 0 {
-		return
+		return nil
 	}
 	lbas := make([]int64, 0, len(affected))
 	for lba := range affected {
@@ -320,8 +509,11 @@ func (d *Dev) restoreInner(affected map[int64]struct{}) {
 	}
 	slices.Sort(lbas)
 	for _, lba := range lbas {
-		r.Restore(lba, 1, d.durable[lba]) // nil page zeroes the range
+		if err := r.Restore(lba, 1, d.durable[lba]); err != nil { // nil page zeroes the range
+			return err
+		}
 	}
+	return nil
 }
 
 // resolveKeep decides an op's fate at power-on: nil means intact, an
@@ -383,12 +575,16 @@ func (d *Dev) tearMask(n int) []bool {
 	return keep
 }
 
-// foldDurable applies an op (optionally masked by keep) to the durable
-// image. Accounting-only writes (no pages) change no content.
+// foldDurable applies an op (optionally masked by keep, intersected
+// with the op's own short-write mask) to the durable image.
+// Accounting-only writes (no pages) change no content.
 func (d *Dev) foldDurable(op pendingOp, keep []bool) {
+	kept := func(i int) bool {
+		return (keep == nil || keep[i]) && (op.keep == nil || op.keep[i])
+	}
 	if op.discard {
 		for i := 0; i < op.n; i++ {
-			if keep == nil || keep[i] {
+			if kept(i) {
 				delete(d.durable, op.off+int64(i))
 			}
 		}
@@ -398,7 +594,7 @@ func (d *Dev) foldDurable(op pendingOp, keep []bool) {
 		return
 	}
 	for i := 0; i < op.n; i++ {
-		if keep == nil || keep[i] {
+		if kept(i) {
 			d.durable[op.off+int64(i)] = op.pages[i]
 		}
 	}

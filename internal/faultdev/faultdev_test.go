@@ -71,7 +71,10 @@ func TestCutDurabilityFrontier(t *testing.T) {
 	}
 	d.WriteAt(0, 3, 1, pageData(d, 0x44, 1)) // post-cut: ignored
 	d.SyncBarrier()                          // post-cut: must not make anything durable
-	out := d.PowerOn()
+	out, err := d.PowerOn()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if out.Dropped != 1 {
 		t.Fatalf("inflight write not dropped: %+v", out)
 	}
@@ -185,7 +188,10 @@ func TestDeterministicResolution(t *testing.T) {
 			d.WriteAt(0, i*4, 3, pageData(d, byte(0x10+i), 3))
 		}
 		d.PowerCut()
-		out := d.PowerOn()
+		out, err := d.PowerOn()
+		if err != nil {
+			t.Fatal(err)
+		}
 		img := make([]byte, 0, 32*d.PageSize())
 		for lba := int64(0); lba < 32; lba++ {
 			img = append(img, readPage(t, d, lba)...)

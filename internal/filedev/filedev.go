@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ptsbench/internal/blockdev"
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/sim"
 )
 
@@ -135,9 +136,10 @@ type Config struct {
 // Dev is an open file-backed device. It implements blockdev.Dev and
 // blockdev.Barrier (and therefore blockdev.Host). Like the simulated
 // device it is not internally locked: callers serialize access per
-// shard. I/O errors from the backing file panic — the device below an
-// engine has no error channel in this harness, and a failing test
-// filesystem should be loud, not silently absorbed.
+// shard. I/O errors from the backing file surface as persistent typed
+// deverr errors on the WriteErr/ReadErr/SyncErr surface; the legacy
+// WriteAt/ReadAt/SyncBarrier wrappers panic on them, for callers with
+// no error channel.
 type Dev struct {
 	f    *os.File
 	cfg  Config
@@ -251,17 +253,30 @@ func (d *Dev) ResetInstrumentation() {
 	d.fsyncs = 0
 }
 
-// WriteAt implements blockdev.Dev. data may be nil: the page range is
-// zero-filled, so accounting-only callers still produce well-defined
-// on-disk state.
+// WriteAt implements blockdev.Dev as a thin panic wrapper over
+// WriteErr — the legacy surface for callers with no error channel.
 func (d *Dev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
-	if n <= 0 {
-		return now
+	done, err := d.WriteErr(now, off, n, data)
+	if err != nil {
+		panic(err)
 	}
-	d.checkRange(off, n)
+	return done
+}
+
+// WriteErr implements blockdev.Dev. data may be nil: the page range is
+// zero-filled, so accounting-only callers still produce well-defined
+// on-disk state. Syscall failures surface as persistent typed errors.
+func (d *Dev) WriteErr(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
+	if n <= 0 {
+		return now, nil
+	}
+	if err := d.checkRangeErr(deverr.OpWrite, off, n); err != nil {
+		return now, err
+	}
 	ps := d.ps
 	if data != nil && len(data) != n*ps {
-		panic(fmt.Sprintf("filedev: data length %d != %d pages", len(data), n))
+		return now, &deverr.Error{Op: deverr.OpWrite, LBA: off, Kind: deverr.KindBounds,
+			Cause: fmt.Errorf("filedev: data length %d != %d pages", len(data), n)}
 	}
 	d.counters.BytesWritten += int64(n) * int64(ps)
 	d.counters.WriteOps++
@@ -271,61 +286,83 @@ func (d *Dev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Durat
 
 	start := time.Now()
 	byteOff := off * int64(ps)
+	var err error
 	if data == nil {
-		d.zeroFill(byteOff, int64(n)*int64(ps))
+		err = d.zeroFill(byteOff, int64(n)*int64(ps))
 	} else if d.direct {
-		d.writeBounced(byteOff, data)
+		err = d.writeBounced(byteOff, data)
 	} else {
-		if _, err := d.f.WriteAt(data, byteOff); err != nil {
-			panic(fmt.Sprintf("filedev: write %s: %v", d.cfg.Path, err))
+		if _, werr := d.f.WriteAt(data, byteOff); werr != nil {
+			err = werr
 		}
 	}
+	if err != nil {
+		return now, &deverr.Error{Op: deverr.OpWrite, LBA: off, Kind: deverr.KindEIO, Cause: err}
+	}
 	if d.cfg.Fsync == DisciplineAlways {
-		d.fsync()
+		if err := d.fsync(); err != nil {
+			return now, &deverr.Error{Op: deverr.OpSync, LBA: -1, Kind: deverr.KindEIO, Cause: err}
+		}
 	}
 
 	done := now + d.pendingSync
 	d.pendingSync = 0
 	if d.cfg.Measure {
-		return done + sim.Duration(time.Since(start))
+		return done + sim.Duration(time.Since(start)), nil
 	}
 	done += d.cost.WriteOp + sim.Duration(n)*d.cost.WritePage
 	if d.cfg.Fsync == DisciplineAlways {
 		done += d.cost.Sync
 	}
+	return done, nil
+}
+
+// ReadAt implements blockdev.Dev as a thin panic wrapper over ReadErr.
+func (d *Dev) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+	done, err := d.ReadErr(now, off, n, buf)
+	if err != nil {
+		panic(err)
+	}
 	return done
 }
 
-// ReadAt implements blockdev.Dev. With a nil buf the pages are still
+// ReadErr implements blockdev.Dev. With a nil buf the pages are still
 // read (into scratch) so measured-mode timing reflects real I/O.
-func (d *Dev) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+func (d *Dev) ReadErr(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error) {
 	if n <= 0 {
-		return now
+		return now, nil
 	}
-	d.checkRange(off, n)
+	if err := d.checkRangeErr(deverr.OpRead, off, n); err != nil {
+		return now, err
+	}
 	ps := d.ps
 	if buf != nil && len(buf) != n*ps {
-		panic(fmt.Sprintf("filedev: buffer length %d != %d pages", len(buf), n))
+		return now, &deverr.Error{Op: deverr.OpRead, LBA: off, Kind: deverr.KindBounds,
+			Cause: fmt.Errorf("filedev: buffer length %d != %d pages", len(buf), n)}
 	}
 	d.counters.BytesRead += int64(n) * int64(ps)
 	d.counters.ReadOps++
 
 	start := time.Now()
 	byteOff := off * int64(ps)
+	var err error
 	if buf == nil || d.direct {
-		d.readBounced(byteOff, int64(n)*int64(ps), buf)
+		err = d.readBounced(byteOff, int64(n)*int64(ps), buf)
 	} else {
-		if _, err := d.f.ReadAt(buf, byteOff); err != nil {
-			panic(fmt.Sprintf("filedev: read %s: %v", d.cfg.Path, err))
+		if _, rerr := d.f.ReadAt(buf, byteOff); rerr != nil {
+			err = rerr
 		}
+	}
+	if err != nil {
+		return now, &deverr.Error{Op: deverr.OpRead, LBA: off, Kind: deverr.KindEIO, Cause: err}
 	}
 
 	done := now + d.pendingSync
 	d.pendingSync = 0
 	if d.cfg.Measure {
-		return done + sim.Duration(time.Since(start))
+		return done + sim.Duration(time.Since(start)), nil
 	}
-	return done + d.cost.ReadOp + sim.Duration(n)*d.cost.ReadPage
+	return done + d.cost.ReadOp + sim.Duration(n)*d.cost.ReadPage, nil
 }
 
 // Discard implements blockdev.Dev: punches a hole where the filesystem
@@ -335,55 +372,81 @@ func (d *Dev) Discard(off int64, n int) {
 	if n <= 0 {
 		return
 	}
-	d.checkRange(off, n)
+	if err := d.checkRangeErr(deverr.OpWrite, off, n); err != nil {
+		panic(err)
+	}
 	d.counters.DiscardOps++
 	d.counters.PagesDiscarded += int64(n)
 	byteOff := off * int64(d.ps)
 	length := int64(n) * int64(d.ps)
 	if punchHole(d.f, byteOff, length) != nil {
-		d.zeroFill(byteOff, length)
+		if err := d.zeroFill(byteOff, length); err != nil {
+			panic(err) // Discard has no error channel; a dead file is loud
+		}
 	}
 }
 
 // Restore writes raw page content without touching counters, timing or
 // the write histogram — the hook internal/faultdev uses at power-on to
 // rewind the backing file to the resolved durable image. data may be
-// nil to zero the range.
-func (d *Dev) Restore(off int64, n int, data []byte) {
+// nil to zero the range. Out-of-range requests and syscall failures
+// are recoverable conditions here (the harness surfaces them as trial
+// errors), so they return typed errors instead of panicking.
+func (d *Dev) Restore(off int64, n int, data []byte) error {
 	if n <= 0 {
-		return
+		return nil
 	}
-	d.checkRange(off, n)
+	if err := d.checkRangeErr(deverr.OpRestore, off, n); err != nil {
+		return err
+	}
 	byteOff := off * int64(d.ps)
 	if data == nil {
-		d.zeroFill(byteOff, int64(n)*int64(d.ps))
-		return
+		if err := d.zeroFill(byteOff, int64(n)*int64(d.ps)); err != nil {
+			return &deverr.Error{Op: deverr.OpRestore, LBA: off, Kind: deverr.KindEIO, Cause: err}
+		}
+		return nil
 	}
 	if len(data) != n*d.ps {
-		panic(fmt.Sprintf("filedev: restore length %d != %d pages", len(data), n))
+		return &deverr.Error{Op: deverr.OpRestore, LBA: off, Kind: deverr.KindBounds,
+			Cause: fmt.Errorf("filedev: restore length %d != %d pages", len(data), n)}
 	}
+	var err error
 	if d.direct {
-		d.writeBounced(byteOff, data)
-	} else if _, err := d.f.WriteAt(data, byteOff); err != nil {
-		panic(fmt.Sprintf("filedev: restore %s: %v", d.cfg.Path, err))
+		err = d.writeBounced(byteOff, data)
+	} else if _, werr := d.f.WriteAt(data, byteOff); werr != nil {
+		err = werr
+	}
+	if err != nil {
+		return &deverr.Error{Op: deverr.OpRestore, LBA: off, Kind: deverr.KindEIO, Cause: err}
+	}
+	return nil
+}
+
+// SyncBarrier implements blockdev.Barrier as a thin panic wrapper over
+// SyncErr.
+func (d *Dev) SyncBarrier() {
+	if err := d.SyncErr(); err != nil {
+		panic(err)
 	}
 }
 
-// SyncBarrier implements blockdev.Barrier: under DisciplineBarrier it
-// fsyncs the backing file — the device-level FLUSH the simulated stack
-// only models. Its latency is charged to the next I/O (see
-// pendingSync).
-func (d *Dev) SyncBarrier() {
+// SyncErr implements blockdev.Dev: under DisciplineBarrier it fsyncs
+// the backing file — the device-level FLUSH the simulated stack only
+// models. Its latency is charged to the next I/O (see pendingSync).
+func (d *Dev) SyncErr() error {
 	if d.cfg.Fsync != DisciplineBarrier {
-		return
+		return nil
 	}
 	start := time.Now()
-	d.fsync()
+	if err := d.fsync(); err != nil {
+		return &deverr.Error{Op: deverr.OpSync, LBA: -1, Kind: deverr.KindEIO, Cause: err}
+	}
 	if d.cfg.Measure {
 		d.pendingSync += sim.Duration(time.Since(start))
 	} else {
 		d.pendingSync += d.cost.Sync
 	}
+	return nil
 }
 
 // Close fsyncs (unless DisciplineNone) and closes the backing file.
@@ -425,16 +488,17 @@ func (d *Dev) Reopen() error {
 	return nil
 }
 
-func (d *Dev) fsync() {
+func (d *Dev) fsync() error {
 	if err := d.f.Sync(); err != nil {
-		panic(fmt.Sprintf("filedev: fsync %s: %v", d.cfg.Path, err))
+		return fmt.Errorf("filedev: fsync %s: %w", d.cfg.Path, err)
 	}
 	d.fsyncs++
+	return nil
 }
 
 // writeBounced copies data through the aligned bounce buffer in chunks
 // (O_DIRECT requires aligned user memory).
-func (d *Dev) writeBounced(byteOff int64, data []byte) {
+func (d *Dev) writeBounced(byteOff int64, data []byte) error {
 	for len(data) > 0 {
 		n := len(data)
 		if n > len(d.bounce) {
@@ -442,16 +506,17 @@ func (d *Dev) writeBounced(byteOff int64, data []byte) {
 		}
 		copy(d.bounce[:n], data[:n])
 		if _, err := d.f.WriteAt(d.bounce[:n], byteOff); err != nil {
-			panic(fmt.Sprintf("filedev: write %s: %v", d.cfg.Path, err))
+			return fmt.Errorf("filedev: write %s: %w", d.cfg.Path, err)
 		}
 		data = data[n:]
 		byteOff += int64(n)
 	}
+	return nil
 }
 
 // readBounced reads length bytes at byteOff through the bounce buffer,
 // copying into out when non-nil.
-func (d *Dev) readBounced(byteOff, length int64, out []byte) {
+func (d *Dev) readBounced(byteOff, length int64, out []byte) error {
 	var done int64
 	for done < length {
 		n := length - done
@@ -459,18 +524,19 @@ func (d *Dev) readBounced(byteOff, length int64, out []byte) {
 			n = int64(len(d.bounce))
 		}
 		if _, err := d.f.ReadAt(d.bounce[:n], byteOff+done); err != nil {
-			panic(fmt.Sprintf("filedev: read %s: %v", d.cfg.Path, err))
+			return fmt.Errorf("filedev: read %s: %w", d.cfg.Path, err)
 		}
 		if out != nil {
 			copy(out[done:done+n], d.bounce[:n])
 		}
 		done += n
 	}
+	return nil
 }
 
 // zeroFill writes zeros over [byteOff, byteOff+length) using the
 // bounce buffer (which writeBounced may have dirtied, so clear first).
-func (d *Dev) zeroFill(byteOff, length int64) {
+func (d *Dev) zeroFill(byteOff, length int64) error {
 	clear(d.bounce)
 	var done int64
 	for done < length {
@@ -479,16 +545,19 @@ func (d *Dev) zeroFill(byteOff, length int64) {
 			n = int64(len(d.bounce))
 		}
 		if _, err := d.f.WriteAt(d.bounce[:n], byteOff+done); err != nil {
-			panic(fmt.Sprintf("filedev: write %s: %v", d.cfg.Path, err))
+			return fmt.Errorf("filedev: write %s: %w", d.cfg.Path, err)
 		}
 		done += n
 	}
+	return nil
 }
 
-func (d *Dev) checkRange(off int64, n int) {
+func (d *Dev) checkRangeErr(op deverr.Op, off int64, n int) error {
 	if off < 0 || off+int64(n) > d.n {
-		panic(fmt.Sprintf("filedev: I/O [%d,+%d) beyond device end %d", off, n, d.n))
+		return &deverr.Error{Op: op, LBA: off, Kind: deverr.KindBounds,
+			Cause: fmt.Errorf("filedev: I/O [%d,+%d) beyond device end %d", off, n, d.n)}
 	}
+	return nil
 }
 
 var (

@@ -1,0 +1,171 @@
+package kvtest
+
+import (
+	"fmt"
+	"testing"
+
+	"ptsbench/internal/blockdev"
+	"ptsbench/internal/deverr"
+	"ptsbench/internal/engine"
+	"ptsbench/internal/extfs"
+	"ptsbench/internal/faultdev"
+	"ptsbench/internal/flash"
+	"ptsbench/internal/sim"
+)
+
+// retryAttempts bounds the block-layer retry loop. Each attempt redraws
+// its verdict from the plan's error stream, so at the low probabilities
+// the faulty conformance suite uses, surfacing a transient error past
+// the bound is effectively impossible (p^7).
+const retryAttempts = 7
+
+// RetryDev is a block-layer retry shim over a fault-injecting device:
+// transient per-command EIOs are retried in place, the way a host
+// storage stack reissues a failed command before involving anyone
+// above it. Persistent errors surface immediately. It lets the engine
+// conformance suite run over an EIO-injecting device without teaching
+// the suite about retries — the same division of labour as the serving
+// layer, where the store retries transient errors and fails replicas
+// over on persistent ones.
+type RetryDev struct {
+	inner   *faultdev.Dev
+	Retries int64 // transient errors absorbed
+}
+
+// NewRetryDev wraps a fault-injecting device.
+func NewRetryDev(inner *faultdev.Dev) *RetryDev { return &RetryDev{inner: inner} }
+
+// PageSize implements blockdev.Dev.
+func (r *RetryDev) PageSize() int { return r.inner.PageSize() }
+
+// Pages implements blockdev.Dev.
+func (r *RetryDev) Pages() int64 { return r.inner.Pages() }
+
+// ContentEnabled reports the wrapped device's content mode.
+func (r *RetryDev) ContentEnabled() bool { return r.inner.ContentEnabled() }
+
+// Discard implements blockdev.Dev.
+func (r *RetryDev) Discard(off int64, n int) { r.inner.Discard(off, n) }
+
+// retry drives one op until it succeeds, fails persistently, or the
+// attempt bound runs out. A failed attempt charges no virtual time, so
+// the successful attempt's completion time is the op's.
+func (r *RetryDev) retry(op func() (sim.Duration, error)) (sim.Duration, error) {
+	var (
+		done sim.Duration
+		err  error
+	)
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		done, err = op()
+		if err == nil || !deverr.IsTransient(err) {
+			return done, err
+		}
+		r.Retries++
+	}
+	return done, fmt.Errorf("kvtest: transient error survived %d retries: %w", retryAttempts, err)
+}
+
+// WriteErr implements blockdev.Dev with transient retry.
+func (r *RetryDev) WriteErr(now sim.Duration, off int64, n int, data []byte) (sim.Duration, error) {
+	return r.retry(func() (sim.Duration, error) { return r.inner.WriteErr(now, off, n, data) })
+}
+
+// ReadErr implements blockdev.Dev with transient retry.
+func (r *RetryDev) ReadErr(now sim.Duration, off int64, n int, buf []byte) (sim.Duration, error) {
+	return r.retry(func() (sim.Duration, error) { return r.inner.ReadErr(now, off, n, buf) })
+}
+
+// WriteAt implements blockdev.Dev as a panic wrapper over WriteErr.
+func (r *RetryDev) WriteAt(now sim.Duration, off int64, n int, data []byte) sim.Duration {
+	done, err := r.WriteErr(now, off, n, data)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+// ReadAt implements blockdev.Dev as a panic wrapper over ReadErr.
+func (r *RetryDev) ReadAt(now sim.Duration, off int64, n int, buf []byte) sim.Duration {
+	done, err := r.ReadErr(now, off, n, buf)
+	if err != nil {
+		panic(err)
+	}
+	return done
+}
+
+// SyncErr implements blockdev.Dev with transient retry.
+func (r *RetryDev) SyncErr() error {
+	_, err := r.retry(func() (sim.Duration, error) { return 0, r.inner.SyncErr() })
+	return err
+}
+
+// SyncBarrier implements blockdev.Barrier.
+func (r *RetryDev) SyncBarrier() {
+	if err := r.SyncErr(); err != nil {
+		panic(err)
+	}
+}
+
+// FaultyStack is a Stack over an error-injecting device, exposing the
+// injection and retry counters so tests can prove the plan actually
+// fired.
+type FaultyStack struct {
+	Stack
+	Fault *faultdev.Dev
+	Retry *RetryDev
+}
+
+// NewFaultyStack opens a fresh engine of the given driver over a
+// simulated flash device wrapped in a fault-injecting overlay running
+// the given error plan, with a block-layer retry shim absorbing
+// transient verdicts. Its Reopen power cycles the device first —
+// faultdev folds the pending window intact when the plan has no
+// drop/torn probabilities and disarms the error model — so recovery
+// reads a clean, honest device, the way the crash harness recovers
+// after its own power cycle.
+func NewFaultyStack(t *testing.T, drv engine.Driver, tunables map[string]string, plan faultdev.Plan, content bool) *FaultyStack {
+	t.Helper()
+	ssd, err := flash.NewDevice(flash.Config{
+		LogicalBytes:  32 << 20,
+		PageSize:      4096,
+		PagesPerBlock: 64,
+		Profile:       flash.ProfileSSD1().Scaled(4096),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := blockdev.New(ssd)
+	fd := faultdev.Wrap(host, plan)
+	rd := NewRetryDev(fd)
+	fs, err := extfs.Mount(rd, extfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := drv.Configure(engine.Sizing{DatasetBytes: 16 << 20})
+	if err := cfg.ApplyTunables(tunables); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := cfg.Open(engine.Env{FS: fs, RNG: sim.NewRNG(1), Content: content})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &FaultyStack{
+		Stack: Stack{Engine: eng.(Engine), Dev: host},
+		Fault: fd,
+		Retry: rd,
+	}
+	if content {
+		st.Reopen = func(now sim.Duration) (Engine, sim.Duration, error) {
+			fd.PowerCut()
+			if _, err := fd.PowerOn(); err != nil {
+				return nil, 0, err
+			}
+			re, rnow, err := cfg.Recover(engine.Env{FS: fs, RNG: sim.NewRNG(2), Content: true}, now)
+			if err != nil {
+				return nil, 0, err
+			}
+			return re.(Engine), rnow, nil
+		}
+	}
+	return st
+}

@@ -1,0 +1,64 @@
+package kvtest_test
+
+// The faulty-stack conformance run: every registered engine must pass
+// the full shared conformance suite over a device injecting low-rate
+// transient EIOs on both reads and writes, with the block-layer retry
+// shim absorbing the verdicts. Engine behaviour — semantics, scan
+// ordering, recovery, deterministic replay — must be indistinguishable
+// from a healthy device.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"ptsbench/internal/crash"
+	"ptsbench/internal/engine"
+	_ "ptsbench/internal/engine/all"
+	"ptsbench/internal/faultdev"
+	"ptsbench/internal/kvtest"
+)
+
+// eioPlan is the low-rate transient-EIO plan the conformance run uses.
+// The seed varies per stack so different subtests exercise different
+// verdict sequences while each stays deterministic.
+func eioPlan(seed uint64) faultdev.Plan {
+	return faultdev.Plan{
+		Seed:         seed,
+		ReadEIOProb:  0.02,
+		WriteEIOProb: 0.02,
+	}
+}
+
+// TestEngineConformanceUnderEIO runs the full conformance suite per
+// engine over the EIO-injecting stack, then proves the run was not
+// vacuous: across the suite's stacks the plan must have injected at
+// least one error and the retry shim must have absorbed every one.
+func TestEngineConformanceUnderEIO(t *testing.T) {
+	for _, name := range engine.Names() {
+		drv, err := engine.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			var injected, retried atomic.Int64
+			var stacks atomic.Uint64
+			kvtest.Run(t, func(t *testing.T, content bool) *kvtest.Stack {
+				seed := 1000 + stacks.Add(1)
+				fs := kvtest.NewFaultyStack(t, drv, crash.DurabilityTunables(name), eioPlan(seed), content)
+				t.Cleanup(func() {
+					inj := fs.Fault.Injected()
+					injected.Add(inj.ReadEIO + inj.WriteEIO)
+					retried.Add(fs.Retry.Retries)
+				})
+				return &fs.Stack
+			})
+			if injected.Load() == 0 {
+				t.Fatal("no EIO injected across the whole suite: the run was vacuous")
+			}
+			if injected.Load() != retried.Load() {
+				t.Fatalf("injected %d EIOs but retried %d: some surfaced past the shim",
+					injected.Load(), retried.Load())
+			}
+		})
+	}
+}

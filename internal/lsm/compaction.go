@@ -5,6 +5,7 @@ import (
 	"container/heap"
 	"sort"
 
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/sim"
@@ -265,7 +266,7 @@ func (j *compactionJob) merge() {
 		}
 		remaining--
 		if err := b.Add(e); err != nil {
-			d.fatal = err
+			d.fatal = deverr.Latch(err)
 			return
 		}
 		if b.EstimatedBytes() >= d.cfg.TargetFileBytes {
@@ -428,9 +429,11 @@ func (j *compactionJob) Step(now sim.Duration) (sim.Duration, bool) {
 	if j.imgIdx < len(j.images) {
 		img := j.images[j.imgIdx]
 		if j.imgWritten == 0 {
-			f, err := d.fs.Create(d.sstName())
+			// The id was minted when the image was built; the file name
+			// must be derived from it, not from a fresh sstName draw.
+			f, err := d.fs.Create(sstFileName(img.ID()))
 			if err != nil {
-				d.fatal = err
+				d.fatal = deverr.Latch(err)
 				j.abort()
 				return now, true
 			}
@@ -441,7 +444,7 @@ func (j *compactionJob) Step(now sim.Duration) (sim.Duration, bool) {
 		before := j.imgWritten
 		now, j.imgWritten, done, err = img.WriteChunk(now, j.outFiles[j.imgIdx], j.imgWritten, d.cfg.ChunkPages)
 		if err != nil {
-			d.fatal = err
+			d.fatal = deverr.Latch(err)
 			j.abort()
 			return now, true
 		}
@@ -491,7 +494,7 @@ func (j *compactionJob) chargeReads(now sim.Duration, target int64) sim.Duration
 		}
 		done, err := t.ReadPages(now, j.readCursorPage, int(n))
 		if err != nil {
-			j.d.fatal = err
+			j.d.fatal = deverr.Latch(err)
 			return now
 		}
 		if done > waveEnd {
@@ -554,21 +557,27 @@ func (j *compactionJob) commit(now sim.Duration) sim.Duration {
 	removeInputs := func() {
 		for _, t := range j.inputs {
 			if err := d.fs.Remove(t.FileName()); err != nil {
-				d.fatal = err
+				d.fatal = deverr.Latch(err)
 			}
 		}
 	}
 	if !d.cfg.Content {
 		removeInputs()
 	}
-	now = d.fs.Sync(now)
 	var err error
+	if now, err = d.fs.Sync(now); err != nil {
+		d.fatal = deverr.Latch(err)
+		return now
+	}
 	if now, err = d.writeManifest(now); err != nil {
-		d.fatal = err
+		d.fatal = deverr.Latch(err)
 		return now
 	}
 	if d.cfg.Content {
-		d.fs.Barrier()
+		if err := d.fs.Barrier(); err != nil {
+			d.fatal = deverr.Latch(err)
+			return now
+		}
 		removeInputs()
 	}
 	d.ioStats.Compactions++

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/kv"
 	"ptsbench/internal/memtable"
@@ -173,9 +174,17 @@ func (d *DB) walName() string {
 	return fmt.Sprintf("wal-%06d", d.walID)
 }
 
+// sstFileName names the file holding table id. The name is derived
+// from the id embedded in the table's footer — never minted separately
+// — so recovery can bind the two and refuse a stale image a lying
+// device resurrected under a newer name.
+func sstFileName(id uint64) string {
+	return fmt.Sprintf("sst-%06d", id)
+}
+
 func (d *DB) sstName() string {
 	d.nextFileID++
-	return fmt.Sprintf("sst-%06d", d.nextFileID)
+	return sstFileName(d.nextFileID)
 }
 
 // Config returns the validated configuration.
@@ -298,13 +307,13 @@ func (d *DB) write(now sim.Duration, key, value []byte, valueLen int, del bool) 
 		var err error
 		now, err = d.walW.Append(now, &rec, syncNow)
 		if err != nil {
-			d.fatal = err
+			d.fatal = deverr.Latch(err)
 			return now, err
 		}
 		if !syncNow && d.cfg.SyncWAL && d.walW.UnsyncedBytes() >= d.cfg.WALFlushBytes {
 			now, err = d.walW.Sync(now)
 			if err != nil {
-				d.fatal = err
+				d.fatal = deverr.Latch(err)
 				return now, err
 			}
 		}
@@ -315,7 +324,7 @@ func (d *DB) write(now sim.Duration, key, value []byte, valueLen int, del bool) 
 
 	if d.mem.SizeBytes() >= d.cfg.MemtableBytes {
 		if err := d.rotateMemtable(); err != nil {
-			d.fatal = err
+			d.fatal = deverr.Latch(err)
 			return now, err
 		}
 	}

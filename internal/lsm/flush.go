@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/extfs"
 	"ptsbench/internal/sim"
 	"ptsbench/internal/sstable"
@@ -32,14 +33,15 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 		it := j.im.mt.Iterator()
 		for it.Next() {
 			if err := b.Add(it.Entry()); err != nil {
-				d.fatal = err
+				d.fatal = deverr.Latch(err)
 				return now, true
 			}
 		}
-		j.img = b.Finish(d.nextFileID + 1)
-		f, err := d.fs.Create(d.sstName())
+		d.nextFileID++
+		j.img = b.Finish(d.nextFileID)
+		f, err := d.fs.Create(sstFileName(d.nextFileID))
 		if err != nil {
-			d.fatal = err
+			d.fatal = deverr.Latch(err)
 			return now, true
 		}
 		j.file = f
@@ -48,7 +50,7 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 	var err error
 	now, j.written, done, err = j.img.WriteChunk(now, j.file, j.written, d.cfg.ChunkPages)
 	if err != nil {
-		d.fatal = err
+		d.fatal = deverr.Latch(err)
 		j.abort()
 		return now, true
 	}
@@ -58,7 +60,11 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 	// Commit: sync metadata, install in L0 (newest first), persist the
 	// new version in the manifest, release the memtable and its WAL
 	// segment.
-	now = d.fs.Sync(now)
+	if now, err = d.fs.Sync(now); err != nil {
+		d.fatal = deverr.Latch(err)
+		j.abort()
+		return now, true
+	}
 	t := j.img.Install(j.file)
 	d.levels[0] = append([]*sstable.Table{t}, d.levels[0]...)
 	d.levelBytes[0] += t.SizeBytes()
@@ -67,7 +73,7 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 		d.flushedSeq = j.im.maxSeq
 	}
 	if now, err = d.writeManifest(now); err != nil {
-		d.fatal = err
+		d.fatal = deverr.Latch(err)
 		return now, true
 	}
 	// The manifest naming the new table (and carrying the flushedSeq mark
@@ -75,7 +81,10 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 	// segment is recycled — a cut between the two would otherwise lose the
 	// records to the zeroed log while the older manifest slot still omits
 	// the table.
-	d.fs.Barrier()
+	if err := d.fs.Barrier(); err != nil {
+		d.fatal = deverr.Latch(err)
+		return now, true
+	}
 	for i, im := range d.imm {
 		if im == j.im {
 			d.imm = append(d.imm[:i], d.imm[i+1:]...)
@@ -86,7 +95,7 @@ func (j *flushJob) Step(now sim.Duration) (sim.Duration, bool) {
 		var err error
 		now, err = j.im.walW.Recycle(now)
 		if err != nil {
-			d.fatal = err
+			d.fatal = deverr.Latch(err)
 			return now, true
 		}
 		d.walPool = append(d.walPool, j.im.walW)

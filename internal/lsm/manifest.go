@@ -291,6 +291,18 @@ func Recover(fs *extfs.FS, cfg Config, rng *sim.RNG, now sim.Duration) (*DB, sim
 				return nil, now, err
 			}
 			now = done
+			// Bind the footer's embedded table id to the file name. The
+			// two are minted together at build time, so a mismatch means
+			// the file holds a DIFFERENT table's bytes: its own flushed
+			// image was acknowledged by the device but never persisted
+			// (fsync lie) and recovery is reading whatever stale table
+			// previously occupied those extents. The image parses cleanly
+			// — only this binding catches it. Refuse loudly.
+			if want, perr := strconv.ParseUint(strings.TrimPrefix(name, "sst-"), 10, 64); perr == nil && t.ID != want {
+				return nil, now, fmt.Errorf(
+					"lsm: table %s carries embedded id %d: device dropped an acknowledged write (fsync lie or misdirect) and the file holds a stale table image",
+					name, t.ID)
+			}
 			d.levels[li] = append(d.levels[li], t)
 			d.levelBytes[li] += t.SizeBytes()
 		}

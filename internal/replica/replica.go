@@ -74,6 +74,39 @@ func ParseMode(s string) (Mode, error) {
 	}
 }
 
+// MemberError attributes a failure inside the group to the replica
+// whose engine raised it. The serving layer's failover path unwraps it
+// (via the structural MemberIndex surface) to decide WHICH replica to
+// fail out of the group; errors.Is/As reach the underlying engine or
+// device error through Unwrap, so transient-vs-persistent
+// classification (deverr) still works through the wrapper.
+type MemberError struct {
+	Member int
+	Err    error
+}
+
+// Error implements error.
+func (e *MemberError) Error() string {
+	return fmt.Sprintf("replica %d: %v", e.Member, e.Err)
+}
+
+// Unwrap exposes the member engine's error to errors.Is/As.
+func (e *MemberError) Unwrap() error { return e.Err }
+
+// MemberIndex returns the failing replica's index — the structural
+// surface the store's failover path matches via errors.As, so it never
+// has to import this package.
+func (e *MemberError) MemberIndex() int { return e.Member }
+
+// memberErr wraps a member-engine failure with its replica index; nil
+// stays nil.
+func memberErr(i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &MemberError{Member: i, Err: err}
+}
+
 // deleter and scanner mirror the store's optional engine surfaces; all
 // built-in engines implement both.
 type deleter interface {
@@ -156,6 +189,21 @@ func (g *Group) Clock(i int) sim.Duration { return g.reps[i].clock }
 // shrinking minority as replicas die.
 func (g *Group) majority() int { return len(g.reps)/2 + 1 }
 
+// Live returns the number of live replicas — the store's failover path
+// reads it (with MinLive) to decide whether the group can afford to
+// lose another member.
+func (g *Group) Live() int { return g.liveCount() }
+
+// MinLive returns the fewest live replicas at which the group still
+// serves: a chain degrades all the way down to one replica, a quorum
+// needs its configured write majority.
+func (g *Group) MinLive() int {
+	if g.mode == Quorum {
+		return g.majority()
+	}
+	return 1
+}
+
 // liveCount counts live replicas.
 func (g *Group) liveCount() int {
 	n := 0
@@ -208,7 +256,7 @@ func (g *Group) write(now sim.Duration, apply func(e engine.Engine, at sim.Durat
 			done, err := apply(r.eng, maxDur(r.clock, t))
 			r.clock = done
 			if err != nil {
-				return done, err
+				return done, memberErr(i, err)
 			}
 			t = done // the chain forwards after the local apply
 		}
@@ -237,7 +285,7 @@ func (g *Group) write(now sim.Duration, apply func(e engine.Engine, at sim.Durat
 		done, err := apply(r.eng, maxDur(r.clock, now))
 		r.clock = done
 		if err != nil {
-			return done, err
+			return done, memberErr(i, err)
 		}
 		g.dones = append(g.dones, done)
 	}
@@ -287,7 +335,7 @@ func (g *Group) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, e
 		done, v, found, err := r.eng.Get(maxDur(r.clock, now), key)
 		r.clock = done
 		if err != nil {
-			return done, nil, false, err
+			return done, nil, false, memberErr(srv, err)
 		}
 		g.stats = g.stats.Add(r.eng.Stats().Sub(before))
 		return done, v, found, nil
@@ -312,7 +360,7 @@ func (g *Group) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, e
 		done, v, found, err := r.eng.Get(maxDur(r.clock, now), key)
 		r.clock = done
 		if err != nil {
-			return done, nil, false, err
+			return done, nil, false, memberErr(i, err)
 		}
 		g.dones = append(g.dones, done)
 		vals[i], founds[i] = v, found
@@ -333,7 +381,7 @@ func (g *Group) Get(now sim.Duration, key []byte) (sim.Duration, []byte, bool, e
 			continue
 		}
 		if err := g.repair(r, key, winVal, winFound, 0); err != nil {
-			return r.clock, nil, false, err
+			return r.clock, nil, false, memberErr(i, err)
 		}
 	}
 	g.stats = g.stats.Add(g.reps[srv].eng.Stats().Sub(before))
@@ -380,7 +428,7 @@ func (g *Group) Scan(now sim.Duration, start []byte, limit int) (sim.Duration, [
 	done, ents, err := sc.Scan(maxDur(r.clock, now), start, limit)
 	r.clock = done
 	if err != nil {
-		return done, nil, err
+		return done, nil, memberErr(srv, err)
 	}
 	g.stats = g.stats.Add(r.eng.Stats().Sub(before))
 	return done, ents, nil
@@ -399,7 +447,7 @@ func (g *Group) FlushAll(now sim.Duration) (sim.Duration, error) {
 		done, err := r.eng.FlushAll(maxDur(r.clock, now))
 		r.clock = done
 		if err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = memberErr(i, err)
 		}
 		if done > end {
 			end = done
@@ -436,7 +484,7 @@ func (g *Group) Close(now sim.Duration) (sim.Duration, error) {
 		done, err := r.eng.Close(maxDur(r.clock, now))
 		r.clock = done
 		if err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = memberErr(i, err)
 		}
 		if done > end {
 			end = done
@@ -499,7 +547,7 @@ func (g *Group) EndGroupCommit(now sim.Duration) (sim.Duration, error) {
 		supported = true
 		done, err := gc.EndGroupCommit(maxDur(r.clock, now))
 		if err != nil && firstErr == nil {
-			firstErr = err
+			firstErr = memberErr(i, err)
 		}
 		if done > r.clock {
 			r.clock = done

@@ -338,6 +338,12 @@ func (img *FileImage) WriteChunk(now sim.Duration, f *extfs.File, written int64,
 	return done, written, written == img.Pages, nil
 }
 
+// ID returns the table id embedded in the image's footer. The owning
+// file MUST be named for it (lsm names files sst-<id>): recovery binds
+// the reopened footer id to the file name to catch a stale table image
+// resurrected by a lying fsync or a misdirected write.
+func (img *FileImage) ID() uint64 { return img.table.ID }
+
 // Install finalizes the image into a Table bound to file f. Call it after
 // the image has been fully written.
 func (img *FileImage) Install(f *extfs.File) *Table {

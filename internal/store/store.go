@@ -33,6 +33,7 @@ import (
 	"sync"
 
 	"ptsbench/internal/blockdev"
+	"ptsbench/internal/deverr"
 	"ptsbench/internal/engine"
 	"ptsbench/internal/faultdev"
 	"ptsbench/internal/kv"
@@ -111,6 +112,11 @@ type Stack struct {
 	// Faults, when set, lists every fault wrapper backing the shard in
 	// the same order as Devs (entries may be nil).
 	Faults []*faultdev.Dev
+	// AutoFailover lets the shard fail a persistently erroring replica
+	// out of its group (the engine must implement Failover) instead of
+	// latching the shard unavailable. Off by default: harnesses that
+	// orchestrate failover themselves keep exclusive control.
+	AutoFailover bool
 }
 
 // request is an Op tagged with its global submission number.
@@ -127,7 +133,11 @@ type shard struct {
 	devs   []blockdev.Host // all backing devices (replicated shards)
 	faults []*faultdev.Dev // all fault wrappers, aligned with devs
 	clock  sim.Duration
-	failed error // sticky: set on the first engine error
+	failed error // sticky: set on the first persistent engine error
+
+	autoFailover bool       // fail erroring replicas out of the group
+	retryLeft    int        // transient-retry budget for this pump round
+	errStats     ErrorStats // degraded-path counters
 
 	intake   []request // reused across Pumps
 	unsorted bool      // intake submit times observed out of order
@@ -180,6 +190,7 @@ func New(shards int, open func(i int) (Stack, error)) (*Store, error) {
 		sh := &shard{
 			idx: i, eng: st.Engine, dev: st.Dev, fault: st.Fault,
 			devs: st.Devs, faults: st.Faults, clock: st.Start,
+			autoFailover: st.AutoFailover,
 		}
 		if sh.devs == nil {
 			sh.devs = []blockdev.Host{st.Dev}
@@ -321,8 +332,14 @@ func (s *Store) Pump() []Completion {
 // fails the dead replica out of the group (replica.Group.Kill) and
 // clears the shard so the surviving replicas keep serving. Must only be
 // called between Pump/FlushAll/Scan rounds, never concurrently with
-// them.
-func (s *Store) ClearFailure(i int) { s.shards[i].failed = nil }
+// them. An out-of-range shard index is an error, not a panic.
+func (s *Store) ClearFailure(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("store: clear failure: shard %d out of range (shards %d)", i, len(s.shards))
+	}
+	s.shards[i].failed = nil
+	return nil
+}
 
 // each runs fn on every shard — in parallel on multi-shard stores —
 // and returns after all have finished.
@@ -347,6 +364,7 @@ func (sh *shard) process() {
 	if sh.unsorted {
 		sortRequests(sh.intake)
 	}
+	sh.retryLeft = retryBudget
 	var gc engine.GroupCommitter
 	if countWrites(sh.intake) > 1 {
 		if g, ok := sh.eng.(engine.GroupCommitter); ok {
@@ -357,6 +375,7 @@ func (sh *shard) process() {
 	for i := 0; i < len(sh.intake); {
 		r := sh.intake[i]
 		if sh.failed != nil {
+			sh.errStats.Unavailable++
 			sh.push(r, r.op.Submit, nil, false, sh.failed)
 			i++
 			continue
@@ -378,13 +397,16 @@ func (sh *shard) process() {
 			for k := i; k < j; k++ {
 				rq := sh.intake[k]
 				if sh.failed != nil {
+					sh.errStats.Unavailable++
 					sh.push(rq, rq.op.Submit, nil, false, sh.failed)
 					continue
 				}
-				done, v, found, err := sh.eng.Get(start, rq.op.Key)
+				done, v, found, err := sh.runOp(rq, start)
 				if err != nil {
-					sh.failed = err
-					sh.push(rq, done, nil, false, err)
+					done, v, found, err = sh.redo(rq, done, err)
+				}
+				if err != nil {
+					sh.push(rq, done, nil, false, sh.fail(err))
 					continue
 				}
 				if done > end {
@@ -397,28 +419,12 @@ func (sh *shard) process() {
 			continue
 		}
 		start := maxDur(sh.clock, r.op.Submit)
-		var (
-			done  sim.Duration
-			v     []byte
-			found bool
-			err   error
-		)
-		switch r.op.Kind {
-		case Get:
-			done, v, found, err = sh.eng.Get(start, r.op.Key)
-		case Put:
-			done, err = sh.eng.Put(start, r.op.Key, r.op.Value, r.op.ValueLen)
-		case Delete:
-			if del, ok := sh.eng.(Deleter); ok {
-				done, err = del.Delete(start, r.op.Key)
-			} else {
-				done, err = start, fmt.Errorf("store: shard %d engine does not support Delete", sh.idx)
-			}
-		default:
-			done, err = start, fmt.Errorf("store: unknown op kind %d", r.op.Kind)
-		}
+		done, v, found, err := sh.runOp(r, start)
 		if err != nil {
-			sh.failed = err
+			done, v, found, err = sh.redo(r, done, err)
+			if err != nil {
+				err = sh.fail(err)
+			}
 		}
 		sh.clock = done
 		sh.push(r, done, v, found, err)
@@ -426,10 +432,33 @@ func (sh *shard) process() {
 	}
 	if gc != nil {
 		syncDone, err := gc.EndGroupCommit(sh.clock)
-		if err != nil {
-			if sh.failed == nil {
-				sh.failed = err
+		backoff := retryBase
+		for err != nil {
+			// The shared journal sync rides the same policy as ops:
+			// transient errors back off and re-sync on the budget,
+			// persistent member errors fail the replica over and re-sync
+			// on the degraded group.
+			if deverr.IsTransient(err) {
+				sh.errStats.Transient++
+				if sh.retryLeft <= 0 {
+					break
+				}
+				sh.retryLeft--
+				sh.errStats.Retries++
+				sh.clock += backoff
+				if backoff < retryCap {
+					backoff *= 2
+				}
+			} else {
+				sh.errStats.Persistent++
+				if !sh.failOver(err) {
+					break
+				}
 			}
+			syncDone, err = gc.EndGroupCommit(sh.clock)
+		}
+		if err != nil {
+			err = sh.fail(err)
 			for k := range sh.comps {
 				c := &sh.comps[k]
 				if c.Kind != Get && c.Err == nil {
@@ -449,6 +478,27 @@ func (sh *shard) process() {
 			sh.clock = syncDone
 		}
 	}
+}
+
+// runOp dispatches one request to the shard's engine at the given
+// start time. It is the single raw attempt; retry and failover policy
+// live in redo (degrade.go).
+func (sh *shard) runOp(r request, at sim.Duration) (done sim.Duration, v []byte, found bool, err error) {
+	switch r.op.Kind {
+	case Get:
+		done, v, found, err = sh.eng.Get(at, r.op.Key)
+	case Put:
+		done, err = sh.eng.Put(at, r.op.Key, r.op.Value, r.op.ValueLen)
+	case Delete:
+		if del, ok := sh.eng.(Deleter); ok {
+			done, err = del.Delete(at, r.op.Key)
+		} else {
+			done, err = at, fmt.Errorf("store: shard %d engine does not support Delete", sh.idx)
+		}
+	default:
+		done, err = at, fmt.Errorf("store: unknown op kind %d", r.op.Kind)
+	}
+	return done, v, found, err
 }
 
 func (sh *shard) push(r request, done sim.Duration, v []byte, found bool, err error) {

@@ -169,12 +169,16 @@ func (w *Writer) Sync(now sim.Duration) (sim.Duration, error) {
 	if err != nil {
 		return now, err
 	}
+	// A WAL sync is an fsync: the records written above — and every
+	// earlier write — survive a power cut from here on. A failing
+	// barrier means none of that can be assumed: leave the synced
+	// watermarks untouched so a retry rewrites and re-barriers.
+	if err := w.fs.Barrier(); err != nil {
+		return now, err
+	}
 	w.syncedSize = w.size
 	w.syncedPage = lastPage + 1
 	w.syncCount++
-	// A WAL sync is an fsync: the records written above — and every
-	// earlier write — survive a power cut from here on.
-	w.fs.Barrier()
 	return done, nil
 }
 
